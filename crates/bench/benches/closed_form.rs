@@ -1,0 +1,37 @@
+//! Criterion: closed-form PBS math (Eqs. 1–5) evaluation throughput.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pbs_core::tvisibility::{t_visibility_violation, ExponentialDiffusion};
+use pbs_core::{staleness, ReplicaConfig};
+
+fn bench_closed_form(c: &mut Criterion) {
+    let small = ReplicaConfig::new(3, 1, 1).unwrap();
+    let large = ReplicaConfig::new(100, 30, 30).unwrap();
+
+    c.bench_function("eq1_non_intersection_n3", |b| {
+        b.iter(|| staleness::non_intersection_probability(black_box(small)))
+    });
+    c.bench_function("eq1_non_intersection_n100", |b| {
+        b.iter(|| staleness::non_intersection_probability(black_box(large)))
+    });
+    c.bench_function("eq2_k_staleness_k10", |b| {
+        b.iter(|| staleness::k_staleness_violation(black_box(small), black_box(10)))
+    });
+    c.bench_function("eq3_monotonic_reads", |b| {
+        b.iter(|| staleness::monotonic_reads_violation(black_box(small), 4.0, 1.0))
+    });
+
+    let diffusion = ExponentialDiffusion::new(small, 0.5);
+    c.bench_function("eq4_t_visibility_exponential", |b| {
+        b.iter(|| t_visibility_violation(black_box(small), &diffusion, black_box(3.0)))
+    });
+
+    let big = ReplicaConfig::new(50, 5, 5).unwrap();
+    let big_diffusion = ExponentialDiffusion::new(big, 0.5);
+    c.bench_function("eq4_t_visibility_n50", |b| {
+        b.iter(|| t_visibility_violation(black_box(big), &big_diffusion, black_box(3.0)))
+    });
+}
+
+criterion_group!(benches, bench_closed_form);
+criterion_main!(benches);

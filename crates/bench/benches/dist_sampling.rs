@@ -1,0 +1,77 @@
+//! Criterion: latency-distribution sampling and quantile throughput.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use pbs_dist::production;
+use pbs_dist::{Empirical, Exponential, LatencyDistribution, Pareto};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_dists(c: &mut Criterion) {
+    const SAMPLES: usize = 100_000;
+    let mut group = c.benchmark_group("dist_sampling");
+    group.throughput(Throughput::Elements(SAMPLES as u64));
+
+    let exp = Exponential::from_rate(0.1);
+    group.bench_function("exponential", |b| {
+        let mut rng = StdRng::seed_from_u64(1);
+        b.iter(|| {
+            let mut acc = 0.0;
+            for _ in 0..SAMPLES {
+                acc += exp.sample(&mut rng);
+            }
+            acc
+        })
+    });
+
+    let pareto = Pareto::new(1.05, 1.51);
+    group.bench_function("pareto", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| {
+            let mut acc = 0.0;
+            for _ in 0..SAMPLES {
+                acc += pareto.sample(&mut rng);
+            }
+            acc
+        })
+    });
+
+    let mixture = production::lnkd_disk_write();
+    group.bench_function("lnkd_disk_mixture", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        b.iter(|| {
+            let mut acc = 0.0;
+            for _ in 0..SAMPLES {
+                acc += mixture.sample(&mut rng);
+            }
+            acc
+        })
+    });
+
+    let empirical = {
+        let mut rng = StdRng::seed_from_u64(4);
+        Empirical::from_samples((0..100_000).map(|_| mixture.sample(&mut rng)).collect())
+    };
+    group.bench_function("empirical_bootstrap", |b| {
+        let mut rng = StdRng::seed_from_u64(5);
+        b.iter(|| {
+            let mut acc = 0.0;
+            for _ in 0..SAMPLES {
+                acc += empirical.sample(&mut rng);
+            }
+            acc
+        })
+    });
+    group.finish();
+
+    let mut q = c.benchmark_group("dist_quantile");
+    q.bench_function("mixture_numeric_quantile", |b| {
+        b.iter(|| mixture.quantile(black_box(0.999)))
+    });
+    q.bench_function("pareto_analytic_quantile", |b| {
+        b.iter(|| pareto.quantile(black_box(0.999)))
+    });
+    q.finish();
+}
+
+criterion_group!(benches, bench_dists);
+criterion_main!(benches);

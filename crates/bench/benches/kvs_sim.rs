@@ -1,0 +1,62 @@
+//! Criterion: simulated Dynamo-style store throughput (operations per
+//! second through the discrete-event kernel).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pbs_core::ReplicaConfig;
+use pbs_dist::Exponential;
+use pbs_kvs::cluster::{Cluster, ClusterOptions, TraceOp};
+use pbs_kvs::NetworkModel;
+use std::sync::Arc;
+
+fn net() -> NetworkModel {
+    NetworkModel::w_ars(
+        Arc::new(Exponential::from_rate(0.1)),
+        Arc::new(Exponential::from_rate(0.5)),
+    )
+}
+
+fn bench_kvs(c: &mut Criterion) {
+    let cfg = ReplicaConfig::new(3, 1, 1).unwrap();
+
+    let mut group = c.benchmark_group("kvs");
+    const OPS: usize = 1_000;
+    group.throughput(Throughput::Elements(OPS as u64));
+
+    group.bench_function("sequential_write_read_pairs", |b| {
+        b.iter(|| {
+            let mut cluster = Cluster::new(ClusterOptions::validation(cfg, 1), net());
+            for i in 0..OPS / 2 {
+                let w = cluster.write(i as u64 % 16);
+                let commit = w.commit.unwrap();
+                let _ = cluster.read_at(i as u64 % 16, commit);
+            }
+        })
+    });
+
+    group.bench_function("trace_mixed_workload", |b| {
+        let trace: Vec<TraceOp> = (0..OPS)
+            .map(|i| TraceOp { at_ms: i as f64 * 2.0, is_read: i % 3 != 0, key: (i % 16) as u64 })
+            .collect();
+        b.iter(|| {
+            let mut cluster = Cluster::new(ClusterOptions::validation(cfg, 2), net());
+            cluster.run_trace(&trace)
+        })
+    });
+
+    group.bench_function("trace_with_read_repair", |b| {
+        let mut opts = ClusterOptions::validation(cfg, 3);
+        opts.read_repair = true;
+        let trace: Vec<TraceOp> = (0..OPS)
+            .map(|i| TraceOp { at_ms: i as f64 * 2.0, is_read: i % 3 != 0, key: (i % 16) as u64 })
+            .collect();
+        b.iter(|| {
+            let mut cluster = Cluster::new(opts, net());
+            cluster.run_trace(&trace)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_kvs);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion: quorum-system Monte-Carlo analysis throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pbs_quorum::{analysis, Grid, Majority, RandomFixed, TreeQuorum};
+
+fn bench_quorum(c: &mut Criterion) {
+    const TRIALS: usize = 100_000;
+    let mut group = c.benchmark_group("quorum_intersection_mc");
+    group.throughput(Throughput::Elements(TRIALS as u64));
+
+    group.bench_function("random_fixed_n10", |b| {
+        let sys = RandomFixed::new(10, 3, 3);
+        b.iter(|| analysis::intersection_probability(&sys, TRIALS, 1))
+    });
+    group.bench_function("majority_n25", |b| {
+        let sys = Majority::new(25);
+        b.iter(|| analysis::intersection_probability(&sys, TRIALS, 1))
+    });
+    group.bench_function("grid_5x5", |b| {
+        let sys = Grid::new(5);
+        b.iter(|| analysis::intersection_probability(&sys, TRIALS, 1))
+    });
+    group.bench_function("tree_depth5", |b| {
+        let sys = TreeQuorum::new(5, 0.25);
+        b.iter(|| analysis::intersection_probability(&sys, TRIALS, 1))
+    });
+    group.bench_function("k_staleness_k5_random_n10", |b| {
+        let sys = RandomFixed::new(10, 2, 2);
+        b.iter(|| analysis::k_staleness_mc(&sys, 5, TRIALS, 1))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_quorum);
+criterion_main!(benches);

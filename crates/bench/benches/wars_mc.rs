@@ -1,0 +1,35 @@
+//! Criterion: WARS Monte-Carlo trial throughput (the engine behind every
+//! figure).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pbs_core::ReplicaConfig;
+use pbs_wars::production::{exponential_model, lnkd_disk_model, wan_model};
+use pbs_wars::TVisibility;
+
+fn bench_wars(c: &mut Criterion) {
+    let cfg = ReplicaConfig::new(3, 1, 1).unwrap();
+    let mut group = c.benchmark_group("wars_trials");
+    const TRIALS: usize = 10_000;
+    group.throughput(Throughput::Elements(TRIALS as u64));
+
+    group.bench_function(BenchmarkId::new("exponential", "n3"), |b| {
+        let model = exponential_model(cfg, 0.1, 0.5);
+        b.iter(|| TVisibility::simulate(&model, TRIALS, 7))
+    });
+    group.bench_function(BenchmarkId::new("lnkd_disk_mixture", "n3"), |b| {
+        let model = lnkd_disk_model(cfg);
+        b.iter(|| TVisibility::simulate(&model, TRIALS, 7))
+    });
+    group.bench_function(BenchmarkId::new("wan", "n3"), |b| {
+        let model = wan_model(cfg);
+        b.iter(|| TVisibility::simulate(&model, TRIALS, 7))
+    });
+    group.bench_function(BenchmarkId::new("exponential", "n10"), |b| {
+        let model = exponential_model(ReplicaConfig::new(10, 1, 1).unwrap(), 0.1, 0.5);
+        b.iter(|| TVisibility::simulate(&model, TRIALS, 7))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_wars);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! §4.3 — asynchronous staleness detection: the coordinator compares the
+//! `N − R` late read responses against the returned value. The paper
+//! predicts false positives from in-flight (newer-but-uncommitted) writes;
+//! ground truth lets us measure precision and recall exactly.
+
+use pbs_bench::{report, HarnessOptions};
+use pbs_core::ReplicaConfig;
+use pbs_dist::Exponential;
+use pbs_kvs::cluster::{Cluster, ClusterOptions, TraceOp};
+use pbs_kvs::NetworkModel;
+use std::sync::Arc;
+
+fn run(n: u32, r: u32, w: u32, write_mean_ms: f64, ops: usize, seed: u64) -> Vec<String> {
+    let cfg = ReplicaConfig::new(n, r, w).unwrap();
+    let mut cluster = Cluster::new(
+        ClusterOptions::validation(cfg, seed),
+        NetworkModel::w_ars(
+            Arc::new(Exponential::from_mean(write_mean_ms)),
+            Arc::new(Exponential::from_mean(2.0)),
+        ),
+    );
+    // Dense single-key traffic maximises in-flight overlap — the paper's
+    // false-positive regime.
+    let trace: Vec<TraceOp> = (0..ops)
+        .map(|i| TraceOp { at_ms: i as f64 * 3.0, is_read: i % 2 == 1, key: 1 })
+        .collect();
+    let rep = cluster.run_trace(&trace);
+    let d = rep.detector;
+    let stale = d.true_positives + d.missed_stale;
+    let precision = if d.flagged > 0 {
+        d.true_positives as f64 / d.flagged as f64
+    } else {
+        1.0
+    };
+    let recall = if stale > 0 { d.true_positives as f64 / stale as f64 } else { 1.0 };
+    vec![
+        format!("N={n}, R={r}, W={w}, E[W]={write_mean_ms}ms"),
+        pbs_bench::report::pct(rep.consistency_rate()),
+        d.flagged.to_string(),
+        d.false_positives.to_string(),
+        d.missed_stale.to_string(),
+        format!("{precision:.3}"),
+        format!("{recall:.3}"),
+    ]
+}
+
+fn main() {
+    let opts = HarnessOptions::parse(20_000);
+    println!("Asynchronous staleness detection (paper §4.3)");
+    println!("Detector: any of the N−R late responses newer than the returned value.");
+    println!("({} ops per configuration, single hot key)", opts.trials);
+
+    report::header("Detector quality vs. configuration");
+    let rows = vec![
+        run(3, 1, 1, 10.0, opts.trials, opts.seed),
+        run(3, 1, 1, 2.0, opts.trials, opts.seed),
+        run(3, 1, 2, 10.0, opts.trials, opts.seed),
+        run(3, 2, 1, 10.0, opts.trials, opts.seed),
+        run(5, 1, 1, 10.0, opts.trials, opts.seed),
+    ];
+    report::table(
+        &["config", "P(consistent)", "flagged", "false pos", "missed", "precision", "recall"],
+        &rows,
+    );
+    println!();
+    println!("False positives arise exactly as §4.3 predicts: late responses carrying");
+    println!("in-flight (newer-but-uncommitted) versions. Misses occur when every fresher");
+    println!("replica landed inside the first R responses of *another* read or never");
+    println!("responded before trace settle.");
+}

@@ -1,0 +1,48 @@
+//! Figure 5 — read and write operation latency CDFs for the production
+//! fits, N=3, R/W ∈ {1, 2, 3} (§5.5).
+
+use pbs_bench::{report, HarnessOptions};
+use pbs_core::ReplicaConfig;
+use pbs_wars::production::ProductionProfile;
+use pbs_wars::TVisibility;
+
+fn main() {
+    let opts = HarnessOptions::parse(100_000);
+    println!("Figure 5: operation latency CDFs for production fits (§5.5), N=3");
+
+    let pcts = [1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 99.9];
+
+    for profile in ProductionProfile::ALL {
+        report::header(&format!("{} — read latency (ms) by percentile", profile.name()));
+        let mut rows = Vec::new();
+        for r in 1..=3u32 {
+            let cfg = ReplicaConfig::new(3, r, 1).unwrap();
+            let tv = TVisibility::simulate(profile.model(cfg).as_ref(), opts.trials, opts.seed);
+            let mut row = vec![format!("R={r}")];
+            for &p in &pcts {
+                row.push(report::ms(tv.read_latency_percentile(p)));
+            }
+            rows.push(row);
+        }
+        let mut cols = vec!["quorum"];
+        let pct_labels: Vec<String> = pcts.iter().map(|p| format!("p{p}")).collect();
+        cols.extend(pct_labels.iter().map(|s| s.as_str()));
+        report::table(&cols, &rows);
+
+        report::header(&format!("{} — write latency (ms) by percentile", profile.name()));
+        let mut rows = Vec::new();
+        for w in 1..=3u32 {
+            let cfg = ReplicaConfig::new(3, 1, w).unwrap();
+            let tv = TVisibility::simulate(profile.model(cfg).as_ref(), opts.trials, opts.seed);
+            let mut row = vec![format!("W={w}")];
+            for &p in &pcts {
+                row.push(report::ms(tv.write_latency_percentile(p)));
+            }
+            rows.push(row);
+        }
+        report::table(&cols, &rows);
+    }
+    println!();
+    println!("(paper: for reads, LNKD-SSD ≈ LNKD-DISK — A=R=S share the same fit;");
+    println!(" WAN R=1 is fast (one local replica) while R≥2 pays the 150ms round trip)");
+}

@@ -1,0 +1,69 @@
+//! Figure 6 — t-visibility for production operation latencies (§5.6):
+//! LNKD-SSD, LNKD-DISK, WAN, YMMR with N=3 and (R,W) ∈ {(1,1),(1,2),(2,1)}.
+
+use pbs_bench::{report, HarnessOptions};
+use pbs_core::ReplicaConfig;
+use pbs_wars::production::ProductionProfile;
+use pbs_wars::sweep::log_spaced;
+use pbs_wars::TVisibility;
+
+fn main() {
+    let opts = HarnessOptions::parse(200_000);
+    println!("Figure 6: t-visibility for production fits (§5.6), N=3");
+
+    let quorums = [(1u32, 1u32), (1, 2), (2, 1)];
+
+    for profile in ProductionProfile::ALL {
+        // Match each panel's x-range to the paper's.
+        let ts: Vec<f64> = match profile {
+            ProductionProfile::LnkdSsd => log_spaced(0.1, 2.0, 10),
+            ProductionProfile::LnkdDisk => log_spaced(1.0, 300.0, 12),
+            ProductionProfile::Wan => log_spaced(1.0, 300.0, 12),
+            ProductionProfile::Ymmr => log_spaced(1.0, 3000.0, 12),
+        };
+        let runs: Vec<((u32, u32), TVisibility)> = quorums
+            .iter()
+            .map(|&(r, w)| {
+                let cfg = ReplicaConfig::new(3, r, w).unwrap();
+                ((r, w), TVisibility::simulate(profile.model(cfg).as_ref(), opts.trials, opts.seed))
+            })
+            .collect();
+
+        report::header(&format!("{} — P(consistency) vs t (ms)", profile.name()));
+        let mut rows = Vec::new();
+        // t = 0 row first, then the log-spaced grid.
+        let mut all_ts = vec![0.0];
+        all_ts.extend(ts.iter().copied());
+        for &t in &all_ts {
+            let mut row = vec![format!("{t:.2}")];
+            for (_, tv) in &runs {
+                row.push(format!("{:.5}", tv.prob_consistent(t)));
+            }
+            rows.push(row);
+        }
+        let labels: Vec<String> =
+            quorums.iter().map(|(r, w)| format!("R={r} W={w}")).collect();
+        let mut cols = vec!["t"];
+        cols.extend(labels.iter().map(|s| s.as_str()));
+        report::table(&cols, &rows);
+    }
+
+    report::header("Immediate consistency, P(consistent at t=0), R=W=1 (paper §5.6)");
+    let mut rows = Vec::new();
+    for profile in ProductionProfile::ALL {
+        let cfg = ReplicaConfig::new(3, 1, 1).unwrap();
+        let tv = TVisibility::simulate(profile.model(cfg).as_ref(), opts.trials, opts.seed);
+        let paper = match profile {
+            ProductionProfile::LnkdSsd => "97.4%",
+            ProductionProfile::LnkdDisk => "43.9%",
+            ProductionProfile::Ymmr => "89.3%",
+            ProductionProfile::Wan => "~33%",
+        };
+        rows.push(vec![
+            profile.name().to_string(),
+            report::pct(tv.prob_consistent(0.0)),
+            paper.to_string(),
+        ]);
+    }
+    report::table(&["profile", "measured", "paper"], &rows);
+}

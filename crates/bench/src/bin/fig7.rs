@@ -1,0 +1,58 @@
+//! Figure 7 — t-visibility vs. replication factor `N ∈ {2,3,5,10}` with
+//! `R=W=1` (§5.7), for LNKD-DISK, LNKD-SSD, and WAN.
+
+use pbs_bench::{report, HarnessOptions};
+use pbs_wars::production::ProductionProfile;
+use pbs_wars::sweep::{lin_spaced, replication_factor_sweep};
+
+fn main() {
+    let opts = HarnessOptions::parse(150_000);
+    println!("Figure 7: t-visibility vs replication factor (§5.7), R=W=1");
+
+    let ns = [2u32, 3, 5, 10];
+    for profile in
+        [ProductionProfile::LnkdDisk, ProductionProfile::LnkdSsd, ProductionProfile::Wan]
+    {
+        let ts: Vec<f64> = match profile {
+            ProductionProfile::LnkdSsd => lin_spaced(0.0, 2.0, 9),
+            ProductionProfile::LnkdDisk => lin_spaced(0.0, 20.0, 11),
+            _ => lin_spaced(0.0, 90.0, 10),
+        };
+        let runs = replication_factor_sweep(
+            &|cfg| profile.model(cfg),
+            &ns,
+            opts.trials,
+            opts.seed,
+        );
+
+        report::header(&format!("{} — P(consistency) vs t (ms)", profile.name()));
+        let mut rows = Vec::new();
+        for &t in &ts {
+            let mut row = vec![format!("{t:.1}")];
+            for (_, tv) in &runs {
+                row.push(format!("{:.4}", tv.prob_consistent(t)));
+            }
+            rows.push(row);
+        }
+        let labels: Vec<String> = ns.iter().map(|n| format!("N={n}")).collect();
+        let mut cols = vec!["t"];
+        cols.extend(labels.iter().map(|s| s.as_str()));
+        report::table(&cols, &rows);
+
+        let mut rows = Vec::new();
+        for (n, tv) in &runs {
+            rows.push(vec![
+                format!("N={n}"),
+                report::pct(tv.prob_consistent(0.0)),
+                match tv.t_at_probability(0.999) {
+                    Some(t) => report::ms(t),
+                    None => "unresolved".into(),
+                },
+            ]);
+        }
+        report::table(&["config", "P(consistent) at t=0", "t @ 99.9% (ms)"], &rows);
+    }
+    println!();
+    println!("(paper, LNKD-DISK: t=0 consistency 57.5% at N=2 → 21.1% at N=10,");
+    println!(" while t @ 99.9% only grows 45.3ms → 53.7ms)");
+}

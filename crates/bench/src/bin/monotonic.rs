@@ -1,0 +1,60 @@
+//! §3.2 — PBS monotonic reads: Eq. 3 closed form, with the session-model
+//! simulation validating the `k = 1 + γgw/γcr` exponent.
+
+use pbs_bench::{report, HarnessOptions};
+use pbs_core::{staleness, ReplicaConfig};
+use pbs_workload::SessionModel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let opts = HarnessOptions::parse(100_000);
+    println!("PBS monotonic reads (paper §3.2, Equation 3)");
+    println!("p_sMR = p_s^(1 + γgw/γcr)");
+
+    report::header("Violation probability vs. write/read rate ratio");
+    let ratios = [0.1f64, 0.5, 1.0, 2.0, 5.0, 10.0];
+    let configs = [(3u32, 1u32, 1u32), (3, 1, 2), (3, 2, 1), (2, 1, 1)];
+    let mut rows = Vec::new();
+    for (n, r, w) in configs {
+        let cfg = ReplicaConfig::new(n, r, w).unwrap();
+        let mut row = vec![cfg.to_string()];
+        for &ratio in &ratios {
+            // γgw = ratio, γcr = 1.
+            row.push(format!("{:.4}", staleness::monotonic_reads_violation(cfg, ratio, 1.0)));
+        }
+        rows.push(row);
+    }
+    let mut cols = vec!["config"];
+    let ratio_labels: Vec<String> = ratios.iter().map(|r| format!("γgw/γcr={r}")).collect();
+    cols.extend(ratio_labels.iter().map(|s| s.as_str()));
+    report::table(&cols, &rows);
+
+    report::header("Session simulation: empirical k vs. 1 + γgw/γcr");
+    let mut rows = Vec::new();
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    for &(gw, cr) in &[(0.5f64, 1.0f64), (1.0, 1.0), (4.0, 1.0), (0.2, 2.0)] {
+        let session = SessionModel::new(gw, cr);
+        let emp = session.empirical_k(&mut rng, opts.trials);
+        rows.push(vec![
+            format!("{gw}"),
+            format!("{cr}"),
+            format!("{:.4}", session.k()),
+            format!("{emp:.4}"),
+            format!("{:+.4}", emp - session.k()),
+        ]);
+    }
+    report::table(&["γgw", "γcr", "k (Eq. 3)", "k (simulated)", "error"], &rows);
+
+    report::header("Strict vs. plain monotonic reads (N=3, R=W=1)");
+    let cfg = ReplicaConfig::new(3, 1, 1).unwrap();
+    let mut rows = Vec::new();
+    for &ratio in &ratios {
+        rows.push(vec![
+            format!("{ratio}"),
+            format!("{:.4}", staleness::monotonic_reads_violation(cfg, ratio, 1.0)),
+            format!("{:.4}", staleness::strict_monotonic_reads_violation(cfg, ratio, 1.0)),
+        ]);
+    }
+    report::table(&["γgw/γcr", "monotonic", "strict monotonic"], &rows);
+}

@@ -1,0 +1,72 @@
+//! §6 "Latency/Staleness SLAs" — the automatic replication-parameter
+//! optimizer: for each production profile and SLA, exhaustively evaluate
+//! the (R, W) grid and report the cheapest qualifying configuration.
+
+use pbs_bench::{report, HarnessOptions};
+use pbs_predictor::sla::{optimize, SlaSpec};
+use pbs_wars::production::ProductionProfile;
+
+fn main() {
+    let opts = HarnessOptions::parse(100_000);
+    println!("SLA-driven configuration search (paper §6), N=3 grid");
+
+    let slas = [
+        ("99.9% consistent immediately (t=0)", SlaSpec::consistency(0.999, 0.0)),
+        ("99.9% consistent within 10ms", SlaSpec::consistency(0.999, 10.0)),
+        ("99.9% consistent within 100ms", SlaSpec::consistency(0.999, 100.0)),
+        ("99% consistent within 1ms", SlaSpec::consistency(0.99, 1.0)),
+    ];
+
+    for profile in ProductionProfile::ALL {
+        report::header(profile.name());
+        let mut rows = Vec::new();
+        for (label, spec) in &slas {
+            let result =
+                optimize(&|cfg| profile.model(cfg), &[3], spec, opts.trials, opts.seed);
+            match result.best_config() {
+                Some(best) => rows.push(vec![
+                    label.to_string(),
+                    format!("R={}, W={}", best.cfg.r(), best.cfg.w()),
+                    report::ms(best.read_latency),
+                    report::ms(best.write_latency),
+                    report::pct(best.consistency),
+                ]),
+                None => rows.push(vec![
+                    label.to_string(),
+                    "none".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                ]),
+            }
+        }
+        report::table(
+            &["SLA", "chosen config", "Lr p99.9", "Lw p99.9", "P(consistent)"],
+            &rows,
+        );
+    }
+
+    report::header("Durability disentangled from latency (LNKD-DISK, min W=2)");
+    let mut spec = SlaSpec::consistency(0.999, 100.0);
+    spec.min_write_quorum = 2;
+    let mut rows = Vec::new();
+    for n in [3u32, 5] {
+        let result = optimize(
+            &|cfg| ProductionProfile::LnkdDisk.model(cfg),
+            &[n],
+            &spec,
+            opts.trials,
+            opts.seed,
+        );
+        if let Some(best) = result.best_config() {
+            rows.push(vec![
+                format!("N={n}"),
+                format!("R={}, W={}", best.cfg.r(), best.cfg.w()),
+                report::ms(best.combined_latency()),
+            ]);
+        }
+    }
+    report::table(&["replication", "chosen config", "Lr+Lw p99.9 (ms)"], &rows);
+    println!("(§6: 'operators can specify a minimum replication factor for durability…");
+    println!(" but also automatically increase N, decreasing tail latency for fixed R, W')");
+}

@@ -1,0 +1,47 @@
+//! Table 4 — the latency/staleness trade-off (§5.8): t-visibility for
+//! `p_st = .001` plus 99.9th-percentile read/write latencies across `(R,W)`
+//! with `N = 3`, for all four production fits.
+
+use pbs_bench::{report, HarnessOptions};
+use pbs_wars::production::ProductionProfile;
+use pbs_wars::sweep::{table4_sweep, TABLE4_PAIRS};
+
+fn main() {
+    // The paper used 50k writes for t-visibility and 1M for latency; one
+    // million trials serves both here.
+    let opts = HarnessOptions::parse(1_000_000);
+    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    println!("Table 4: t-visibility @99.9% and p99.9 operation latencies (§5.8), N=3");
+    println!("({} trials per cell, {} threads)", opts.trials, threads);
+
+    for profile in ProductionProfile::ALL {
+        report::header(profile.name());
+        let rows_data = table4_sweep(
+            &|cfg| profile.model(cfg),
+            3,
+            &TABLE4_PAIRS,
+            opts.trials,
+            opts.seed,
+            threads,
+        );
+        let mut rows = Vec::new();
+        for row in rows_data {
+            rows.push(vec![
+                format!("R={}, W={}", row.cfg.r(), row.cfg.w()),
+                report::ms(row.read_latency),
+                report::ms(row.write_latency),
+                match row.t_visibility {
+                    Some(t) => report::ms(t),
+                    None => "unresolved".into(),
+                },
+            ]);
+        }
+        report::table(&["config", "Lr p99.9 (ms)", "Lw p99.9 (ms)", "t @ 99.9% (ms)"], &rows);
+    }
+
+    println!();
+    println!("Paper reference rows (Lr / Lw / t):");
+    println!("  LNKD-SSD  R=1,W=1: 0.66 / 0.66 / 1.85     LNKD-DISK R=1,W=1: 0.66 / 10.99 / 45.5");
+    println!("  YMMR      R=1,W=1: 5.58 / 10.83 / 1364.0  WAN       R=1,W=1: 3.4  / 55.12 / 113.0");
+    println!("  YMMR      R=2,W=1: 32.6 / 10.73 / 202.0   (81.1% latency win vs R=3,W=1 strict)");
+}

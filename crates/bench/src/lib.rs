@@ -1,0 +1,129 @@
+//! # pbs-bench — harnesses regenerating every table and figure of the paper
+//!
+//! Each binary regenerates one artifact from the evaluation (see
+//! `DESIGN.md` for the experiment index and `EXPERIMENTS.md` for recorded
+//! results):
+//!
+//! | Binary | Paper artifact |
+//! |--------|----------------|
+//! | `kstaleness` | §3.1 k-staleness closed form (+ MC cross-checks) |
+//! | `monotonic` | §3.2 monotonic reads (Eq. 3 vs. session simulation) |
+//! | `load_bounds` | §3.3 load/capacity bounds |
+//! | `table1_2_3` | Tables 1–3: production percentiles & mixture fits |
+//! | `fig4` | Figure 4: t-visibility under exponential latencies |
+//! | `fig5` | Figure 5: operation-latency CDFs for production fits |
+//! | `fig6` | Figure 6: t-visibility for production fits |
+//! | `fig7` | Figure 7: t-visibility vs. replication factor |
+//! | `table4` | Table 4: latency vs. t-visibility across (R, W) |
+//! | `validation` | §5.2: WARS vs. the simulated Dynamo-style store |
+//! | `quorum_systems` | §2.1 context: classic quorum constructions |
+//! | `failures` | §6: staleness under crashes & hinted handoff |
+//! | `sla` | §6: SLA-driven configuration search |
+//! | `detector` | §4.3: asynchronous staleness detector quality |
+//! | `read_delay` | §5.3 ablation: delaying reads vs. raising R |
+//!
+//! Run all of them with `scripts/run_all.sh` or individually:
+//! `cargo run -p pbs-bench --release --bin fig6`. Every binary accepts
+//! `--quick` (reduced trial counts for smoke runs) and `--trials=N`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Simple fixed-width table printer shared by all harness binaries.
+pub mod report {
+    /// Print a section header.
+    pub fn header(title: &str) {
+        println!();
+        println!("== {title} ==");
+    }
+
+    /// Print a table: `cols` are right-aligned headers; each row must match.
+    pub fn table(cols: &[&str], rows: &[Vec<String>]) {
+        let mut widths: Vec<usize> = cols.iter().map(|c| c.len()).collect();
+        for row in rows {
+            assert_eq!(row.len(), cols.len(), "row arity mismatch");
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let fmt_row = |cells: Vec<String>| {
+            let padded: Vec<String> = cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}", w = w))
+                .collect();
+            padded.join("  ")
+        };
+        println!("{}", fmt_row(cols.iter().map(|s| s.to_string()).collect()));
+        println!("{}", widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "));
+        for row in rows {
+            println!("{}", fmt_row(row.clone()));
+        }
+    }
+
+    /// Format a probability as a percentage with 2–4 significant decimals.
+    pub fn pct(p: f64) -> String {
+        if p >= 0.9999 {
+            format!("{:.4}%", p * 100.0)
+        } else {
+            format!("{:.2}%", p * 100.0)
+        }
+    }
+
+    /// Format milliseconds compactly.
+    pub fn ms(v: f64) -> String {
+        if v >= 100.0 {
+            format!("{v:.1}")
+        } else {
+            format!("{v:.3}")
+        }
+    }
+}
+
+/// Harness CLI options, parsed from `std::env::args`.
+#[derive(Debug, Clone, Copy)]
+pub struct HarnessOptions {
+    /// Monte-Carlo trials per data point.
+    pub trials: usize,
+    /// Seed for all RNGs.
+    pub seed: u64,
+}
+
+impl HarnessOptions {
+    /// Parse `--quick`, `--trials=N`, and `--seed=N` with a default trial
+    /// budget (chosen per binary to balance fidelity and runtime).
+    pub fn parse(default_trials: usize) -> Self {
+        let mut trials = default_trials;
+        let mut seed = 42u64;
+        for arg in std::env::args().skip(1) {
+            if arg == "--quick" {
+                trials = (default_trials / 20).max(1_000);
+            } else if let Some(v) = arg.strip_prefix("--trials=") {
+                trials = v.parse().expect("--trials=N requires an integer");
+            } else if let Some(v) = arg.strip_prefix("--seed=") {
+                seed = v.parse().expect("--seed=N requires an integer");
+            } else {
+                eprintln!("unknown argument: {arg} (supported: --quick --trials=N --seed=N)");
+                std::process::exit(2);
+            }
+        }
+        Self { trials, seed }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::report;
+
+    #[test]
+    fn pct_formatting() {
+        assert_eq!(report::pct(0.5), "50.00%");
+        assert_eq!(report::pct(0.99999), "99.9990%");
+    }
+
+    #[test]
+    fn ms_formatting() {
+        assert_eq!(report::ms(1.2345), "1.234");
+        assert_eq!(report::ms(1234.5), "1234.5");
+    }
+}

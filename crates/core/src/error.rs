@@ -1,0 +1,58 @@
+//! Error types for replica-configuration validation.
+
+use std::fmt;
+
+/// An invalid `(N, R, W)` replication configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `N` was zero — a key must have at least one replica.
+    ZeroReplicas,
+    /// `R` was zero — reads must contact at least one replica.
+    ZeroReadQuorum,
+    /// `W` was zero — writes must be acknowledged by at least one replica.
+    ZeroWriteQuorum,
+    /// `R > N`: a read quorum cannot exceed the replication factor.
+    ReadQuorumTooLarge {
+        /// Requested read quorum size.
+        r: u32,
+        /// Replication factor.
+        n: u32,
+    },
+    /// `W > N`: a write quorum cannot exceed the replication factor.
+    WriteQuorumTooLarge {
+        /// Requested write quorum size.
+        w: u32,
+        /// Replication factor.
+        n: u32,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroReplicas => write!(f, "replication factor N must be at least 1"),
+            ConfigError::ZeroReadQuorum => write!(f, "read quorum R must be at least 1"),
+            ConfigError::ZeroWriteQuorum => write!(f, "write quorum W must be at least 1"),
+            ConfigError::ReadQuorumTooLarge { r, n } => {
+                write!(f, "read quorum R={r} exceeds replication factor N={n}")
+            }
+            ConfigError::WriteQuorumTooLarge { w, n } => {
+                write!(f, "write quorum W={w} exceeds replication factor N={n}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ConfigError::ReadQuorumTooLarge { r: 4, n: 3 };
+        let s = e.to_string();
+        assert!(s.contains("R=4") && s.contains("N=3"));
+    }
+}

@@ -1,0 +1,165 @@
+//! The §5.2 experiment drivers: measure t-visibility and operation
+//! latencies on the simulated store, in the exact shape the paper used to
+//! validate WARS against Cassandra ("we inserted increasing versions of a
+//! key while concurrently issuing read requests").
+
+use crate::cluster::Cluster;
+use pbs_sim::SimDuration;
+
+/// Empirical consistency at one read offset.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OffsetPoint {
+    /// Read offset after commit (ms).
+    pub t_ms: f64,
+    /// Trials performed at this offset.
+    pub trials: usize,
+    /// Trials whose read was consistent.
+    pub consistent: usize,
+}
+
+impl OffsetPoint {
+    /// Empirical `P(consistent)` at this offset.
+    pub fn probability(&self) -> f64 {
+        self.consistent as f64 / self.trials as f64
+    }
+}
+
+/// Results of a t-visibility measurement on the live (simulated) store.
+#[derive(Debug, Clone, Default)]
+pub struct TVisibilityMeasurement {
+    /// Per-offset consistency counts.
+    pub points: Vec<OffsetPoint>,
+    /// Commit latencies of every successful write (ms).
+    pub write_latencies: Vec<f64>,
+    /// Latencies of every completed read (ms).
+    pub read_latencies: Vec<f64>,
+}
+
+impl TVisibilityMeasurement {
+    /// The `(t, P(consistent))` series.
+    pub fn series(&self) -> Vec<(f64, f64)> {
+        self.points.iter().map(|p| (p.t_ms, p.probability())).collect()
+    }
+}
+
+/// Measure t-visibility on a cluster: for each offset `t`, run
+/// `trials_per_offset` write→read probes where the read starts exactly `t`
+/// ms after the write's commit, and label each read against ground truth.
+///
+/// `spacing_ms` inserts idle time between trials (0 is safe: later writes
+/// have strictly newer versions, so stragglers from earlier trials are
+/// merged away by the replicas' max-version rule).
+pub fn measure_t_visibility(
+    cluster: &mut Cluster,
+    key: u64,
+    offsets: &[f64],
+    trials_per_offset: usize,
+    spacing_ms: f64,
+) -> TVisibilityMeasurement {
+    assert!(!offsets.is_empty() && trials_per_offset > 0);
+    assert!(spacing_ms >= 0.0);
+    let mut out = TVisibilityMeasurement::default();
+    for &t in offsets {
+        assert!(t >= 0.0, "offsets must be nonnegative");
+        let mut point = OffsetPoint { t_ms: t, trials: 0, consistent: 0 };
+        for _ in 0..trials_per_offset {
+            let w = cluster.write(key);
+            let Some(commit) = w.commit else {
+                continue; // failed write: no probe
+            };
+            out.write_latencies.push(w.latency_ms().expect("committed"));
+            let read_at = commit + SimDuration::from_ms(t);
+            let r = cluster.read_at(key, read_at);
+            let Some(label) = r.label else {
+                continue; // read timed out (possible under failures)
+            };
+            out.read_latencies.push(r.latency_ms().expect("completed"));
+            point.trials += 1;
+            if label.consistent {
+                point.consistent += 1;
+            }
+            if spacing_ms > 0.0 {
+                let next = cluster.now() + SimDuration::from_ms(spacing_ms);
+                cluster.advance_to(next);
+            }
+        }
+        out.points.push(point);
+    }
+    out
+}
+
+/// Measure the distribution of *versions behind* at a fixed offset — the
+/// live-store counterpart of PBS k-staleness. Returns
+/// `hist[j] = fraction of reads exactly j versions behind` (last bucket
+/// aggregates deeper staleness).
+pub fn measure_version_staleness(
+    cluster: &mut Cluster,
+    key: u64,
+    t_ms: f64,
+    trials: usize,
+    max_k: usize,
+) -> Vec<f64> {
+    assert!(trials > 0 && max_k >= 1);
+    let mut hist = vec![0usize; max_k + 1];
+    let mut labelled = 0usize;
+    for _ in 0..trials {
+        let w = cluster.write(key);
+        let Some(commit) = w.commit else { continue };
+        let r = cluster.read_at(key, commit + SimDuration::from_ms(t_ms));
+        let Some(label) = r.label else { continue };
+        labelled += 1;
+        let behind = (label.versions_behind as usize).min(max_k);
+        hist[behind] += 1;
+    }
+    assert!(labelled > 0, "no probe completed");
+    hist.into_iter().map(|c| c as f64 / labelled as f64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ClusterOptions;
+    use crate::network::NetworkModel;
+    use pbs_core::ReplicaConfig;
+    use pbs_dist::Exponential;
+    use std::sync::Arc;
+
+    fn make_cluster(n: u32, r: u32, w: u32, w_rate: f64, ars_rate: f64, seed: u64) -> Cluster {
+        Cluster::new(
+            ClusterOptions::validation(ReplicaConfig::new(n, r, w).unwrap(), seed),
+            NetworkModel::w_ars(
+                Arc::new(Exponential::from_rate(w_rate)),
+                Arc::new(Exponential::from_rate(ars_rate)),
+            ),
+        )
+    }
+
+    #[test]
+    fn curve_is_roughly_monotone_and_reaches_one() {
+        let mut cluster = make_cluster(3, 1, 1, 0.1, 0.5, 1);
+        let m = measure_t_visibility(&mut cluster, 5, &[0.0, 10.0, 40.0, 120.0], 300, 0.0);
+        let series = m.series();
+        assert!(series[0].1 < series[3].1, "staleness should vanish with t: {series:?}");
+        assert!(series[3].1 > 0.97, "t=120ms should be nearly always consistent");
+        assert_eq!(m.write_latencies.len(), 1200);
+        assert_eq!(m.read_latencies.len(), 1200);
+    }
+
+    #[test]
+    fn strict_quorum_fully_consistent_at_zero() {
+        let mut cluster = make_cluster(3, 2, 2, 0.1, 0.5, 2);
+        let m = measure_t_visibility(&mut cluster, 5, &[0.0], 300, 0.0);
+        assert_eq!(m.points[0].probability(), 1.0);
+    }
+
+    #[test]
+    fn version_staleness_histogram_sums_to_one() {
+        let mut cluster = make_cluster(3, 1, 1, 0.05, 2.0, 3);
+        let hist = measure_version_staleness(&mut cluster, 9, 0.0, 500, 4);
+        let sum: f64 = hist.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        assert_eq!(hist.len(), 5);
+        // Most reads are 0 or 1 versions behind even when stale.
+        assert!(hist[0] > 0.1);
+    }
+}

@@ -1,0 +1,50 @@
+//! # pbs-kvs — a Dynamo-style quorum-replicated key-value store
+//!
+//! The substrate for the paper's §5.2 validation: a faithful implementation
+//! of the Dynamo replication protocol (§2.2) running on the deterministic
+//! discrete-event simulator from `pbs-sim`, with per-message latencies drawn
+//! from the same W/A/R/S distributions the paper injected into Cassandra.
+//!
+//! Implemented protocol surface:
+//!
+//! * **Coordinated quorum writes/reads** — a coordinator forwards each
+//!   operation to all `N` replicas and answers the client after `W` acks
+//!   (`R` responses), exactly as in Figure 1 of the paper. Replica sets
+//!   come from a consistent-hashing [`ring`] with virtual nodes.
+//! * **Expanding quorums** — replicas keep receiving the write after
+//!   commit; reads race those deliveries, which is the entire source of
+//!   staleness being studied.
+//! * **Read repair** (§4.2) — optional; disabled for validation runs, as the
+//!   paper disabled it in Cassandra.
+//! * **Merkle-style anti-entropy** (§4.2) — optional periodic digest
+//!   exchange (Cassandra's `nodetool repair` analogue).
+//! * **Hinted handoff and failure injection** (§6 "Failure modes") — nodes
+//!   crash and recover (optionally losing state), messages can be dropped,
+//!   coordinators stash hints for unresponsive replicas.
+//! * **Asynchronous staleness detection** (§4.3) — coordinators compare the
+//!   `N − R` late read responses against the returned value and log
+//!   potential staleness, with ground-truth labelling to measure the false
+//!   positive rate.
+//!
+//! Ground-truth staleness comes from [`staleness::GroundTruth`]: the harness
+//! records every commit (version, commit time) and labels every read against
+//! the versions actually committed before it started — the oracle the paper
+//! could only approximate with instrumentation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod experiments;
+pub mod merkle;
+pub mod messages;
+pub mod network;
+pub mod node;
+pub mod ring;
+pub mod staleness;
+pub mod version;
+
+pub use cluster::{Cluster, ClusterOptions, ReadOutcome, WriteOutcome};
+pub use network::NetworkModel;
+pub use ring::Ring;
+pub use version::{CausalOrder, VectorClock, Version};

@@ -1,0 +1,100 @@
+//! Bucketed digests for Merkle-style anti-entropy (§4.2).
+//!
+//! Dynamo summarises key ranges with Merkle trees so replicas exchange only
+//! what differs. We implement the two-level variant Cassandra-style tools
+//! use in practice: keys hash into `B` buckets, each bucket's digest is the
+//! XOR of its entries' hashes (order-independent and incrementally
+//! updatable), and replicas exchange full entries only for buckets whose
+//! digests differ.
+
+use crate::ring::fnv1a64;
+use crate::version::Version;
+
+/// Number of digest buckets. Power of two so the bucket index is a mask.
+pub const BUCKETS: usize = 64;
+
+/// Bucket index for a key.
+pub fn bucket_of(key: u64) -> u32 {
+    (fnv1a64(&key.to_le_bytes()) as usize & (BUCKETS - 1)) as u32
+}
+
+/// Hash of one `(key, version)` entry.
+fn entry_hash(key: u64, version: Version) -> u64 {
+    let mut buf = [0u8; 20];
+    buf[..8].copy_from_slice(&key.to_le_bytes());
+    buf[8..16].copy_from_slice(&version.seq.to_le_bytes());
+    buf[16..].copy_from_slice(&version.writer.to_le_bytes());
+    fnv1a64(&buf)
+}
+
+/// Compute the bucketed digest of an iterator of `(key, version)` pairs.
+pub fn digest<I: IntoIterator<Item = (u64, Version)>>(entries: I) -> Vec<u64> {
+    let mut buckets = vec![0u64; BUCKETS];
+    for (key, version) in entries {
+        buckets[bucket_of(key) as usize] ^= entry_hash(key, version);
+    }
+    buckets
+}
+
+/// Bucket ids whose digests differ between two digest vectors.
+pub fn differing_buckets(a: &[u64], b: &[u64]) -> Vec<u32> {
+    assert_eq!(a.len(), b.len(), "digests must use the same bucket count");
+    a.iter()
+        .zip(b)
+        .enumerate()
+        .filter(|(_, (x, y))| x != y)
+        .map(|(i, _)| i as u32)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(seq: u64) -> Version {
+        Version::new(seq, 0)
+    }
+
+    #[test]
+    fn identical_stores_have_identical_digests() {
+        let entries = vec![(1u64, v(3)), (2, v(1)), (99, v(7))];
+        let a = digest(entries.clone());
+        let b = digest(entries.into_iter().rev().collect::<Vec<_>>());
+        assert_eq!(a, b, "order-independent");
+        assert!(differing_buckets(&a, &b).is_empty());
+    }
+
+    #[test]
+    fn single_divergence_localised_to_one_bucket() {
+        let base = vec![(1u64, v(3)), (2, v(1)), (99, v(7))];
+        let mut changed = base.clone();
+        changed[1].1 = v(2); // bump key 2's version
+        let a = digest(base);
+        let b = digest(changed);
+        let diff = differing_buckets(&a, &b);
+        assert_eq!(diff, vec![bucket_of(2)]);
+    }
+
+    #[test]
+    fn missing_key_detected() {
+        let full = vec![(10u64, v(1)), (20, v(2))];
+        let partial = vec![(10u64, v(1))];
+        let diff = differing_buckets(&digest(full), &digest(partial));
+        assert_eq!(diff, vec![bucket_of(20)]);
+    }
+
+    #[test]
+    fn bucket_of_in_range() {
+        for key in 0..10_000u64 {
+            assert!((bucket_of(key) as usize) < BUCKETS);
+        }
+    }
+
+    #[test]
+    fn digest_spreads_across_buckets() {
+        let entries: Vec<(u64, Version)> = (0..1000u64).map(|k| (k, v(1))).collect();
+        let d = digest(entries);
+        let nonzero = d.iter().filter(|&&x| x != 0).count();
+        assert!(nonzero > BUCKETS / 2, "only {nonzero} buckets used");
+    }
+}

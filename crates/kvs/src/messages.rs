@@ -1,0 +1,137 @@
+//! The message vocabulary of the Dynamo-style protocol.
+
+use crate::version::Version;
+use pbs_sim::ActorId;
+
+/// Everything that travels between actors in the simulated cluster.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Msg {
+    // ----- client → coordinator (injected by the harness) -----
+    /// Begin a quorum write of `key` with the pre-assigned version.
+    ClientWrite {
+        /// Harness-assigned operation id.
+        op_id: u64,
+        /// Target key.
+        key: u64,
+        /// The version to install (dense per-key sequence).
+        version: Version,
+        /// The key's preference list (computed from the ring by the
+        /// harness, as the coordinator would).
+        replicas: Vec<ActorId>,
+    },
+    /// Begin a quorum read of `key`.
+    ClientRead {
+        /// Harness-assigned operation id.
+        op_id: u64,
+        /// Target key.
+        key: u64,
+        /// The key's preference list.
+        replicas: Vec<ActorId>,
+    },
+
+    // ----- coordinator → replica -----
+    /// Replica-level write.
+    ReplicaWrite {
+        /// Operation id.
+        op_id: u64,
+        /// Target key.
+        key: u64,
+        /// Version being installed.
+        version: Version,
+        /// Where to send the ack.
+        coordinator: ActorId,
+    },
+    /// Replica-level read.
+    ReplicaRead {
+        /// Operation id.
+        op_id: u64,
+        /// Target key.
+        key: u64,
+        /// Where to send the response.
+        coordinator: ActorId,
+    },
+
+    // ----- replica → coordinator -----
+    /// Acknowledgment of a [`Msg::ReplicaWrite`].
+    WriteAck {
+        /// Operation id.
+        op_id: u64,
+        /// Acknowledging replica.
+        replica: ActorId,
+    },
+    /// Response to a [`Msg::ReplicaRead`].
+    ReadResp {
+        /// Operation id.
+        op_id: u64,
+        /// Responding replica.
+        replica: ActorId,
+        /// The replica's stored version (None if it has never seen the key).
+        version: Option<Version>,
+    },
+
+    // ----- anti-entropy -----
+    /// Asynchronous repair write (read repair §4.2, hinted handoff §6); not
+    /// acknowledged toward any quorum.
+    RepairWrite {
+        /// Target key.
+        key: u64,
+        /// Version to merge (replicas keep the max).
+        version: Version,
+    },
+    /// Hinted write delivered after a failure; acknowledged so the hint can
+    /// be discarded.
+    HintedWrite {
+        /// Target key.
+        key: u64,
+        /// Version to merge.
+        version: Version,
+        /// Where to send the [`Msg::HintAck`].
+        coordinator: ActorId,
+    },
+    /// Acknowledgment of a [`Msg::HintedWrite`].
+    HintAck {
+        /// Target key.
+        key: u64,
+        /// Version that was delivered.
+        version: Version,
+        /// Acknowledging replica.
+        replica: ActorId,
+    },
+    /// Merkle-style digest of the sender's keys (bucketed hashes).
+    SyncDigest {
+        /// Requesting node (receives the diff).
+        from: ActorId,
+        /// Per-bucket XOR hashes of the sender's (key, version) pairs.
+        buckets: Vec<u64>,
+    },
+    /// Entries for buckets that differed, flowing responder → requester.
+    SyncDiff {
+        /// Responding node (receives the reverse diff).
+        from: ActorId,
+        /// The responder's `(key, version)` pairs in differing buckets.
+        entries: Vec<(u64, Version)>,
+        /// Ids of the differing buckets (so the requester can push back its
+        /// own entries for those buckets).
+        differing: Vec<u32>,
+    },
+    /// Reverse direction of a sync: the original requester's entries for the
+    /// differing buckets.
+    SyncDiffReply {
+        /// `(key, version)` pairs to merge.
+        entries: Vec<(u64, Version)>,
+    },
+
+    // ----- control (failure injection & lifecycle) -----
+    /// Crash the receiving node for the given duration.
+    Crash {
+        /// Downtime in milliseconds.
+        down_ms: f64,
+        /// Whether the node loses its store contents (cold restart).
+        wipe: bool,
+    },
+    /// Start the periodic anti-entropy timer on the receiving node.
+    StartSync {
+        /// Sync period in milliseconds.
+        interval_ms: f64,
+    },
+}

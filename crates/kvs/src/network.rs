@@ -1,0 +1,141 @@
+//! The network latency model: per-leg WARS distributions plus optional
+//! datacenter topology.
+
+use pbs_dist::{DynDistribution, LatencyDistribution};
+use rand::RngCore;
+
+/// Which WARS leg a message travels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Leg {
+    /// Coordinator → replica write propagation.
+    W,
+    /// Replica → coordinator write acknowledgment.
+    A,
+    /// Coordinator → replica read request.
+    R,
+    /// Replica → coordinator read response.
+    S,
+}
+
+/// One-way message delays for the simulated cluster.
+///
+/// Base per-leg distributions are sampled i.i.d. per message (matching the
+/// WARS assumptions); an optional datacenter map adds a fixed penalty to
+/// messages crossing datacenter boundaries, reproducing §5.5's WAN model
+/// inside the full store.
+pub struct NetworkModel {
+    w: DynDistribution,
+    a: DynDistribution,
+    r: DynDistribution,
+    s: DynDistribution,
+    /// `dc_of[node]` — datacenter of each node; empty = single DC.
+    dc_of: Vec<u32>,
+    inter_dc_penalty_ms: f64,
+}
+
+impl NetworkModel {
+    /// Single-datacenter model with independent per-leg distributions.
+    pub fn new(
+        w: DynDistribution,
+        a: DynDistribution,
+        r: DynDistribution,
+        s: DynDistribution,
+    ) -> Self {
+        Self { w, a, r, s, dc_of: Vec::new(), inter_dc_penalty_ms: 0.0 }
+    }
+
+    /// Common shorthand: one distribution for `W`, one shared by `A=R=S`.
+    pub fn w_ars(w: DynDistribution, ars: DynDistribution) -> Self {
+        Self::new(w, ars.clone(), ars.clone(), ars)
+    }
+
+    /// Attach a datacenter topology: `dc_of[node]` is each node's DC and
+    /// `penalty_ms` is added per one-way message crossing DCs.
+    pub fn with_datacenters(mut self, dc_of: Vec<u32>, penalty_ms: f64) -> Self {
+        assert!(penalty_ms >= 0.0 && penalty_ms.is_finite());
+        self.dc_of = dc_of;
+        self.inter_dc_penalty_ms = penalty_ms;
+        self
+    }
+
+    /// Sample the one-way delay for a message on `leg` from node `from` to
+    /// node `to`.
+    pub fn delay(&self, leg: Leg, from: usize, to: usize, rng: &mut dyn RngCore) -> f64 {
+        let base = match leg {
+            Leg::W => self.w.sample(rng),
+            Leg::A => self.a.sample(rng),
+            Leg::R => self.r.sample(rng),
+            Leg::S => self.s.sample(rng),
+        };
+        base + self.penalty(from, to)
+    }
+
+    fn penalty(&self, from: usize, to: usize) -> f64 {
+        if self.dc_of.is_empty() {
+            return 0.0;
+        }
+        let a = self.dc_of.get(from).copied().unwrap_or(0);
+        let b = self.dc_of.get(to).copied().unwrap_or(0);
+        if a == b {
+            0.0
+        } else {
+            self.inter_dc_penalty_ms
+        }
+    }
+
+    /// The datacenter of `node` (0 when no topology is attached).
+    pub fn datacenter_of(&self, node: usize) -> u32 {
+        self.dc_of.get(node).copied().unwrap_or(0)
+    }
+}
+
+impl std::fmt::Debug for NetworkModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetworkModel")
+            .field("w", &self.w.describe())
+            .field("a", &self.a.describe())
+            .field("r", &self.r.describe())
+            .field("s", &self.s.describe())
+            .field("datacenters", &self.dc_of)
+            .field("inter_dc_penalty_ms", &self.inter_dc_penalty_ms)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbs_dist::Constant;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::sync::Arc;
+
+    fn constant_net() -> NetworkModel {
+        NetworkModel::new(
+            Arc::new(Constant::new(4.0)),
+            Arc::new(Constant::new(3.0)),
+            Arc::new(Constant::new(2.0)),
+            Arc::new(Constant::new(1.0)),
+        )
+    }
+
+    #[test]
+    fn per_leg_distributions() {
+        let net = constant_net();
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(net.delay(Leg::W, 0, 1, &mut rng), 4.0);
+        assert_eq!(net.delay(Leg::A, 1, 0, &mut rng), 3.0);
+        assert_eq!(net.delay(Leg::R, 0, 1, &mut rng), 2.0);
+        assert_eq!(net.delay(Leg::S, 1, 0, &mut rng), 1.0);
+    }
+
+    #[test]
+    fn dc_penalty_applies_only_across_dcs() {
+        let net = constant_net().with_datacenters(vec![0, 0, 1], 75.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(net.delay(Leg::W, 0, 1, &mut rng), 4.0, "same DC");
+        assert_eq!(net.delay(Leg::W, 0, 2, &mut rng), 79.0, "cross DC");
+        assert_eq!(net.delay(Leg::S, 2, 0, &mut rng), 76.0);
+        assert_eq!(net.datacenter_of(2), 1);
+    }
+}

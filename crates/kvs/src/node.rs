@@ -1,0 +1,699 @@
+//! The Dynamo-style node: every node can coordinate client operations and
+//! store replicas (§2.2, Figure 1).
+
+use crate::merkle;
+use crate::messages::Msg;
+use crate::network::{Leg, NetworkModel};
+use crate::ring::Ring;
+use crate::version::Version;
+use pbs_sim::{Actor, ActorId, Context, Event, SimTime};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------------
+// Timer tags: the top byte selects the timer kind, the rest carries an op id.
+// ---------------------------------------------------------------------------
+const TAG_KIND_SHIFT: u64 = 56;
+const KIND_RECOVER: u64 = 1;
+const KIND_SYNC: u64 = 2;
+const KIND_HINT_FLUSH: u64 = 3;
+const KIND_WRITE_TIMEOUT: u64 = 4;
+
+fn tag(kind: u64, op: u64) -> u64 {
+    debug_assert!(op < (1 << TAG_KIND_SHIFT));
+    (kind << TAG_KIND_SHIFT) | op
+}
+
+fn tag_kind(t: u64) -> u64 {
+    t >> TAG_KIND_SHIFT
+}
+
+fn tag_op(t: u64) -> u64 {
+    t & ((1 << TAG_KIND_SHIFT) - 1)
+}
+
+/// Per-node protocol options (shared across the cluster in practice).
+#[derive(Debug, Clone, Copy)]
+pub struct NodeOptions {
+    /// Read quorum size `R`.
+    pub r: u32,
+    /// Write quorum size `W`.
+    pub w: u32,
+    /// Repair out-of-date replicas after reads (§4.2). The paper disables
+    /// this for WARS validation; it is an ablation knob here.
+    pub read_repair: bool,
+    /// Stash hints for replicas that miss the write deadline and redeliver
+    /// them later (Dynamo §4.6).
+    pub hinted_handoff: bool,
+    /// How long a write coordinator waits for stragglers before hinting.
+    pub hint_timeout_ms: f64,
+    /// Hint redelivery period.
+    pub hint_flush_interval_ms: f64,
+    /// Probability that any data-plane message is lost in transit.
+    pub drop_prob: f64,
+    /// Record every sampled one-way W/A/R/S delay (the WARS profiling the
+    /// paper added to Cassandra, §5.2/§5.5). Off by default — it allocates.
+    pub record_leg_samples: bool,
+}
+
+impl Default for NodeOptions {
+    fn default() -> Self {
+        Self {
+            r: 1,
+            w: 1,
+            read_repair: false,
+            hinted_handoff: false,
+            hint_timeout_ms: 250.0,
+            hint_flush_interval_ms: 500.0,
+            drop_prob: 0.0,
+            record_leg_samples: false,
+        }
+    }
+}
+
+/// Recorded one-way delays per WARS leg.
+#[derive(Debug, Clone, Default)]
+pub struct LegSamples {
+    /// Write-propagation delays (`W`).
+    pub w: Vec<f64>,
+    /// Write-ack delays (`A`).
+    pub a: Vec<f64>,
+    /// Read-request delays (`R`).
+    pub r: Vec<f64>,
+    /// Read-response delays (`S`).
+    pub s: Vec<f64>,
+}
+
+impl LegSamples {
+    /// Merge another node's samples into this one.
+    pub fn merge(&mut self, other: &mut LegSamples) {
+        self.w.append(&mut other.w);
+        self.a.append(&mut other.a);
+        self.r.append(&mut other.r);
+        self.s.append(&mut other.s);
+    }
+
+    /// Total samples across the four legs.
+    pub fn len(&self) -> usize {
+        self.w.len() + self.a.len() + self.r.len() + self.s.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A completed client operation, drained by the harness.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ClientResult {
+    /// A write: `commit` is `None` when the write failed to reach `W` acks
+    /// before the hint timeout.
+    Write {
+        /// Operation id.
+        op_id: u64,
+        /// Key written.
+        key: u64,
+        /// Version installed.
+        version: Version,
+        /// Issue time.
+        start: SimTime,
+        /// Commit time (W-th ack), or None on failure.
+        commit: Option<SimTime>,
+    },
+    /// A read: `version` is the newest version among the first `R`
+    /// responses (None when no responder had the key).
+    Read {
+        /// Operation id.
+        op_id: u64,
+        /// Key read.
+        key: u64,
+        /// Issue time.
+        start: SimTime,
+        /// Completion time (R-th response).
+        finish: SimTime,
+        /// Returned version.
+        version: Option<Version>,
+    },
+}
+
+impl ClientResult {
+    /// The operation id.
+    pub fn op_id(&self) -> u64 {
+        match self {
+            ClientResult::Write { op_id, .. } | ClientResult::Read { op_id, .. } => *op_id,
+        }
+    }
+}
+
+/// One asynchronous staleness-detector observation (§4.3): a read response
+/// arriving after the client reply carried a newer version than was
+/// returned.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DetectorEvent {
+    /// The flagged read.
+    pub op_id: u64,
+    /// Key involved.
+    pub key: u64,
+    /// What the read returned.
+    pub returned: Option<Version>,
+    /// The newer version observed afterwards.
+    pub newer: Version,
+    /// When the detector fired.
+    pub at: SimTime,
+}
+
+#[derive(Debug)]
+struct WriteState {
+    key: u64,
+    version: Version,
+    replicas: Vec<ActorId>,
+    acked: Vec<ActorId>,
+    committed: Option<SimTime>,
+    start: SimTime,
+}
+
+#[derive(Debug)]
+struct ReadState {
+    key: u64,
+    replicas: Vec<ActorId>,
+    responses: Vec<(ActorId, Option<Version>)>,
+    /// Set once `R` responses arrived (the value returned to the client).
+    returned: Option<Option<Version>>,
+    start: SimTime,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Hint {
+    target: ActorId,
+    key: u64,
+    version: Version,
+}
+
+/// The node actor.
+pub struct Node {
+    id: ActorId,
+    opts: NodeOptions,
+    net: Arc<NetworkModel>,
+    ring: Arc<Ring>,
+    rng: StdRng,
+    down: bool,
+    store: HashMap<u64, Version>,
+    pending_writes: HashMap<u64, WriteState>,
+    pending_reads: HashMap<u64, ReadState>,
+    hints: Vec<Hint>,
+    hint_flush_scheduled: bool,
+    sync_interval_ms: Option<f64>,
+    /// Completed client operations awaiting harness pickup.
+    pub client_results: HashMap<u64, ClientResult>,
+    /// Accumulated staleness-detector observations.
+    pub detector_log: Vec<DetectorEvent>,
+    /// Per-leg one-way latency samples (WARS instrumentation, §5.5's
+    /// "easily collected" measurements). Populated when
+    /// [`NodeOptions::record_leg_samples`] is set.
+    pub leg_samples: LegSamples,
+    /// Stats: read-repair messages sent.
+    pub repairs_sent: u64,
+    /// Stats: hints successfully delivered.
+    pub hints_delivered: u64,
+    /// Stats: anti-entropy rounds initiated.
+    pub sync_rounds: u64,
+}
+
+impl std::fmt::Debug for Node {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Node")
+            .field("id", &self.id)
+            .field("down", &self.down)
+            .field("keys", &self.store.len())
+            .field("pending_writes", &self.pending_writes.len())
+            .field("pending_reads", &self.pending_reads.len())
+            .field("hints", &self.hints.len())
+            .finish()
+    }
+}
+
+impl Node {
+    /// Build node `id` with its own deterministic RNG stream.
+    pub fn new(
+        id: ActorId,
+        opts: NodeOptions,
+        net: Arc<NetworkModel>,
+        ring: Arc<Ring>,
+        seed: u64,
+    ) -> Self {
+        Self {
+            id,
+            opts,
+            net,
+            ring,
+            rng: StdRng::seed_from_u64(seed ^ (id as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+            down: false,
+            store: HashMap::new(),
+            pending_writes: HashMap::new(),
+            pending_reads: HashMap::new(),
+            hints: Vec::new(),
+            hint_flush_scheduled: false,
+            sync_interval_ms: None,
+            client_results: HashMap::new(),
+            detector_log: Vec::new(),
+            leg_samples: LegSamples::default(),
+            repairs_sent: 0,
+            hints_delivered: 0,
+            sync_rounds: 0,
+        }
+    }
+
+    /// Whether the node is currently crashed.
+    pub fn is_down(&self) -> bool {
+        self.down
+    }
+
+    /// The node's stored version of `key`, if any.
+    pub fn stored_version(&self, key: u64) -> Option<Version> {
+        self.store.get(&key).copied()
+    }
+
+    /// Number of keys stored.
+    pub fn key_count(&self) -> usize {
+        self.store.len()
+    }
+
+    fn apply_version(&mut self, key: u64, version: Version) {
+        let entry = self.store.entry(key).or_insert(version);
+        if version > *entry {
+            *entry = version;
+        }
+    }
+
+    /// Send with sampled per-leg latency, subject to message loss.
+    fn send(&mut self, ctx: &mut Context<'_, Msg>, leg: Leg, to: ActorId, msg: Msg) {
+        if self.opts.drop_prob > 0.0 && self.rng.gen::<f64>() < self.opts.drop_prob {
+            return; // lost in transit
+        }
+        let delay = self.net.delay(leg, self.id, to, &mut self.rng);
+        if self.opts.record_leg_samples {
+            match leg {
+                Leg::W => self.leg_samples.w.push(delay),
+                Leg::A => self.leg_samples.a.push(delay),
+                Leg::R => self.leg_samples.r.push(delay),
+                Leg::S => self.leg_samples.s.push(delay),
+            }
+        }
+        ctx.send(to, delay, msg);
+    }
+
+    fn schedule_hint_flush(&mut self, ctx: &mut Context<'_, Msg>) {
+        if !self.hint_flush_scheduled && !self.hints.is_empty() {
+            self.hint_flush_scheduled = true;
+            ctx.set_timer(self.opts.hint_flush_interval_ms, tag(KIND_HINT_FLUSH, 0));
+        }
+    }
+
+    // ----- coordinator: writes -----
+
+    fn on_client_write(
+        &mut self,
+        ctx: &mut Context<'_, Msg>,
+        op_id: u64,
+        key: u64,
+        version: Version,
+        replicas: Vec<ActorId>,
+    ) {
+        debug_assert!(replicas.len() >= self.opts.w as usize);
+        let state = WriteState {
+            key,
+            version,
+            replicas: replicas.clone(),
+            acked: Vec::with_capacity(replicas.len()),
+            committed: None,
+            start: ctx.now(),
+        };
+        self.pending_writes.insert(op_id, state);
+        for &replica in &replicas {
+            self.send(
+                ctx,
+                Leg::W,
+                replica,
+                Msg::ReplicaWrite { op_id, key, version, coordinator: self.id },
+            );
+        }
+        if self.opts.hinted_handoff {
+            ctx.set_timer(self.opts.hint_timeout_ms, tag(KIND_WRITE_TIMEOUT, op_id));
+        }
+    }
+
+    fn on_write_ack(&mut self, ctx: &mut Context<'_, Msg>, op_id: u64, replica: ActorId) {
+        let Some(state) = self.pending_writes.get_mut(&op_id) else {
+            return; // late ack after hint timeout cleanup
+        };
+        if state.acked.contains(&replica) {
+            return; // duplicate (e.g. hint + original both landed)
+        }
+        state.acked.push(replica);
+        if state.committed.is_none() && state.acked.len() == self.opts.w as usize {
+            state.committed = Some(ctx.now());
+            self.client_results.insert(
+                op_id,
+                ClientResult::Write {
+                    op_id,
+                    key: state.key,
+                    version: state.version,
+                    start: state.start,
+                    commit: Some(ctx.now()),
+                },
+            );
+        }
+        if state.acked.len() == state.replicas.len() {
+            self.pending_writes.remove(&op_id); // fully replicated
+        }
+    }
+
+    fn on_write_timeout(&mut self, ctx: &mut Context<'_, Msg>, op_id: u64) {
+        let Some(state) = self.pending_writes.remove(&op_id) else {
+            return; // completed before the timeout
+        };
+        if state.committed.is_none() {
+            // The write failed to reach its quorum in time.
+            self.client_results.insert(
+                op_id,
+                ClientResult::Write {
+                    op_id,
+                    key: state.key,
+                    version: state.version,
+                    start: state.start,
+                    commit: None,
+                },
+            );
+        }
+        // Hint every replica that never acked.
+        for &replica in &state.replicas {
+            if !state.acked.contains(&replica) {
+                self.hints.push(Hint { target: replica, key: state.key, version: state.version });
+            }
+        }
+        self.schedule_hint_flush(ctx);
+    }
+
+    fn on_hint_flush(&mut self, ctx: &mut Context<'_, Msg>) {
+        self.hint_flush_scheduled = false;
+        let hints = self.hints.clone();
+        for h in hints {
+            self.send(
+                ctx,
+                Leg::W,
+                h.target,
+                Msg::HintedWrite { key: h.key, version: h.version, coordinator: self.id },
+            );
+        }
+        self.schedule_hint_flush(ctx);
+    }
+
+    // ----- coordinator: reads -----
+
+    fn on_client_read(
+        &mut self,
+        ctx: &mut Context<'_, Msg>,
+        op_id: u64,
+        key: u64,
+        replicas: Vec<ActorId>,
+    ) {
+        debug_assert!(replicas.len() >= self.opts.r as usize);
+        let state = ReadState {
+            key,
+            replicas: replicas.clone(),
+            responses: Vec::with_capacity(replicas.len()),
+            returned: None,
+            start: ctx.now(),
+        };
+        self.pending_reads.insert(op_id, state);
+        for &replica in &replicas {
+            self.send(ctx, Leg::R, replica, Msg::ReplicaRead { op_id, key, coordinator: self.id });
+        }
+    }
+
+    fn on_read_resp(
+        &mut self,
+        ctx: &mut Context<'_, Msg>,
+        op_id: u64,
+        replica: ActorId,
+        version: Option<Version>,
+    ) {
+        let now = ctx.now();
+        let Some(state) = self.pending_reads.get_mut(&op_id) else {
+            return;
+        };
+        state.responses.push((replica, version));
+        if state.returned.is_none() && state.responses.len() == self.opts.r as usize {
+            // Return the newest of the first R responses (None < Some).
+            let best = state.responses.iter().map(|(_, v)| *v).max().flatten();
+            state.returned = Some(best);
+            self.client_results.insert(
+                op_id,
+                ClientResult::Read {
+                    op_id,
+                    key: state.key,
+                    start: state.start,
+                    finish: now,
+                    version: best,
+                },
+            );
+        } else if let Some(returned) = state.returned {
+            // A late (N − R) response: the asynchronous staleness detector
+            // (§4.3) compares it against what the client saw.
+            if version > returned {
+                self.detector_log.push(DetectorEvent {
+                    op_id,
+                    key: state.key,
+                    returned,
+                    newer: version.expect("version > returned implies Some"),
+                    at: now,
+                });
+            }
+        }
+        if state.responses.len() == state.replicas.len() {
+            // All replicas responded: optionally repair the out-of-date ones.
+            let state = self.pending_reads.remove(&op_id).expect("state exists");
+            if self.opts.read_repair {
+                if let Some(freshest) = state.responses.iter().map(|(_, v)| *v).max().flatten() {
+                    for (replica, v) in &state.responses {
+                        if v.is_none_or(|v| v < freshest) {
+                            self.repairs_sent += 1;
+                            self.send(
+                                ctx,
+                                Leg::W,
+                                *replica,
+                                Msg::RepairWrite { key: state.key, version: freshest },
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // ----- anti-entropy -----
+
+    fn my_digest_for(&self, peer: ActorId) -> Vec<u64> {
+        merkle::digest(
+            self.store
+                .iter()
+                .filter(|(k, _)| self.ring.is_replica(**k, peer as u32))
+                .map(|(k, v)| (*k, *v)),
+        )
+    }
+
+    fn entries_in_buckets(&self, peer: ActorId, buckets: &[u32]) -> Vec<(u64, Version)> {
+        self.store
+            .iter()
+            .filter(|(k, _)| {
+                self.ring.is_replica(**k, peer as u32)
+                    && buckets.contains(&merkle::bucket_of(**k))
+            })
+            .map(|(k, v)| (*k, *v))
+            .collect()
+    }
+
+    fn on_sync_timer(&mut self, ctx: &mut Context<'_, Msg>) {
+        if let Some(interval) = self.sync_interval_ms {
+            ctx.set_timer(interval, tag(KIND_SYNC, 0));
+            let n = self.ring.nodes() as usize;
+            if n > 1 {
+                let mut peer = self.rng.gen_range(0..n - 1);
+                if peer >= self.id {
+                    peer += 1;
+                }
+                self.sync_rounds += 1;
+                let buckets = self.my_digest_for(peer);
+                self.send(ctx, Leg::A, peer, Msg::SyncDigest { from: self.id, buckets });
+            }
+        }
+    }
+
+    fn on_sync_digest(&mut self, ctx: &mut Context<'_, Msg>, from: ActorId, theirs: Vec<u64>) {
+        let mine = self.my_digest_for(from);
+        let differing = merkle::differing_buckets(&mine, &theirs);
+        if !differing.is_empty() {
+            let entries = self.entries_in_buckets(from, &differing);
+            self.send(ctx, Leg::A, from, Msg::SyncDiff { from: self.id, entries, differing });
+        }
+    }
+
+    fn on_sync_diff(
+        &mut self,
+        ctx: &mut Context<'_, Msg>,
+        from: ActorId,
+        entries: Vec<(u64, Version)>,
+        differing: Vec<u32>,
+    ) {
+        for (key, version) in entries {
+            if self.ring.is_replica(key, self.id as u32) {
+                self.apply_version(key, version);
+            }
+        }
+        let reply = self.entries_in_buckets(from, &differing);
+        if !reply.is_empty() {
+            self.send(ctx, Leg::A, from, Msg::SyncDiffReply { entries: reply });
+        }
+    }
+
+    // ----- failure handling -----
+
+    fn on_crash(&mut self, ctx: &mut Context<'_, Msg>, down_ms: f64, wipe: bool) {
+        self.down = true;
+        if wipe {
+            self.store.clear();
+        }
+        // In-flight coordinated operations die with the coordinator.
+        self.pending_writes.clear();
+        self.pending_reads.clear();
+        ctx.set_timer(down_ms, tag(KIND_RECOVER, 0));
+    }
+
+    fn on_recover(&mut self, ctx: &mut Context<'_, Msg>) {
+        self.down = false;
+        if self.sync_interval_ms.is_some() {
+            ctx.set_timer(0.0, tag(KIND_SYNC, 0));
+        }
+        self.hint_flush_scheduled = false;
+        self.schedule_hint_flush(ctx);
+    }
+}
+
+impl Actor for Node {
+    type Msg = Msg;
+
+    fn on_event(&mut self, ctx: &mut Context<'_, Msg>, event: Event<Msg>) {
+        // A crashed node processes nothing except its own recovery timer.
+        if self.down {
+            if let Event::Timer { tag: t } = event {
+                if tag_kind(t) == KIND_RECOVER {
+                    self.on_recover(ctx);
+                }
+            }
+            return;
+        }
+        match event {
+            Event::Message { msg, .. } => match msg {
+                Msg::ClientWrite { op_id, key, version, replicas } => {
+                    self.on_client_write(ctx, op_id, key, version, replicas);
+                }
+                Msg::ClientRead { op_id, key, replicas } => {
+                    self.on_client_read(ctx, op_id, key, replicas);
+                }
+                Msg::ReplicaWrite { op_id, key, version, coordinator } => {
+                    self.apply_version(key, version);
+                    self.send(ctx, Leg::A, coordinator, Msg::WriteAck { op_id, replica: self.id });
+                }
+                Msg::ReplicaRead { op_id, key, coordinator } => {
+                    let version = self.store.get(&key).copied();
+                    self.send(
+                        ctx,
+                        Leg::S,
+                        coordinator,
+                        Msg::ReadResp { op_id, replica: self.id, version },
+                    );
+                }
+                Msg::WriteAck { op_id, replica } => self.on_write_ack(ctx, op_id, replica),
+                Msg::ReadResp { op_id, replica, version } => {
+                    self.on_read_resp(ctx, op_id, replica, version);
+                }
+                Msg::RepairWrite { key, version } => self.apply_version(key, version),
+                Msg::HintedWrite { key, version, coordinator } => {
+                    self.apply_version(key, version);
+                    self.send(
+                        ctx,
+                        Leg::A,
+                        coordinator,
+                        Msg::HintAck { key, version, replica: self.id },
+                    );
+                }
+                Msg::HintAck { key, version, replica } => {
+                    let before = self.hints.len();
+                    self.hints.retain(|h| {
+                        !(h.target == replica && h.key == key && h.version == version)
+                    });
+                    self.hints_delivered += (before - self.hints.len()) as u64;
+                }
+                Msg::SyncDigest { from, buckets } => self.on_sync_digest(ctx, from, buckets),
+                Msg::SyncDiff { from, entries, differing } => {
+                    self.on_sync_diff(ctx, from, entries, differing);
+                }
+                Msg::SyncDiffReply { entries } => {
+                    for (key, version) in entries {
+                        if self.ring.is_replica(key, self.id as u32) {
+                            self.apply_version(key, version);
+                        }
+                    }
+                }
+                Msg::Crash { down_ms, wipe } => self.on_crash(ctx, down_ms, wipe),
+                Msg::StartSync { interval_ms } => {
+                    self.sync_interval_ms = Some(interval_ms);
+                    // Stagger the first round by the node id to avoid
+                    // thundering herds.
+                    let stagger = interval_ms * (self.id as f64 + 1.0)
+                        / (self.ring.nodes() as f64 + 1.0);
+                    ctx.set_timer(stagger, tag(KIND_SYNC, 0));
+                }
+            },
+            Event::Timer { tag: t } => match tag_kind(t) {
+                KIND_RECOVER => self.on_recover(ctx),
+                KIND_SYNC => self.on_sync_timer(ctx),
+                KIND_HINT_FLUSH => self.on_hint_flush(ctx),
+                KIND_WRITE_TIMEOUT => self.on_write_timeout(ctx, tag_op(t)),
+                other => unreachable!("unknown timer kind {other}"),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timer_tags_round_trip() {
+        let t = tag(KIND_WRITE_TIMEOUT, 123_456);
+        assert_eq!(tag_kind(t), KIND_WRITE_TIMEOUT);
+        assert_eq!(tag_op(t), 123_456);
+        assert_eq!(tag_kind(tag(KIND_SYNC, 0)), KIND_SYNC);
+    }
+
+    #[test]
+    fn apply_version_keeps_max() {
+        let net = Arc::new(NetworkModel::w_ars(
+            Arc::new(pbs_dist::Constant::new(1.0)),
+            Arc::new(pbs_dist::Constant::new(1.0)),
+        ));
+        let ring = Arc::new(Ring::new(3, 8, 3));
+        let mut node = Node::new(0, NodeOptions::default(), net, ring, 7);
+        node.apply_version(5, Version::new(2, 0));
+        node.apply_version(5, Version::new(1, 0));
+        assert_eq!(node.stored_version(5), Some(Version::new(2, 0)));
+        node.apply_version(5, Version::new(3, 1));
+        assert_eq!(node.stored_version(5), Some(Version::new(3, 1)));
+        assert_eq!(node.key_count(), 1);
+    }
+}

@@ -1,0 +1,195 @@
+//! Ground-truth staleness labelling.
+//!
+//! The simulator records every commit `(key, seq, commit time)`; a read that
+//! started at `t` and returned `seq_r` is **consistent** (Definition 3) iff
+//! `seq_r ≥ max{seq committed at or before t}`. Returning a newer,
+//! not-yet-committed (in-flight) version also counts as consistent, matching
+//! §3.1's k-regular semantics — such versions always have larger `seq`.
+
+use pbs_sim::SimTime;
+use std::collections::HashMap;
+
+/// Cap on the reported versions-behind count; deeper staleness is reported
+/// as this value. Keeps labelling O(staleness) per read instead of
+/// O(history).
+pub const MAX_TRACKED_STALENESS: u64 = 64;
+
+#[derive(Debug, Default)]
+struct KeyHistory {
+    /// `(commit_time, seq)` in commit order.
+    commits: Vec<(SimTime, u64)>,
+    /// Running maximum of `seq` along `commits` (monotone, enabling binary
+    /// search by time + O(1) max lookup).
+    prefix_max_seq: Vec<u64>,
+}
+
+/// The verdict for one read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadLabel {
+    /// Whether the read satisfied t-visibility (saw the newest committed
+    /// version as of its start, or newer).
+    pub consistent: bool,
+    /// How many committed versions newer than the returned one existed at
+    /// read start (0 when consistent; capped at
+    /// [`MAX_TRACKED_STALENESS`]).
+    pub versions_behind: u64,
+}
+
+/// Ground-truth commit history across all keys.
+#[derive(Debug, Default)]
+pub struct GroundTruth {
+    keys: HashMap<u64, KeyHistory>,
+}
+
+impl GroundTruth {
+    /// Empty history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a committed write. Calls must be in nondecreasing commit-time
+    /// order per key (the harness drains results in simulation order; the
+    /// method asserts this).
+    pub fn record_commit(&mut self, key: u64, seq: u64, commit: SimTime) {
+        let h = self.keys.entry(key).or_default();
+        if let Some(&(last, _)) = h.commits.last() {
+            assert!(commit >= last, "commits must be recorded in time order");
+        }
+        let max = h.prefix_max_seq.last().copied().unwrap_or(0).max(seq);
+        h.commits.push((commit, seq));
+        h.prefix_max_seq.push(max);
+    }
+
+    /// Number of commits recorded for `key`.
+    pub fn commits_for(&self, key: u64) -> usize {
+        self.keys.get(&key).map_or(0, |h| h.commits.len())
+    }
+
+    /// The newest committed `seq` at or before `t` (None when nothing had
+    /// committed yet).
+    pub fn latest_committed_at(&self, key: u64, t: SimTime) -> Option<u64> {
+        let h = self.keys.get(&key)?;
+        let idx = h.commits.partition_point(|&(ct, _)| ct <= t);
+        if idx == 0 {
+            None
+        } else {
+            Some(h.prefix_max_seq[idx - 1])
+        }
+    }
+
+    /// Label a read that started at `start` on `key` and returned
+    /// `returned_seq` (`None` = key absent / empty read).
+    pub fn label_read(&self, key: u64, start: SimTime, returned_seq: Option<u64>) -> ReadLabel {
+        let returned = returned_seq.unwrap_or(0);
+        let Some(h) = self.keys.get(&key) else {
+            return ReadLabel { consistent: true, versions_behind: 0 };
+        };
+        let prefix = h.commits.partition_point(|&(ct, _)| ct <= start);
+        if prefix == 0 || h.prefix_max_seq[prefix - 1] <= returned {
+            return ReadLabel { consistent: true, versions_behind: 0 };
+        }
+        // Count committed versions newer than the returned one, scanning
+        // backwards (staleness is almost always small; the scan is bounded).
+        let mut behind = 0u64;
+        for &(_, seq) in h.commits[..prefix].iter().rev() {
+            if seq > returned {
+                behind += 1;
+                if behind >= MAX_TRACKED_STALENESS {
+                    break;
+                }
+            }
+        }
+        ReadLabel { consistent: false, versions_behind: behind }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: f64) -> SimTime {
+        SimTime::from_ms(ms)
+    }
+
+    #[test]
+    fn fresh_read_is_consistent() {
+        let mut gt = GroundTruth::new();
+        gt.record_commit(1, 1, t(10.0));
+        gt.record_commit(1, 2, t(20.0));
+        let label = gt.label_read(1, t(25.0), Some(2));
+        assert!(label.consistent);
+        assert_eq!(label.versions_behind, 0);
+    }
+
+    #[test]
+    fn stale_read_counts_versions() {
+        let mut gt = GroundTruth::new();
+        for seq in 1..=5 {
+            gt.record_commit(1, seq, t(seq as f64 * 10.0));
+        }
+        // Read at t=45 (versions 1–4 committed) returning version 2 is two
+        // versions behind (3 and 4).
+        let label = gt.label_read(1, t(45.0), Some(2));
+        assert!(!label.consistent);
+        assert_eq!(label.versions_behind, 2);
+    }
+
+    #[test]
+    fn in_flight_newer_read_is_consistent() {
+        let mut gt = GroundTruth::new();
+        gt.record_commit(1, 1, t(10.0));
+        // Version 2 is in flight (not yet committed); a read returning it is
+        // non-stale per §3.1.
+        let label = gt.label_read(1, t(15.0), Some(2));
+        assert!(label.consistent);
+    }
+
+    #[test]
+    fn read_before_any_commit_is_consistent() {
+        let mut gt = GroundTruth::new();
+        gt.record_commit(1, 1, t(10.0));
+        assert!(gt.label_read(1, t(5.0), None).consistent);
+        assert!(gt.label_read(99, t(5.0), None).consistent, "unknown key");
+    }
+
+    #[test]
+    fn empty_read_after_commit_is_stale() {
+        let mut gt = GroundTruth::new();
+        gt.record_commit(1, 1, t(10.0));
+        let label = gt.label_read(1, t(15.0), None);
+        assert!(!label.consistent);
+        assert_eq!(label.versions_behind, 1);
+    }
+
+    #[test]
+    fn out_of_order_commits_handled() {
+        // Concurrent writes can commit out of seq order: seq 3 commits
+        // before seq 2.
+        let mut gt = GroundTruth::new();
+        gt.record_commit(1, 1, t(10.0));
+        gt.record_commit(1, 3, t(20.0));
+        gt.record_commit(1, 2, t(30.0));
+        // At t=25, the newest committed is 3 → returning 2 is stale by one.
+        let label = gt.label_read(1, t(25.0), Some(2));
+        assert!(!label.consistent);
+        assert_eq!(label.versions_behind, 1);
+        // Returning 3 is consistent even though 2 commits later.
+        assert!(gt.label_read(1, t(35.0), Some(3)).consistent);
+    }
+
+    #[test]
+    fn latest_committed_at_boundary_inclusive() {
+        let mut gt = GroundTruth::new();
+        gt.record_commit(7, 4, t(10.0));
+        assert_eq!(gt.latest_committed_at(7, t(10.0)), Some(4));
+        assert_eq!(gt.latest_committed_at(7, t(9.999)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "time order")]
+    fn out_of_order_recording_panics() {
+        let mut gt = GroundTruth::new();
+        gt.record_commit(1, 1, t(10.0));
+        gt.record_commit(1, 2, t(5.0));
+    }
+}

@@ -1,0 +1,109 @@
+//! Property tests for the store's structural components: ring placement,
+//! ground-truth labelling, and Merkle digests.
+
+use pbs_kvs::merkle;
+use pbs_kvs::staleness::GroundTruth;
+use pbs_kvs::{Ring, Version};
+use pbs_sim::SimTime;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Preference lists always contain exactly N distinct live nodes,
+    /// stable across queries.
+    #[test]
+    fn ring_preference_lists(
+        nodes in 1u32..20,
+        vnodes in 1u32..32,
+        key in any::<u64>(),
+    ) {
+        let replication = 1 + key as u32 % nodes;
+        let ring = Ring::new(nodes, vnodes, replication);
+        let reps = ring.replicas(key);
+        prop_assert_eq!(reps.len(), replication as usize);
+        let mut sorted = reps.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), replication as usize, "duplicate replicas");
+        prop_assert!(reps.iter().all(|&n| n < nodes));
+        prop_assert_eq!(ring.replicas(key), reps, "stable");
+    }
+
+    /// Ground-truth labelling agrees with a brute-force reference on random
+    /// commit histories and probes.
+    #[test]
+    fn ground_truth_matches_bruteforce(
+        commit_times in prop::collection::vec(0u64..10_000, 1..60),
+        probe_ms in 0u64..12_000,
+        returned in prop::option::of(0u64..70),
+    ) {
+        // Build a history: commit i (seq shuffled deterministically) at the
+        // sorted times.
+        let mut times = commit_times;
+        times.sort_unstable();
+        let n = times.len() as u64;
+        let mut gt = GroundTruth::new();
+        let mut history: Vec<(u64, u64)> = Vec::new(); // (time, seq)
+        for (i, &t) in times.iter().enumerate() {
+            // Permuted-but-deterministic seq assignment exercises
+            // out-of-order commits.
+            let seq = 1 + ((i as u64 * 7 + 3) % n);
+            gt.record_commit(1, seq, SimTime::from_ms(t as f64));
+            history.push((t, seq));
+        }
+        let returned = returned.filter(|r| *r >= 1);
+        let label = gt.label_read(1, SimTime::from_ms(probe_ms as f64), returned);
+
+        // Brute force.
+        let ret = returned.unwrap_or(0);
+        let committed: Vec<u64> = history
+            .iter()
+            .filter(|(t, _)| *t <= probe_ms)
+            .map(|(_, s)| *s)
+            .collect();
+        let newest = committed.iter().copied().max().unwrap_or(0);
+        let expect_consistent = ret >= newest;
+        let expect_behind =
+            committed.iter().filter(|&&s| s > ret).count().min(64) as u64;
+        prop_assert_eq!(label.consistent, expect_consistent);
+        if !label.consistent {
+            prop_assert_eq!(label.versions_behind, expect_behind);
+        }
+    }
+
+    /// Merkle digests: identical stores always match; single-entry edits
+    /// always produce a nonempty diff confined to the edited key's bucket.
+    #[test]
+    fn merkle_digest_detects_edits(
+        entries in prop::collection::btree_map(any::<u64>(), 1u64..1000, 1..50),
+        edit_idx in any::<prop::sample::Index>(),
+    ) {
+        let store: Vec<(u64, Version)> =
+            entries.iter().map(|(&k, &s)| (k, Version::new(s, 0))).collect();
+        let a = merkle::digest(store.clone());
+        let b = merkle::digest(store.clone());
+        prop_assert!(merkle::differing_buckets(&a, &b).is_empty());
+
+        let mut edited = store.clone();
+        let i = edit_idx.index(edited.len());
+        edited[i].1 = Version::new(edited[i].1.seq + 1, 0);
+        let c = merkle::digest(edited);
+        let diff = merkle::differing_buckets(&a, &c);
+        prop_assert_eq!(diff, vec![merkle::bucket_of(store[i].0)]);
+    }
+
+    /// Versions order by (seq, writer) — the store's max-merge never
+    /// regresses.
+    #[test]
+    fn version_merge_is_monotone(
+        seq_a in 0u64..100, wr_a in 0u32..8,
+        seq_b in 0u64..100, wr_b in 0u32..8,
+    ) {
+        let a = Version::new(seq_a, wr_a);
+        let b = Version::new(seq_b, wr_b);
+        let m = a.max(b);
+        prop_assert!(m >= a && m >= b);
+        prop_assert!(m == a || m == b);
+    }
+}

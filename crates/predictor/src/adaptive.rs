@@ -1,0 +1,173 @@
+//! Adaptive reconfiguration (§6 "Variable configurations"): keep a sliding
+//! window of measured one-way latencies, refit empirical distributions, and
+//! re-run the SLA optimizer when conditions drift.
+
+use crate::sla::{optimize, SlaReport, SlaSpec};
+use pbs_core::ReplicaConfig;
+use pbs_dist::Empirical;
+use pbs_wars::{IidModel, LatencyModel};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// A bounded sliding window of latency samples for one WARS leg.
+#[derive(Debug, Clone)]
+pub struct SampleWindow {
+    samples: VecDeque<f64>,
+    capacity: usize,
+}
+
+impl SampleWindow {
+    /// Window holding at most `capacity` samples.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0);
+        Self { samples: VecDeque::with_capacity(capacity), capacity }
+    }
+
+    /// Record one observation, evicting the oldest if full.
+    pub fn push(&mut self, value_ms: f64) {
+        assert!(value_ms >= 0.0 && value_ms.is_finite());
+        if self.samples.len() == self.capacity {
+            self.samples.pop_front();
+        }
+        self.samples.push_back(value_ms);
+    }
+
+    /// Number of samples held.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the window is empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    fn to_empirical(&self) -> Empirical {
+        Empirical::from_samples(self.samples.iter().copied().collect())
+    }
+}
+
+/// The online controller: observes per-leg latencies, periodically refits
+/// and re-optimizes the replication configuration.
+#[derive(Debug)]
+pub struct AdaptiveController {
+    w: SampleWindow,
+    a: SampleWindow,
+    r: SampleWindow,
+    s: SampleWindow,
+    spec: SlaSpec,
+    /// Candidate replication factors.
+    ns: Vec<u32>,
+    /// Monte-Carlo budget per candidate evaluation.
+    trials: usize,
+    seed: u64,
+}
+
+impl AdaptiveController {
+    /// Build a controller with the given SLA, candidate `N`s, window size,
+    /// and per-evaluation trial budget.
+    pub fn new(spec: SlaSpec, ns: Vec<u32>, window: usize, trials: usize, seed: u64) -> Self {
+        assert!(!ns.is_empty());
+        Self {
+            w: SampleWindow::new(window),
+            a: SampleWindow::new(window),
+            r: SampleWindow::new(window),
+            s: SampleWindow::new(window),
+            spec,
+            ns,
+            trials,
+            seed,
+        }
+    }
+
+    /// Record one WARS observation (one message per leg).
+    pub fn observe(&mut self, w: f64, a: f64, r: f64, s: f64) {
+        self.w.push(w);
+        self.a.push(a);
+        self.r.push(r);
+        self.s.push(s);
+    }
+
+    /// Total observations currently windowed (per leg).
+    pub fn window_len(&self) -> usize {
+        self.w.len()
+    }
+
+    /// Refit empirical distributions from the current window and run the
+    /// SLA optimizer. Requires a nonempty window.
+    pub fn reoptimize(&self) -> SlaReport {
+        assert!(!self.w.is_empty(), "observe() some samples first");
+        let (we, ae, re, se) = (
+            Arc::new(self.w.to_empirical()),
+            Arc::new(self.a.to_empirical()),
+            Arc::new(self.r.to_empirical()),
+            Arc::new(self.s.to_empirical()),
+        );
+        let factory = move |cfg: ReplicaConfig| -> Box<dyn LatencyModel> {
+            Box::new(IidModel::new(
+                cfg,
+                "windowed",
+                we.clone(),
+                ae.clone(),
+                re.clone(),
+                se.clone(),
+            ))
+        };
+        optimize(&factory, &self.ns, &self.spec, self.trials, self.seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbs_dist::{Exponential, LatencyDistribution};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn window_evicts_oldest() {
+        let mut w = SampleWindow::new(3);
+        for v in [1.0, 2.0, 3.0, 4.0] {
+            w.push(v);
+        }
+        assert_eq!(w.len(), 3);
+        let emp = w.to_empirical();
+        assert_eq!(emp.samples().min(), 2.0);
+        assert_eq!(emp.samples().max(), 4.0);
+    }
+
+    /// The §6 story: fast disks → partial quorum qualifies; disks degrade →
+    /// the same SLA now requires waiting (a strict quorum or bust).
+    #[test]
+    fn controller_reacts_to_latency_drift() {
+        let spec = SlaSpec::consistency(0.99, 5.0);
+        let mut ctl = AdaptiveController::new(spec, vec![3], 4_000, 8_000, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+
+        // Phase 1: fast, low-variance writes (SSD-like).
+        let fast = Exponential::from_mean(0.3);
+        let ars = Exponential::from_mean(0.5);
+        for _ in 0..4_000 {
+            ctl.observe(fast.sample(&mut rng), ars.sample(&mut rng), ars.sample(&mut rng), ars.sample(&mut rng));
+        }
+        let report = ctl.reoptimize();
+        let best = report.best_config().expect("fast phase qualifies");
+        assert!(best.cfg.is_partial(), "fast writes → partial quorum wins: {}", best.cfg);
+
+        // Phase 2: disks degrade badly (mean 30ms writes) — the window
+        // rolls over entirely.
+        let slow = Exponential::from_mean(30.0);
+        for _ in 0..4_000 {
+            ctl.observe(slow.sample(&mut rng), ars.sample(&mut rng), ars.sample(&mut rng), ars.sample(&mut rng));
+        }
+        let report = ctl.reoptimize();
+        match report.best_config() {
+            Some(best) => assert!(
+                best.cfg.is_strict(),
+                "slow writes → only strict quorums meet a 5ms/99% SLA: {}",
+                best.cfg
+            ),
+            None => { /* no config qualifies — also a valid drift outcome */ }
+        }
+    }
+}

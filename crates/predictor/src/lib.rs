@@ -1,0 +1,32 @@
+//! # pbs-predictor — SLA-driven replication tuning on top of PBS
+//!
+//! §6 of the paper sketches what PBS predictions enable: *"we can
+//! automatically configure replication parameters by optimizing operation
+//! latency given constraints on staleness and minimum durability…
+//! operators can subsequently provide service level agreements to
+//! applications"*. This crate builds that layer:
+//!
+//! * [`Predictor`] — a one-stop PBS oracle for a configuration: closed-form
+//!   k-staleness/monotonic-reads plus Monte-Carlo t-visibility and latency
+//!   percentiles, constructible either from analytic models or from
+//!   **measured** latency samples (e.g. drained out of a `pbs-kvs` run —
+//!   the online-profiling loop of §5.5/§6).
+//! * [`sla`] — exhaustive `O(N²)` search over `(R, W)` (optionally over
+//!   `N`) for the lowest-latency configuration meeting staleness,
+//!   durability, and latency constraints.
+//! * [`adaptive`] — a sliding-window controller that refits empirical
+//!   distributions as conditions drift and re-runs the optimizer (§6
+//!   "Variable configurations").
+//! * [`multikey`] — staleness of multi-key read-only operations under
+//!   independence (§6 "Multi-key operations").
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adaptive;
+pub mod multikey;
+pub mod predictor;
+pub mod sla;
+
+pub use predictor::Predictor;
+pub use sla::{ConfigEvaluation, SlaReport, SlaSpec};

@@ -1,0 +1,173 @@
+//! The PBS oracle: every paper metric for one configuration behind one
+//! handle.
+
+use pbs_core::{staleness, ReplicaConfig};
+use pbs_dist::Empirical;
+use pbs_wars::{IidModel, LatencyModel, TVisibility};
+use std::sync::Arc;
+
+/// A PBS predictor for a single `(N, R, W)` configuration and latency
+/// model.
+///
+/// Construction runs the WARS Monte Carlo once; every query afterwards is
+/// O(log trials) or closed-form.
+pub struct Predictor {
+    cfg: ReplicaConfig,
+    tvis: TVisibility,
+}
+
+impl std::fmt::Debug for Predictor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Predictor")
+            .field("cfg", &self.cfg)
+            .field("trials", &self.tvis.trials())
+            .finish()
+    }
+}
+
+impl Predictor {
+    /// Build from any WARS latency model.
+    pub fn from_model<M: LatencyModel + Sync + ?Sized>(
+        model: &M,
+        trials: usize,
+        seed: u64,
+    ) -> Self {
+        let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+        Self {
+            cfg: model.config(),
+            tvis: TVisibility::simulate_parallel(model, trials, seed, threads.min(8)),
+        }
+    }
+
+    /// Build from **measured one-way latency samples** — the online
+    /// profiling path of §5.5/§6 (e.g. WARS timestamps exported by a real
+    /// store, or `pbs-kvs` instrumentation).
+    pub fn from_samples(
+        cfg: ReplicaConfig,
+        w: Vec<f64>,
+        a: Vec<f64>,
+        r: Vec<f64>,
+        s: Vec<f64>,
+        trials: usize,
+        seed: u64,
+    ) -> Self {
+        let model = IidModel::new(
+            cfg,
+            "measured",
+            Arc::new(Empirical::from_samples(w)),
+            Arc::new(Empirical::from_samples(a)),
+            Arc::new(Empirical::from_samples(r)),
+            Arc::new(Empirical::from_samples(s)),
+        );
+        Self::from_model(&model, trials, seed)
+    }
+
+    /// The configuration under analysis.
+    pub fn config(&self) -> ReplicaConfig {
+        self.cfg
+    }
+
+    /// `P(consistent)` for reads starting `t` ms after commit.
+    pub fn prob_consistent(&self, t_ms: f64) -> f64 {
+        self.tvis.prob_consistent(t_ms)
+    }
+
+    /// Smallest `t` with `P(consistent) ≥ p`, if resolvable at the trial
+    /// count.
+    pub fn t_visibility(&self, p: f64) -> Option<f64> {
+        self.tvis.t_at_probability(p)
+    }
+
+    /// Closed-form probability of reading a version within `k` versions of
+    /// the latest committed write (Eq. 2).
+    pub fn prob_within_k_versions(&self, k: u32) -> f64 {
+        staleness::prob_within_k_versions(self.cfg, k)
+    }
+
+    /// Closed-form monotonic-reads violation probability (Eq. 3).
+    pub fn monotonic_reads_violation(&self, gamma_gw: f64, gamma_cr: f64) -> f64 {
+        staleness::monotonic_reads_violation(self.cfg, gamma_gw, gamma_cr)
+    }
+
+    /// ⟨k,t⟩-staleness violation (Eq. 5's conservative bound over the
+    /// simulated t-visibility).
+    pub fn kt_violation(&self, t_ms: f64, k: u32) -> f64 {
+        self.tvis.kt_violation(t_ms, k)
+    }
+
+    /// Read operation latency at `pct ∈ [0, 100]`.
+    pub fn read_latency(&self, pct: f64) -> f64 {
+        self.tvis.read_latency_percentile(pct)
+    }
+
+    /// Write operation latency at `pct ∈ [0, 100]`.
+    pub fn write_latency(&self, pct: f64) -> f64 {
+        self.tvis.write_latency_percentile(pct)
+    }
+
+    /// The underlying Monte-Carlo run.
+    pub fn tvisibility(&self) -> &TVisibility {
+        &self.tvis
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbs_dist::{Exponential, LatencyDistribution};
+    use pbs_wars::production::exponential_model;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn cfg(n: u32, r: u32, w: u32) -> ReplicaConfig {
+        ReplicaConfig::new(n, r, w).unwrap()
+    }
+
+    #[test]
+    fn from_model_exposes_all_metrics() {
+        let p = Predictor::from_model(&exponential_model(cfg(3, 1, 1), 0.1, 0.5), 20_000, 1);
+        assert!(p.prob_consistent(0.0) < 1.0);
+        assert!(p.prob_consistent(100.0) > 0.99);
+        assert!(p.t_visibility(0.9).is_some());
+        assert!((p.prob_within_k_versions(1) - 1.0 / 3.0).abs() < 1e-12);
+        assert!(p.read_latency(99.0) > p.read_latency(50.0));
+        assert!(p.kt_violation(5.0, 2) <= p.kt_violation(5.0, 1));
+        assert!(p.monotonic_reads_violation(1.0, 1.0) < 1.0);
+    }
+
+    #[test]
+    fn from_samples_matches_analytic_model() {
+        // Sampling from the analytic distributions and feeding the samples
+        // back as empirical models should reproduce the analytic results.
+        let c = cfg(3, 1, 1);
+        let analytic = Predictor::from_model(&exponential_model(c, 0.1, 0.5), 40_000, 2);
+        let mut rng = StdRng::seed_from_u64(3);
+        let wdist = Exponential::from_rate(0.1);
+        let adist = Exponential::from_rate(0.5);
+        let sample = |d: &Exponential, rng: &mut StdRng| -> Vec<f64> {
+            (0..50_000).map(|_| d.sample(rng)).collect()
+        };
+        let empirical = Predictor::from_samples(
+            c,
+            sample(&wdist, &mut rng),
+            sample(&adist, &mut rng),
+            sample(&adist, &mut rng),
+            sample(&adist, &mut rng),
+            40_000,
+            4,
+        );
+        for t in [0.0, 5.0, 20.0, 60.0] {
+            let a = analytic.prob_consistent(t);
+            let b = empirical.prob_consistent(t);
+            assert!((a - b).abs() < 0.02, "t={t}: analytic {a} vs empirical {b}");
+        }
+    }
+
+    #[test]
+    fn strict_config_trivially_consistent() {
+        let p = Predictor::from_model(&exponential_model(cfg(3, 2, 2), 0.1, 0.5), 5_000, 5);
+        assert_eq!(p.prob_consistent(0.0), 1.0);
+        assert_eq!(p.t_visibility(0.9999), Some(0.0));
+        assert_eq!(p.prob_within_k_versions(1), 1.0);
+    }
+}

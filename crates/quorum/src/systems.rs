@@ -1,0 +1,334 @@
+//! Quorum-system constructions: random fixed-size, majority, grid, tree.
+
+use crate::nodeset::NodeSet;
+use rand::Rng;
+use rand::RngCore;
+
+/// A (possibly probabilistic) quorum system: a rule for drawing read and
+/// write quorums over a universe of `n` replicas.
+///
+/// Strict systems guarantee every sampled read quorum intersects every
+/// sampled write quorum; partial systems do not (§2.1).
+pub trait QuorumSystem: Send + Sync {
+    /// Number of replicas in the universe (≤ 64).
+    fn universe(&self) -> u32;
+
+    /// Draw a read quorum.
+    fn sample_read(&self, rng: &mut dyn RngCore) -> NodeSet;
+
+    /// Draw a write quorum.
+    fn sample_write(&self, rng: &mut dyn RngCore) -> NodeSet;
+
+    /// Whether the construction guarantees read/write intersection.
+    fn is_strict(&self) -> bool;
+
+    /// Name for reports.
+    fn name(&self) -> String;
+}
+
+/// Sample a uniformly random subset of size `k` from `0..n` (partial
+/// Fisher–Yates over a stack buffer).
+pub(crate) fn random_subset(rng: &mut dyn RngCore, n: u32, k: u32) -> NodeSet {
+    debug_assert!(k <= n && n <= 64);
+    let mut pool: [u32; 64] = [0; 64];
+    for (i, slot) in pool.iter_mut().enumerate().take(n as usize) {
+        *slot = i as u32;
+    }
+    let mut set = NodeSet::EMPTY;
+    for i in 0..k as usize {
+        let j = rng.gen_range(i..n as usize);
+        pool.swap(i, j);
+        set.insert(pool[i]);
+    }
+    set
+}
+
+/// The PBS probabilistic model: uniformly random read quorums of size `R`
+/// and write quorums of size `W` over `N` replicas (Equation 1's setting).
+#[derive(Debug, Clone, Copy)]
+pub struct RandomFixed {
+    n: u32,
+    r: u32,
+    w: u32,
+}
+
+impl RandomFixed {
+    /// Build with `1 ≤ r, w ≤ n ≤ 64`.
+    pub fn new(n: u32, r: u32, w: u32) -> Self {
+        assert!((1..=64).contains(&n), "n must be in 1..=64");
+        assert!((1..=n).contains(&r) && (1..=n).contains(&w));
+        Self { n, r, w }
+    }
+}
+
+impl QuorumSystem for RandomFixed {
+    fn universe(&self) -> u32 {
+        self.n
+    }
+
+    fn sample_read(&self, rng: &mut dyn RngCore) -> NodeSet {
+        random_subset(rng, self.n, self.r)
+    }
+
+    fn sample_write(&self, rng: &mut dyn RngCore) -> NodeSet {
+        random_subset(rng, self.n, self.w)
+    }
+
+    fn is_strict(&self) -> bool {
+        self.r + self.w > self.n
+    }
+
+    fn name(&self) -> String {
+        format!("RandomFixed(N={}, R={}, W={})", self.n, self.r, self.w)
+    }
+}
+
+/// Majority quorums: every quorum is a uniformly random subset of size
+/// `⌊N/2⌋ + 1`.
+///
+/// The paper writes the majority size as `⌈N/2⌉`, which coincides for odd
+/// `N`; for even `N` intersection requires `⌊N/2⌋ + 1`, which is what we
+/// use.
+#[derive(Debug, Clone, Copy)]
+pub struct Majority {
+    n: u32,
+}
+
+impl Majority {
+    /// Build over `n ≤ 64` replicas.
+    pub fn new(n: u32) -> Self {
+        assert!((1..=64).contains(&n));
+        Self { n }
+    }
+
+    /// The quorum size `⌊N/2⌋ + 1`.
+    pub fn quorum_size(&self) -> u32 {
+        self.n / 2 + 1
+    }
+}
+
+impl QuorumSystem for Majority {
+    fn universe(&self) -> u32 {
+        self.n
+    }
+
+    fn sample_read(&self, rng: &mut dyn RngCore) -> NodeSet {
+        random_subset(rng, self.n, self.quorum_size())
+    }
+
+    fn sample_write(&self, rng: &mut dyn RngCore) -> NodeSet {
+        random_subset(rng, self.n, self.quorum_size())
+    }
+
+    fn is_strict(&self) -> bool {
+        true
+    }
+
+    fn name(&self) -> String {
+        format!("Majority(N={})", self.n)
+    }
+}
+
+/// Naor–Wool grid quorums: nodes arranged in a `side × side` grid; a quorum
+/// is one full row plus one full column (chosen uniformly). Any two such
+/// quorums intersect (one's row crosses the other's column), with quorum
+/// size `2·side − 1 = O(√N)` — the classic low-load strict construction
+/// referenced in §2.1.
+#[derive(Debug, Clone, Copy)]
+pub struct Grid {
+    side: u32,
+}
+
+impl Grid {
+    /// Build a `side × side` grid (`side² ≤ 64`, i.e. `side ≤ 8`).
+    pub fn new(side: u32) -> Self {
+        assert!(side >= 1 && side * side <= 64, "side² must be ≤ 64");
+        Self { side }
+    }
+
+    fn node(&self, row: u32, col: u32) -> u32 {
+        row * self.side + col
+    }
+
+    fn sample_quorum(&self, rng: &mut dyn RngCore) -> NodeSet {
+        let row = rng.gen_range(0..self.side);
+        let col = rng.gen_range(0..self.side);
+        let mut set = NodeSet::EMPTY;
+        for c in 0..self.side {
+            set.insert(self.node(row, c));
+        }
+        for r in 0..self.side {
+            set.insert(self.node(r, col));
+        }
+        set
+    }
+}
+
+impl QuorumSystem for Grid {
+    fn universe(&self) -> u32 {
+        self.side * self.side
+    }
+
+    fn sample_read(&self, rng: &mut dyn RngCore) -> NodeSet {
+        self.sample_quorum(rng)
+    }
+
+    fn sample_write(&self, rng: &mut dyn RngCore) -> NodeSet {
+        self.sample_quorum(rng)
+    }
+
+    fn is_strict(&self) -> bool {
+        true
+    }
+
+    fn name(&self) -> String {
+        format!("Grid({0}×{0})", self.side)
+    }
+}
+
+/// Agrawal–El Abbadi tree quorums over a complete binary tree of `depth`
+/// levels (`2^depth − 1 ≤ 63` nodes).
+///
+/// A quorum is formed recursively: take the subtree root plus a quorum of
+/// one child, or (modeling an unavailable root) quorums of *both* children.
+/// Any two tree quorums intersect; in the best case a quorum is a
+/// root-to-leaf path of `O(log N)` nodes.
+#[derive(Debug, Clone, Copy)]
+pub struct TreeQuorum {
+    depth: u32,
+    /// Probability that a recursion step routes around the subtree root.
+    skip_root_prob: f64,
+}
+
+impl TreeQuorum {
+    /// Build with `1 ≤ depth ≤ 6` (≤ 63 nodes) and the probability of
+    /// bypassing a subtree root (0 ⇒ always root+path, the minimum quorum).
+    pub fn new(depth: u32, skip_root_prob: f64) -> Self {
+        assert!((1..=6).contains(&depth));
+        assert!((0.0..=1.0).contains(&skip_root_prob));
+        Self { depth, skip_root_prob }
+    }
+
+    fn sample_subtree(&self, rng: &mut dyn RngCore, root: u32, level: u32, set: &mut NodeSet) {
+        let leaf = level + 1 == self.depth;
+        if leaf {
+            set.insert(root);
+            return;
+        }
+        let left = 2 * root + 1;
+        let right = 2 * root + 2;
+        if rng.gen::<f64>() < self.skip_root_prob {
+            // Root unavailable: need quorums of both children.
+            self.sample_subtree(rng, left, level + 1, set);
+            self.sample_subtree(rng, right, level + 1, set);
+        } else {
+            set.insert(root);
+            let child = if rng.gen::<bool>() { left } else { right };
+            self.sample_subtree(rng, child, level + 1, set);
+        }
+    }
+}
+
+impl QuorumSystem for TreeQuorum {
+    fn universe(&self) -> u32 {
+        (1u32 << self.depth) - 1
+    }
+
+    fn sample_read(&self, rng: &mut dyn RngCore) -> NodeSet {
+        let mut set = NodeSet::EMPTY;
+        self.sample_subtree(rng, 0, 0, &mut set);
+        set
+    }
+
+    fn sample_write(&self, rng: &mut dyn RngCore) -> NodeSet {
+        self.sample_read(rng)
+    }
+
+    fn is_strict(&self) -> bool {
+        true
+    }
+
+    fn name(&self) -> String {
+        format!("Tree(depth={}, skip={})", self.depth, self.skip_root_prob)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_subset_sizes_and_uniformity() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = [0usize; 5];
+        let trials = 50_000;
+        for _ in 0..trials {
+            let s = random_subset(&mut rng, 5, 2);
+            assert_eq!(s.len(), 2);
+            for i in s.iter() {
+                counts[i as usize] += 1;
+            }
+        }
+        // Each node appears in a 2-of-5 subset with probability 2/5.
+        for (i, &c) in counts.iter().enumerate() {
+            let frac = c as f64 / trials as f64;
+            assert!((frac - 0.4).abs() < 0.02, "node {i}: {frac}");
+        }
+    }
+
+    #[test]
+    fn majority_always_intersects() {
+        for n in [1u32, 2, 3, 4, 5, 8, 15] {
+            let sys = Majority::new(n);
+            let mut rng = StdRng::seed_from_u64(7);
+            for _ in 0..2000 {
+                let a = sys.sample_read(&mut rng);
+                let b = sys.sample_write(&mut rng);
+                assert!(a.intersects(b), "N={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn grid_quorums_intersect_and_have_sqrt_size() {
+        let sys = Grid::new(5);
+        assert_eq!(sys.universe(), 25);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..2000 {
+            let a = sys.sample_read(&mut rng);
+            let b = sys.sample_write(&mut rng);
+            assert_eq!(a.len(), 9, "2·side − 1");
+            assert!(a.intersects(b));
+        }
+    }
+
+    #[test]
+    fn tree_quorums_intersect() {
+        for skip in [0.0, 0.3, 0.7] {
+            let sys = TreeQuorum::new(4, skip);
+            assert_eq!(sys.universe(), 15);
+            let mut rng = StdRng::seed_from_u64(11);
+            for _ in 0..3000 {
+                let a = sys.sample_read(&mut rng);
+                let b = sys.sample_write(&mut rng);
+                assert!(a.intersects(b), "skip={skip}: {a:?} vs {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn tree_minimum_quorum_is_a_path() {
+        let sys = TreeQuorum::new(5, 0.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        let q = sys.sample_read(&mut rng);
+        assert_eq!(q.len(), 5, "root-to-leaf path length = depth");
+    }
+
+    #[test]
+    fn random_fixed_strictness() {
+        assert!(RandomFixed::new(3, 2, 2).is_strict());
+        assert!(!RandomFixed::new(3, 1, 1).is_strict());
+    }
+}

@@ -1,0 +1,157 @@
+//! Gifford's weighted voting (SOSP 1979) — the original quorum scheme the
+//! paper's §2.1 lineage begins with ("Systems designers have long proposed
+//! quorum systems as a replication strategy for distributed data", citing
+//! Gifford's weighted voting).
+//!
+//! Each replica carries a vote weight; reads need `r` votes, writes `w`
+//! votes, and `r + w > total` guarantees intersection. Uneven weights model
+//! heterogeneous replicas (a beefy primary plus thin backups) and subsume
+//! read-one/write-all as special cases.
+
+use crate::nodeset::NodeSet;
+use crate::systems::QuorumSystem;
+use rand::Rng;
+use rand::RngCore;
+
+/// A weighted-voting quorum system.
+#[derive(Debug, Clone)]
+pub struct WeightedVoting {
+    weights: Vec<u32>,
+    total: u32,
+    read_votes: u32,
+    write_votes: u32,
+}
+
+impl WeightedVoting {
+    /// Build from per-replica vote weights and read/write vote thresholds.
+    ///
+    /// Panics unless `0 < r, w ≤ total` and every weight is positive; note
+    /// that strictness additionally requires `r + w > total` (checked by
+    /// [`QuorumSystem::is_strict`], not at construction, so partial
+    /// weighted systems can be studied too).
+    pub fn new(weights: Vec<u32>, read_votes: u32, write_votes: u32) -> Self {
+        assert!(!weights.is_empty() && weights.len() <= 64);
+        assert!(weights.iter().all(|&w| w > 0), "weights must be positive");
+        let total: u32 = weights.iter().sum();
+        assert!((1..=total).contains(&read_votes), "invalid read threshold");
+        assert!((1..=total).contains(&write_votes), "invalid write threshold");
+        Self { weights, total, read_votes, write_votes }
+    }
+
+    /// Total votes in the system.
+    pub fn total_votes(&self) -> u32 {
+        self.total
+    }
+
+    /// Greedily accumulate votes from a random permutation of replicas
+    /// until the threshold is met — a minimal random vote quorum.
+    fn sample_votes(&self, rng: &mut dyn RngCore, needed: u32) -> NodeSet {
+        let n = self.weights.len();
+        let mut perm: [usize; 64] = [0; 64];
+        for (i, p) in perm.iter_mut().enumerate().take(n) {
+            *p = i;
+        }
+        // Partial Fisher–Yates while collecting votes.
+        let mut votes = 0u32;
+        let mut set = NodeSet::EMPTY;
+        for i in 0..n {
+            let j = rng.gen_range(i..n);
+            perm.swap(i, j);
+            let node = perm[i];
+            set.insert(node as u32);
+            votes += self.weights[node];
+            if votes >= needed {
+                break;
+            }
+        }
+        debug_assert!(votes >= needed);
+        set
+    }
+}
+
+impl QuorumSystem for WeightedVoting {
+    fn universe(&self) -> u32 {
+        self.weights.len() as u32
+    }
+
+    fn sample_read(&self, rng: &mut dyn RngCore) -> NodeSet {
+        self.sample_votes(rng, self.read_votes)
+    }
+
+    fn sample_write(&self, rng: &mut dyn RngCore) -> NodeSet {
+        self.sample_votes(rng, self.write_votes)
+    }
+
+    fn is_strict(&self) -> bool {
+        self.read_votes + self.write_votes > self.total
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "WeightedVoting(weights={:?}, r={}, w={})",
+            self.weights, self.read_votes, self.write_votes
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_weights_reduce_to_majority() {
+        // 5 replicas × 1 vote, r = w = 3 → plain majority.
+        let sys = WeightedVoting::new(vec![1; 5], 3, 3);
+        assert!(sys.is_strict());
+        let p = analysis::intersection_probability(&sys, 20_000, 1);
+        assert_eq!(p, 1.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..100 {
+            assert_eq!(sys.sample_read(&mut rng).len(), 3);
+        }
+    }
+
+    #[test]
+    fn strict_weighted_quorums_always_intersect() {
+        // Heavy primary (3 votes) + four thin replicas: r=2, w=3 of total 7
+        // is NOT strict; r=4, w=4 is.
+        let strict = WeightedVoting::new(vec![3, 1, 1, 1, 1], 4, 4);
+        assert!(strict.is_strict());
+        assert_eq!(analysis::intersection_probability(&strict, 30_000, 3), 1.0);
+
+        let partial = WeightedVoting::new(vec![3, 1, 1, 1, 1], 2, 3);
+        assert!(!partial.is_strict());
+        let p = analysis::intersection_probability(&partial, 30_000, 3);
+        assert!(p < 1.0, "partial weighted system must sometimes miss: {p}");
+    }
+
+    #[test]
+    fn read_one_write_all_as_weighted_voting() {
+        // r = 1, w = total: reads touch any single replica, writes all.
+        let sys = WeightedVoting::new(vec![1; 4], 1, 4);
+        assert!(sys.is_strict());
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..50 {
+            assert_eq!(sys.sample_read(&mut rng).len(), 1);
+            assert_eq!(sys.sample_write(&mut rng).len(), 4);
+        }
+    }
+
+    #[test]
+    fn heavy_primary_concentrates_load() {
+        // With a 5-vote primary and r=5, every read quorum containing the
+        // primary alone suffices → primary appears in nearly every quorum.
+        let sys = WeightedVoting::new(vec![5, 1, 1, 1, 1, 1], 5, 6);
+        let load = analysis::measure_load(&sys, 50_000, 5);
+        assert!(load > 0.5, "primary-dominated load, got {load}");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid read threshold")]
+    fn threshold_exceeding_total_panics() {
+        let _ = WeightedVoting::new(vec![1, 1], 3, 1);
+    }
+}

@@ -1,0 +1,461 @@
+//! The event loop: actors, messages, timers, and the scheduler.
+
+use crate::time::{SimDuration, SimTime};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Index of an actor within a [`Simulation`].
+pub type ActorId = usize;
+
+/// Something an actor can receive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event<M> {
+    /// A message from another actor (or injected externally).
+    Message {
+        /// Sending actor. External injections use the destination itself.
+        from: ActorId,
+        /// The payload.
+        msg: M,
+    },
+    /// A timer the actor previously set via [`Context::set_timer`].
+    Timer {
+        /// The tag passed to `set_timer`, so actors can multiplex timers.
+        tag: u64,
+    },
+}
+
+/// Simulation behaviour: each actor handles messages and timers, emitting
+/// new messages/timers through the [`Context`].
+pub trait Actor {
+    /// Message type exchanged in this simulation.
+    type Msg;
+
+    /// Handle one event. All effects go through `ctx`.
+    fn on_event(&mut self, ctx: &mut Context<'_, Self::Msg>, event: Event<Self::Msg>);
+}
+
+/// Handle through which an actor interacts with the simulation during
+/// event processing.
+#[derive(Debug)]
+pub struct Context<'a, M> {
+    now: SimTime,
+    self_id: ActorId,
+    outbox: &'a mut Vec<Outgoing<M>>,
+}
+
+impl<M> Context<'_, M> {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The handling actor's own id.
+    pub fn self_id(&self) -> ActorId {
+        self.self_id
+    }
+
+    /// Send `msg` to `to`, arriving after `delay_ms` (≥ 0) of simulated
+    /// time. Messages are never reordered relative to equal-time events
+    /// scheduled earlier.
+    pub fn send(&mut self, to: ActorId, delay_ms: f64, msg: M) {
+        let at = self.now + SimDuration::from_ms(delay_ms);
+        self.outbox.push(Outgoing { at, to, kind: OutgoingKind::Message { from: self.self_id, msg } });
+    }
+
+    /// Arrange for a [`Event::Timer`] with `tag` to fire on this actor after
+    /// `delay_ms`.
+    pub fn set_timer(&mut self, delay_ms: f64, tag: u64) {
+        let at = self.now + SimDuration::from_ms(delay_ms);
+        self.outbox.push(Outgoing { at, to: self.self_id, kind: OutgoingKind::Timer { tag } });
+    }
+}
+
+#[derive(Debug)]
+struct Outgoing<M> {
+    at: SimTime,
+    to: ActorId,
+    kind: OutgoingKind<M>,
+}
+
+#[derive(Debug)]
+enum OutgoingKind<M> {
+    Message { from: ActorId, msg: M },
+    Timer { tag: u64 },
+}
+
+/// An entry in the scheduler's priority queue.
+struct Scheduled<M> {
+    time: SimTime,
+    seq: u64,
+    target: ActorId,
+    event: Event<M>,
+}
+
+impl<M> PartialEq for Scheduled<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<M> Eq for Scheduled<M> {}
+impl<M> PartialOrd for Scheduled<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Scheduled<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest-first, with
+        // the sequence number as a deterministic tiebreak.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// A deterministic discrete-event simulation over a homogeneous set of
+/// actors.
+///
+/// ```
+/// use pbs_sim::{Actor, Context, Event, Simulation, SimTime};
+///
+/// struct Counter(u32);
+/// impl Actor for Counter {
+///     type Msg = u32;
+///     fn on_event(&mut self, ctx: &mut Context<'_, u32>, ev: Event<u32>) {
+///         if let Event::Message { msg, .. } = ev {
+///             self.0 += msg;
+///             if msg > 1 {
+///                 // Halve and forward to ourselves 1ms later.
+///                 ctx.send(ctx.self_id(), 1.0, msg / 2);
+///             }
+///         }
+///     }
+/// }
+///
+/// let mut sim = Simulation::new();
+/// let a = sim.add_actor(Counter(0));
+/// sim.inject(a, 0.0, 8);
+/// sim.run_until_idle();
+/// assert_eq!(sim.actor(a).0, 8 + 4 + 2 + 1);
+/// assert_eq!(sim.now(), SimTime::from_ms(3.0));
+/// ```
+pub struct Simulation<A: Actor> {
+    actors: Vec<A>,
+    queue: BinaryHeap<Scheduled<A::Msg>>,
+    now: SimTime,
+    seq: u64,
+    events_processed: u64,
+    scratch: Vec<Outgoing<A::Msg>>,
+}
+
+impl<A: Actor> Default for Simulation<A> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<A: Actor> Simulation<A> {
+    /// Empty simulation at time zero.
+    pub fn new() -> Self {
+        Self {
+            actors: Vec::new(),
+            queue: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            seq: 0,
+            events_processed: 0,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Register an actor; returns its id.
+    pub fn add_actor(&mut self, actor: A) -> ActorId {
+        self.actors.push(actor);
+        self.actors.len() - 1
+    }
+
+    /// Number of registered actors.
+    pub fn actor_count(&self) -> usize {
+        self.actors.len()
+    }
+
+    /// Immutable access to an actor (e.g. to read collected metrics).
+    pub fn actor(&self, id: ActorId) -> &A {
+        &self.actors[id]
+    }
+
+    /// Mutable access to an actor between event processing.
+    pub fn actor_mut(&mut self, id: ActorId) -> &mut A {
+        &mut self.actors[id]
+    }
+
+    /// Current simulated time (the timestamp of the last processed event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total events dispatched so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Timestamp of the next pending event, if any.
+    pub fn peek_next_time(&self) -> Option<SimTime> {
+        self.queue.peek().map(|s| s.time)
+    }
+
+    /// Inject an external message to `target`, `delay_ms` after the current
+    /// simulated time. The `from` field is set to `target` itself.
+    pub fn inject(&mut self, target: ActorId, delay_ms: f64, msg: A::Msg) {
+        assert!(target < self.actors.len(), "unknown actor {target}");
+        let at = self.now + SimDuration::from_ms(delay_ms);
+        self.push(at, target, Event::Message { from: target, msg });
+    }
+
+    /// Inject an external message at an **absolute** simulated time, which
+    /// must not precede the current time. Workload drivers use this to
+    /// pre-schedule entire traces.
+    pub fn inject_at(&mut self, target: ActorId, at: SimTime, msg: A::Msg) {
+        assert!(target < self.actors.len(), "unknown actor {target}");
+        assert!(at >= self.now, "cannot schedule in the past: {at} < {}", self.now);
+        self.push(at, target, Event::Message { from: target, msg });
+    }
+
+    fn push(&mut self, time: SimTime, target: ActorId, event: Event<A::Msg>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Scheduled { time, seq, target, event });
+    }
+
+    /// Process a single event; returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some(scheduled) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(scheduled.time >= self.now, "scheduler went backwards");
+        self.now = scheduled.time;
+        self.events_processed += 1;
+
+        let mut outbox = std::mem::take(&mut self.scratch);
+        debug_assert!(outbox.is_empty());
+        {
+            let mut ctx = Context { now: self.now, self_id: scheduled.target, outbox: &mut outbox };
+            self.actors[scheduled.target].on_event(&mut ctx, scheduled.event);
+        }
+        for out in outbox.drain(..) {
+            assert!(out.to < self.actors.len(), "message to unknown actor {}", out.to);
+            let event = match out.kind {
+                OutgoingKind::Message { from, msg } => Event::Message { from, msg },
+                OutgoingKind::Timer { tag } => Event::Timer { tag },
+            };
+            self.push(out.at, out.to, event);
+        }
+        self.scratch = outbox;
+        true
+    }
+
+    /// Run until no events remain. Panics after `u64::MAX` events (i.e.
+    /// never in practice); use [`run_until`](Self::run_until) to bound
+    /// non-quiescent systems.
+    pub fn run_until_idle(&mut self) {
+        while self.step() {}
+    }
+
+    /// Run until the queue is empty **or** the next event is strictly after
+    /// `deadline`; the clock is then advanced to `deadline` if it has not
+    /// passed it. Events exactly at `deadline` are processed.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while let Some(t) = self.peek_next_time() {
+            if t > deadline {
+                break;
+            }
+            self.step();
+        }
+        if self.now < deadline {
+            self.now = deadline;
+        }
+    }
+}
+
+impl<A: Actor> std::fmt::Debug for Simulation<A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("actors", &self.actors.len())
+            .field("now", &self.now)
+            .field("pending", &self.queue.len())
+            .field("events_processed", &self.events_processed)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Records every event it sees with its arrival time.
+    struct Recorder {
+        log: Vec<(SimTime, Event<&'static str>)>,
+    }
+
+    impl Actor for Recorder {
+        type Msg = &'static str;
+        fn on_event(&mut self, ctx: &mut Context<'_, &'static str>, ev: Event<&'static str>) {
+            self.log.push((ctx.now(), ev));
+        }
+    }
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut sim = Simulation::new();
+        let a = sim.add_actor(Recorder { log: vec![] });
+        sim.inject(a, 5.0, "late");
+        sim.inject(a, 1.0, "early");
+        sim.inject(a, 3.0, "middle");
+        sim.run_until_idle();
+        let texts: Vec<&str> = sim
+            .actor(a)
+            .log
+            .iter()
+            .map(|(_, e)| match e {
+                Event::Message { msg, .. } => *msg,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(texts, ["early", "middle", "late"]);
+        assert_eq!(sim.now(), SimTime::from_ms(5.0));
+        assert_eq!(sim.events_processed(), 3);
+    }
+
+    #[test]
+    fn equal_times_fire_in_schedule_order() {
+        let mut sim = Simulation::new();
+        let a = sim.add_actor(Recorder { log: vec![] });
+        for (i, name) in ["first", "second", "third"].iter().enumerate() {
+            let _ = i;
+            sim.inject(a, 2.0, name);
+        }
+        sim.run_until_idle();
+        let texts: Vec<&str> = sim
+            .actor(a)
+            .log
+            .iter()
+            .map(|(_, e)| match e {
+                Event::Message { msg, .. } => *msg,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(texts, ["first", "second", "third"]);
+    }
+
+    /// Two actors bouncing a counter back and forth with asymmetric delays.
+    struct Ponger {
+        peer: Option<ActorId>,
+        remaining: u32,
+        received: u32,
+    }
+
+    impl Actor for Ponger {
+        type Msg = u32;
+        fn on_event(&mut self, ctx: &mut Context<'_, u32>, ev: Event<u32>) {
+            if let Event::Message { msg, .. } = ev {
+                self.received += 1;
+                if msg > 0 {
+                    if let Some(peer) = self.peer {
+                        ctx.send(peer, 1.5, msg - 1);
+                    }
+                }
+                self.remaining = msg;
+            }
+        }
+    }
+
+    #[test]
+    fn ping_pong_terminates_with_correct_clock() {
+        let mut sim = Simulation::new();
+        let a = sim.add_actor(Ponger { peer: None, remaining: 0, received: 0 });
+        let b = sim.add_actor(Ponger { peer: None, remaining: 0, received: 0 });
+        sim.actor_mut(a).peer = Some(b);
+        sim.actor_mut(b).peer = Some(a);
+        sim.inject(a, 0.0, 6);
+        sim.run_until_idle();
+        // 6 →5→4→3→2→1→0: seven messages total, six hops of 1.5 ms.
+        assert_eq!(sim.actor(a).received + sim.actor(b).received, 7);
+        assert_eq!(sim.now(), SimTime::from_ms(9.0));
+    }
+
+    struct TimerBeeper {
+        fired: Vec<u64>,
+    }
+
+    impl Actor for TimerBeeper {
+        type Msg = ();
+        fn on_event(&mut self, ctx: &mut Context<'_, ()>, ev: Event<()>) {
+            match ev {
+                Event::Message { .. } => {
+                    ctx.set_timer(10.0, 1);
+                    ctx.set_timer(5.0, 2);
+                }
+                Event::Timer { tag } => self.fired.push(tag),
+            }
+        }
+    }
+
+    #[test]
+    fn timers_fire_with_tags() {
+        let mut sim = Simulation::new();
+        let a = sim.add_actor(TimerBeeper { fired: vec![] });
+        sim.inject(a, 0.0, ());
+        sim.run_until_idle();
+        assert_eq!(sim.actor(a).fired, vec![2, 1]);
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut sim = Simulation::new();
+        let a = sim.add_actor(Recorder { log: vec![] });
+        sim.inject(a, 1.0, "in-window");
+        sim.inject(a, 2.0, "at-deadline");
+        sim.inject(a, 3.0, "beyond");
+        sim.run_until(SimTime::from_ms(2.0));
+        assert_eq!(sim.actor(a).log.len(), 2, "deadline-inclusive");
+        assert_eq!(sim.now(), SimTime::from_ms(2.0));
+        sim.run_until_idle();
+        assert_eq!(sim.actor(a).log.len(), 3);
+    }
+
+    #[test]
+    fn run_until_advances_clock_when_idle() {
+        let mut sim: Simulation<Recorder> = Simulation::new();
+        let _ = sim.add_actor(Recorder { log: vec![] });
+        sim.run_until(SimTime::from_ms(42.0));
+        assert_eq!(sim.now(), SimTime::from_ms(42.0));
+    }
+
+    #[test]
+    fn inject_at_absolute_time() {
+        let mut sim = Simulation::new();
+        let a = sim.add_actor(Recorder { log: vec![] });
+        sim.inject_at(a, SimTime::from_ms(7.5), "x");
+        sim.run_until_idle();
+        assert_eq!(sim.actor(a).log[0].0, SimTime::from_ms(7.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown actor")]
+    fn inject_to_unknown_actor_panics() {
+        let mut sim: Simulation<Recorder> = Simulation::new();
+        sim.inject(3, 0.0, "nope");
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let run = || {
+            let mut sim = Simulation::new();
+            let a = sim.add_actor(Ponger { peer: None, remaining: 0, received: 0 });
+            let b = sim.add_actor(Ponger { peer: None, remaining: 0, received: 0 });
+            sim.actor_mut(a).peer = Some(b);
+            sim.actor_mut(b).peer = Some(a);
+            sim.inject(a, 0.25, 11);
+            sim.run_until_idle();
+            (sim.now(), sim.events_processed())
+        };
+        assert_eq!(run(), run());
+    }
+}

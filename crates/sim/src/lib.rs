@@ -1,0 +1,33 @@
+//! # pbs-sim — deterministic discrete-event simulation kernel
+//!
+//! The PBS paper validated its WARS model against a modified Apache
+//! Cassandra deployment (§5.2). This workspace replaces those three physical
+//! servers with a deterministic, seeded discrete-event simulator: `pbs-kvs`
+//! runs the same Dynamo-style message flow on top of this kernel, with
+//! per-message latencies drawn from the same distributions the paper
+//! injected into Cassandra.
+//!
+//! Design goals, in priority order:
+//!
+//! 1. **Determinism** — identical seeds and inputs yield identical event
+//!    orders. Events are ordered by `(time, sequence-number)`; simultaneous
+//!    events fire in schedule order. The kernel owns no RNG: actors sample
+//!    latencies themselves from RNGs they own, so the kernel never
+//!    perturbs randomness.
+//! 2. **Zero `unsafe`, no dependencies** — a binary heap and a virtual
+//!    clock.
+//! 3. **Speed** — the WARS validation runs hundreds of thousands of
+//!    operations; event dispatch is allocation-free in steady state
+//!    (a reusable outbox buffer is recycled between events).
+//!
+//! See [`Simulation`] for the event loop and [`Actor`] for the behaviour
+//! trait.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod time;
+
+pub use engine::{Actor, ActorId, Context, Event, Simulation};
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,42 @@
+//! # pbs-wars — the WARS latency model, Monte Carlo engine
+//!
+//! §4.1 of the PBS paper models a Dynamo-style write-then-read as four
+//! one-way message delays per replica:
+//!
+//! * **W** — coordinator → replica write propagation,
+//! * **A** — replica → coordinator write acknowledgment,
+//! * **R** — coordinator → replica read request,
+//! * **S** — replica → coordinator read response.
+//!
+//! A write *commits* when the coordinator has `W` acknowledgments (at the
+//! `W`-th smallest `W[i] + A[i]`, time `w_t`). A read issued `t` after
+//! commit returns stale data iff **every** one of the first `R` read
+//! responses left its replica before that replica received the write:
+//! `w_t + R[i] + t < W[i]` for all `i` among the first `R` responders
+//! (ordered by `R[i] + S[i]`).
+//!
+//! The analytical form is a gnarly pair of dependent order statistics
+//! (§4.1), so the paper — and this crate — evaluates it by Monte Carlo
+//! (§5.1). The key implementation observation (see [`trial`]) is that each
+//! trial yields a single *staleness threshold* `T`, the smallest `t` at
+//! which that trial's read would have been consistent; a sorted batch of
+//! thresholds therefore answers *every* `t`-query and inverts to
+//! "t at 99.9% consistency" directly.
+//!
+//! Entry points: [`TVisibility::simulate`] (single-threaded, deterministic)
+//! and [`TVisibility::simulate_parallel`]; production latency models from
+//! Table 3 live in [`production`]; figure/table sweeps in [`sweep`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod kt;
+pub mod model;
+pub mod production;
+pub mod sweep;
+pub mod trial;
+pub mod tvisibility;
+
+pub use model::{IidModel, LatencyModel, WanModel, WarsSample};
+pub use trial::TrialResult;
+pub use tvisibility::TVisibility;

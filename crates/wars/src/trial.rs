@@ -1,0 +1,179 @@
+//! Single-trial WARS computation (§5.1): commit time, operation latencies,
+//! and the per-trial staleness threshold.
+
+use crate::model::WarsSample;
+use pbs_core::ReplicaConfig;
+
+/// Outcome of one WARS trial.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrialResult {
+    /// Write operation latency: the time at which the coordinator received
+    /// the `W`-th acknowledgment (the commit time `w_t`).
+    pub write_latency: f64,
+    /// Read operation latency: the time at which the coordinator received
+    /// the `R`-th read response.
+    pub read_latency: f64,
+    /// The *staleness threshold* `T`: the smallest read offset `t` (relative
+    /// to commit) at which this trial's read observes the write.
+    ///
+    /// `T = min over the first R responders i of (W[i] − w_t − R[i])`.
+    /// `T ≤ 0` means the read is consistent even if issued immediately at
+    /// commit; `T ≤ t` means consistent when issued `t` after commit. For
+    /// strict quorums `T ≤ 0` always.
+    pub staleness_threshold: f64,
+}
+
+/// Reusable scratch buffers so the hot Monte-Carlo loop never allocates.
+#[derive(Debug, Default)]
+pub struct TrialScratch {
+    wa: Vec<f64>,
+    order: Vec<usize>,
+}
+
+/// Evaluate one WARS trial.
+///
+/// Semantics follow §5.1 exactly, with one tie convention: a read request
+/// arriving at a replica at the *same instant* as the write observes the
+/// write (consistency favoured on ties; measure-zero for continuous
+/// distributions, relevant only for degenerate test distributions).
+pub fn run_trial(cfg: ReplicaConfig, sample: &WarsSample, scratch: &mut TrialScratch) -> TrialResult {
+    let n = cfg.n() as usize;
+    let r_quorum = cfg.r() as usize;
+    let w_quorum = cfg.w() as usize;
+    assert_eq!(sample.w.len(), n, "sample/config mismatch");
+    assert_eq!(sample.a.len(), n);
+    assert_eq!(sample.r.len(), n);
+    assert_eq!(sample.s.len(), n);
+
+    // Commit time: W-th smallest W[i] + A[i].
+    scratch.wa.clear();
+    scratch.wa.extend(sample.w.iter().zip(&sample.a).map(|(w, a)| w + a));
+    scratch.wa.sort_by(|x, y| x.partial_cmp(y).expect("latencies are not NaN"));
+    let commit_time = scratch.wa[w_quorum - 1];
+
+    // Read responders ordered by response arrival R[i] + S[i].
+    scratch.order.clear();
+    scratch.order.extend(0..n);
+    let (r, s) = (&sample.r, &sample.s);
+    scratch.order.sort_by(|&i, &j| {
+        (r[i] + s[i]).partial_cmp(&(r[j] + s[j])).expect("latencies are not NaN")
+    });
+    let last_responder = scratch.order[r_quorum - 1];
+    let read_latency = r[last_responder] + s[last_responder];
+
+    // Replica i (among the first R responders) holds the write at read
+    // arrival iff W[i] ≤ w_t + t + R[i]  ⇔  t ≥ W[i] − w_t − R[i].
+    let staleness_threshold = scratch.order[..r_quorum]
+        .iter()
+        .map(|&i| sample.w[i] - commit_time - sample.r[i])
+        .fold(f64::INFINITY, f64::min);
+
+    TrialResult { write_latency: commit_time, read_latency, staleness_threshold }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(n: u32, r: u32, w: u32) -> ReplicaConfig {
+        ReplicaConfig::new(n, r, w).unwrap()
+    }
+
+    fn sample(w: &[f64], a: &[f64], r: &[f64], s: &[f64]) -> WarsSample {
+        WarsSample { w: w.to_vec(), a: a.to_vec(), r: r.to_vec(), s: s.to_vec() }
+    }
+
+    #[test]
+    fn commit_time_is_wth_order_statistic() {
+        // W delays: 5, 1, 3. A delays: 1 each → W+A = 6, 2, 4.
+        let smp = sample(&[5.0, 1.0, 3.0], &[1.0; 3], &[1.0; 3], &[1.0; 3]);
+        let mut scratch = TrialScratch::default();
+        let r1 = run_trial(cfg(3, 1, 1), &smp, &mut scratch);
+        assert_eq!(r1.write_latency, 2.0);
+        let r2 = run_trial(cfg(3, 1, 2), &smp, &mut scratch);
+        assert_eq!(r2.write_latency, 4.0);
+        let r3 = run_trial(cfg(3, 1, 3), &smp, &mut scratch);
+        assert_eq!(r3.write_latency, 6.0);
+    }
+
+    #[test]
+    fn read_latency_is_rth_response() {
+        let smp = sample(&[0.0; 3], &[0.0; 3], &[3.0, 1.0, 2.0], &[0.5, 0.5, 0.5]);
+        let mut scratch = TrialScratch::default();
+        assert_eq!(run_trial(cfg(3, 1, 1), &smp, &mut scratch).read_latency, 1.5);
+        assert_eq!(run_trial(cfg(3, 2, 1), &smp, &mut scratch).read_latency, 2.5);
+        assert_eq!(run_trial(cfg(3, 3, 1), &smp, &mut scratch).read_latency, 3.5);
+    }
+
+    #[test]
+    fn stale_when_fast_reader_beats_slow_write() {
+        // Replica 0 acks instantly (commit at 1.0), replica 1 receives the
+        // write very late (at 10.0). The read's first responder is replica 1
+        // (r+s = 1), so at t=0 the read arrives at replica 1 at time
+        // 1.0 + 0.5 = 1.5 < 10.0 → stale until t = 10 − 1 − 0.5 = 8.5.
+        let smp = sample(
+            &[1.0, 10.0],
+            &[0.0, 50.0],
+            &[9.0, 0.5],
+            &[9.0, 0.5],
+        );
+        let mut scratch = TrialScratch::default();
+        let res = run_trial(cfg(2, 1, 1), &smp, &mut scratch);
+        assert_eq!(res.write_latency, 1.0);
+        assert_eq!(res.read_latency, 1.0);
+        assert!((res.staleness_threshold - 8.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn consistent_when_responder_has_the_write() {
+        // First responder is replica 0, which received the write before
+        // commit → threshold ≤ 0.
+        let smp = sample(&[0.5, 9.0], &[0.5, 9.0], &[0.1, 5.0], &[0.1, 5.0], );
+        let mut scratch = TrialScratch::default();
+        let res = run_trial(cfg(2, 1, 1), &smp, &mut scratch);
+        assert!(res.staleness_threshold <= 0.0);
+    }
+
+    #[test]
+    fn strict_quorum_threshold_never_positive() {
+        // R+W > N: some responder must hold the committed write at t=0.
+        // Exhaustive micro-check over a few adversarial samples.
+        let samples = [
+            sample(&[9.0, 1.0, 5.0], &[0.1, 0.1, 0.1], &[0.1, 9.0, 4.0], &[0.1, 0.1, 0.1]),
+            sample(&[3.0, 3.0, 3.0], &[1.0, 2.0, 3.0], &[1.0, 1.0, 1.0], &[2.0, 1.0, 0.5]),
+            sample(&[10.0, 0.1, 0.2], &[5.0, 0.1, 0.1], &[0.5, 8.0, 7.0], &[0.5, 0.5, 0.5]),
+        ];
+        let mut scratch = TrialScratch::default();
+        for smp in &samples {
+            for (r, w) in [(2u32, 2u32), (1, 3), (3, 1)] {
+                let res = run_trial(cfg(3, r, w), smp, &mut scratch);
+                assert!(
+                    res.staleness_threshold <= 1e-12,
+                    "strict quorum R={r} W={w} produced positive threshold {}",
+                    res.staleness_threshold
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tie_read_at_write_arrival_is_consistent() {
+        // Write arrives at replica exactly when the read does: W = w_t + R.
+        // Replica 0: W+A = 1.0 → commit at 1.0. Read to replica 1 arrives at
+        // 1.0 + r[1]; its write arrives at w[1] = 1.0 + r[1] → threshold 0.
+        let smp = sample(&[1.0, 3.0], &[0.0, 0.0], &[5.0, 2.0], &[5.0, 0.0]);
+        let mut scratch = TrialScratch::default();
+        let res = run_trial(cfg(2, 1, 1), &smp, &mut scratch);
+        assert_eq!(res.staleness_threshold, 0.0);
+        // Consistency at t = 0 uses t ≥ threshold.
+        assert!(res.staleness_threshold <= 0.0 || res.staleness_threshold == 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sample/config mismatch")]
+    fn mismatched_sample_panics() {
+        let smp = sample(&[1.0], &[1.0], &[1.0], &[1.0]);
+        let mut scratch = TrialScratch::default();
+        let _ = run_trial(cfg(3, 1, 1), &smp, &mut scratch);
+    }
+}

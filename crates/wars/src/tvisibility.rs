@@ -1,0 +1,308 @@
+//! Monte-Carlo t-visibility curves and operation-latency percentiles.
+
+use crate::model::{LatencyModel, WarsSample};
+use crate::trial::{run_trial, TrialScratch};
+use pbs_core::ReplicaConfig;
+use pbs_dist::stats::SortedSamples;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The result of a batch of WARS trials: the full t-visibility curve (as a
+/// sorted sample of per-trial staleness thresholds) plus read/write
+/// operation-latency distributions.
+///
+/// Sorting the thresholds once makes every query O(log n):
+/// `P(consistent at t) = ECDF_T(t)` and the inverse
+/// ["t-visibility at probability p"](Self::t_at_probability) is an order
+/// statistic.
+#[derive(Debug, Clone)]
+pub struct TVisibility {
+    cfg: ReplicaConfig,
+    thresholds: SortedSamples,
+    read_latency: SortedSamples,
+    write_latency: SortedSamples,
+}
+
+impl TVisibility {
+    /// Run `trials` WARS trials with a fresh deterministic RNG.
+    ///
+    /// Panics if `trials == 0`. 10⁴ trials resolve probabilities to ~1%;
+    /// the paper's headline numbers use 5×10⁴–10⁶ (see
+    /// [`simulate_parallel`](Self::simulate_parallel) for the larger runs).
+    pub fn simulate<M: LatencyModel + ?Sized>(model: &M, trials: usize, seed: u64) -> Self {
+        assert!(trials > 0, "need at least one trial");
+        let cfg = model.config();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut sample = WarsSample::default();
+        let mut scratch = TrialScratch::default();
+        let mut thresholds = Vec::with_capacity(trials);
+        let mut reads = Vec::with_capacity(trials);
+        let mut writes = Vec::with_capacity(trials);
+        for _ in 0..trials {
+            model.sample_trial(&mut rng, &mut sample);
+            let res = run_trial(cfg, &sample, &mut scratch);
+            thresholds.push(res.staleness_threshold);
+            reads.push(res.read_latency);
+            writes.push(res.write_latency);
+        }
+        Self {
+            cfg,
+            thresholds: SortedSamples::new(thresholds),
+            read_latency: SortedSamples::new(reads),
+            write_latency: SortedSamples::new(writes),
+        }
+    }
+
+    /// Like [`simulate`](Self::simulate) but sharded across `threads` OS
+    /// threads. Deterministic for a fixed `(seed, threads)` pair: shard `i`
+    /// uses seed `seed + i` and shard results are merged by sorting.
+    pub fn simulate_parallel<M: LatencyModel + Sync + ?Sized>(
+        model: &M,
+        trials: usize,
+        seed: u64,
+        threads: usize,
+    ) -> Self {
+        assert!(trials > 0 && threads > 0);
+        if threads == 1 {
+            return Self::simulate(model, trials, seed);
+        }
+        let per = trials.div_ceil(threads);
+        let mut shards: Vec<TVisibility> = Vec::with_capacity(threads);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|i| {
+                    let count = per.min(trials - (per * i).min(trials));
+                    scope.spawn(move || {
+                        if count == 0 {
+                            None
+                        } else {
+                            Some(Self::simulate(model, count, seed + i as u64))
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                if let Some(shard) = h.join().expect("WARS shard panicked") {
+                    shards.push(shard);
+                }
+            }
+        });
+        let cfg = model.config();
+        let mut thresholds = Vec::with_capacity(trials);
+        let mut reads = Vec::with_capacity(trials);
+        let mut writes = Vec::with_capacity(trials);
+        for s in shards {
+            thresholds.extend_from_slice(s.thresholds.as_slice());
+            reads.extend_from_slice(s.read_latency.as_slice());
+            writes.extend_from_slice(s.write_latency.as_slice());
+        }
+        Self {
+            cfg,
+            thresholds: SortedSamples::new(thresholds),
+            read_latency: SortedSamples::new(reads),
+            write_latency: SortedSamples::new(writes),
+        }
+    }
+
+    /// The simulated configuration.
+    pub fn config(&self) -> ReplicaConfig {
+        self.cfg
+    }
+
+    /// Number of trials aggregated.
+    pub fn trials(&self) -> usize {
+        self.thresholds.len()
+    }
+
+    /// `P(consistent)` for a read starting `t` ms after commit
+    /// (t-visibility, Definition 3).
+    pub fn prob_consistent(&self, t: f64) -> f64 {
+        self.thresholds.ecdf(t)
+    }
+
+    /// Probability of *violating* t-visibility at offset `t` (`p_st`).
+    pub fn violation(&self, t: f64) -> f64 {
+        1.0 - self.prob_consistent(t)
+    }
+
+    /// One-sigma standard error of [`prob_consistent`](Self::prob_consistent)
+    /// at `t` (binomial normal approximation) — used to report Monte-Carlo
+    /// uncertainty in EXPERIMENTS.md.
+    pub fn std_error(&self, t: f64) -> f64 {
+        let p = self.prob_consistent(t);
+        (p * (1.0 - p) / self.trials() as f64).sqrt()
+    }
+
+    /// Smallest `t ≥ 0` such that `P(consistent at t) ≥ p` — e.g.
+    /// `t_at_probability(0.999)` is Table 4's "t-visibility for
+    /// `p_st = .001`". Returns `None` when even the largest observed
+    /// threshold cannot reach `p` (needs more trials).
+    pub fn t_at_probability(&self, p: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        let n = self.thresholds.len();
+        let needed = (p * n as f64).ceil() as usize;
+        if needed == 0 {
+            return Some(0.0);
+        }
+        if needed > n {
+            return None;
+        }
+        let t = self.thresholds.as_slice()[needed - 1];
+        Some(t.max(0.0))
+    }
+
+    /// ⟨k,t⟩-staleness violation probability under the paper's conservative
+    /// Eq.-5 assumption (all `k` writes committed simultaneously):
+    /// `violation(t)^k`. For the direct multi-write Monte Carlo see
+    /// [`crate::kt`].
+    pub fn kt_violation(&self, t: f64, k: u32) -> f64 {
+        self.violation(t).powi(k as i32)
+    }
+
+    /// Read-latency percentile (`pct ∈ [0, 100]`).
+    pub fn read_latency_percentile(&self, pct: f64) -> f64 {
+        self.read_latency.percentile(pct)
+    }
+
+    /// Write-latency percentile (`pct ∈ [0, 100]`).
+    pub fn write_latency_percentile(&self, pct: f64) -> f64 {
+        self.write_latency.percentile(pct)
+    }
+
+    /// The underlying sorted staleness thresholds (for cross-validation and
+    /// plotting).
+    pub fn thresholds(&self) -> &SortedSamples {
+        &self.thresholds
+    }
+
+    /// The underlying read-latency samples.
+    pub fn read_latencies(&self) -> &SortedSamples {
+        &self.read_latency
+    }
+
+    /// The underlying write-latency samples.
+    pub fn write_latencies(&self) -> &SortedSamples {
+        &self.write_latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::IidModel;
+    use pbs_dist::{Constant, Exponential};
+    use std::sync::Arc;
+
+    fn cfg(n: u32, r: u32, w: u32) -> ReplicaConfig {
+        ReplicaConfig::new(n, r, w).unwrap()
+    }
+
+    fn exp_model(c: ReplicaConfig, w_rate: f64, ars_rate: f64) -> IidModel {
+        IidModel::w_ars(
+            c,
+            format!("Exp(w={w_rate},ars={ars_rate})"),
+            Arc::new(Exponential::from_rate(w_rate)),
+            Arc::new(Exponential::from_rate(ars_rate)),
+        )
+    }
+
+    #[test]
+    fn strict_quorum_always_consistent() {
+        for (r, w) in [(2, 2), (1, 3), (3, 1)] {
+            let m = exp_model(cfg(3, r, w), 0.1, 0.5);
+            let tv = TVisibility::simulate(&m, 5_000, 7);
+            assert_eq!(tv.prob_consistent(0.0), 1.0, "R={r} W={w}");
+            assert_eq!(tv.t_at_probability(1.0), Some(0.0));
+        }
+    }
+
+    #[test]
+    fn partial_quorum_eventually_consistent() {
+        let m = exp_model(cfg(3, 1, 1), 0.1, 0.5);
+        let tv = TVisibility::simulate(&m, 20_000, 11);
+        let p0 = tv.prob_consistent(0.0);
+        assert!(p0 < 1.0 && p0 > 0.2, "immediate consistency {p0}");
+        // Monotone nondecreasing in t and → 1.
+        let mut prev = 0.0;
+        for i in 0..40 {
+            let p = tv.prob_consistent(i as f64 * 5.0);
+            assert!(p >= prev);
+            prev = p;
+        }
+        assert!(tv.prob_consistent(200.0) > 0.999);
+    }
+
+    #[test]
+    fn t_at_probability_inverts_curve() {
+        let m = exp_model(cfg(3, 1, 1), 0.1, 0.5);
+        let tv = TVisibility::simulate(&m, 50_000, 13);
+        for &p in &[0.5, 0.9, 0.99, 0.999] {
+            let t = tv.t_at_probability(p).unwrap();
+            assert!(tv.prob_consistent(t) >= p, "p={p}: curve({t}) too low");
+            if t > 0.0 {
+                // Just below t the probability drops under p (minimality).
+                assert!(tv.prob_consistent(t - 1e-9) < p + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let m = exp_model(cfg(3, 1, 2), 0.2, 0.2);
+        let a = TVisibility::simulate(&m, 2_000, 99);
+        let b = TVisibility::simulate(&m, 2_000, 99);
+        assert_eq!(a.thresholds.as_slice(), b.thresholds.as_slice());
+        assert_eq!(a.read_latency.as_slice(), b.read_latency.as_slice());
+    }
+
+    #[test]
+    fn parallel_matches_distribution() {
+        let m = exp_model(cfg(3, 1, 1), 0.1, 0.5);
+        let serial = TVisibility::simulate(&m, 40_000, 5);
+        let par = TVisibility::simulate_parallel(&m, 40_000, 5, 4);
+        assert_eq!(par.trials(), 40_000);
+        // Same distribution statistically (not identical samples).
+        for &p in &[0.5, 0.9, 0.99] {
+            let a = serial.t_at_probability(p).unwrap();
+            let b = par.t_at_probability(p).unwrap();
+            assert!((a - b).abs() < 2.0 + 0.1 * a.max(b), "p={p}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn constant_latency_threshold_exact() {
+        // Deterministic delays: w=4, a=0 → commit at 4 for W=1 (all equal).
+        // Reads reach replicas at commit + t + r. With w=4, r=1: replica has
+        // the write at 4; read arrives at 4 + t + 1 ≥ 4 always → consistent.
+        let m = IidModel::w_ars(
+            cfg(3, 1, 1),
+            "const",
+            Arc::new(Constant::new(4.0)),
+            Arc::new(Constant::new(1.0)),
+        );
+        let tv = TVisibility::simulate(&m, 100, 0);
+        assert_eq!(tv.prob_consistent(0.0), 1.0);
+        assert_eq!(tv.write_latency_percentile(50.0), 5.0);
+        assert_eq!(tv.read_latency_percentile(99.0), 2.0);
+    }
+
+    #[test]
+    fn faster_writes_improve_tvisibility() {
+        // §5.3's headline effect: holding A=R=S fixed, slower/longer-tailed
+        // writes worsen t-visibility.
+        let fast = TVisibility::simulate(&exp_model(cfg(3, 1, 1), 4.0, 1.0), 30_000, 3);
+        let slow = TVisibility::simulate(&exp_model(cfg(3, 1, 1), 0.1, 1.0), 30_000, 3);
+        assert!(fast.prob_consistent(0.0) > slow.prob_consistent(0.0));
+        assert!(
+            fast.t_at_probability(0.999).unwrap() < slow.t_at_probability(0.999).unwrap()
+        );
+    }
+
+    #[test]
+    fn kt_violation_exponentiates() {
+        let m = exp_model(cfg(3, 1, 1), 0.1, 0.5);
+        let tv = TVisibility::simulate(&m, 10_000, 21);
+        let v = tv.violation(1.0);
+        assert!((tv.kt_violation(1.0, 3) - v.powi(3)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,177 @@
+//! Operation arrival processes.
+
+use rand::Rng;
+use rand::RngCore;
+
+/// A stationary arrival process generating inter-arrival gaps in
+/// milliseconds.
+pub trait ArrivalProcess: Send + Sync {
+    /// Sample the next inter-arrival gap (ms, ≥ 0).
+    fn next_gap(&mut self, rng: &mut dyn RngCore) -> f64;
+
+    /// Mean rate in operations per millisecond.
+    fn rate(&self) -> f64;
+
+    /// Generate `n` absolute arrival times starting at `start_ms`.
+    fn schedule(&mut self, rng: &mut dyn RngCore, n: usize, start_ms: f64) -> Vec<f64> {
+        let mut t = start_ms;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            t += self.next_gap(rng);
+            out.push(t);
+        }
+        out
+    }
+}
+
+/// Deterministic fixed-interval arrivals.
+#[derive(Debug, Clone, Copy)]
+pub struct FixedRate {
+    gap_ms: f64,
+}
+
+impl FixedRate {
+    /// One arrival every `gap_ms > 0` milliseconds.
+    pub fn new(gap_ms: f64) -> Self {
+        assert!(gap_ms > 0.0 && gap_ms.is_finite());
+        Self { gap_ms }
+    }
+
+    /// From a rate in operations/second.
+    pub fn per_second(ops: f64) -> Self {
+        assert!(ops > 0.0);
+        Self::new(1000.0 / ops)
+    }
+}
+
+impl ArrivalProcess for FixedRate {
+    fn next_gap(&mut self, _rng: &mut dyn RngCore) -> f64 {
+        self.gap_ms
+    }
+
+    fn rate(&self) -> f64 {
+        1.0 / self.gap_ms
+    }
+}
+
+/// Poisson arrivals (exponential gaps) with a given mean rate.
+#[derive(Debug, Clone, Copy)]
+pub struct Poisson {
+    rate_per_ms: f64,
+}
+
+impl Poisson {
+    /// From a rate in operations per millisecond.
+    pub fn per_ms(rate_per_ms: f64) -> Self {
+        assert!(rate_per_ms > 0.0 && rate_per_ms.is_finite());
+        Self { rate_per_ms }
+    }
+
+    /// From a rate in operations per second (e.g. Table 2's 718.18 gets/s).
+    pub fn per_second(ops: f64) -> Self {
+        Self::per_ms(ops / 1000.0)
+    }
+}
+
+impl ArrivalProcess for Poisson {
+    fn next_gap(&mut self, rng: &mut dyn RngCore) -> f64 {
+        let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        -u.ln() / self.rate_per_ms
+    }
+
+    fn rate(&self) -> f64 {
+        self.rate_per_ms
+    }
+}
+
+/// Two-state on/off (Markov-modulated) arrivals: bursts of fast Poisson
+/// arrivals separated by quiet periods. Stress-tests staleness under write
+/// bursts, where ⟨k,t⟩ bounds are weakest (§3.5).
+#[derive(Debug, Clone, Copy)]
+pub struct Bursty {
+    burst_rate_per_ms: f64,
+    idle_rate_per_ms: f64,
+    /// Probability that each arrival toggles the state.
+    switch_prob: f64,
+    bursting: bool,
+}
+
+impl Bursty {
+    /// Build from burst/idle rates (ops per ms) and a per-arrival switch
+    /// probability in `(0, 1]`.
+    pub fn new(burst_rate_per_ms: f64, idle_rate_per_ms: f64, switch_prob: f64) -> Self {
+        assert!(burst_rate_per_ms > 0.0 && idle_rate_per_ms > 0.0);
+        assert!(burst_rate_per_ms >= idle_rate_per_ms, "burst rate should exceed idle rate");
+        assert!((0.0..=1.0).contains(&switch_prob) && switch_prob > 0.0);
+        Self { burst_rate_per_ms, idle_rate_per_ms, switch_prob, bursting: true }
+    }
+}
+
+impl ArrivalProcess for Bursty {
+    fn next_gap(&mut self, rng: &mut dyn RngCore) -> f64 {
+        if rng.gen::<f64>() < self.switch_prob {
+            self.bursting = !self.bursting;
+        }
+        let rate = if self.bursting { self.burst_rate_per_ms } else { self.idle_rate_per_ms };
+        let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        -u.ln() / rate
+    }
+
+    fn rate(&self) -> f64 {
+        // Symmetric switching → equal time in each state by arrival count;
+        // the harmonic mean of rates is the effective arrival rate.
+        2.0 / (1.0 / self.burst_rate_per_ms + 1.0 / self.idle_rate_per_ms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fixed_rate_schedule_is_regular() {
+        let mut p = FixedRate::per_second(100.0); // every 10ms
+        let mut rng = StdRng::seed_from_u64(0);
+        let times = p.schedule(&mut rng, 5, 0.0);
+        assert_eq!(times, vec![10.0, 20.0, 30.0, 40.0, 50.0]);
+        assert!((p.rate() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn poisson_mean_gap_matches_rate() {
+        let mut p = Poisson::per_ms(0.25); // mean gap 4ms
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 100_000;
+        let total: f64 = (0..n).map(|_| p.next_gap(&mut rng)).sum();
+        let mean = total / n as f64;
+        assert!((mean - 4.0).abs() < 0.1, "mean gap {mean}");
+    }
+
+    #[test]
+    fn poisson_schedule_is_increasing() {
+        let mut p = Poisson::per_second(718.18);
+        let mut rng = StdRng::seed_from_u64(2);
+        let times = p.schedule(&mut rng, 1000, 5.0);
+        assert!(times[0] >= 5.0);
+        for w in times.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+    }
+
+    #[test]
+    fn bursty_rate_between_extremes() {
+        let mut p = Bursty::new(1.0, 0.01, 0.05);
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 200_000;
+        let total: f64 = (0..n).map(|_| p.next_gap(&mut rng)).sum();
+        let empirical_rate = n as f64 / total;
+        assert!(
+            empirical_rate > 0.01 && empirical_rate < 1.0,
+            "rate {empirical_rate} should sit between idle and burst"
+        );
+        // And roughly match the harmonic-mean prediction.
+        assert!((empirical_rate - p.rate()).abs() / p.rate() < 0.25);
+    }
+}

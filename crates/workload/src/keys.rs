@@ -1,0 +1,190 @@
+//! Key-popularity models.
+//!
+//! Each key has its own quorum system (§2.2), so the per-key write rate —
+//! set by popularity — determines that key's γgw and its monotonic-reads
+//! behaviour (§3.2).
+
+use rand::Rng;
+use rand::RngCore;
+
+/// Chooses which key an operation targets.
+pub trait KeyChooser: Send + Sync {
+    /// Number of distinct keys.
+    fn key_count(&self) -> u64;
+
+    /// Sample a key id in `0..key_count()`.
+    fn choose(&self, rng: &mut dyn RngCore) -> u64;
+}
+
+/// Uniform popularity over `count` keys.
+#[derive(Debug, Clone, Copy)]
+pub struct UniformKeys {
+    count: u64,
+}
+
+impl UniformKeys {
+    /// Uniform over `count ≥ 1` keys.
+    pub fn new(count: u64) -> Self {
+        assert!(count >= 1);
+        Self { count }
+    }
+}
+
+impl KeyChooser for UniformKeys {
+    fn key_count(&self) -> u64 {
+        self.count
+    }
+
+    fn choose(&self, rng: &mut dyn RngCore) -> u64 {
+        rng.gen_range(0..self.count)
+    }
+}
+
+/// Zipf-distributed popularity: key `i` (0-based rank) has probability
+/// proportional to `1/(i+1)^s`. Implemented with a precomputed CDF and
+/// binary search — exact, O(log n) per draw, suitable for key universes up
+/// to a few million.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build over `count ≥ 1` keys with exponent `s ≥ 0` (0 = uniform,
+    /// ~1 = classic web-like skew).
+    pub fn new(count: u64, s: f64) -> Self {
+        assert!((1..=16_000_000).contains(&count), "key universe too large for CDF table");
+        assert!(s >= 0.0 && s.is_finite());
+        let mut cdf = Vec::with_capacity(count as usize);
+        let mut acc = 0.0;
+        for i in 0..count {
+            acc += 1.0 / ((i + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Self { cdf }
+    }
+
+    /// Probability of the given key rank.
+    pub fn pmf(&self, key: u64) -> f64 {
+        let i = key as usize;
+        assert!(i < self.cdf.len());
+        if i == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[i] - self.cdf[i - 1]
+        }
+    }
+}
+
+impl KeyChooser for Zipf {
+    fn key_count(&self) -> u64 {
+        self.cdf.len() as u64
+    }
+
+    fn choose(&self, rng: &mut dyn RngCore) -> u64 {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u) as u64
+    }
+}
+
+/// Hot-set popularity: a fraction of operations target a small hot subset
+/// uniformly; the rest spread over the cold keys.
+#[derive(Debug, Clone, Copy)]
+pub struct HotSet {
+    count: u64,
+    hot_keys: u64,
+    hot_fraction: f64,
+}
+
+impl HotSet {
+    /// `hot_fraction` of draws land uniformly in keys `0..hot_keys`; the
+    /// remainder lands uniformly in `hot_keys..count`.
+    pub fn new(count: u64, hot_keys: u64, hot_fraction: f64) -> Self {
+        assert!(count >= 2 && hot_keys >= 1 && hot_keys < count);
+        assert!((0.0..=1.0).contains(&hot_fraction));
+        Self { count, hot_keys, hot_fraction }
+    }
+}
+
+impl KeyChooser for HotSet {
+    fn key_count(&self) -> u64 {
+        self.count
+    }
+
+    fn choose(&self, rng: &mut dyn RngCore) -> u64 {
+        if rng.gen::<f64>() < self.hot_fraction {
+            rng.gen_range(0..self.hot_keys)
+        } else {
+            rng.gen_range(self.hot_keys..self.count)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_covers_all_keys() {
+        let k = UniformKeys::new(10);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            seen[k.choose(&mut rng) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn zipf_pmf_sums_to_one_and_is_decreasing() {
+        let z = Zipf::new(1000, 1.0);
+        let sum: f64 = (0..1000).map(|i| z.pmf(i)).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        for i in 1..1000 {
+            assert!(z.pmf(i) <= z.pmf(i - 1) + 1e-15);
+        }
+    }
+
+    #[test]
+    fn zipf_s0_is_uniform() {
+        let z = Zipf::new(50, 0.0);
+        for i in 0..50 {
+            assert!((z.pmf(i) - 0.02).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zipf_sampling_matches_pmf() {
+        let z = Zipf::new(100, 1.2);
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 200_000;
+        let mut counts = vec![0usize; 100];
+        for _ in 0..n {
+            counts[z.choose(&mut rng) as usize] += 1;
+        }
+        for key in [0u64, 1, 5, 20] {
+            let emp = counts[key as usize] as f64 / n as f64;
+            let expected = z.pmf(key);
+            assert!(
+                (emp - expected).abs() < 0.01 + 0.1 * expected,
+                "key {key}: emp {emp} vs pmf {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn hotset_concentrates_traffic() {
+        let h = HotSet::new(1000, 10, 0.9);
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = 50_000;
+        let hot = (0..n).filter(|_| h.choose(&mut rng) < 10).count();
+        let frac = hot as f64 / n as f64;
+        assert!((frac - 0.9).abs() < 0.01, "hot fraction {frac}");
+    }
+}

@@ -1,0 +1,29 @@
+//! # pbs-workload — workload generation for the PBS store and models
+//!
+//! The paper's experiments need three workload ingredients, all provided
+//! here:
+//!
+//! * [`arrivals`] — when operations happen (fixed-rate, Poisson, bursty
+//!   on/off processes). §5.2's validation interleaves writes with concurrent
+//!   reads; §3.2's monotonic-reads model is parameterised by rates.
+//! * [`keys`] — which keys they touch (uniform, Zipf, hot-set). Dynamo-style
+//!   stores shard one quorum system per key (§2.2), so key popularity drives
+//!   per-key write rates γgw.
+//! * [`ops`] and [`session`] — read/write mixes, full traces, and per-client
+//!   session models for measuring monotonic-reads violations.
+//!
+//! All generation is deterministic given an RNG, matching the workspace's
+//! reproducibility rule.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arrivals;
+pub mod keys;
+pub mod ops;
+pub mod session;
+
+pub use arrivals::{ArrivalProcess, Bursty, FixedRate, Poisson};
+pub use keys::{HotSet, KeyChooser, UniformKeys, Zipf};
+pub use ops::{Op, OpKind, OpMix, TraceBuilder};
+pub use session::SessionModel;

@@ -1,0 +1,150 @@
+//! Operation mixes and trace generation.
+
+use crate::arrivals::ArrivalProcess;
+use crate::keys::KeyChooser;
+use rand::Rng;
+use rand::RngCore;
+
+/// Read or write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// Quorum read.
+    Read,
+    /// Quorum write.
+    Write,
+}
+
+/// One operation in a generated trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Op {
+    /// Issue time (ms since trace start).
+    pub at_ms: f64,
+    /// Read or write.
+    pub kind: OpKind,
+    /// Target key.
+    pub key: u64,
+    /// Issuing client id.
+    pub client: u32,
+}
+
+/// Read/write mix (e.g. LinkedIn's 60% read / 40% read-modify-write
+/// traffic, §5.4).
+#[derive(Debug, Clone, Copy)]
+pub struct OpMix {
+    read_fraction: f64,
+}
+
+impl OpMix {
+    /// `read_fraction ∈ [0, 1]` of operations are reads.
+    pub fn new(read_fraction: f64) -> Self {
+        assert!((0.0..=1.0).contains(&read_fraction));
+        Self { read_fraction }
+    }
+
+    /// The LinkedIn mix from §5.4: 60% reads.
+    pub fn linkedin() -> Self {
+        Self::new(0.6)
+    }
+
+    /// Sample an operation kind.
+    pub fn sample(&self, rng: &mut dyn RngCore) -> OpKind {
+        if rng.gen::<f64>() < self.read_fraction {
+            OpKind::Read
+        } else {
+            OpKind::Write
+        }
+    }
+
+    /// The configured read fraction.
+    pub fn read_fraction(&self) -> f64 {
+        self.read_fraction
+    }
+}
+
+/// Builds complete operation traces from an arrival process, a key chooser,
+/// and an op mix, spread round-robin across `clients`.
+pub struct TraceBuilder<A, K> {
+    arrivals: A,
+    keys: K,
+    mix: OpMix,
+    clients: u32,
+}
+
+impl<A: ArrivalProcess, K: KeyChooser> TraceBuilder<A, K> {
+    /// Assemble a builder.
+    pub fn new(arrivals: A, keys: K, mix: OpMix, clients: u32) -> Self {
+        assert!(clients >= 1);
+        Self { arrivals, keys, mix, clients }
+    }
+
+    /// Generate `n` operations starting at time 0.
+    pub fn build(&mut self, rng: &mut dyn RngCore, n: usize) -> Vec<Op> {
+        let mut t = 0.0;
+        let mut ops = Vec::with_capacity(n);
+        for i in 0..n {
+            t += self.arrivals.next_gap(rng);
+            ops.push(Op {
+                at_ms: t,
+                kind: self.mix.sample(rng),
+                key: self.keys.choose(rng),
+                client: (i as u32) % self.clients,
+            });
+        }
+        ops
+    }
+}
+
+impl<A: std::fmt::Debug, K: std::fmt::Debug> std::fmt::Debug for TraceBuilder<A, K> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceBuilder")
+            .field("arrivals", &self.arrivals)
+            .field("keys", &self.keys)
+            .field("clients", &self.clients)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arrivals::Poisson;
+    use crate::keys::UniformKeys;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mix_fraction_respected() {
+        let mix = OpMix::new(0.75);
+        let mut rng = StdRng::seed_from_u64(0);
+        let n = 100_000;
+        let reads = (0..n).filter(|_| mix.sample(&mut rng) == OpKind::Read).count();
+        let frac = reads as f64 / n as f64;
+        assert!((frac - 0.75).abs() < 0.01, "{frac}");
+    }
+
+    #[test]
+    fn degenerate_mixes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(OpMix::new(1.0).sample(&mut rng), OpKind::Read);
+        assert_eq!(OpMix::new(0.0).sample(&mut rng), OpKind::Write);
+    }
+
+    #[test]
+    fn trace_is_time_ordered_and_round_robins_clients() {
+        let mut b = TraceBuilder::new(
+            Poisson::per_second(1000.0),
+            UniformKeys::new(16),
+            OpMix::linkedin(),
+            4,
+        );
+        let mut rng = StdRng::seed_from_u64(2);
+        let trace = b.build(&mut rng, 100);
+        assert_eq!(trace.len(), 100);
+        for w in trace.windows(2) {
+            assert!(w[1].at_ms >= w[0].at_ms);
+        }
+        assert_eq!(trace[0].client, 0);
+        assert_eq!(trace[5].client, 1);
+        assert!(trace.iter().all(|o| o.key < 16));
+    }
+}

@@ -1,0 +1,138 @@
+//! Client-session models for monotonic reads (§3.2).
+//!
+//! PBS monotonic reads is k-staleness with `k = 1 + γgw/γcr`: the expected
+//! number of versions written globally between a client's consecutive reads
+//! of the same key, plus one. This module generates interleaved
+//! global-write / client-read timelines and measures that `k` empirically,
+//! so the closed form can be validated and applied to measured rates.
+
+use rand::Rng;
+use rand::RngCore;
+
+/// A single-key session model: one client reading at rate `γcr` while the
+/// world writes at rate `γgw` (both Poisson).
+#[derive(Debug, Clone, Copy)]
+pub struct SessionModel {
+    /// Global write rate to the key (ops/ms).
+    pub gamma_gw: f64,
+    /// Client read rate from the key (ops/ms).
+    pub gamma_cr: f64,
+}
+
+/// One client read in a generated session timeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SessionRead {
+    /// Read time (ms).
+    pub at_ms: f64,
+    /// Number of globally committed versions at this time.
+    pub version_at_read: u64,
+    /// Versions committed since this client's previous read (the empirical
+    /// `γgw/γcr` increment; `k = 1 +` this value).
+    pub versions_since_last_read: u64,
+}
+
+impl SessionModel {
+    /// Build from positive rates.
+    pub fn new(gamma_gw: f64, gamma_cr: f64) -> Self {
+        assert!(gamma_gw > 0.0 && gamma_cr > 0.0, "rates must be positive");
+        Self { gamma_gw, gamma_cr }
+    }
+
+    /// The monotonic-reads staleness exponent `k = 1 + γgw/γcr` (Eq. 3).
+    pub fn k(&self) -> f64 {
+        1.0 + self.gamma_gw / self.gamma_cr
+    }
+
+    /// Generate a timeline of `reads` client reads interleaved with global
+    /// writes, both Poisson.
+    pub fn generate(&self, rng: &mut dyn RngCore, reads: usize) -> Vec<SessionRead> {
+        assert!(reads > 0);
+        let mut out = Vec::with_capacity(reads);
+        let mut version = 0u64;
+        let mut last_version = 0u64;
+        let mut t = 0.0f64;
+        let mut next_write = t + exp_gap(rng, self.gamma_gw);
+        let mut next_read = t + exp_gap(rng, self.gamma_cr);
+        while out.len() < reads {
+            if next_write <= next_read {
+                t = next_write;
+                version += 1;
+                next_write = t + exp_gap(rng, self.gamma_gw);
+            } else {
+                t = next_read;
+                out.push(SessionRead {
+                    at_ms: t,
+                    version_at_read: version,
+                    versions_since_last_read: version - last_version,
+                });
+                last_version = version;
+                next_read = t + exp_gap(rng, self.gamma_cr);
+            }
+        }
+        out
+    }
+
+    /// Empirical mean of `1 + versions_since_last_read` over a generated
+    /// timeline — converges to [`k`](Self::k).
+    pub fn empirical_k(&self, rng: &mut dyn RngCore, reads: usize) -> f64 {
+        let timeline = self.generate(rng, reads);
+        let total: u64 = timeline.iter().map(|r| r.versions_since_last_read).sum();
+        1.0 + total as f64 / reads as f64
+    }
+}
+
+fn exp_gap(rng: &mut dyn RngCore, rate: f64) -> f64 {
+    let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+    -u.ln() / rate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn k_formula() {
+        let s = SessionModel::new(4.0, 1.0);
+        assert!((s.k() - 5.0).abs() < 1e-12);
+        let s = SessionModel::new(1.0, 10.0);
+        assert!((s.k() - 1.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn timeline_versions_monotone() {
+        let s = SessionModel::new(0.5, 0.5);
+        let mut rng = StdRng::seed_from_u64(1);
+        let reads = s.generate(&mut rng, 500);
+        assert_eq!(reads.len(), 500);
+        for w in reads.windows(2) {
+            assert!(w[1].at_ms > w[0].at_ms);
+            assert!(w[1].version_at_read >= w[0].version_at_read);
+        }
+    }
+
+    #[test]
+    fn empirical_k_matches_closed_form() {
+        for (gw, cr) in [(1.0f64, 1.0f64), (4.0, 1.0), (0.5, 2.0)] {
+            let s = SessionModel::new(gw, cr);
+            let mut rng = StdRng::seed_from_u64(7);
+            let emp = s.empirical_k(&mut rng, 100_000);
+            assert!(
+                (emp - s.k()).abs() / s.k() < 0.03,
+                "γgw={gw} γcr={cr}: empirical {emp} vs {}",
+                s.k()
+            );
+        }
+    }
+
+    #[test]
+    fn versions_since_last_read_accounting() {
+        let s = SessionModel::new(1.0, 1.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let reads = s.generate(&mut rng, 1000);
+        // Sum of increments equals the version at the last read.
+        let total: u64 = reads.iter().map(|r| r.versions_since_last_read).sum();
+        assert_eq!(total, reads.last().unwrap().version_at_read);
+    }
+}

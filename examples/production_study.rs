@@ -1,0 +1,71 @@
+//! Production latency study — the §5 narrative end to end: how write-tail
+//! behaviour (SSD vs. disk vs. fsync-bound vs. WAN) shapes the
+//! latency/consistency trade-off, and what partial quorums buy.
+//!
+//! ```text
+//! cargo run --release --example production_study
+//! ```
+
+use pbs::math::ReplicaConfig;
+use pbs::wars::production::ProductionProfile;
+use pbs::wars::TVisibility;
+
+fn main() {
+    let trials = 200_000;
+    let cfg = ReplicaConfig::new(3, 1, 1).unwrap();
+
+    println!("Production study (paper §5): N=3, R=W=1 unless noted\n");
+
+    // ---- §5.6: write tails drive the window of inconsistency --------------
+    println!("{:<11} {:>11} {:>12} {:>12} {:>12}", "profile", "P(t=0)", "t@99% (ms)", "t@99.9%", "Lw p99.9");
+    for profile in ProductionProfile::ALL {
+        let tv = TVisibility::simulate(profile.model(cfg).as_ref(), trials, 7);
+        let fmt = |o: Option<f64>| o.map_or("—".to_string(), |t| format!("{t:.2}"));
+        println!(
+            "{:<11} {:>10.2}% {:>12} {:>12} {:>12.2}",
+            profile.name(),
+            100.0 * tv.prob_consistent(0.0),
+            fmt(tv.t_at_probability(0.99)),
+            fmt(tv.t_at_probability(0.999)),
+            tv.write_latency_percentile(99.9),
+        );
+    }
+    println!("\n→ the §5.6 story: SSDs shrink the write tail, and the window of");
+    println!("  inconsistency collapses from tens of ms (disk) to ~2 ms (SSD).\n");
+
+    // ---- §5.8: the latency price of strictness -----------------------------
+    println!("Latency vs. consistency on YMMR (Yammer Riak fits):");
+    println!("{:<14} {:>12} {:>12} {:>14}", "config", "Lr p99.9", "Lw p99.9", "t@99.9% (ms)");
+    for (r, w) in [(1u32, 1u32), (2, 1), (3, 1)] {
+        let c = ReplicaConfig::new(3, r, w).unwrap();
+        let tv = TVisibility::simulate(ProductionProfile::Ymmr.model(c).as_ref(), trials, 7);
+        let t = if c.is_strict() {
+            "0 (strict)".to_string()
+        } else {
+            tv.t_at_probability(0.999).map_or("—".into(), |t| format!("{t:.0}"))
+        };
+        println!(
+            "{:<14} {:>12.2} {:>12.2} {:>14}",
+            format!("R={r}, W={w}"),
+            tv.read_latency_percentile(99.9),
+            tv.write_latency_percentile(99.9),
+            t,
+        );
+    }
+    println!("\n→ the §5.8 trade: R=2,W=1 gives ~99.9%-consistency within a couple");
+    println!("  hundred ms while cutting p99.9 combined latency by ~80% vs R=3.");
+
+    // ---- §5.7: replication factor and immediate consistency ----------------
+    println!("\nReplication factor sweep (LNKD-DISK, R=W=1):");
+    for n in [2u32, 3, 5, 10] {
+        let c = ReplicaConfig::new(n, 1, 1).unwrap();
+        let tv = TVisibility::simulate(ProductionProfile::LnkdDisk.model(c).as_ref(), trials, 7);
+        println!(
+            "  N={n:>2}: P(consistent at t=0) = {:>6.2}%, t@99.9% = {:>6.1} ms",
+            100.0 * tv.prob_consistent(0.0),
+            tv.t_at_probability(0.999).unwrap_or(f64::NAN),
+        );
+    }
+    println!("\n→ more replicas hurt *immediate* consistency (more stragglers to race)");
+    println!("  but barely move the 99.9% convergence point — §5.7's conclusion.");
+}

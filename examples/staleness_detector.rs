@@ -1,0 +1,61 @@
+//! Asynchronous staleness detection (§4.3) on the live simulated store:
+//! coordinators compare late read responses with what they returned, and we
+//! grade the detector against ground truth — including the paper's
+//! predicted false-positive mode (in-flight writes).
+//!
+//! ```text
+//! cargo run --release --example staleness_detector
+//! ```
+
+use pbs::dist::Exponential;
+use pbs::kvs::cluster::{Cluster, ClusterOptions, TraceOp};
+use pbs::kvs::NetworkModel;
+use pbs::math::ReplicaConfig;
+use std::sync::Arc;
+
+fn main() {
+    let cfg = ReplicaConfig::new(3, 1, 1).unwrap();
+    let mut cluster = Cluster::new(
+        ClusterOptions::validation(cfg, 11),
+        NetworkModel::w_ars(
+            Arc::new(Exponential::from_mean(10.0)), // disk-like writes
+            Arc::new(Exponential::from_mean(2.0)),  // fast A=R=S
+        ),
+    );
+
+    // A single hot key, alternating writes and reads every 3 ms: plenty of
+    // reordering *and* plenty of in-flight writes.
+    let ops = 20_000;
+    let trace: Vec<TraceOp> =
+        (0..ops).map(|i| TraceOp { at_ms: i as f64 * 3.0, is_read: i % 2 == 1, key: 1 }).collect();
+
+    println!("Running {ops} operations against a simulated {cfg} cluster…");
+    let report = cluster.run_trace(&trace);
+
+    let reads = report.reads.len();
+    let stale = report.reads.iter().filter(|r| !r.label.consistent).count();
+    println!("\nGround truth: {reads} reads, {stale} stale ({:.2}% consistent)", 100.0 * report.consistency_rate());
+
+    let d = report.detector;
+    println!("\nDetector (§4.3): compare the N−R late responses to the returned value");
+    println!("  flagged reads:     {}", d.flagged);
+    println!("  true positives:    {}", d.true_positives);
+    println!("  false positives:   {}  ← in-flight/newer-but-uncommitted versions", d.false_positives);
+    println!("  missed stale:      {}", d.missed_stale);
+    let precision = d.true_positives as f64 / d.flagged.max(1) as f64;
+    let recall = d.true_positives as f64 / (d.true_positives + d.missed_stale).max(1) as f64;
+    println!("  precision {precision:.3}, recall {recall:.3}");
+
+    // Versions-behind distribution: "how stale is stale?"
+    let mut hist = [0usize; 5];
+    for r in &report.reads {
+        hist[(r.label.versions_behind as usize).min(4)] += 1;
+    }
+    println!("\nVersions behind (k-staleness on the live store):");
+    for (k, count) in hist.iter().enumerate() {
+        let label = if k == 4 { "≥4".to_string() } else { k.to_string() };
+        println!("  {label:>2} versions: {:>6.2}%", 100.0 * *count as f64 / reads as f64);
+    }
+    println!("\n→ even when a read is stale, it is almost always exactly one version");
+    println!("  behind — the paper's argument for why k-staleness tolerance is cheap.");
+}

@@ -1,0 +1,132 @@
+//! Cross-crate tests of the §6 layer: the predictor, the SLA optimizer,
+//! and multi-key staleness, driven by the production latency models.
+
+use pbs::dist::Exponential;
+use pbs::kvs::cluster::{Cluster, ClusterOptions};
+use pbs::kvs::experiments::measure_t_visibility;
+use pbs::kvs::NetworkModel;
+use pbs::math::ReplicaConfig;
+use pbs::predictor::multikey;
+use pbs::predictor::sla::{optimize, SlaSpec};
+use pbs::predictor::Predictor;
+use pbs::wars::production::{lnkd_ssd_model, ymmr_model, ProductionProfile};
+use std::sync::Arc;
+
+/// LNKD-SSD meets an aggressive SLA with a fully partial quorum; YMMR's
+/// write tail forces more read coverage for the same SLA.
+#[test]
+fn optimizer_adapts_to_write_tails() {
+    let spec = SlaSpec::consistency(0.999, 10.0);
+    let ssd = optimize(
+        &|cfg| ProductionProfile::LnkdSsd.model(cfg),
+        &[3],
+        &spec,
+        40_000,
+        1,
+    );
+    let best = ssd.best_config().expect("SSD meets the SLA");
+    assert_eq!((best.cfg.r(), best.cfg.w()), (1, 1), "SSD should allow R=W=1");
+
+    let ymmr = optimize(
+        &|cfg| ProductionProfile::Ymmr.model(cfg),
+        &[3],
+        &spec,
+        40_000,
+        1,
+    );
+    let best = ymmr.best_config().expect("some config qualifies");
+    assert!(
+        best.cfg.r() + best.cfg.w() > 2,
+        "YMMR's seconds-scale write tail cannot satisfy 10ms/99.9% at R=W=1, got {}",
+        best.cfg
+    );
+}
+
+/// The optimizer's winner must actually dominate: no other qualifying
+/// config has lower combined latency.
+#[test]
+fn optimizer_winner_is_minimal() {
+    let spec = SlaSpec::consistency(0.99, 50.0);
+    let report = optimize(
+        &|cfg| ProductionProfile::LnkdDisk.model(cfg),
+        &[3],
+        &spec,
+        30_000,
+        2,
+    );
+    let best = report.best_config().expect("qualifies");
+    for e in &report.evaluations {
+        if e.meets_sla {
+            assert!(best.combined_latency() <= e.combined_latency() + 1e-9);
+        }
+    }
+}
+
+/// Multi-key staleness compounds per the product rule, using a real
+/// predictor.
+#[test]
+fn multikey_product_rule_on_production_model() {
+    let cfg = ReplicaConfig::new(3, 1, 1).unwrap();
+    let pred = Predictor::from_model(&lnkd_ssd_model(cfg), 60_000, 3);
+    let p1 = pred.prob_consistent(0.5);
+    assert!(p1 < 1.0, "need some staleness for the test to bite");
+    let p20 = multikey::multikey_consistency_at(&pred, 0.5, 20);
+    assert!((p20 - p1.powi(20)).abs() < 1e-12);
+    // And the sizing helper inverts it.
+    let max_keys = multikey::max_keys_for_target(p1, 0.9).unwrap();
+    assert!(p1.powi(max_keys as i32) >= 0.9);
+    assert!(p1.powi(max_keys as i32 + 1) < 0.9);
+}
+
+/// The full §6 measure→predict loop against the store itself: run the live
+/// store with WARS instrumentation on, drain the recorded one-way delays,
+/// build a predictor from those *measured samples only*, and check it
+/// predicts the store's own t-visibility.
+#[test]
+fn predictor_from_store_instrumentation_predicts_the_store() {
+    let cfg = ReplicaConfig::new(3, 1, 1).unwrap();
+    let mut opts = ClusterOptions::validation(cfg, 55);
+    opts.record_leg_samples = true;
+    let mut cluster = Cluster::new(
+        opts,
+        NetworkModel::w_ars(
+            Arc::new(Exponential::from_mean(8.0)),
+            Arc::new(Exponential::from_mean(1.5)),
+        ),
+    );
+
+    // Phase 1: production traffic with instrumentation (and measurement).
+    let offsets = [0.0, 5.0, 15.0, 40.0];
+    let measured = measure_t_visibility(&mut cluster, 9, &offsets, 1_500, 0.0);
+    let samples = cluster.drain_leg_samples();
+    assert!(samples.len() > 10_000, "instrumentation recorded {}", samples.len());
+
+    // Phase 2: predict purely from the drained samples.
+    let predictor =
+        Predictor::from_samples(cfg, samples.w, samples.a, samples.r, samples.s, 120_000, 56);
+
+    for (point, &t) in measured.points.iter().zip(&offsets) {
+        let measured_p = point.probability();
+        let predicted_p = predictor.prob_consistent(t);
+        assert!(
+            (measured_p - predicted_p).abs() < 0.03,
+            "t={t}: store {measured_p} vs predictor-from-instrumentation {predicted_p}"
+        );
+    }
+}
+
+/// Predictor consistency: Monte-Carlo t-visibility is coherent with its own
+/// inverse and with the closed-form k-staleness on the same config.
+#[test]
+fn predictor_metrics_are_coherent() {
+    let cfg = ReplicaConfig::new(3, 1, 2).unwrap();
+    let pred = Predictor::from_model(&ymmr_model(cfg), 60_000, 4);
+    for &p in &[0.5, 0.9, 0.99] {
+        if let Some(t) = pred.t_visibility(p) {
+            assert!(pred.prob_consistent(t) >= p, "inverse must satisfy the target");
+        }
+    }
+    // Closed-form k-staleness: N=3, R=1, W=2 → p_s = 1/3.
+    assert!((pred.prob_within_k_versions(1) - 2.0 / 3.0).abs() < 1e-12);
+    assert!(pred.prob_within_k_versions(2) > pred.prob_within_k_versions(1));
+}

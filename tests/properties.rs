@@ -1,0 +1,107 @@
+//! Cross-crate property tests: randomized configurations and latency
+//! models must preserve the paper's structural invariants.
+
+use pbs::dist::Exponential;
+use pbs::kvs::cluster::{Cluster, ClusterOptions};
+use pbs::kvs::NetworkModel;
+use pbs::math::{staleness, ReplicaConfig};
+use pbs::wars::production::exponential_model;
+use pbs::wars::TVisibility;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn any_config(max_n: u32) -> impl Strategy<Value = ReplicaConfig> {
+    (2u32..=max_n).prop_flat_map(|n| {
+        (Just(n), 1u32..=n, 1u32..=n)
+            .prop_map(|(n, r, w)| ReplicaConfig::new(n, r, w).expect("valid"))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// WARS t-visibility curves are monotone, bounded by Eq. 1, and invert
+    /// correctly — for random configurations and random latency scales.
+    #[test]
+    fn wars_curve_invariants(cfg in any_config(6), w_mean in 0.5f64..30.0, ars_mean in 0.5f64..10.0) {
+        let model = exponential_model(cfg, 1.0 / w_mean, 1.0 / ars_mean);
+        let tv = TVisibility::simulate(&model, 6_000, 11);
+        let bound = staleness::non_intersection_probability(cfg);
+        let mut prev = 0.0;
+        for i in 0..12 {
+            let t = i as f64 * w_mean;
+            let p = tv.prob_consistent(t);
+            prop_assert!(p >= prev - 1e-12, "monotone");
+            prop_assert!(1.0 - p <= bound + 0.03, "frozen bound");
+            prev = p;
+        }
+        if let Some(t) = tv.t_at_probability(0.9) {
+            prop_assert!(tv.prob_consistent(t) >= 0.9);
+        }
+    }
+
+    /// The live store never violates strict-quorum consistency, regardless
+    /// of configuration or latency scales.
+    #[test]
+    fn kvs_strict_quorum_always_consistent(
+        n in 2u32..=5,
+        seed in 0u64..1000,
+        w_mean in 1.0f64..20.0,
+    ) {
+        // Derive a strict (R, W) for this N.
+        let r = n / 2 + 1;
+        let w = n - r + 1; // R + W = N + 1 > N
+        let cfg = ReplicaConfig::new(n, r, w).expect("valid strict config");
+        prop_assert!(cfg.is_strict());
+        let mut cluster = Cluster::new(
+            ClusterOptions::validation(cfg, seed),
+            NetworkModel::w_ars(
+                Arc::new(Exponential::from_mean(w_mean)),
+                Arc::new(Exponential::from_mean(1.0)),
+            ),
+        );
+        for key in 0..10u64 {
+            let wr = cluster.write(key);
+            let commit = wr.commit.expect("writes commit");
+            let rd = cluster.read_at(key, commit);
+            prop_assert!(rd.consistent(), "stale read on {cfg} key {key}");
+            prop_assert_eq!(rd.returned_seq, Some(wr.seq));
+        }
+    }
+
+    /// Dense versioning: sequential writes to one key return strictly
+    /// increasing sequence numbers, and a full-quorum read sees the last.
+    #[test]
+    fn kvs_versions_monotone(seed in 0u64..1000) {
+        let cfg = ReplicaConfig::new(3, 3, 1).unwrap();
+        let mut cluster = Cluster::new(
+            ClusterOptions::validation(cfg, seed),
+            NetworkModel::w_ars(
+                Arc::new(Exponential::from_mean(3.0)),
+                Arc::new(Exponential::from_mean(1.0)),
+            ),
+        );
+        let mut prev = 0;
+        for _ in 0..8 {
+            let w = cluster.write(5);
+            prop_assert_eq!(w.seq, prev + 1);
+            prev = w.seq;
+        }
+        // R = N read after settling sees the newest version.
+        let settle = cluster.now() + pbs::sim::SimDuration::from_ms(1_000.0);
+        cluster.advance_to(settle);
+        let r = cluster.read(5);
+        prop_assert_eq!(r.returned_seq, Some(prev));
+    }
+
+    /// Monotonic-reads violation never exceeds the plain non-intersection
+    /// probability and decreases as the client reads more often.
+    #[test]
+    fn monotonic_reads_ordering(cfg in any_config(8), gw in 0.01f64..100.0) {
+        let slow_reader = staleness::monotonic_reads_violation(cfg, gw, 0.1);
+        let fast_reader = staleness::monotonic_reads_violation(cfg, gw, 100.0);
+        let eq1 = staleness::non_intersection_probability(cfg);
+        prop_assert!(slow_reader <= fast_reader + 1e-12);
+        prop_assert!(fast_reader <= eq1 + 1e-12);
+    }
+}
