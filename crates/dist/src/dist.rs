@@ -1,0 +1,398 @@
+//! The concrete distribution families.
+
+use crate::stats::SortedSamples;
+use crate::LatencyDistribution;
+use rand::{Rng, RngCore};
+
+/// Draw `u ∈ [0, 1)` so that `1 - u ∈ (0, 1]` is safe under `ln`.
+fn unit(rng: &mut dyn RngCore) -> f64 {
+    rng.gen::<f64>()
+}
+
+/// A degenerate point mass: every sample is exactly `value`.
+///
+/// Used by unit tests and as the "no delay" leg in analytic cross-checks.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Constant {
+    value: f64,
+}
+
+impl Constant {
+    /// Point mass at `value ≥ 0`.
+    pub fn new(value: f64) -> Self {
+        assert!(value >= 0.0 && value.is_finite(), "constant latency must be finite and ≥ 0");
+        Constant { value }
+    }
+
+    /// The point's location.
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+}
+
+impl LatencyDistribution for Constant {
+    fn sample(&self, _rng: &mut dyn RngCore) -> f64 {
+        self.value
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x >= self.value {
+            1.0
+        } else {
+            0.0
+        }
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        assert!((0.0..1.0).contains(&p), "quantile needs p in [0, 1): {p}");
+        self.value
+    }
+
+    fn mean(&self) -> f64 {
+        self.value
+    }
+
+    fn describe(&self) -> String {
+        format!("Const({})", self.value)
+    }
+}
+
+/// The exponential distribution with rate `λ` (mean `1/λ` ms).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    rate: f64,
+}
+
+impl Exponential {
+    /// From the rate parameter `λ > 0` (events per ms).
+    pub fn from_rate(rate: f64) -> Self {
+        assert!(rate > 0.0 && rate.is_finite(), "exponential rate must be finite and > 0");
+        Exponential { rate }
+    }
+
+    /// From the mean `1/λ > 0` (ms).
+    pub fn from_mean(mean: f64) -> Self {
+        assert!(mean > 0.0 && mean.is_finite(), "exponential mean must be finite and > 0");
+        Exponential { rate: 1.0 / mean }
+    }
+
+    /// The rate `λ`.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+}
+
+impl LatencyDistribution for Exponential {
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        // Inverse transform; 1 - u ∈ (0, 1] keeps ln finite.
+        -(1.0 - unit(rng)).ln() / self.rate
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            1.0 - (-self.rate * x).exp()
+        }
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        assert!((0.0..1.0).contains(&p), "quantile needs p in [0, 1): {p}");
+        -(1.0 - p).ln() / self.rate
+    }
+
+    fn mean(&self) -> f64 {
+        1.0 / self.rate
+    }
+
+    fn describe(&self) -> String {
+        format!("Exp(λ={:.5})", self.rate)
+    }
+}
+
+/// The Pareto distribution with scale `xm` (minimum value) and shape `α`.
+///
+/// The paper's short-tailed production fits (e.g. LNKD-SSD's
+/// `Pareto(xm=0.235, α=10)`) and the heavy-tailed components of the disk
+/// fits both come from this family.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pareto {
+    xm: f64,
+    alpha: f64,
+}
+
+impl Pareto {
+    /// Scale `xm > 0`, shape `α > 0`.
+    pub fn new(xm: f64, alpha: f64) -> Self {
+        assert!(xm > 0.0 && xm.is_finite(), "pareto scale must be finite and > 0");
+        assert!(alpha > 0.0 && alpha.is_finite(), "pareto shape must be finite and > 0");
+        Pareto { xm, alpha }
+    }
+
+    /// The scale (support minimum) `xm`.
+    pub fn xm(&self) -> f64 {
+        self.xm
+    }
+
+    /// The shape `α`.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+}
+
+impl LatencyDistribution for Pareto {
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        self.xm * (1.0 - unit(rng)).powf(-1.0 / self.alpha)
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= self.xm {
+            0.0
+        } else {
+            1.0 - (self.xm / x).powf(self.alpha)
+        }
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        assert!((0.0..1.0).contains(&p), "quantile needs p in [0, 1): {p}");
+        self.xm * (1.0 - p).powf(-1.0 / self.alpha)
+    }
+
+    fn mean(&self) -> f64 {
+        if self.alpha <= 1.0 {
+            f64::INFINITY
+        } else {
+            self.alpha * self.xm / (self.alpha - 1.0)
+        }
+    }
+
+    fn describe(&self) -> String {
+        format!("Pareto(xm={:.3}, α={:.3})", self.xm, self.alpha)
+    }
+}
+
+/// A two-component Pareto + exponential mixture — the shape of every
+/// production fit in Table 3 (§5.4): a short-tailed Pareto body for the
+/// common case plus an exponential tail for fsync/GC/queueing stragglers.
+///
+/// With probability `pareto_weight` a sample comes from the Pareto
+/// component, otherwise from the exponential.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mixture {
+    pareto_weight: f64,
+    pareto: Pareto,
+    exponential: Exponential,
+}
+
+impl Mixture {
+    /// Mix `pareto` (probability `pareto_weight ∈ [0, 1]`) with
+    /// `exponential` (probability `1 - pareto_weight`).
+    pub fn new(pareto_weight: f64, pareto: Pareto, exponential: Exponential) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&pareto_weight),
+            "mixture weight must lie in [0, 1]: {pareto_weight}"
+        );
+        Mixture { pareto_weight, pareto, exponential }
+    }
+
+    /// A pure Pareto in mixture clothing (weight 1) — used by fits whose
+    /// exponential component vanished.
+    pub fn pure_pareto(pareto: Pareto) -> Self {
+        // The exponential component is unreachable at weight 1; any valid
+        // parameter will do.
+        Mixture { pareto_weight: 1.0, pareto, exponential: Exponential::from_rate(1.0) }
+    }
+
+    /// Probability of the Pareto component.
+    pub fn pareto_weight(&self) -> f64 {
+        self.pareto_weight
+    }
+
+    /// The Pareto component.
+    pub fn pareto(&self) -> Pareto {
+        self.pareto
+    }
+
+    /// The exponential component.
+    pub fn exponential(&self) -> Exponential {
+        self.exponential
+    }
+}
+
+impl LatencyDistribution for Mixture {
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        if unit(rng) < self.pareto_weight {
+            self.pareto.sample(rng)
+        } else {
+            self.exponential.sample(rng)
+        }
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        self.pareto_weight * self.pareto.cdf(x)
+            + (1.0 - self.pareto_weight) * self.exponential.cdf(x)
+    }
+
+    fn mean(&self) -> f64 {
+        // Skip zero-weight components: 0 × ∞ (an α ≤ 1 Pareto) is NaN.
+        if self.pareto_weight <= 0.0 {
+            self.exponential.mean()
+        } else if self.pareto_weight >= 1.0 {
+            self.pareto.mean()
+        } else {
+            self.pareto_weight * self.pareto.mean()
+                + (1.0 - self.pareto_weight) * self.exponential.mean()
+        }
+    }
+
+    fn describe(&self) -> String {
+        if self.pareto_weight >= 1.0 {
+            self.pareto.describe()
+        } else if self.pareto_weight <= 0.0 {
+            self.exponential.describe()
+        } else {
+            format!(
+                "{:.1}%: {} + {:.1}%: {}",
+                self.pareto_weight * 100.0,
+                self.pareto.describe(),
+                (1.0 - self.pareto_weight) * 100.0,
+                self.exponential.describe()
+            )
+        }
+    }
+}
+
+/// The empirical distribution of a batch of measured latencies:
+/// bootstrap resampling for [`sample`](LatencyDistribution::sample), ECDF
+/// and order statistics for queries.
+///
+/// Backs the online-profiling path (§5.5/§6): drain WARS leg timestamps
+/// out of a live store, wrap them here, and predict.
+#[derive(Debug, Clone)]
+pub struct Empirical {
+    samples: SortedSamples,
+}
+
+impl Empirical {
+    /// From raw (unsorted) measurements; must be nonempty, finite, ≥ 0.
+    pub fn from_samples(samples: Vec<f64>) -> Self {
+        assert!(!samples.is_empty(), "empirical distribution needs at least one sample");
+        assert!(
+            samples.iter().all(|x| x.is_finite() && *x >= 0.0),
+            "latency samples must be finite and ≥ 0"
+        );
+        Empirical { samples: SortedSamples::new(samples) }
+    }
+
+    /// The sorted backing samples.
+    pub fn samples(&self) -> &SortedSamples {
+        &self.samples
+    }
+}
+
+impl LatencyDistribution for Empirical {
+    fn sample(&self, rng: &mut dyn RngCore) -> f64 {
+        let data = self.samples.as_slice();
+        data[rng.gen_range(0..data.len())]
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        self.samples.ecdf(x)
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        assert!((0.0..1.0).contains(&p), "quantile needs p in [0, 1): {p}");
+        self.samples.percentile(p * 100.0)
+    }
+
+    fn mean(&self) -> f64 {
+        self.samples.mean()
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "Empirical(n={}, p50={:.3}, p99={:.3})",
+            self.samples.len(),
+            self.samples.percentile(50.0),
+            self.samples.percentile(99.0)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn draws(d: &dyn LatencyDistribution, n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| d.sample(&mut rng)).collect()
+    }
+
+    #[test]
+    fn constant_is_degenerate() {
+        let c = Constant::new(3.5);
+        assert_eq!(draws(&c, 10, 0), vec![3.5; 10]);
+        assert_eq!(c.cdf(3.4999), 0.0);
+        assert_eq!(c.cdf(3.5), 1.0);
+        assert_eq!(c.quantile(0.99), 3.5);
+        assert_eq!(c.mean(), 3.5);
+    }
+
+    #[test]
+    fn exponential_closed_forms_agree() {
+        let e = Exponential::from_mean(4.0);
+        assert_eq!(e, Exponential::from_rate(0.25));
+        assert!((e.cdf(e.quantile(0.9)) - 0.9).abs() < 1e-12);
+        assert!((e.quantile(0.5) - 4.0 * std::f64::consts::LN_2).abs() < 1e-12);
+        let mean = draws(&e, 200_000, 1).iter().sum::<f64>() / 200_000.0;
+        assert!((mean - 4.0).abs() < 0.05, "sample mean {mean}");
+    }
+
+    #[test]
+    fn pareto_closed_forms_agree() {
+        let p = Pareto::new(1.05, 1.51);
+        assert!((p.quantile(0.0) - 1.05).abs() < 1e-12);
+        assert!((p.cdf(p.quantile(0.999)) - 0.999).abs() < 1e-12);
+        assert!((p.mean() - 1.51 * 1.05 / 0.51).abs() < 1e-12);
+        assert_eq!(Pareto::new(2.0, 0.9).mean(), f64::INFINITY);
+        assert!(draws(&p, 10_000, 2).iter().all(|&x| x >= 1.05));
+    }
+
+    #[test]
+    fn mixture_cdf_is_weighted_sum() {
+        let m = Mixture::new(0.38, Pareto::new(1.05, 1.51), Exponential::from_rate(0.183));
+        for x in [0.5, 1.0, 2.0, 10.0, 50.0] {
+            let want = 0.38 * m.pareto().cdf(x) + 0.62 * m.exponential().cdf(x);
+            assert!((m.cdf(x) - want).abs() < 1e-12);
+        }
+        // Numeric quantile inverts the cdf.
+        for p in [0.1, 0.5, 0.9, 0.999] {
+            assert!((m.cdf(m.quantile(p)) - p).abs() < 1e-9, "p={p}");
+        }
+    }
+
+    #[test]
+    fn degenerate_mixture_weights_keep_mean_finite() {
+        // 0 × ∞ must not poison the mean when the zero-weight Pareto has
+        // α ≤ 1 (infinite mean).
+        let heavy = Pareto::new(1.0, 0.9);
+        let exp = Exponential::from_rate(1.0);
+        assert_eq!(Mixture::new(0.0, heavy, exp).mean(), 1.0);
+        assert_eq!(Mixture::new(1.0, heavy, exp).mean(), f64::INFINITY);
+    }
+
+    #[test]
+    fn empirical_round_trips_order_statistics() {
+        let e = Empirical::from_samples(vec![5.0, 1.0, 3.0, 2.0, 4.0]);
+        assert_eq!(e.samples().min(), 1.0);
+        assert_eq!(e.samples().max(), 5.0);
+        assert_eq!(e.quantile(0.5), 3.0);
+        assert_eq!(e.mean(), 3.0);
+        // Bootstrap only ever returns observed values.
+        for v in draws(&e, 1_000, 3) {
+            assert!([1.0, 2.0, 3.0, 4.0, 5.0].contains(&v));
+        }
+    }
+}

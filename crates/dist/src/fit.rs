@@ -1,0 +1,230 @@
+//! Refitting Pareto + exponential mixtures to published percentile tables
+//! — the paper's §5.4 methodology, driven by a Nelder–Mead quantile
+//! matcher instead of raw traces (we only have the published summary
+//! statistics, Tables 1–2).
+
+use crate::dist::{Exponential, Mixture, Pareto};
+use crate::stats;
+use crate::LatencyDistribution;
+
+pub use crate::stats::{n_rmse, rmse};
+
+/// One published percentile: "`pct`% of operations completed within
+/// `value_ms` ms".
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PercentileTarget {
+    /// Percentile in `[0, 100]`.
+    pub pct: f64,
+    /// Latency at that percentile, in ms.
+    pub value_ms: f64,
+}
+
+impl PercentileTarget {
+    /// Convenience constructor.
+    pub fn new(pct: f64, value_ms: f64) -> Self {
+        assert!((0.0..=100.0).contains(&pct), "percentile out of range: {pct}");
+        assert!(value_ms >= 0.0 && value_ms.is_finite(), "target must be finite and ≥ 0");
+        PercentileTarget { pct, value_ms }
+    }
+}
+
+/// The result of [`fit_mixture_to_percentiles`]: mixture parameters plus
+/// the achieved N-RMSE over the targets.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MixtureFit {
+    /// Probability of the Pareto component.
+    pub pareto_weight: f64,
+    /// Pareto scale.
+    pub xm: f64,
+    /// Pareto shape.
+    pub alpha: f64,
+    /// Exponential rate.
+    pub lambda: f64,
+    /// N-RMSE of the fitted quantiles against the targets.
+    pub n_rmse: f64,
+}
+
+impl MixtureFit {
+    /// Materialise the fitted distribution.
+    pub fn mixture(&self) -> Mixture {
+        Mixture::new(
+            self.pareto_weight,
+            Pareto::new(self.xm, self.alpha),
+            Exponential::from_rate(self.lambda),
+        )
+    }
+}
+
+/// Unconstrained parameter vector → valid mixture parameters.
+///
+/// `weight` goes through a logistic, the positive parameters through
+/// `exp`, so Nelder–Mead can roam all of `R⁴` without constraint
+/// handling.
+fn decode(theta: &[f64; 4]) -> (f64, f64, f64, f64) {
+    let weight = 1.0 / (1.0 + (-theta[0]).exp());
+    let xm = theta[1].exp().clamp(1e-6, 1e9);
+    let alpha = theta[2].exp().clamp(0.05, 1e4);
+    let lambda = theta[3].exp().clamp(1e-9, 1e6);
+    (weight, xm, alpha, lambda)
+}
+
+fn objective(theta: &[f64; 4], targets: &[PercentileTarget]) -> f64 {
+    let (weight, xm, alpha, lambda) = decode(theta);
+    let mixture =
+        Mixture::new(weight, Pareto::new(xm, alpha), Exponential::from_rate(lambda));
+    let fitted: Vec<f64> =
+        targets.iter().map(|t| mixture.quantile((t.pct / 100.0).min(1.0 - 1e-9))).collect();
+    let published: Vec<f64> = targets.iter().map(|t| t.value_ms).collect();
+    let err = stats::n_rmse(&fitted, &published);
+    if err.is_finite() {
+        err
+    } else {
+        f64::MAX
+    }
+}
+
+/// Standard Nelder–Mead over `R⁴` (reflection 1, expansion 2, contraction
+/// ½, shrink ½), deterministic for a fixed start.
+fn nelder_mead(start: [f64; 4], targets: &[PercentileTarget], iters: usize) -> ([f64; 4], f64) {
+    const DIM: usize = 4;
+    let mut simplex: Vec<([f64; 4], f64)> = Vec::with_capacity(DIM + 1);
+    simplex.push((start, objective(&start, targets)));
+    for i in 0..DIM {
+        let mut v = start;
+        v[i] += 0.5;
+        simplex.push((v, objective(&v, targets)));
+    }
+
+    for _ in 0..iters {
+        simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("objective is never NaN"));
+        let best = simplex[0].1;
+        let worst = simplex[DIM].1;
+        if (worst - best).abs() < 1e-12 {
+            break;
+        }
+
+        // Centroid of all but the worst vertex.
+        let mut centroid = [0.0; DIM];
+        for (v, _) in &simplex[..DIM] {
+            for (c, x) in centroid.iter_mut().zip(v) {
+                *c += x / DIM as f64;
+            }
+        }
+        let worst_v = simplex[DIM].0;
+        let at = |scale: f64| {
+            let mut p = [0.0; DIM];
+            for i in 0..DIM {
+                p[i] = centroid[i] + scale * (centroid[i] - worst_v[i]);
+            }
+            p
+        };
+
+        let reflected = at(1.0);
+        let fr = objective(&reflected, targets);
+        if fr < simplex[0].1 {
+            let expanded = at(2.0);
+            let fe = objective(&expanded, targets);
+            simplex[DIM] = if fe < fr { (expanded, fe) } else { (reflected, fr) };
+        } else if fr < simplex[DIM - 1].1 {
+            simplex[DIM] = (reflected, fr);
+        } else {
+            let contracted = at(-0.5);
+            let fc = objective(&contracted, targets);
+            if fc < simplex[DIM].1 {
+                simplex[DIM] = (contracted, fc);
+            } else {
+                // Shrink towards the best vertex.
+                let best_v = simplex[0].0;
+                for entry in simplex.iter_mut().skip(1) {
+                    for (x, b) in entry.0.iter_mut().zip(&best_v) {
+                        *x = b + 0.5 * (*x - b);
+                    }
+                    entry.1 = objective(&entry.0, targets);
+                }
+            }
+        }
+    }
+    simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("objective is never NaN"));
+    simplex[0]
+}
+
+/// Fit a [`Mixture`] to published percentiles by minimising the N-RMSE of
+/// its quantiles against the targets (multi-start Nelder–Mead;
+/// deterministic).
+///
+/// Needs at least two targets with distinct percentiles in `(0, 100)`;
+/// a `pct = 0` "minimum" target is uninformative for a mixture whose
+/// support starts at 0 and should be filtered out by the caller.
+pub fn fit_mixture_to_percentiles(targets: &[PercentileTarget]) -> MixtureFit {
+    assert!(targets.len() >= 2, "need ≥ 2 percentile targets to fit 4 parameters");
+    assert!(
+        targets.iter().all(|t| t.pct > 0.0 && t.pct < 100.0),
+        "targets must have percentiles strictly inside (0, 100)"
+    );
+
+    // Scale cues from the targets: a mid percentile for the body, the tail
+    // value for the exponential's mean.
+    let mid = targets[targets.len() / 2].value_ms.max(1e-6);
+    let tail =
+        targets.iter().map(|t| t.value_ms).fold(f64::NEG_INFINITY, f64::max).max(1e-6);
+
+    let starts = [
+        // Balanced mixture, body at the median, tail mean ≈ a third of max.
+        [0.0, (mid * 0.5).ln(), 1.5f64.ln(), (3.0 / tail).ln()],
+        // Pareto-dominated, short tail.
+        [2.0, (mid * 0.8).ln(), 3.0f64.ln(), (1.0 / mid).ln()],
+        // Exponential-dominated, heavy tail.
+        [-2.0, (mid * 0.25).ln(), 1.2f64.ln(), (1.0 / tail).ln()],
+    ];
+
+    let mut best: Option<([f64; 4], f64)> = None;
+    for start in starts {
+        let candidate = nelder_mead(start, targets, 600);
+        if best.as_ref().is_none_or(|b| candidate.1 < b.1) {
+            best = Some(candidate);
+        }
+    }
+    let (theta, err) = best.expect("at least one start");
+    let (pareto_weight, xm, alpha, lambda) = decode(&theta);
+    MixtureFit { pareto_weight, xm, alpha, lambda, n_rmse: err }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_a_known_mixture_to_low_error() {
+        let truth =
+            Mixture::new(0.38, Pareto::new(1.05, 1.51), Exponential::from_rate(0.183));
+        let targets: Vec<PercentileTarget> = [50.0, 75.0, 90.0, 95.0, 99.0, 99.9]
+            .iter()
+            .map(|&pct| PercentileTarget::new(pct, truth.quantile(pct / 100.0)))
+            .collect();
+        let fit = fit_mixture_to_percentiles(&targets);
+        assert!(fit.n_rmse < 0.01, "self-fit N-RMSE {}", fit.n_rmse);
+        // The refit curve matches the truth curve at the targets.
+        let refit = fit.mixture();
+        for t in &targets {
+            let q = refit.quantile(t.pct / 100.0);
+            assert!(
+                (q - t.value_ms).abs() / t.value_ms < 0.25,
+                "p{}: {} vs {}",
+                t.pct,
+                q,
+                t.value_ms
+            );
+        }
+    }
+
+    #[test]
+    fn fits_a_pure_exponential_table() {
+        let truth = Exponential::from_mean(10.0);
+        let targets: Vec<PercentileTarget> = [25.0, 50.0, 90.0, 99.0]
+            .iter()
+            .map(|&pct| PercentileTarget::new(pct, truth.quantile(pct / 100.0)))
+            .collect();
+        let fit = fit_mixture_to_percentiles(&targets);
+        assert!(fit.n_rmse < 0.02, "exp-fit N-RMSE {}", fit.n_rmse);
+    }
+}

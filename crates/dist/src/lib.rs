@@ -1,0 +1,86 @@
+//! # pbs-dist — latency distributions, mixture fitting, sample statistics
+//!
+//! Every latency in the PBS reproduction — the four WARS legs, the
+//! simulated store's per-message delays, measured operation latencies —
+//! flows through this crate:
+//!
+//! * [`LatencyDistribution`] — the object-safe sampling/query trait, with
+//!   [`DynDistribution`] as the shared-ownership form the rest of the
+//!   workspace passes around.
+//! * [`Constant`], [`Exponential`], [`Pareto`], [`Empirical`], and
+//!   [`Mixture`] — the concrete families. The paper's production fits
+//!   (Table 3) are Pareto/exponential mixtures; `Empirical` backs the
+//!   online-profiling path (§5.5/§6).
+//! * [`stats`] — sorted-sample queries ([`stats::SortedSamples`]),
+//!   percentiles, ECDFs, and the RMSE / N-RMSE error metrics the paper
+//!   reports.
+//! * [`fit`] — refitting mixtures to published percentile tables with a
+//!   Nelder–Mead quantile matcher (§5.4's methodology).
+//! * [`production`] — the fitted LNKD-SSD / LNKD-DISK / YMMR one-way
+//!   models and WAN constants of Tables 2–3.
+//!
+//! All latencies are in **milliseconds** throughout the workspace.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fit;
+pub mod production;
+pub mod stats;
+
+mod dist;
+
+pub use dist::{Constant, Empirical, Exponential, Mixture, Pareto};
+
+use rand::RngCore;
+use std::sync::Arc;
+
+/// A nonnegative latency distribution (milliseconds).
+///
+/// Object-safe: models hold `dyn LatencyDistribution` trait objects (via
+/// [`DynDistribution`]) so one simulation can mix analytic and empirical
+/// legs freely.
+pub trait LatencyDistribution: Send + Sync {
+    /// Draw one latency.
+    fn sample(&self, rng: &mut dyn RngCore) -> f64;
+
+    /// `P(X ≤ x)`.
+    fn cdf(&self, x: f64) -> f64;
+
+    /// Smallest `x` with `P(X ≤ x) ≥ p`, for `p ∈ [0, 1)`.
+    ///
+    /// The default implementation inverts [`cdf`](Self::cdf) by bisection;
+    /// families with closed-form inverses override it.
+    fn quantile(&self, p: f64) -> f64 {
+        assert!((0.0..1.0).contains(&p), "quantile needs p in [0, 1): {p}");
+        // Bracket the quantile: grow the upper bound geometrically.
+        let mut lo = 0.0f64;
+        let mut hi = 1.0f64;
+        let mut guard = 0;
+        while self.cdf(hi) < p {
+            hi *= 2.0;
+            guard += 1;
+            assert!(guard < 2_000, "quantile bracket diverged at p={p}");
+        }
+        // 120 bisection steps ≈ full f64 resolution for any bracket.
+        for _ in 0..120 {
+            let mid = 0.5 * (lo + hi);
+            if self.cdf(mid) < p {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        0.5 * (lo + hi)
+    }
+
+    /// The distribution mean (may be `f64::INFINITY`, e.g. Pareto α ≤ 1).
+    fn mean(&self) -> f64;
+
+    /// Human-readable parameterisation, e.g. `"Exp(λ=0.18300)"`.
+    fn describe(&self) -> String;
+}
+
+/// Shared-ownership, clonable form of [`LatencyDistribution`] — what
+/// models store per WARS leg.
+pub type DynDistribution = Arc<dyn LatencyDistribution>;

@@ -1,0 +1,139 @@
+//! Sorted-sample statistics: percentiles, ECDFs, and the error metrics the
+//! paper reports (RMSE, N-RMSE).
+
+/// A batch of samples sorted once at construction, making every
+/// subsequent query — percentile, ECDF, min/max — `O(log n)` or `O(1)`.
+///
+/// This is the backbone of the Monte-Carlo engine: a sorted vector of
+/// per-trial staleness thresholds *is* the t-visibility curve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SortedSamples {
+    data: Vec<f64>,
+}
+
+impl SortedSamples {
+    /// Sort `data` (ascending). Must be nonempty and NaN-free; values may
+    /// be negative (staleness thresholds are).
+    pub fn new(mut data: Vec<f64>) -> Self {
+        assert!(!data.is_empty(), "SortedSamples needs at least one sample");
+        assert!(data.iter().all(|x| !x.is_nan()), "samples must not be NaN");
+        data.sort_unstable_by(|a, b| a.partial_cmp(b).expect("NaN excluded above"));
+        SortedSamples { data }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Always `false` (construction rejects empty batches); provided for
+    /// API completeness.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The sorted samples.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Smallest sample.
+    pub fn min(&self) -> f64 {
+        self.data[0]
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> f64 {
+        *self.data.last().expect("nonempty")
+    }
+
+    /// Arithmetic mean.
+    pub fn mean(&self) -> f64 {
+        self.data.iter().sum::<f64>() / self.data.len() as f64
+    }
+
+    /// Nearest-rank percentile, `pct ∈ [0, 100]`: the smallest sample `x`
+    /// such that at least `pct`% of samples are ≤ `x`.
+    pub fn percentile(&self, pct: f64) -> f64 {
+        assert!((0.0..=100.0).contains(&pct), "percentile out of range: {pct}");
+        let n = self.data.len();
+        let rank = (pct / 100.0 * n as f64).ceil() as usize;
+        self.data[rank.clamp(1, n) - 1]
+    }
+
+    /// Empirical CDF: the fraction of samples ≤ `x`.
+    pub fn ecdf(&self, x: f64) -> f64 {
+        self.data.partition_point(|&v| v <= x) as f64 / self.data.len() as f64
+    }
+}
+
+/// Root-mean-square error between two equal-length series.
+pub fn rmse(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "series length mismatch");
+    assert!(!a.is_empty(), "rmse of empty series");
+    let sum_sq: f64 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum();
+    (sum_sq / a.len() as f64).sqrt()
+}
+
+/// RMSE normalised by the range of the reference series `b` — the paper's
+/// N-RMSE metric (§5.4). Falls back to the raw RMSE when `b` has zero
+/// range.
+pub fn n_rmse(a: &[f64], b: &[f64]) -> f64 {
+    let e = rmse(a, b);
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &y in b {
+        lo = lo.min(y);
+        hi = hi.max(y);
+    }
+    let range = hi - lo;
+    if range > 0.0 {
+        e / range
+    } else {
+        e
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let s = SortedSamples::new(vec![4.0, 1.0, 3.0, 2.0]);
+        assert_eq!(s.as_slice(), &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.percentile(0.0), 1.0);
+        assert_eq!(s.percentile(25.0), 1.0);
+        assert_eq!(s.percentile(50.0), 2.0);
+        assert_eq!(s.percentile(75.0), 3.0);
+        assert_eq!(s.percentile(75.1), 4.0);
+        assert_eq!(s.percentile(100.0), 4.0);
+    }
+
+    #[test]
+    fn ecdf_counts_ties_inclusively() {
+        let s = SortedSamples::new(vec![0.0, 0.0, 1.0, 2.0]);
+        assert_eq!(s.ecdf(-0.5), 0.0);
+        assert_eq!(s.ecdf(0.0), 0.5);
+        assert_eq!(s.ecdf(1.5), 0.75);
+        assert_eq!(s.ecdf(2.0), 1.0);
+    }
+
+    #[test]
+    fn negative_samples_supported() {
+        let s = SortedSamples::new(vec![-3.0, 5.0, -1.0]);
+        assert_eq!(s.min(), -3.0);
+        assert_eq!(s.max(), 5.0);
+        assert!((s.mean() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.ecdf(0.0), 2.0 / 3.0);
+    }
+
+    #[test]
+    fn error_metrics() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [1.0, 2.0, 5.0];
+        assert!((rmse(&a, &b) - (4.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        // Range of b is 4 → N-RMSE is a quarter of that.
+        assert!((n_rmse(&a, &b) - (4.0f64 / 3.0).sqrt() / 4.0).abs() < 1e-12);
+        assert_eq!(rmse(&a, &a), 0.0);
+    }
+}

@@ -1,0 +1,123 @@
+//! Property tests for the distribution families: CDF shape, closed-form
+//! moments vs. sampling, quantile/CDF inversion, and `Empirical`
+//! round-tripping.
+
+use pbs_dist::{Constant, Empirical, Exponential, LatencyDistribution, Mixture, Pareto};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn sample_n(d: &dyn LatencyDistribution, n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| d.sample(&mut rng)).collect()
+}
+
+fn assert_cdf_well_formed(d: &dyn LatencyDistribution, xs: &[f64]) {
+    let mut prev = 0.0;
+    for &x in xs {
+        let c = d.cdf(x);
+        assert!((0.0..=1.0).contains(&c), "cdf({x}) = {c} out of [0, 1]");
+        assert!(c >= prev - 1e-12, "cdf not monotone at {x}: {c} < {prev}");
+        prev = c;
+    }
+    assert_eq!(d.cdf(-1.0), 0.0, "latencies are nonnegative");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 40, ..ProptestConfig::default() })]
+
+    /// CDFs are monotone nondecreasing into [0, 1] for every family.
+    #[test]
+    fn cdfs_monotone(rate in 0.01f64..5.0, xm in 0.05f64..5.0, alpha in 0.2f64..12.0, w in 0.0f64..=1.0) {
+        let grid: Vec<f64> = (0..200).map(|i| i as f64 * 0.25).collect();
+        assert_cdf_well_formed(&Exponential::from_rate(rate), &grid);
+        assert_cdf_well_formed(&Pareto::new(xm, alpha), &grid);
+        assert_cdf_well_formed(
+            &Mixture::new(w, Pareto::new(xm, alpha), Exponential::from_rate(rate)),
+            &grid,
+        );
+        assert_cdf_well_formed(&Constant::new(xm), &grid);
+    }
+
+    /// `quantile` inverts `cdf` wherever the CDF is continuous and strictly
+    /// increasing (everywhere on the support, for these families).
+    #[test]
+    fn quantile_inverts_cdf(rate in 0.01f64..5.0, xm in 0.05f64..5.0, alpha in 0.2f64..12.0, w in 0.05f64..0.95, p in 0.001f64..0.999) {
+        let exp = Exponential::from_rate(rate);
+        prop_assert!((exp.cdf(exp.quantile(p)) - p).abs() < 1e-9);
+        let pareto = Pareto::new(xm, alpha);
+        prop_assert!((pareto.cdf(pareto.quantile(p)) - p).abs() < 1e-9);
+        let mix = Mixture::new(w, pareto, exp);
+        prop_assert!((mix.cdf(mix.quantile(p)) - p).abs() < 1e-7, "mixture at p={}", p);
+    }
+
+    /// Sample means match the closed-form means within Monte-Carlo
+    /// tolerance (CLT bound scaled generously).
+    #[test]
+    fn sample_means_match_closed_form(rate in 0.05f64..2.0, xm in 0.1f64..3.0, seed in 0u64..1_000) {
+        let n = 40_000;
+        let exp = Exponential::from_rate(rate);
+        let mean = sample_n(&exp, n, seed).iter().sum::<f64>() / n as f64;
+        // Exponential: σ = mean; 6σ/√n tolerance.
+        prop_assert!(
+            (mean - exp.mean()).abs() < 6.0 * exp.mean() / (n as f64).sqrt(),
+            "Exp(λ={}) sample mean {} vs {}", rate, mean, exp.mean()
+        );
+
+        // Pareto with α > 2 so the variance exists and the CLT bound holds:
+        // σ² = xm²·α / ((α−1)²(α−2)).
+        let alpha = 4.0;
+        let pareto = Pareto::new(xm, alpha);
+        let mean = sample_n(&pareto, n, seed ^ 0xABCD).iter().sum::<f64>() / n as f64;
+        let sigma = xm * (alpha / (alpha - 2.0)).sqrt() / (alpha - 1.0);
+        prop_assert!(
+            (mean - pareto.mean()).abs() < 6.0 * sigma / (n as f64).sqrt(),
+            "Pareto(xm={}) sample mean {} vs {}", xm, mean, pareto.mean()
+        );
+    }
+
+    /// Pareto samples never fall below the scale parameter; exponential
+    /// samples are nonnegative and finite.
+    #[test]
+    fn sample_supports(rate in 0.05f64..5.0, xm in 0.05f64..5.0, alpha in 0.3f64..10.0, seed in 0u64..1_000) {
+        for v in sample_n(&Pareto::new(xm, alpha), 2_000, seed) {
+            prop_assert!(v >= xm && v.is_finite());
+        }
+        for v in sample_n(&Exponential::from_rate(rate), 2_000, seed) {
+            prop_assert!(v >= 0.0 && v.is_finite());
+        }
+    }
+
+    /// `Empirical` round-trips its input quantiles: the quantile at each
+    /// input sample's rank is the sample itself, and bootstrap sampling
+    /// only ever returns input values.
+    #[test]
+    fn empirical_round_trips_quantiles(raw in prop::collection::vec(0.0f64..100.0, 1..200), seed in 0u64..1_000) {
+        let emp = Empirical::from_samples(raw.clone());
+        let n = raw.len();
+        let mut sorted = raw.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+
+        // Nearest-rank round trip: the k-th order statistic comes back for
+        // any percentile strictly inside (k/n, (k+1)/n]; k + 0.5 avoids the
+        // floating-point boundary of the exact rank.
+        for (k, &x) in sorted.iter().enumerate() {
+            let pct = 100.0 * (k as f64 + 0.5) / n as f64;
+            prop_assert_eq!(emp.samples().percentile(pct), x, "rank {}", k);
+        }
+        prop_assert_eq!(emp.samples().min(), sorted[0]);
+        prop_assert_eq!(emp.samples().max(), sorted[n - 1]);
+
+        for v in sample_n(&emp, 500, seed) {
+            prop_assert!(raw.contains(&v), "bootstrap returned unseen value {}", v);
+        }
+    }
+
+    /// The empirical CDF evaluated at a quantile recovers at least the
+    /// requested probability (ECDF/quantile Galois connection).
+    #[test]
+    fn empirical_cdf_quantile_consistent(raw in prop::collection::vec(0.0f64..50.0, 1..100), p in 0.01f64..0.99) {
+        let emp = Empirical::from_samples(raw);
+        prop_assert!(emp.cdf(emp.quantile(p)) >= p - 1e-12);
+    }
+}

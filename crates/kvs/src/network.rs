@@ -1,7 +1,7 @@
 //! The network latency model: per-leg WARS distributions plus optional
 //! datacenter topology.
 
-use pbs_dist::{DynDistribution, LatencyDistribution};
+use pbs_dist::DynDistribution;
 use rand::RngCore;
 
 /// Which WARS leg a message travels.

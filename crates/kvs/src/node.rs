@@ -182,6 +182,10 @@ struct ReadState {
     responses: Vec<(ActorId, Option<Version>)>,
     /// Set once `R` responses arrived (the value returned to the client).
     returned: Option<Option<Version>>,
+    /// Per replica, the freshest version a read-repair write has already
+    /// been sent for during this read (a later response may reveal an even
+    /// fresher version, warranting a second repair).
+    repaired: Vec<(ActorId, Version)>,
     start: SimTime,
 }
 
@@ -426,6 +430,7 @@ impl Node {
             replicas: replicas.clone(),
             responses: Vec::with_capacity(replicas.len()),
             returned: None,
+            repaired: Vec::new(),
             start: ctx.now(),
         };
         self.pending_reads.insert(op_id, state);
@@ -473,23 +478,43 @@ impl Node {
                 });
             }
         }
-        if state.responses.len() == state.replicas.len() {
-            // All replicas responded: optionally repair the out-of-date ones.
-            let state = self.pending_reads.remove(&op_id).expect("state exists");
-            if self.opts.read_repair {
-                if let Some(freshest) = state.responses.iter().map(|(_, v)| *v).max().flatten() {
-                    for (replica, v) in &state.responses {
-                        if v.is_none_or(|v| v < freshest) {
-                            self.repairs_sent += 1;
-                            self.send(
-                                ctx,
-                                Leg::W,
-                                *replica,
-                                Msg::RepairWrite { key: state.key, version: freshest },
-                            );
-                        }
+        // Repair eagerly: as soon as the quorum has answered, any responder
+        // observed behind the freshest version seen so far gets an
+        // asynchronous repair write. Waiting for all N responses (as a
+        // digest-comparison implementation might) starves repair entirely
+        // under message loss — a dropped `S` leg would gate every repair on
+        // this key forever.
+        let mut repairs: Option<(u64, Version, Vec<ActorId>)> = None;
+        if self.opts.read_repair && state.responses.len() >= self.opts.r as usize {
+            if let Some(freshest) = state.responses.iter().map(|(_, v)| *v).max().flatten() {
+                let repaired = &state.repaired;
+                let stale: Vec<ActorId> = state
+                    .responses
+                    .iter()
+                    .filter(|(replica, v)| {
+                        v.is_none_or(|v| v < freshest)
+                            && !repaired.iter().any(|(r, to)| r == replica && *to >= freshest)
+                    })
+                    .map(|(replica, _)| *replica)
+                    .collect();
+                for &replica in &stale {
+                    // Record (or upgrade) the version this replica was
+                    // repaired to, so only a yet-fresher discovery repeats.
+                    match state.repaired.iter_mut().find(|(r, _)| *r == replica) {
+                        Some(entry) => entry.1 = freshest,
+                        None => state.repaired.push((replica, freshest)),
                     }
                 }
+                repairs = Some((state.key, freshest, stale));
+            }
+        }
+        if state.responses.len() == state.replicas.len() {
+            self.pending_reads.remove(&op_id);
+        }
+        if let Some((key, freshest, stale)) = repairs {
+            for replica in stale {
+                self.repairs_sent += 1;
+                self.send(ctx, Leg::W, replica, Msg::RepairWrite { key, version: freshest });
             }
         }
     }

@@ -1,7 +1,7 @@
 //! Latency models: how one trial's worth of W/A/R/S delays is sampled.
 
 use pbs_core::ReplicaConfig;
-use pbs_dist::{DynDistribution, LatencyDistribution};
+use pbs_dist::DynDistribution;
 use rand::Rng;
 use rand::RngCore;
 

@@ -1,0 +1,467 @@
+//! Offline stand-in for the subset of `proptest` 1.x used by this
+//! workspace.
+//!
+//! See `shims/README.md` for scope. This is purely random property
+//! testing: each `proptest!` test runs `ProptestConfig::cases` cases, with
+//! inputs drawn from a generator seeded deterministically by
+//! `(module path, test name, case index)` — so failures reproduce exactly,
+//! but there is no shrinking and no failure-persistence file.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Runner configuration; only `cases` is honoured by the shim.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each test runs.
+    pub cases: u32,
+    /// Accepted for upstream compatibility; the shim never shrinks.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream proptest's defaults.
+        ProptestConfig { cases: 256, max_shrink_iters: 1024 }
+    }
+}
+
+/// A generator of test inputs.
+///
+/// Mirrors upstream's combinator surface (`prop_map`, `prop_flat_map`)
+/// over a plain "draw one value" core instead of a shrinkable value tree.
+pub trait Strategy {
+    /// The type of values this strategy produces.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Transform produced values.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Build a dependent strategy from each produced value.
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+
+    fn generate(&self, rng: &mut StdRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// A strategy producing one fixed value.
+#[derive(Debug, Clone, Copy)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u32, u64, usize, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+}
+
+/// Types with a canonical strategy (the argument of [`any`]).
+pub trait Arbitrary: Sized {
+    /// Draw one arbitrary value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut StdRng) -> u64 {
+        rng.gen()
+    }
+}
+
+impl Arbitrary for u32 {
+    fn arbitrary(rng: &mut StdRng) -> u32 {
+        rng.gen()
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> bool {
+        rng.gen()
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut StdRng) -> f64 {
+        rng.gen()
+    }
+}
+
+/// The canonical strategy for `T` (e.g. `any::<u64>()`).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(core::marker::PhantomData)
+}
+
+/// See [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(core::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Strategy modules mirroring `proptest::{collection, option, sample}`.
+pub mod prop {
+    /// Strategies for collections.
+    pub mod collection {
+        use super::super::{SizeRange, Strategy};
+        use rand::rngs::StdRng;
+        use rand::Rng;
+        use std::collections::BTreeMap;
+
+        /// Vectors of `size` elements drawn from `element`.
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy { element, size: size.into() }
+        }
+
+        /// See [`vec`].
+        #[derive(Debug, Clone)]
+        pub struct VecStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+                let len = self.size.pick(rng);
+                (0..len).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+
+        /// `BTreeMap`s of `size` entries with keys from `key`, values from
+        /// `value`. Duplicate keys are re-drawn (bounded attempts), so the
+        /// requested size is met whenever the key space allows.
+        pub fn btree_map<K: Strategy, V: Strategy>(
+            key: K,
+            value: V,
+            size: impl Into<SizeRange>,
+        ) -> BTreeMapStrategy<K, V>
+        where
+            K::Value: Ord,
+        {
+            BTreeMapStrategy { key, value, size: size.into() }
+        }
+
+        /// See [`btree_map`].
+        #[derive(Debug, Clone)]
+        pub struct BTreeMapStrategy<K, V> {
+            key: K,
+            value: V,
+            size: SizeRange,
+        }
+
+        impl<K: Strategy, V: Strategy> Strategy for BTreeMapStrategy<K, V>
+        where
+            K::Value: Ord,
+        {
+            type Value = BTreeMap<K::Value, V::Value>;
+
+            fn generate(&self, rng: &mut StdRng) -> BTreeMap<K::Value, V::Value> {
+                let target = self.size.pick(rng);
+                let mut map = BTreeMap::new();
+                let mut attempts = 0usize;
+                while map.len() < target && attempts < target * 10 + 100 {
+                    map.insert(self.key.generate(rng), self.value.generate(rng));
+                    attempts += 1;
+                }
+                map
+            }
+        }
+
+        impl SizeRange {
+            pub(crate) fn pick(&self, rng: &mut StdRng) -> usize {
+                rng.gen_range(self.start..self.end)
+            }
+        }
+    }
+
+    /// Strategies for `Option`.
+    pub mod option {
+        use super::super::Strategy;
+        use rand::rngs::StdRng;
+        use rand::Rng;
+
+        /// `Some` with probability 3/4, `None` otherwise (upstream's
+        /// default also skews towards `Some`).
+        pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+            OptionStrategy { inner }
+        }
+
+        /// See [`of`].
+        #[derive(Debug, Clone)]
+        pub struct OptionStrategy<S> {
+            inner: S,
+        }
+
+        impl<S: Strategy> Strategy for OptionStrategy<S> {
+            type Value = Option<S::Value>;
+
+            fn generate(&self, rng: &mut StdRng) -> Option<S::Value> {
+                if rng.gen_bool(0.75) {
+                    Some(self.inner.generate(rng))
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Strategies for sampling from existing collections.
+    pub mod sample {
+        use super::super::Arbitrary;
+        use rand::rngs::StdRng;
+        use rand::Rng;
+
+        /// A stand-in for "an index into a collection of yet-unknown
+        /// length": holds entropy, resolved against a length via
+        /// [`Index::index`].
+        #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+        pub struct Index(u64);
+
+        impl Index {
+            /// Resolve against a collection of `len` elements.
+            /// Panics if `len == 0`, as upstream does.
+            pub fn index(&self, len: usize) -> usize {
+                assert!(len > 0, "cannot index an empty collection");
+                (self.0 % len as u64) as usize
+            }
+        }
+
+        impl Arbitrary for Index {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                Index(rng.gen())
+            }
+        }
+    }
+}
+
+/// Number-of-elements range for collection strategies.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    start: usize,
+    /// Exclusive.
+    end: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { start: n, end: n + 1 }
+    }
+}
+
+impl From<core::ops::Range<usize>> for SizeRange {
+    fn from(r: core::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange { start: r.start, end: r.end }
+    }
+}
+
+impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+        SizeRange { start: *r.start(), end: *r.end() + 1 }
+    }
+}
+
+/// Deterministic per-(test, case) RNG. FNV-1a over the test's identity,
+/// mixed with the case index.
+pub fn case_rng(test_id: &str, case: u64) -> StdRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_id.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    StdRng::seed_from_u64(h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Everything a `proptest!` test needs in scope.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{Arbitrary, Just, ProptestConfig, Strategy};
+}
+
+/// Assert inside a property test (panics with the usual `assert!` message;
+/// the shim has no failure-channel distinct from panicking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Equality assert inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Inequality assert inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Define property tests.
+///
+/// Supported grammar (the subset this workspace uses):
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+///
+///     /// Doc comments survive.
+///     #[test]
+///     fn my_property(x in 0u32..10, y in any::<u64>()) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@run ($cfg) $($rest)*);
+    };
+    (@run ($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                for case in 0..config.cases {
+                    let mut case_rng = $crate::case_rng(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        case as u64,
+                    );
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut case_rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@run ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn pair() -> impl Strategy<Value = (u32, u32)> {
+        (1u32..=100).prop_flat_map(|hi| (Just(hi), 1u32..=hi))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 50, ..ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_respect_bounds(x in 3u32..17, y in 0.25f64..=0.75, z in any::<u64>()) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((0.25..=0.75).contains(&y));
+            prop_assert_eq!(z, z);
+        }
+
+        #[test]
+        fn flat_map_dependencies_hold((hi, lo) in pair()) {
+            prop_assert!(lo <= hi);
+        }
+
+        #[test]
+        fn collections_sized(v in prop::collection::vec(0u64..5, 2..9),
+                             m in prop::collection::btree_map(any::<u64>(), 0u64..3, 1..6),
+                             idx in any::<prop::sample::Index>(),
+                             opt in prop::option::of(1u32..4)) {
+            prop_assert!((2..9).contains(&v.len()));
+            prop_assert!((1..6).contains(&m.len()));
+            prop_assert!(idx.index(v.len()) < v.len());
+            if let Some(x) = opt {
+                prop_assert!((1..4).contains(&x));
+            }
+        }
+    }
+}
