@@ -21,7 +21,7 @@ fn main() {
         .iter()
         .map(|&(w_rate, label)| {
             let model = exponential_model(cfg, w_rate, 1.0);
-            (label, TVisibility::simulate(&model, opts.trials, opts.seed))
+            (label, TVisibility::simulate_parallel(&model, opts.trials, opts.seed, opts.threads))
         })
         .collect();
 
@@ -34,9 +34,8 @@ fn main() {
         }
         rows.push(row);
     }
-    let mut cols = vec!["t"];
-    cols.extend(ratios.iter().map(|(_, l)| *l));
-    report::table(&cols, &rows);
+    let labels: Vec<&str> = ratios.iter().map(|(_, l)| *l).collect();
+    report::table(&report::labeled_cols("t", &labels), &rows);
 
     report::header("Key points (paper §5.3)");
     let mut rows = Vec::new();
@@ -44,10 +43,7 @@ fn main() {
         rows.push(vec![
             label.to_string(),
             report::pct(tv.prob_consistent(0.0)),
-            match tv.t_at_probability(0.999) {
-                Some(t) => report::ms(t),
-                None => "unresolved".into(),
-            },
+            report::opt_ms(tv.t_at_probability(0.999)),
         ]);
     }
     report::table(&["ARSλ:Wλ", "P(consistent) at t=0", "t @ 99.9%"], &rows);

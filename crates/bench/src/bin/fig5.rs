@@ -17,23 +17,22 @@ fn main() {
         let mut rows = Vec::new();
         for r in 1..=3u32 {
             let cfg = ReplicaConfig::new(3, r, 1).unwrap();
-            let tv = TVisibility::simulate(profile.model(cfg).as_ref(), opts.trials, opts.seed);
+            let tv = TVisibility::simulate_parallel(profile.model(cfg).as_ref(), opts.trials, opts.seed, opts.threads);
             let mut row = vec![format!("R={r}")];
             for &p in &pcts {
                 row.push(report::ms(tv.read_latency_percentile(p)));
             }
             rows.push(row);
         }
-        let mut cols = vec!["quorum"];
         let pct_labels: Vec<String> = pcts.iter().map(|p| format!("p{p}")).collect();
-        cols.extend(pct_labels.iter().map(|s| s.as_str()));
+        let cols = report::labeled_cols("quorum", &pct_labels);
         report::table(&cols, &rows);
 
         report::header(&format!("{} — write latency (ms) by percentile", profile.name()));
         let mut rows = Vec::new();
         for w in 1..=3u32 {
             let cfg = ReplicaConfig::new(3, 1, w).unwrap();
-            let tv = TVisibility::simulate(profile.model(cfg).as_ref(), opts.trials, opts.seed);
+            let tv = TVisibility::simulate_parallel(profile.model(cfg).as_ref(), opts.trials, opts.seed, opts.threads);
             let mut row = vec![format!("W={w}")];
             for &p in &pcts {
                 row.push(report::ms(tv.write_latency_percentile(p)));

@@ -25,7 +25,7 @@ fn main() {
             .iter()
             .map(|&(r, w)| {
                 let cfg = ReplicaConfig::new(3, r, w).unwrap();
-                ((r, w), TVisibility::simulate(profile.model(cfg).as_ref(), opts.trials, opts.seed))
+                ((r, w), TVisibility::simulate_parallel(profile.model(cfg).as_ref(), opts.trials, opts.seed, opts.threads))
             })
             .collect();
 
@@ -43,16 +43,14 @@ fn main() {
         }
         let labels: Vec<String> =
             quorums.iter().map(|(r, w)| format!("R={r} W={w}")).collect();
-        let mut cols = vec!["t"];
-        cols.extend(labels.iter().map(|s| s.as_str()));
-        report::table(&cols, &rows);
+        report::table(&report::labeled_cols("t", &labels), &rows);
     }
 
     report::header("Immediate consistency, P(consistent at t=0), R=W=1 (paper §5.6)");
     let mut rows = Vec::new();
     for profile in ProductionProfile::ALL {
         let cfg = ReplicaConfig::new(3, 1, 1).unwrap();
-        let tv = TVisibility::simulate(profile.model(cfg).as_ref(), opts.trials, opts.seed);
+        let tv = TVisibility::simulate_parallel(profile.model(cfg).as_ref(), opts.trials, opts.seed, opts.threads);
         let paper = match profile {
             ProductionProfile::LnkdSsd => "97.4%",
             ProductionProfile::LnkdDisk => "43.9%",

@@ -23,6 +23,7 @@ fn main() {
             &ns,
             opts.trials,
             opts.seed,
+            opts.threads,
         );
 
         report::header(&format!("{} — P(consistency) vs t (ms)", profile.name()));
@@ -35,19 +36,14 @@ fn main() {
             rows.push(row);
         }
         let labels: Vec<String> = ns.iter().map(|n| format!("N={n}")).collect();
-        let mut cols = vec!["t"];
-        cols.extend(labels.iter().map(|s| s.as_str()));
-        report::table(&cols, &rows);
+        report::table(&report::labeled_cols("t", &labels), &rows);
 
         let mut rows = Vec::new();
         for (n, tv) in &runs {
             rows.push(vec![
                 format!("N={n}"),
                 report::pct(tv.prob_consistent(0.0)),
-                match tv.t_at_probability(0.999) {
-                    Some(t) => report::ms(t),
-                    None => "unresolved".into(),
-                },
+                report::opt_ms(tv.t_at_probability(0.999)),
             ]);
         }
         report::table(&["config", "P(consistent) at t=0", "t @ 99.9% (ms)"], &rows);

@@ -28,9 +28,8 @@ fn main() {
         row.push(format!("{:.3}", staleness::expected_staleness_versions(cfg)));
         rows.push(row);
     }
-    let mut cols = vec!["config"];
     let k_labels: Vec<String> = ks.iter().map(|k| format!("k={k}")).collect();
-    cols.extend(k_labels.iter().map(|s| s.as_str()));
+    let mut cols = report::labeled_cols("config", &k_labels);
     cols.push("E[stale]");
     report::table(&cols, &rows);
     println!("(paper: N=3,R=W=1 → k=3: 0.703, k=5: >0.868, k=10: >0.98;");
@@ -73,6 +72,7 @@ fn main() {
                 spacing: WriteSpacing::Fixed(10.0),
                 trials: opts.trials / 4,
                 seed: opts.seed,
+                threads: opts.threads,
             },
         );
         rows.push(vec![

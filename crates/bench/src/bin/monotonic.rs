@@ -25,10 +25,8 @@ fn main() {
         }
         rows.push(row);
     }
-    let mut cols = vec!["config"];
     let ratio_labels: Vec<String> = ratios.iter().map(|r| format!("γgw/γcr={r}")).collect();
-    cols.extend(ratio_labels.iter().map(|s| s.as_str()));
-    report::table(&cols, &rows);
+    report::table(&report::labeled_cols("config", &ratio_labels), &rows);
 
     report::header("Session simulation: empirical k vs. 1 + γgw/γcr");
     let mut rows = Vec::new();

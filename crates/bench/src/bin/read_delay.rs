@@ -19,14 +19,11 @@ fn main() {
     let mut rows = Vec::new();
     for delay in [0.0f64, 1.0, 2.0, 5.0, 10.0, 20.0, 40.0] {
         let model = WithReadDelay::new(lnkd_disk_model(cfg), delay);
-        let tv = TVisibility::simulate(&model, opts.trials, opts.seed);
+        let tv = TVisibility::simulate_parallel(&model, opts.trials, opts.seed, opts.threads);
         rows.push(vec![
             format!("{delay}"),
             report::pct(tv.prob_consistent(0.0)),
-            match tv.t_at_probability(0.999) {
-                Some(t) => report::ms(t),
-                None => "unresolved".into(),
-            },
+            report::opt_ms(tv.t_at_probability(0.999)),
             report::ms(tv.read_latency_percentile(99.9)),
         ]);
     }
@@ -39,7 +36,7 @@ fn main() {
     let mut rows = Vec::new();
     for r in [1u32, 2, 3] {
         let c = ReplicaConfig::new(3, r, 1).unwrap();
-        let tv = TVisibility::simulate(&lnkd_disk_model(c), opts.trials, opts.seed);
+        let tv = TVisibility::simulate_parallel(&lnkd_disk_model(c), opts.trials, opts.seed, opts.threads);
         rows.push(vec![
             format!("R={r}"),
             report::pct(tv.prob_consistent(0.0)),

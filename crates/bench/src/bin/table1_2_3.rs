@@ -68,7 +68,7 @@ fn main() {
             fits::table1_ssd_targets(),
         ),
     ] {
-        let tv = TVisibility::simulate(&model, opts.trials, opts.seed);
+        let tv = TVisibility::simulate_parallel(&model, opts.trials, opts.seed, opts.threads);
         let (targets, avg) = published;
         for t in &targets {
             rows.push(vec![
@@ -84,7 +84,7 @@ fn main() {
 
     // Table 2: Yammer Riak, N=3, R=W=2.
     let ymmr = ymmr_model(ReplicaConfig::new(3, 2, 2).unwrap());
-    let tv = TVisibility::simulate(&ymmr, opts.trials, opts.seed);
+    let tv = TVisibility::simulate_parallel(&ymmr, opts.trials, opts.seed, opts.threads);
     for t in fits::table2_read_targets() {
         rows.push(vec![
             "YMMR reads (Table 2)".into(),

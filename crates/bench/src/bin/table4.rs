@@ -10,9 +10,8 @@ fn main() {
     // The paper used 50k writes for t-visibility and 1M for latency; one
     // million trials serves both here.
     let opts = HarnessOptions::parse(1_000_000);
-    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
     println!("Table 4: t-visibility @99.9% and p99.9 operation latencies (§5.8), N=3");
-    println!("({} trials per cell, {} threads)", opts.trials, threads);
+    println!("({} trials per cell, {} threads)", opts.trials, opts.threads);
 
     for profile in ProductionProfile::ALL {
         report::header(profile.name());
@@ -22,7 +21,7 @@ fn main() {
             &TABLE4_PAIRS,
             opts.trials,
             opts.seed,
-            threads,
+            opts.threads,
         );
         let mut rows = Vec::new();
         for row in rows_data {
@@ -30,10 +29,7 @@ fn main() {
                 format!("R={}, W={}", row.cfg.r(), row.cfg.w()),
                 report::ms(row.read_latency),
                 report::ms(row.write_latency),
-                match row.t_visibility {
-                    Some(t) => report::ms(t),
-                    None => "unresolved".into(),
-                },
+                report::opt_ms(row.t_visibility),
             ]);
         }
         report::table(&["config", "Lr p99.9 (ms)", "Lw p99.9 (ms)", "t @ 99.9% (ms)"], &rows);

@@ -11,8 +11,8 @@ use pbs_bench::{report, HarnessOptions};
 use pbs_core::ReplicaConfig;
 use pbs_dist::stats::{n_rmse, rmse};
 use pbs_dist::Exponential;
-use pbs_kvs::cluster::{Cluster, ClusterOptions};
-use pbs_kvs::experiments::measure_t_visibility;
+use pbs_kvs::cluster::ClusterOptions;
+use pbs_kvs::experiments::measure_t_visibility_sharded;
 use pbs_kvs::NetworkModel;
 use pbs_wars::production::exponential_model;
 use pbs_wars::TVisibility;
@@ -41,19 +41,32 @@ fn main() {
     let mut all_lat_nrmse = Vec::new();
     for &wl in &w_rates {
         for &al in &ars_rates {
-            // --- live store measurement ---
-            let mut cluster = Cluster::new(
-                ClusterOptions::validation(cfg, opts.seed),
-                NetworkModel::w_ars(
-                    Arc::new(Exponential::from_rate(wl)),
-                    Arc::new(Exponential::from_rate(al)),
-                ),
+            // --- live store measurement: independent clusters per shard ---
+            let network = NetworkModel::w_ars(
+                Arc::new(Exponential::from_rate(wl)),
+                Arc::new(Exponential::from_rate(al)),
             );
-            let measured = measure_t_visibility(&mut cluster, 1, &offsets, trials_per_offset, 0.0);
+            let measured = measure_t_visibility_sharded(
+                ClusterOptions::validation(cfg, opts.seed),
+                &network,
+                1,
+                &offsets,
+                trials_per_offset,
+                0.0,
+                opts.threads,
+            );
 
             // --- WARS prediction ---
+            // Base seed far from the measurement's: shard seeds derive as
+            // `seed ^ i`, so adjacent base seeds could share shard RNG
+            // streams between the two runs being compared.
             let model = exponential_model(cfg, wl, al);
-            let predicted = TVisibility::simulate(&model, 400_000, opts.seed + 1);
+            let predicted = TVisibility::simulate_parallel(
+                &model,
+                400_000,
+                opts.seed + 0x10_000,
+                opts.threads,
+            );
 
             // t-visibility RMSE across the offset grid (in probability).
             let measured_p: Vec<f64> =
@@ -62,19 +75,18 @@ fn main() {
                 measured.points.iter().map(|p| predicted.prob_consistent(p.t_ms)).collect();
             let tvis_rmse = rmse(&predicted_p, &measured_p);
 
-            // Latency N-RMSE across the 1..99.9th percentiles.
+            // Latency N-RMSE across the 1..99.9th percentiles, straight off
+            // the streaming summaries (no sample buffers on either side).
             let pcts: Vec<f64> = (1..=99)
                 .map(|p| p as f64)
                 .chain([99.9])
                 .collect();
-            let m_read = pbs_dist::stats::SortedSamples::new(measured.read_latencies.clone());
-            let m_write = pbs_dist::stats::SortedSamples::new(measured.write_latencies.clone());
             let mut meas = Vec::new();
             let mut pred = Vec::new();
             for &p in &pcts {
-                meas.push(m_read.percentile(p));
+                meas.push(measured.read_latency.percentile(p));
                 pred.push(predicted.read_latency_percentile(p));
-                meas.push(m_write.percentile(p));
+                meas.push(measured.write_latency.percentile(p));
                 pred.push(predicted.write_latency_percentile(p));
             }
             let lat_nrmse = n_rmse(&pred, &meas);

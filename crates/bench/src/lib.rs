@@ -24,7 +24,10 @@
 //!
 //! Run all of them with `scripts/run_all.sh` or individually:
 //! `cargo run -p pbs-bench --release --bin fig6`. Every binary accepts
-//! `--quick` (reduced trial counts for smoke runs) and `--trials=N`.
+//! `--quick` (reduced trial counts for smoke runs), `--trials=N`,
+//! `--seed=N`, and `--threads=N` (shards for the deterministic `pbs-mc`
+//! runner; output is bit-reproducible for a fixed `(seed, threads)`
+//! pair and defaults to all available cores).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -78,6 +81,25 @@ pub mod report {
             format!("{v:.3}")
         }
     }
+
+    /// Format an optional millisecond value (`None` → `"unresolved"`) —
+    /// the shape of every `t_at_probability` table cell.
+    pub fn opt_ms(v: Option<f64>) -> String {
+        match v {
+            Some(t) => ms(t),
+            None => "unresolved".into(),
+        }
+    }
+
+    /// Build a header row from a fixed first column plus per-series
+    /// labels — the `vec!["t"]; cols.extend(labels…)` pattern previously
+    /// duplicated across the figure binaries. Accepts `&[String]` and
+    /// `&[&str]` alike.
+    pub fn labeled_cols<'a, S: AsRef<str>>(first: &'a str, labels: &'a [S]) -> Vec<&'a str> {
+        let mut cols = vec![first];
+        cols.extend(labels.iter().map(|s| s.as_ref()));
+        cols
+    }
 }
 
 /// Harness CLI options, parsed from `std::env::args`.
@@ -87,14 +109,20 @@ pub struct HarnessOptions {
     pub trials: usize,
     /// Seed for all RNGs.
     pub seed: u64,
+    /// Shards for the deterministic `pbs-mc` runner. Defaults to the
+    /// host's available parallelism; results are bit-reproducible for a
+    /// fixed `(seed, threads)` pair.
+    pub threads: usize,
 }
 
 impl HarnessOptions {
-    /// Parse `--quick`, `--trials=N`, and `--seed=N` with a default trial
-    /// budget (chosen per binary to balance fidelity and runtime).
+    /// Parse `--quick`, `--trials=N`, `--seed=N`, and `--threads=N` with a
+    /// default trial budget (chosen per binary to balance fidelity and
+    /// runtime).
     pub fn parse(default_trials: usize) -> Self {
         let mut trials = default_trials;
         let mut seed = 42u64;
+        let mut threads = pbs_mc::Runner::available_threads();
         for arg in std::env::args().skip(1) {
             if arg == "--quick" {
                 trials = (default_trials / 20).max(1_000);
@@ -102,12 +130,17 @@ impl HarnessOptions {
                 trials = v.parse().expect("--trials=N requires an integer");
             } else if let Some(v) = arg.strip_prefix("--seed=") {
                 seed = v.parse().expect("--seed=N requires an integer");
+            } else if let Some(v) = arg.strip_prefix("--threads=") {
+                threads = v.parse().expect("--threads=N requires an integer");
+                assert!(threads > 0, "--threads must be at least 1");
             } else {
-                eprintln!("unknown argument: {arg} (supported: --quick --trials=N --seed=N)");
+                eprintln!(
+                    "unknown argument: {arg} (supported: --quick --trials=N --seed=N --threads=N)"
+                );
                 std::process::exit(2);
             }
         }
-        Self { trials, seed }
+        Self { trials, seed, threads }
     }
 }
 
@@ -125,5 +158,13 @@ mod tests {
     fn ms_formatting() {
         assert_eq!(report::ms(1.2345), "1.234");
         assert_eq!(report::ms(1234.5), "1234.5");
+        assert_eq!(report::opt_ms(Some(2.0)), "2.000");
+        assert_eq!(report::opt_ms(None), "unresolved");
+    }
+
+    #[test]
+    fn labeled_cols_prepends_first() {
+        let labels = vec!["a".to_string(), "b".to_string()];
+        assert_eq!(report::labeled_cols("t", &labels), vec!["t", "a", "b"]);
     }
 }

@@ -2,8 +2,15 @@
 //! latencies on the simulated store, in the exact shape the paper used to
 //! validate WARS against Cassandra ("we inserted increasing versions of a
 //! key while concurrently issuing read requests").
+//!
+//! Latencies stream into `pbs-mc` [`Summary`] sketches (O(1) memory) and
+//! measurements are [`Mergeable`], so probe budgets can shard across
+//! threads as independent clusters — see
+//! [`measure_t_visibility_sharded`].
 
-use crate::cluster::Cluster;
+use crate::cluster::{Cluster, ClusterOptions};
+use crate::network::NetworkModel;
+use pbs_mc::{Mergeable, Runner, Summary};
 use pbs_sim::SimDuration;
 
 /// Empirical consistency at one read offset.
@@ -29,16 +36,38 @@ impl OffsetPoint {
 pub struct TVisibilityMeasurement {
     /// Per-offset consistency counts.
     pub points: Vec<OffsetPoint>,
-    /// Commit latencies of every successful write (ms).
-    pub write_latencies: Vec<f64>,
-    /// Latencies of every completed read (ms).
-    pub read_latencies: Vec<f64>,
+    /// Streaming summary of commit latencies of every successful write (ms).
+    pub write_latency: Summary,
+    /// Streaming summary of latencies of every completed read (ms).
+    pub read_latency: Summary,
 }
 
 impl TVisibilityMeasurement {
     /// The `(t, P(consistent))` series.
     pub fn series(&self) -> Vec<(f64, f64)> {
         self.points.iter().map(|p| (p.t_ms, p.probability())).collect()
+    }
+}
+
+impl Mergeable for TVisibilityMeasurement {
+    /// Fold another measurement over the **same offset grid** into this
+    /// one: per-offset counts add, latency summaries merge.
+    fn merge(&mut self, other: Self) {
+        if other.points.is_empty() {
+            return;
+        }
+        if self.points.is_empty() {
+            *self = other;
+            return;
+        }
+        assert_eq!(self.points.len(), other.points.len(), "offset grids differ");
+        for (a, b) in self.points.iter_mut().zip(other.points) {
+            assert_eq!(a.t_ms, b.t_ms, "offset grids differ");
+            a.trials += b.trials;
+            a.consistent += b.consistent;
+        }
+        self.write_latency.merge(other.write_latency);
+        self.read_latency.merge(other.read_latency);
     }
 }
 
@@ -67,13 +96,13 @@ pub fn measure_t_visibility(
             let Some(commit) = w.commit else {
                 continue; // failed write: no probe
             };
-            out.write_latencies.push(w.latency_ms().expect("committed"));
+            out.write_latency.record(w.latency_ms().expect("committed"));
             let read_at = commit + SimDuration::from_ms(t);
             let r = cluster.read_at(key, read_at);
             let Some(label) = r.label else {
                 continue; // read timed out (possible under failures)
             };
-            out.read_latencies.push(r.latency_ms().expect("completed"));
+            out.read_latency.record(r.latency_ms().expect("completed"));
             point.trials += 1;
             if label.consistent {
                 point.consistent += 1;
@@ -85,7 +114,35 @@ pub fn measure_t_visibility(
         }
         out.points.push(point);
     }
+    out.write_latency.seal();
+    out.read_latency.seal();
     out
+}
+
+/// Sharded [`measure_t_visibility`]: the probe budget splits across
+/// `threads` **independent clusters** (shard `i` gets cluster seed
+/// `opts.seed ^ i` via the deterministic runner), so cluster simulation
+/// saturates every core. Results merge per offset and are bit-reproducible
+/// for a fixed `(opts.seed, threads)` pair.
+pub fn measure_t_visibility_sharded(
+    opts: ClusterOptions,
+    network: &NetworkModel,
+    key: u64,
+    offsets: &[f64],
+    trials_per_offset: usize,
+    spacing_ms: f64,
+    threads: usize,
+) -> TVisibilityMeasurement {
+    assert!(!offsets.is_empty() && trials_per_offset > 0 && threads > 0);
+    Runner::new(trials_per_offset, opts.seed, threads).run(|_rng, info| {
+        if info.trials == 0 {
+            return TVisibilityMeasurement::default();
+        }
+        let mut shard_opts = opts;
+        shard_opts.seed = info.seed;
+        let mut cluster = Cluster::new(shard_opts, network.clone());
+        measure_t_visibility(&mut cluster, key, offsets, info.trials, spacing_ms)
+    })
 }
 
 /// Measure the distribution of *versions behind* at a fixed offset — the
@@ -124,13 +181,17 @@ mod tests {
     use pbs_dist::Exponential;
     use std::sync::Arc;
 
+    fn net(w_rate: f64, ars_rate: f64) -> NetworkModel {
+        NetworkModel::w_ars(
+            Arc::new(Exponential::from_rate(w_rate)),
+            Arc::new(Exponential::from_rate(ars_rate)),
+        )
+    }
+
     fn make_cluster(n: u32, r: u32, w: u32, w_rate: f64, ars_rate: f64, seed: u64) -> Cluster {
         Cluster::new(
             ClusterOptions::validation(ReplicaConfig::new(n, r, w).unwrap(), seed),
-            NetworkModel::w_ars(
-                Arc::new(Exponential::from_rate(w_rate)),
-                Arc::new(Exponential::from_rate(ars_rate)),
-            ),
+            net(w_rate, ars_rate),
         )
     }
 
@@ -141,8 +202,9 @@ mod tests {
         let series = m.series();
         assert!(series[0].1 < series[3].1, "staleness should vanish with t: {series:?}");
         assert!(series[3].1 > 0.97, "t=120ms should be nearly always consistent");
-        assert_eq!(m.write_latencies.len(), 1200);
-        assert_eq!(m.read_latencies.len(), 1200);
+        assert_eq!(m.write_latency.count(), 1200);
+        assert_eq!(m.read_latency.count(), 1200);
+        assert!(m.read_latency.percentile(99.0) > m.read_latency.percentile(50.0));
     }
 
     #[test]
@@ -161,5 +223,44 @@ mod tests {
         assert_eq!(hist.len(), 5);
         // Most reads are 0 or 1 versions behind even when stale.
         assert!(hist[0] > 0.1);
+    }
+
+    #[test]
+    fn sharded_measurement_matches_single_cluster() {
+        let cfg = ReplicaConfig::new(3, 1, 1).unwrap();
+        let opts = ClusterOptions::validation(cfg, 11);
+        let network = net(0.1, 0.5);
+        let offsets = [0.0, 20.0, 80.0];
+        let sharded =
+            measure_t_visibility_sharded(opts, &network, 5, &offsets, 600, 0.0, 3);
+        assert_eq!(sharded.points.len(), 3);
+        for p in &sharded.points {
+            assert_eq!(p.trials, 600, "shards must cover the full budget");
+        }
+        assert_eq!(sharded.write_latency.count(), 1800);
+        // Statistically equivalent to one big cluster run.
+        let mut cluster = Cluster::new(opts, network.clone());
+        let single = measure_t_visibility(&mut cluster, 5, &offsets, 600, 0.0);
+        for (a, b) in sharded.points.iter().zip(&single.points) {
+            assert!(
+                (a.probability() - b.probability()).abs() < 0.08,
+                "t={}: sharded {} vs single {}",
+                a.t_ms,
+                a.probability(),
+                b.probability()
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_measurement_is_deterministic() {
+        let cfg = ReplicaConfig::new(3, 1, 1).unwrap();
+        let opts = ClusterOptions::validation(cfg, 4);
+        let network = net(0.2, 0.5);
+        let run = || measure_t_visibility_sharded(opts, &network, 2, &[0.0, 10.0], 200, 0.0, 4);
+        let (a, b) = (run(), run());
+        assert_eq!(a.points, b.points);
+        assert_eq!(a.write_latency, b.write_latency);
+        assert_eq!(a.read_latency, b.read_latency);
     }
 }

@@ -23,6 +23,10 @@ pub enum Leg {
 /// WARS assumptions); an optional datacenter map adds a fixed penalty to
 /// messages crossing datacenter boundaries, reproducing §5.5's WAN model
 /// inside the full store.
+///
+/// `Clone` is cheap (per-leg distributions are shared `Arc`s) — sharded
+/// experiment drivers clone one model per independent cluster.
+#[derive(Clone)]
 pub struct NetworkModel {
     w: DynDistribution,
     a: DynDistribution,

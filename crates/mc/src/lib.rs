@@ -1,0 +1,39 @@
+//! # pbs-mc — deterministic parallel Monte Carlo with streaming statistics
+//!
+//! The execution substrate for every Monte-Carlo estimate in the PBS
+//! reproduction (t-visibility curves, ⟨k,t⟩-staleness, quorum loads,
+//! cluster-simulation probes). Two pieces:
+//!
+//! * [`Runner`] — a deterministic sharded trial runner. `trials` split
+//!   across `threads` shards; shard `i` seeds its RNG from `seed ^ i`;
+//!   per-shard [`Mergeable`] accumulators fold in shard order. Results are
+//!   **bit-reproducible for a fixed `(seed, threads)` pair** and agree
+//!   across thread counts within Monte-Carlo error.
+//! * [`Summary`] / [`QuantileSketch`] / [`Moments`] — streaming per-shard
+//!   statistics in O(1) memory: a mergeable t-digest quantile sketch
+//!   (rank error ∝ 1/compression, exact at the extreme tails) plus exact
+//!   online mean/variance/extrema. These replace the buffer-and-sort
+//!   `SortedSamples` idiom in hot paths, making peak memory independent of
+//!   the trial count.
+//!
+//! ```
+//! use pbs_mc::{Runner, Summary};
+//! use rand::Rng;
+//!
+//! let summary = Runner::new(100_000, 42, 4).run_trials(Summary::new, |rng, acc| {
+//!     acc.record(rng.gen::<f64>());
+//! });
+//! assert_eq!(summary.count(), 100_000);
+//! assert!((summary.percentile(99.0) - 0.99).abs() < 0.01);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod runner;
+pub mod sketch;
+pub mod summary;
+
+pub use runner::{Mergeable, Runner, ShardInfo};
+pub use sketch::QuantileSketch;
+pub use summary::{Moments, Summary};

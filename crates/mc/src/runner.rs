@@ -1,0 +1,296 @@
+//! The deterministic sharded trial runner.
+//!
+//! Every Monte-Carlo workload in the workspace funnels through [`Runner`]:
+//! `trials` are split across `threads` shards, shard `i` derives its RNG
+//! seed as `seed ^ i`, and per-shard accumulators are merged in ascending
+//! shard order. The result is therefore **bit-reproducible for a fixed
+//! `(seed, threads)` pair** — independent of scheduling, core count, or
+//! whether shards actually ran concurrently.
+//!
+//! Determinism contract:
+//!
+//! 1. shard `i` runs `trials/threads` trials, plus one extra for the first
+//!    `trials % threads` shards (so shard sizes depend only on
+//!    `(trials, threads)`);
+//! 2. shard `i` seeds a fresh [`StdRng`] from `seed ^ i` (shard 0 therefore
+//!    replays the unsharded `seed` stream exactly);
+//! 3. accumulators merge left-to-right in shard order, regardless of
+//!    completion order.
+//!
+//! Changing `threads` changes which RNG stream produces which trial, so
+//! results for different thread counts agree only *statistically* (within
+//! Monte-Carlo error), not bitwise.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Per-shard accumulators that can be folded into one result.
+///
+/// `merge` must be associative with respect to the sample streams it
+/// absorbs; the runner always folds shards left-to-right in shard order,
+/// so implementations need not be commutative.
+pub trait Mergeable {
+    /// Fold `other` (a later shard's accumulator) into `self`.
+    fn merge(&mut self, other: Self);
+}
+
+impl<A: Mergeable, B: Mergeable> Mergeable for (A, B) {
+    fn merge(&mut self, other: Self) {
+        self.0.merge(other.0);
+        self.1.merge(other.1);
+    }
+}
+
+impl<A: Mergeable, B: Mergeable, C: Mergeable> Mergeable for (A, B, C) {
+    fn merge(&mut self, other: Self) {
+        self.0.merge(other.0);
+        self.1.merge(other.1);
+        self.2.merge(other.2);
+    }
+}
+
+impl Mergeable for Vec<u64> {
+    /// Element-wise sum; length mismatches extend with the longer tail.
+    fn merge(&mut self, other: Self) {
+        if self.len() < other.len() {
+            self.resize(other.len(), 0);
+        }
+        for (a, b) in self.iter_mut().zip(other) {
+            *a += b;
+        }
+    }
+}
+
+/// Everything a shard closure may want to know about its slice of the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardInfo {
+    /// Shard index in `0..threads`.
+    pub index: usize,
+    /// Trials assigned to this shard (may be 0 when `threads > trials`).
+    pub trials: usize,
+    /// The shard's derived seed, `runner_seed ^ index` — already used to
+    /// seed the `StdRng` handed to the closure, exposed for workloads that
+    /// seed their own sub-generators (e.g. whole-cluster simulations).
+    pub seed: u64,
+}
+
+/// A deterministic sharded Monte-Carlo runner (see module docs for the
+/// determinism contract).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Runner {
+    trials: usize,
+    seed: u64,
+    threads: usize,
+}
+
+impl Runner {
+    /// Configure a run of `trials` total trials over `threads` shards.
+    ///
+    /// Panics if `threads == 0`. `trials == 0` is allowed (every shard
+    /// sees zero trials and accumulators merge empty).
+    pub fn new(trials: usize, seed: u64, threads: usize) -> Self {
+        assert!(threads > 0, "need at least one shard");
+        Self { trials, seed, threads }
+    }
+
+    /// Total trials across all shards.
+    pub fn trials(&self) -> usize {
+        self.trials
+    }
+
+    /// Base seed of the run.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Number of shards.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The number of trials shard `i` executes: an even split with the
+    /// remainder spread over the lowest-indexed shards.
+    pub fn shard_trials(&self, index: usize) -> usize {
+        assert!(index < self.threads);
+        let base = self.trials / self.threads;
+        let extra = usize::from(index < self.trials % self.threads);
+        base + extra
+    }
+
+    /// Shard `i`'s derived RNG seed: `seed ^ i`.
+    ///
+    /// Note for callers comparing **independent** runs: because derivation
+    /// is a raw XOR, two runs whose base seeds differ by less than the
+    /// shard count can share shard seeds (e.g. base seeds 42 and 43 with
+    /// `threads ≥ 2` both produce shard seed 43). Separate independent
+    /// runs' base seeds by more than the largest thread count in play.
+    pub fn shard_seed(&self, index: usize) -> u64 {
+        assert!(index < self.threads);
+        self.seed ^ index as u64
+    }
+
+    /// The host's available parallelism (≥ 1) — the conventional default
+    /// for `threads` when the caller has no preference.
+    pub fn available_threads() -> usize {
+        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+    }
+
+    /// Run one closure invocation per shard and fold the accumulators in
+    /// shard order.
+    ///
+    /// The closure receives a freshly seeded [`StdRng`] (from
+    /// [`shard_seed`](Self::shard_seed)) and the shard's [`ShardInfo`]; it
+    /// must execute exactly `info.trials` trials to honour the determinism
+    /// contract. With `threads == 1` the shard runs inline on the calling
+    /// thread — no spawn, identical results.
+    pub fn run<A, F>(&self, shard_fn: F) -> A
+    where
+        A: Mergeable + Send,
+        F: Fn(&mut StdRng, ShardInfo) -> A + Sync,
+    {
+        let shard = |index: usize| -> A {
+            let info = ShardInfo {
+                index,
+                trials: self.shard_trials(index),
+                seed: self.shard_seed(index),
+            };
+            let mut rng = StdRng::seed_from_u64(info.seed);
+            shard_fn(&mut rng, info)
+        };
+        if self.threads == 1 {
+            return shard(0);
+        }
+        let mut results: Vec<A> = Vec::with_capacity(self.threads);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> =
+                (0..self.threads).map(|i| scope.spawn(move || shard(i))).collect();
+            for h in handles {
+                results.push(h.join().expect("Monte-Carlo shard panicked"));
+            }
+        });
+        let mut folded = results.remove(0);
+        for acc in results {
+            folded.merge(acc);
+        }
+        folded
+    }
+
+    /// Per-trial convenience over [`run`](Self::run): each shard builds an
+    /// accumulator with `init`, then calls `trial(&mut rng, &mut acc)` once
+    /// per assigned trial. Per-shard scratch state belongs inside the
+    /// accumulator (its `merge` can simply drop it).
+    pub fn run_trials<A, FI, FT>(&self, init: FI, trial: FT) -> A
+    where
+        A: Mergeable + Send,
+        FI: Fn() -> A + Sync,
+        FT: Fn(&mut StdRng, &mut A) + Sync,
+    {
+        self.run(|rng, info| {
+            let mut acc = init();
+            for _ in 0..info.trials {
+                trial(rng, &mut acc);
+            }
+            acc
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[derive(Default)]
+    struct Sum(f64, u64);
+    impl Mergeable for Sum {
+        fn merge(&mut self, other: Self) {
+            self.0 += other.0;
+            self.1 += other.1;
+        }
+    }
+
+    #[test]
+    fn shard_sizes_partition_trials() {
+        let r = Runner::new(10, 0, 4);
+        let sizes: Vec<usize> = (0..4).map(|i| r.shard_trials(i)).collect();
+        assert_eq!(sizes, vec![3, 3, 2, 2]);
+        assert_eq!(sizes.iter().sum::<usize>(), 10);
+        // More shards than trials: trailing shards are empty.
+        let r = Runner::new(2, 0, 5);
+        let sizes: Vec<usize> = (0..5).map(|i| r.shard_trials(i)).collect();
+        assert_eq!(sizes, vec![1, 1, 0, 0, 0]);
+    }
+
+    #[test]
+    fn shard_seed_is_xor() {
+        let r = Runner::new(8, 0b1010, 4);
+        assert_eq!(r.shard_seed(0), 0b1010);
+        assert_eq!(r.shard_seed(3), 0b1001);
+    }
+
+    #[test]
+    fn identical_seed_and_threads_bitwise_identical() {
+        let run = || {
+            Runner::new(10_000, 99, 4).run_trials(Sum::default, |rng, acc| {
+                acc.0 += rng.gen::<f64>();
+                acc.1 += 1;
+            })
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.0.to_bits(), b.0.to_bits(), "must be bit-reproducible");
+        assert_eq!(a.1, 10_000);
+        assert_eq!(b.1, 10_000);
+    }
+
+    #[test]
+    fn single_thread_matches_shard_zero_stream() {
+        // threads=1 must replay the plain `seed` stream (shard 0, seed^0).
+        let sharded = Runner::new(1_000, 7, 1).run_trials(Sum::default, |rng, acc| {
+            acc.0 += rng.gen::<f64>();
+            acc.1 += 1;
+        });
+        let mut rng = StdRng::seed_from_u64(7);
+        let direct: f64 = (0..1_000).map(|_| rng.gen::<f64>()).sum();
+        assert_eq!(sharded.0.to_bits(), direct.to_bits());
+    }
+
+    #[test]
+    fn thread_counts_agree_statistically() {
+        let mean = |threads: usize| {
+            let s = Runner::new(200_000, 1, threads).run_trials(Sum::default, |rng, acc| {
+                acc.0 += rng.gen::<f64>();
+                acc.1 += 1;
+            });
+            s.0 / s.1 as f64
+        };
+        let (m1, m4) = (mean(1), mean(4));
+        assert!((m1 - 0.5).abs() < 0.005, "{m1}");
+        assert!((m4 - 0.5).abs() < 0.005, "{m4}");
+    }
+
+    #[test]
+    fn merge_order_is_shard_order() {
+        // A non-commutative accumulator (records shard indices in order).
+        struct Order(Vec<u64>);
+        impl Mergeable for Order {
+            fn merge(&mut self, other: Self) {
+                self.0.extend(other.0);
+            }
+        }
+        let order = Runner::new(8, 0, 8).run(|_rng, info| Order(vec![info.index as u64]));
+        assert_eq!(order.0, (0..8).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn vec_u64_merge_sums_elementwise() {
+        let mut a = vec![1, 2];
+        a.merge(vec![10, 20, 30]);
+        assert_eq!(a, vec![11, 22, 30]);
+    }
+
+    #[test]
+    fn zero_trials_allowed() {
+        let s = Runner::new(0, 3, 4).run_trials(Sum::default, |_, _| unreachable!());
+        assert_eq!(s.1, 0);
+    }
+}

@@ -1,0 +1,486 @@
+//! A mergeable streaming quantile sketch (merging t-digest).
+//!
+//! Replaces the buffer-everything-and-sort idiom (`SortedSamples`) in the
+//! Monte-Carlo hot paths: memory is **O(compression)** — independent of the
+//! number of recorded samples — and per-sample cost is amortised O(1)
+//! (values buffer into a small batch; full batches merge into at most
+//! ~2·compression weighted centroids under the t-digest `k1` scale
+//! function).
+//!
+//! Error model: rank (quantile) error, not value error. With the `k1`
+//! scale function the rank error at quantile `q` is
+//! `O(q(1−q)/compression)` — tightest exactly at the tails the paper cares
+//! about (p99.9 t-visibility), where centroids degenerate to singletons and
+//! queries become exact. The default compression of 200 keeps mid-quantile
+//! rank error well under 0.5%.
+//!
+//! Determinism: insertion and merge are deterministic, so a fixed sample
+//! stream (and fixed merge order — see `runner`) yields bit-identical
+//! query results.
+
+use crate::runner::Mergeable;
+
+/// Default compression (δ): ~2δ centroids ceiling, <0.5% mid-rank error.
+pub const DEFAULT_COMPRESSION: f64 = 200.0;
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Centroid {
+    mean: f64,
+    weight: f64,
+}
+
+/// A mergeable t-digest over `f64` samples (NaN rejected, negatives fine —
+/// staleness thresholds are frequently negative).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantileSketch {
+    compression: f64,
+    /// Merged centroids, sorted by mean.
+    centroids: Vec<Centroid>,
+    /// Weight held in `centroids` (the buffer holds the rest).
+    merged_weight: f64,
+    /// Unmerged raw values, folded in when the batch fills or on `seal`.
+    buffer: Vec<f64>,
+    min: f64,
+    max: f64,
+}
+
+impl Default for QuantileSketch {
+    fn default() -> Self {
+        Self::new(DEFAULT_COMPRESSION)
+    }
+}
+
+impl QuantileSketch {
+    /// Build with an explicit compression `δ ≥ 20` (memory ≈ 10·δ f64s,
+    /// rank error ∝ 1/δ).
+    pub fn new(compression: f64) -> Self {
+        assert!(compression >= 20.0, "compression too small: {compression}");
+        Self {
+            compression,
+            centroids: Vec::new(),
+            merged_weight: 0.0,
+            buffer: Vec::with_capacity((4.0 * compression) as usize),
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        (self.merged_weight + self.buffer.len() as f64).round() as u64
+    }
+
+    /// Whether any sample has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.merged_weight == 0.0 && self.buffer.is_empty()
+    }
+
+    /// Smallest recorded sample. Panics when empty.
+    pub fn min(&self) -> f64 {
+        assert!(!self.is_empty(), "empty sketch");
+        self.min
+    }
+
+    /// Largest recorded sample. Panics when empty.
+    pub fn max(&self) -> f64 {
+        assert!(!self.is_empty(), "empty sketch");
+        self.max
+    }
+
+    /// Record one sample. Amortised O(1); panics on NaN.
+    pub fn record(&mut self, x: f64) {
+        assert!(!x.is_nan(), "samples must not be NaN");
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+        self.buffer.push(x);
+        if self.buffer.len() >= self.buffer.capacity() {
+            self.compress();
+        }
+    }
+
+    /// Fold any buffered samples into the centroid set. Queries do this
+    /// on a temporary copy when needed; sealing once after a recording
+    /// burst keeps subsequent queries allocation-free.
+    pub fn seal(&mut self) {
+        self.compress();
+    }
+
+    /// t-digest `k1` scale function: `k(q) = δ/2π · asin(2q−1)`.
+    fn k(&self, q: f64) -> f64 {
+        self.compression / (2.0 * std::f64::consts::PI) * (2.0 * q - 1.0).clamp(-1.0, 1.0).asin()
+    }
+
+    /// Inverse scale function, saturating at `q = 1`.
+    fn k_inv(&self, k: f64) -> f64 {
+        let arg = 2.0 * std::f64::consts::PI * k / self.compression;
+        if arg >= std::f64::consts::FRAC_PI_2 {
+            return 1.0;
+        }
+        (arg.sin() + 1.0) / 2.0
+    }
+
+    /// Merge the sorted buffer with the existing centroids, re-compressing
+    /// under the scale-function size limit.
+    fn compress(&mut self) {
+        if self.buffer.is_empty() {
+            return;
+        }
+        self.buffer.sort_unstable_by(f64::total_cmp);
+        let total = self.merged_weight + self.buffer.len() as f64;
+
+        // Merge-join the two sorted sequences into one compressed pass.
+        let old = std::mem::take(&mut self.centroids);
+        let mut oi = old.iter().peekable();
+        let mut bi = self.buffer.iter().peekable();
+        let mut next = || -> Option<Centroid> {
+            match (oi.peek(), bi.peek()) {
+                (Some(c), Some(&&v)) if c.mean <= v => oi.next().copied(),
+                (Some(_), Some(_)) | (None, Some(_)) => {
+                    bi.next().map(|&v| Centroid { mean: v, weight: 1.0 })
+                }
+                (Some(_), None) => oi.next().copied(),
+                (None, None) => None,
+            }
+        };
+
+        let mut out: Vec<Centroid> = Vec::new();
+        let mut cur = next().expect("nonempty buffer");
+        let mut w_so_far = 0.0;
+        let mut q_limit = self.k_inv(self.k(0.0) + 1.0);
+        for c in std::iter::from_fn(&mut next) {
+            let proposed = cur.weight + c.weight;
+            if (w_so_far + proposed) / total <= q_limit {
+                cur.mean = (cur.mean * cur.weight + c.mean * c.weight) / proposed;
+                cur.weight = proposed;
+            } else {
+                w_so_far += cur.weight;
+                out.push(cur);
+                q_limit = self.k_inv(self.k(w_so_far / total) + 1.0);
+                cur = c;
+            }
+        }
+        out.push(cur);
+
+        self.centroids = out;
+        self.merged_weight = total;
+        self.buffer.clear();
+    }
+
+    /// Run `f` against a fully compressed view of the sketch (cheap clone
+    /// only when unsealed samples are pending).
+    fn with_sealed<R>(&self, f: impl FnOnce(&QuantileSketch) -> R) -> R {
+        if self.buffer.is_empty() {
+            f(self)
+        } else {
+            let mut sealed = self.clone();
+            sealed.compress();
+            f(&sealed)
+        }
+    }
+
+    /// Approximate quantile: the value at cumulative probability
+    /// `q ∈ [0, 1]` (`0 → min`, `1 → max`). Panics when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+        assert!(!self.is_empty(), "empty sketch");
+        if self.min == self.max {
+            return self.min;
+        }
+        self.with_sealed(|s| {
+            let total = s.merged_weight;
+            let target = q * total;
+            // Piecewise-linear through (0, min), (center_i, mean_i)…,
+            // (total, max), where center_i is the centroid's mid-rank.
+            let mut cum = 0.0;
+            let mut prev_rank = 0.0;
+            let mut prev_val = s.min;
+            for c in &s.centroids {
+                let center = cum + c.weight / 2.0;
+                if target <= center {
+                    let span = center - prev_rank;
+                    let frac = if span > 0.0 { (target - prev_rank) / span } else { 1.0 };
+                    return prev_val + frac * (c.mean - prev_val);
+                }
+                cum += c.weight;
+                prev_rank = center;
+                prev_val = c.mean;
+            }
+            let span = total - prev_rank;
+            let frac = if span > 0.0 { (target - prev_rank) / span } else { 1.0 };
+            (prev_val + frac * (s.max - prev_val)).min(s.max)
+        })
+    }
+
+    /// Approximate CDF: the fraction of samples `≤ x`. Returns `0` below
+    /// the observed minimum and `1` at or above the observed maximum.
+    /// Panics when empty.
+    ///
+    /// Ties count inclusively, matching `SortedSamples::ecdf`: repeated
+    /// values (atoms — e.g. the `threshold = 0` mass of instantaneous
+    /// reads) survive compression as runs of equal-mean centroids, which
+    /// are treated as vertical steps whose full weight counts at `x`
+    /// rather than being smeared by mid-rank interpolation.
+    pub fn cdf(&self, x: f64) -> f64 {
+        assert!(!x.is_nan(), "cdf of NaN");
+        assert!(!self.is_empty(), "empty sketch");
+        if x < self.min {
+            return 0.0;
+        }
+        if x >= self.max {
+            return 1.0;
+        }
+        self.with_sealed(|s| {
+            let total = s.merged_weight;
+            let cs = &s.centroids;
+            let mut cum = 0.0;
+            let mut prev_rank = 0.0;
+            let mut prev_val = s.min;
+            let mut i = 0;
+            while i < cs.len() {
+                // Gather the run of centroids sharing one mean.
+                let v = cs[i].mean;
+                let mut w_run = cs[i].weight;
+                let mut j = i + 1;
+                while j < cs.len() && cs[j].mean == v {
+                    w_run += cs[j].weight;
+                    j += 1;
+                }
+                if x < v {
+                    // A multi-centroid run is (almost surely) an atom: its
+                    // mass sits entirely at `v`, so interpolate toward the
+                    // step's base rather than its mid-rank.
+                    let anchor = if j - i >= 2 { cum } else { cum + w_run / 2.0 };
+                    let span = v - prev_val;
+                    let frac = if span > 0.0 { (x - prev_val) / span } else { 0.0 };
+                    return (prev_rank + frac * (anchor - prev_rank)) / total;
+                }
+                cum += w_run;
+                if x == v {
+                    // Inclusive tie semantics: the whole run counts.
+                    return (cum / total).min(1.0);
+                }
+                prev_val = v;
+                prev_rank = if j - i >= 2 { cum } else { cum - w_run / 2.0 };
+                i = j;
+            }
+            let span = s.max - prev_val;
+            let frac = if span > 0.0 { (x - prev_val) / span } else { 1.0 };
+            ((prev_rank + frac * (total - prev_rank)) / total).min(1.0)
+        })
+    }
+}
+
+impl Mergeable for QuantileSketch {
+    /// Absorb another sketch: both are compressed, the centroid lists are
+    /// merge-joined, and the union is re-compressed. Deterministic given
+    /// operand order (the runner always merges in shard order).
+    fn merge(&mut self, mut other: Self) {
+        if other.is_empty() {
+            return;
+        }
+        self.compress();
+        other.compress();
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        if self.merged_weight == 0.0 {
+            self.centroids = other.centroids;
+            self.merged_weight = other.merged_weight;
+            return;
+        }
+        let total = self.merged_weight + other.merged_weight;
+        let a = std::mem::take(&mut self.centroids);
+        let b = other.centroids;
+        let mut ai = a.into_iter().peekable();
+        let mut bi = b.into_iter().peekable();
+        let mut next = || -> Option<Centroid> {
+            match (ai.peek(), bi.peek()) {
+                (Some(x), Some(y)) if x.mean <= y.mean => ai.next(),
+                (Some(_), Some(_)) | (None, Some(_)) => bi.next(),
+                (Some(_), None) => ai.next(),
+                (None, None) => None,
+            }
+        };
+        let mut out: Vec<Centroid> = Vec::new();
+        let mut cur = next().expect("nonempty merge");
+        let mut w_so_far = 0.0;
+        let mut q_limit = self.k_inv(self.k(0.0) + 1.0);
+        for c in std::iter::from_fn(&mut next) {
+            let proposed = cur.weight + c.weight;
+            if (w_so_far + proposed) / total <= q_limit {
+                cur.mean = (cur.mean * cur.weight + c.mean * c.weight) / proposed;
+                cur.weight = proposed;
+            } else {
+                w_so_far += cur.weight;
+                out.push(cur);
+                q_limit = self.k_inv(self.k(w_so_far / total) + 1.0);
+                cur = c;
+            }
+        }
+        out.push(cur);
+        self.centroids = out;
+        self.merged_weight = total;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn exact_quantile(sorted: &[f64], q: f64) -> f64 {
+        let rank = (q * sorted.len() as f64).ceil() as usize;
+        sorted[rank.clamp(1, sorted.len()) - 1]
+    }
+
+    #[test]
+    fn constant_stream_is_exact() {
+        let mut s = QuantileSketch::default();
+        for _ in 0..10_000 {
+            s.record(5.0);
+        }
+        assert_eq!(s.quantile(0.0), 5.0);
+        assert_eq!(s.quantile(0.5), 5.0);
+        assert_eq!(s.quantile(1.0), 5.0);
+        assert_eq!(s.cdf(5.0), 1.0);
+        assert_eq!(s.cdf(4.999), 0.0);
+        assert_eq!(s.count(), 10_000);
+    }
+
+    #[test]
+    fn uniform_quantiles_close_to_truth() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut s = QuantileSketch::default();
+        let mut all = Vec::new();
+        for _ in 0..100_000 {
+            let x: f64 = rng.gen();
+            s.record(x);
+            all.push(x);
+        }
+        all.sort_unstable_by(f64::total_cmp);
+        for &q in &[0.01, 0.1, 0.5, 0.9, 0.99, 0.999] {
+            let approx = s.quantile(q);
+            let exact = exact_quantile(&all, q);
+            assert!((approx - exact).abs() < 0.01, "q={q}: {approx} vs {exact}");
+            // Rank error is the real contract: <0.5%.
+            let rank = all.partition_point(|&v| v <= approx) as f64 / all.len() as f64;
+            assert!((rank - q).abs() < 0.005, "q={q}: rank {rank}");
+        }
+        for &x in &[0.05, 0.25, 0.5, 0.75, 0.95] {
+            assert!((s.cdf(x) - x).abs() < 0.005, "cdf({x}) = {}", s.cdf(x));
+        }
+    }
+
+    #[test]
+    fn negative_and_mixed_values() {
+        let mut s = QuantileSketch::default();
+        for i in 0..1_000 {
+            s.record(i as f64 - 500.0);
+        }
+        assert_eq!(s.min(), -500.0);
+        assert_eq!(s.max(), 499.0);
+        assert!(s.quantile(0.5).abs() < 5.0);
+        assert!((s.cdf(0.0) - 0.5).abs() < 0.01);
+        assert_eq!(s.cdf(-501.0), 0.0);
+        assert_eq!(s.cdf(499.0), 1.0);
+    }
+
+    #[test]
+    fn memory_is_bounded() {
+        let mut s = QuantileSketch::new(100.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..1_000_000 {
+            s.record(rng.gen::<f64>() * 1e3);
+        }
+        s.seal();
+        assert!(
+            s.centroids.len() <= 2 * 100 + 10,
+            "centroid count {} should be O(compression)",
+            s.centroids.len()
+        );
+        assert_eq!(s.count(), 1_000_000);
+    }
+
+    #[test]
+    fn merge_matches_single_stream_statistically() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut whole = QuantileSketch::default();
+        let mut parts: Vec<QuantileSketch> =
+            (0..4).map(|_| QuantileSketch::default()).collect();
+        for i in 0..80_000 {
+            let x = -(rng.gen::<f64>().max(1e-12)).ln() * 10.0; // Exp(mean 10)
+            whole.record(x);
+            parts[i % 4].record(x);
+        }
+        let mut merged = parts.remove(0);
+        for p in parts {
+            merged.merge(p);
+        }
+        assert_eq!(merged.count(), whole.count());
+        assert_eq!(merged.min(), whole.min());
+        assert_eq!(merged.max(), whole.max());
+        for &q in &[0.5, 0.9, 0.99, 0.999] {
+            let a = merged.quantile(q);
+            let b = whole.quantile(q);
+            assert!((a - b).abs() < 0.02 * b.max(1.0), "q={q}: merged {a} vs whole {b}");
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_stream() {
+        let run = || {
+            let mut rng = StdRng::seed_from_u64(9);
+            let mut s = QuantileSketch::default();
+            for _ in 0..50_000 {
+                s.record(rng.gen::<f64>());
+            }
+            s.seal();
+            s
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a, b);
+        assert_eq!(a.quantile(0.999).to_bits(), b.quantile(0.999).to_bits());
+    }
+
+    #[test]
+    fn queries_with_pending_buffer_match_sealed() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut s = QuantileSketch::default();
+        for _ in 0..10_123 {
+            s.record(rng.gen::<f64>());
+        }
+        let before = s.quantile(0.9);
+        let cdf_before = s.cdf(0.25);
+        s.seal();
+        assert_eq!(before.to_bits(), s.quantile(0.9).to_bits());
+        assert_eq!(cdf_before.to_bits(), s.cdf(0.25).to_bits());
+    }
+
+    #[test]
+    fn cdf_and_quantile_are_monotone() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut s = QuantileSketch::default();
+        for _ in 0..30_000 {
+            s.record(rng.gen::<f64>() * rng.gen::<f64>() * 100.0);
+        }
+        s.seal();
+        let mut prev = 0.0;
+        for i in 0..=100 {
+            let c = s.cdf(i as f64);
+            assert!(c >= prev - 1e-12, "cdf not monotone at {i}: {c} < {prev}");
+            prev = c;
+        }
+        let mut prevq = f64::NEG_INFINITY;
+        for i in 0..=100 {
+            let v = s.quantile(i as f64 / 100.0);
+            assert!(v >= prevq - 1e-12, "quantile not monotone at {i}");
+            prevq = v;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sketch")]
+    fn empty_quantile_panics() {
+        QuantileSketch::default().quantile(0.5);
+    }
+}

@@ -1,0 +1,265 @@
+//! Online moments (Welford) and the combined [`Summary`] accumulator the
+//! Monte-Carlo consumers record into.
+
+use crate::runner::Mergeable;
+use crate::sketch::QuantileSketch;
+
+/// Streaming count / mean / variance / extrema in O(1) memory
+/// (Welford's algorithm; merged with the Chan et al. parallel update).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Moments {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Moments {
+    /// Record one sample. Panics on NaN.
+    pub fn record(&mut self, x: f64) {
+        assert!(!x.is_nan(), "samples must not be NaN");
+        if self.n == 0 {
+            self.min = x;
+            self.max = x;
+        } else {
+            self.min = self.min.min(x);
+            self.max = self.max.max(x);
+        }
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Whether no sample has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Arithmetic mean. Panics when empty.
+    pub fn mean(&self) -> f64 {
+        assert!(self.n > 0, "empty moments");
+        self.mean
+    }
+
+    /// Population variance (`M2/n`). Panics when empty.
+    pub fn variance(&self) -> f64 {
+        assert!(self.n > 0, "empty moments");
+        self.m2 / self.n as f64
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest sample. Panics when empty.
+    pub fn min(&self) -> f64 {
+        assert!(self.n > 0, "empty moments");
+        self.min
+    }
+
+    /// Largest sample. Panics when empty.
+    pub fn max(&self) -> f64 {
+        assert!(self.n > 0, "empty moments");
+        self.max
+    }
+}
+
+impl Mergeable for Moments {
+    fn merge(&mut self, other: Self) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other;
+            return;
+        }
+        let n = self.n + other.n;
+        let delta = other.mean - self.mean;
+        self.mean += delta * other.n as f64 / n as f64;
+        self.m2 += other.m2 + delta * delta * (self.n as f64 * other.n as f64) / n as f64;
+        self.n = n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// The standard per-shard accumulator: a [`QuantileSketch`] for
+/// distributional queries plus [`Moments`] for exact count/mean/variance
+/// and extrema. Memory is O(sketch compression), independent of trials.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Summary {
+    moments: Moments,
+    sketch: QuantileSketch,
+}
+
+impl Summary {
+    /// Empty summary with the default sketch compression.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Empty summary with an explicit sketch compression.
+    pub fn with_compression(compression: f64) -> Self {
+        Self { moments: Moments::default(), sketch: QuantileSketch::new(compression) }
+    }
+
+    /// Record one sample (amortised O(1)).
+    pub fn record(&mut self, x: f64) {
+        self.moments.record(x);
+        self.sketch.record(x);
+    }
+
+    /// Compress any buffered sketch samples so subsequent queries are
+    /// allocation-free. Optional — queries are correct either way.
+    pub fn seal(&mut self) {
+        self.sketch.seal();
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.moments.count()
+    }
+
+    /// Whether no sample has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.moments.is_empty()
+    }
+
+    /// Exact arithmetic mean. Panics when empty.
+    pub fn mean(&self) -> f64 {
+        self.moments.mean()
+    }
+
+    /// Exact population variance. Panics when empty.
+    pub fn variance(&self) -> f64 {
+        self.moments.variance()
+    }
+
+    /// Exact population standard deviation. Panics when empty.
+    pub fn std_dev(&self) -> f64 {
+        self.moments.std_dev()
+    }
+
+    /// Exact smallest sample. Panics when empty.
+    pub fn min(&self) -> f64 {
+        self.moments.min()
+    }
+
+    /// Exact largest sample. Panics when empty.
+    pub fn max(&self) -> f64 {
+        self.moments.max()
+    }
+
+    /// Approximate quantile at `q ∈ [0, 1]` (see [`QuantileSketch`] for
+    /// the error model). Panics when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        self.sketch.quantile(q)
+    }
+
+    /// Approximate percentile, `pct ∈ [0, 100]` — the sorted-samples
+    /// `percentile` call sites read unchanged.
+    pub fn percentile(&self, pct: f64) -> f64 {
+        assert!((0.0..=100.0).contains(&pct), "percentile out of range: {pct}");
+        self.sketch.quantile(pct / 100.0)
+    }
+
+    /// Approximate empirical CDF: fraction of samples `≤ x`. Panics when
+    /// empty.
+    pub fn cdf(&self, x: f64) -> f64 {
+        self.sketch.cdf(x)
+    }
+
+    /// The underlying quantile sketch.
+    pub fn sketch(&self) -> &QuantileSketch {
+        &self.sketch
+    }
+}
+
+impl Mergeable for Summary {
+    fn merge(&mut self, other: Self) {
+        self.moments.merge(other.moments);
+        self.sketch.merge(other.sketch);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn moments_match_naive() {
+        let xs = [3.0, -1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
+        let mut m = Moments::default();
+        for &x in &xs {
+            m.record(x);
+        }
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / xs.len() as f64;
+        assert!((m.mean() - mean).abs() < 1e-12);
+        assert!((m.variance() - var).abs() < 1e-12);
+        assert_eq!(m.min(), -1.0);
+        assert_eq!(m.max(), 9.0);
+        assert_eq!(m.count(), 8);
+    }
+
+    #[test]
+    fn moments_merge_equals_concatenation() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let xs: Vec<f64> = (0..1_000).map(|_| rng.gen::<f64>() * 100.0 - 50.0).collect();
+        let mut whole = Moments::default();
+        for &x in &xs {
+            whole.record(x);
+        }
+        let mut a = Moments::default();
+        let mut b = Moments::default();
+        for (i, &x) in xs.iter().enumerate() {
+            if i < 300 {
+                a.record(x);
+            } else {
+                b.record(x);
+            }
+        }
+        a.merge(b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.variance() - whole.variance()).abs() < 1e-9);
+        assert_eq!(a.min(), whole.min());
+        assert_eq!(a.max(), whole.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut m = Moments::default();
+        m.record(2.0);
+        let snapshot = m;
+        m.merge(Moments::default());
+        assert_eq!(m, snapshot);
+        let mut e = Moments::default();
+        e.merge(snapshot);
+        assert_eq!(e, snapshot);
+    }
+
+    #[test]
+    fn summary_combines_exact_and_approximate() {
+        let mut s = Summary::new();
+        for i in 1..=1_000 {
+            s.record(i as f64);
+        }
+        assert_eq!(s.count(), 1_000);
+        assert!((s.mean() - 500.5).abs() < 1e-9);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 1_000.0);
+        assert!((s.percentile(50.0) - 500.0).abs() < 10.0);
+        assert!((s.cdf(250.0) - 0.25).abs() < 0.01);
+    }
+}

@@ -26,17 +26,39 @@ impl std::fmt::Debug for Predictor {
 }
 
 impl Predictor {
-    /// Build from any WARS latency model.
+    /// Build from any WARS latency model, sharding over the host's cores.
+    ///
+    /// Deterministic per `(seed, threads)` pair; because the thread count
+    /// is taken from the host, use
+    /// [`from_model_threads`](Self::from_model_threads) when
+    /// cross-machine bit-reproducibility matters.
     pub fn from_model<M: LatencyModel + Sync + ?Sized>(
         model: &M,
         trials: usize,
         seed: u64,
     ) -> Self {
-        let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+        Self::from_model_threads(model, trials, seed, pbs_mc::Runner::available_threads().min(8))
+    }
+
+    /// Build from any WARS latency model with an explicit shard count.
+    pub fn from_model_threads<M: LatencyModel + Sync + ?Sized>(
+        model: &M,
+        trials: usize,
+        seed: u64,
+        threads: usize,
+    ) -> Self {
         Self {
             cfg: model.config(),
-            tvis: TVisibility::simulate_parallel(model, trials, seed, threads.min(8)),
+            tvis: TVisibility::simulate_parallel(model, trials, seed, threads),
         }
+    }
+
+    /// Fold another predictor's Monte-Carlo run (same configuration) into
+    /// this one — the streaming summaries merge, so trial budgets can be
+    /// accumulated across batches, processes, or machines without ever
+    /// materialising raw sample vectors.
+    pub fn merge(&mut self, other: Predictor) {
+        self.tvis.merge(other.tvis);
     }
 
     /// Build from **measured one-way latency samples** — the online
@@ -169,5 +191,16 @@ mod tests {
         assert_eq!(p.prob_consistent(0.0), 1.0);
         assert_eq!(p.t_visibility(0.9999), Some(0.0));
         assert_eq!(p.prob_within_k_versions(1), 1.0);
+    }
+
+    #[test]
+    fn merged_predictors_accumulate_trials() {
+        let model = exponential_model(cfg(3, 1, 1), 0.1, 0.5);
+        let mut a = Predictor::from_model_threads(&model, 15_000, 1, 2);
+        let b = Predictor::from_model_threads(&model, 15_000, 2, 2);
+        let before = a.prob_consistent(5.0);
+        a.merge(b);
+        assert_eq!(a.tvisibility().trials(), 30_000);
+        assert!((a.prob_consistent(5.0) - before).abs() < 0.02);
     }
 }

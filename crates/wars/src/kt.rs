@@ -5,12 +5,12 @@
 //! arrival process instead ("extending this formulation to analyze
 //! ⟨k,t⟩-staleness given a distribution of write arrival times", §5.1),
 //! yielding both the violation probability and the full distribution of
-//! version staleness observed by reads.
+//! version staleness observed by reads. Trials run on the deterministic
+//! sharded [`pbs_mc::Runner`].
 
 use crate::model::{LatencyModel, WarsSample};
-use crate::trial::TrialScratch;
-use rand::rngs::StdRng;
-use rand::{Rng, RngCore, SeedableRng};
+use pbs_mc::Runner;
+use rand::{Rng, RngCore};
 
 /// How consecutive writes to the key are spaced.
 #[derive(Debug, Clone, Copy)]
@@ -50,6 +50,9 @@ pub struct KtOptions {
     pub trials: usize,
     /// RNG seed.
     pub seed: u64,
+    /// Shards for the deterministic runner (1 = single-threaded; results
+    /// are bit-reproducible for a fixed `(seed, threads)` pair).
+    pub threads: usize,
 }
 
 /// Result of a ⟨k,t⟩ Monte Carlo run.
@@ -74,6 +77,26 @@ impl KtResult {
     }
 }
 
+/// Per-shard reusable state for the ⟨k,t⟩ hot loop — allocated once per
+/// shard, never per trial.
+struct KtScratch {
+    samples: Vec<WarsSample>,
+    starts: Vec<f64>,
+    wa: Vec<f64>,
+    order: Vec<usize>,
+}
+
+impl KtScratch {
+    fn new(k: usize, n: usize) -> Self {
+        Self {
+            samples: (0..k).map(|_| WarsSample::default()).collect(),
+            starts: vec![0.0; k],
+            wa: Vec::with_capacity(n),
+            order: Vec::with_capacity(n),
+        }
+    }
+}
+
 /// Run the direct ⟨k,t⟩ Monte Carlo.
 ///
 /// Per trial: `k` writes are issued with gaps drawn from `spacing`; each
@@ -85,6 +108,7 @@ impl KtResult {
 pub fn kt_violation_direct<M: LatencyModel + ?Sized>(model: &M, opts: KtOptions) -> KtResult {
     assert!(opts.k >= 1, "k must be at least 1");
     assert!(opts.trials > 0);
+    assert!(opts.threads > 0);
     assert!(opts.t_ms >= 0.0);
     let cfg = model.config();
     let n = cfg.n() as usize;
@@ -92,60 +116,60 @@ pub fn kt_violation_direct<M: LatencyModel + ?Sized>(model: &M, opts: KtOptions)
     let w_quorum = cfg.w() as usize;
     let k = opts.k as usize;
 
-    let mut rng = StdRng::seed_from_u64(opts.seed);
-    let mut scratch = TrialScratch::default();
-    let _ = &mut scratch; // reserved for future shared-trial reuse
-    let mut samples: Vec<WarsSample> = (0..k).map(|_| WarsSample::default()).collect();
-    let mut wa: Vec<f64> = Vec::with_capacity(n);
-    let mut order: Vec<usize> = Vec::with_capacity(n);
-    let mut behind_counts = vec![0usize; k + 1];
-
-    for _ in 0..opts.trials {
-        // Write start times, oldest (= index 0) to newest (= index k−1).
-        let mut starts = vec![0.0f64; k];
-        for j in 1..k {
-            starts[j] = starts[j - 1] + opts.spacing.sample(&mut rng);
-        }
-        for s in samples.iter_mut() {
-            model.sample_trial(&mut rng, s);
-        }
-        // Commit time of the newest write.
-        let newest = k - 1;
-        wa.clear();
-        wa.extend(samples[newest].w.iter().zip(&samples[newest].a).map(|(w, a)| w + a));
-        wa.sort_by(|x, y| x.partial_cmp(y).expect("no NaN"));
-        let newest_commit = starts[newest] + wa[w_quorum - 1];
-        let read_issue = newest_commit + opts.t_ms;
-
-        // Read responders ordered by response arrival (legs from the newest
-        // sample).
-        let (r, s) = (&samples[newest].r, &samples[newest].s);
-        order.clear();
-        order.extend(0..n);
-        order.sort_by(|&i, &j| {
-            (r[i] + s[i]).partial_cmp(&(r[j] + s[j])).expect("no NaN")
-        });
-
-        // Newest version visible on any of the first R responders.
-        let mut best: Option<usize> = None; // index into writes; larger = newer
-        for &i in &order[..r_quorum] {
-            let read_arrival = read_issue + r[i];
-            for j in (0..k).rev() {
-                if best.is_some_and(|b| j <= b) {
-                    break;
+    let behind_counts: Vec<u64> =
+        Runner::new(opts.trials, opts.seed, opts.threads).run(|rng, info| {
+            let mut counts = vec![0u64; k + 1];
+            let mut scratch = KtScratch::new(k, n);
+            for _ in 0..info.trials {
+                // Write start times, oldest (= index 0) to newest (= k−1).
+                scratch.starts[0] = 0.0;
+                for j in 1..k {
+                    scratch.starts[j] = scratch.starts[j - 1] + opts.spacing.sample(rng);
                 }
-                if starts[j] + samples[j].w[i] <= read_arrival {
-                    best = Some(j);
-                    break;
+                for s in scratch.samples.iter_mut() {
+                    model.sample_trial(rng, s);
                 }
+                // Commit time of the newest write.
+                let newest = k - 1;
+                scratch.wa.clear();
+                scratch.wa.extend(
+                    scratch.samples[newest].w.iter().zip(&scratch.samples[newest].a).map(|(w, a)| w + a),
+                );
+                scratch.wa.sort_unstable_by(|x, y| x.partial_cmp(y).expect("no NaN"));
+                let newest_commit = scratch.starts[newest] + scratch.wa[w_quorum - 1];
+                let read_issue = newest_commit + opts.t_ms;
+
+                // Read responders ordered by response arrival (legs from
+                // the newest sample).
+                let (r, s) = (&scratch.samples[newest].r, &scratch.samples[newest].s);
+                scratch.order.clear();
+                scratch.order.extend(0..n);
+                scratch.order.sort_unstable_by(|&i, &j| {
+                    (r[i] + s[i]).partial_cmp(&(r[j] + s[j])).expect("no NaN")
+                });
+
+                // Newest version visible on any of the first R responders.
+                let mut best: Option<usize> = None; // write index; larger = newer
+                for &i in &scratch.order[..r_quorum] {
+                    let read_arrival = read_issue + r[i];
+                    for j in (0..k).rev() {
+                        if best.is_some_and(|b| j <= b) {
+                            break;
+                        }
+                        if scratch.starts[j] + scratch.samples[j].w[i] <= read_arrival {
+                            best = Some(j);
+                            break;
+                        }
+                    }
+                }
+                let behind = match best {
+                    Some(j) => newest - j,
+                    None => k, // missed all k sampled versions
+                };
+                counts[behind] += 1;
             }
-        }
-        let behind = match best {
-            Some(j) => newest - j,
-            None => k, // missed all k sampled versions
-        };
-        behind_counts[behind] += 1;
-    }
+            counts
+        });
 
     let trials = opts.trials as f64;
     KtResult {
@@ -173,21 +197,17 @@ mod tests {
         )
     }
 
+    fn opts(k: u32, t_ms: f64, spacing: WriteSpacing, trials: usize, seed: u64) -> KtOptions {
+        KtOptions { k, t_ms, spacing, trials, seed, threads: 1 }
+    }
+
     #[test]
     fn k1_matches_single_write_tvisibility() {
         // With k=1 the direct simulation reduces to ordinary t-visibility.
         let m = model(3, 1, 1);
         let t = 5.0;
-        let direct = kt_violation_direct(
-            &m,
-            KtOptions {
-                k: 1,
-                t_ms: t,
-                spacing: WriteSpacing::Fixed(0.0),
-                trials: 60_000,
-                seed: 4,
-            },
-        );
+        let direct =
+            kt_violation_direct(&m, opts(1, t, WriteSpacing::Fixed(0.0), 60_000, 4));
         let tv = TVisibility::simulate(&m, 60_000, 4);
         let reference = tv.violation(t);
         assert!(
@@ -203,16 +223,8 @@ mod tests {
         let m = model(3, 1, 1);
         let mut prev = 1.0;
         for k in [1u32, 2, 4] {
-            let res = kt_violation_direct(
-                &m,
-                KtOptions {
-                    k,
-                    t_ms: 0.0,
-                    spacing: WriteSpacing::Fixed(20.0),
-                    trials: 30_000,
-                    seed: 9,
-                },
-            );
+            let res =
+                kt_violation_direct(&m, opts(k, 0.0, WriteSpacing::Fixed(20.0), 30_000, 9));
             assert!(res.violation <= prev + 0.01, "k={k}");
             prev = res.violation;
         }
@@ -228,16 +240,8 @@ mod tests {
         let k = 3u32;
         let tv = TVisibility::simulate(&m, 60_000, 10);
         let bound = tv.kt_violation(t, k);
-        let direct = kt_violation_direct(
-            &m,
-            KtOptions {
-                k,
-                t_ms: t,
-                spacing: WriteSpacing::Fixed(50.0),
-                trials: 60_000,
-                seed: 10,
-            },
-        );
+        let direct =
+            kt_violation_direct(&m, opts(k, t, WriteSpacing::Fixed(50.0), 60_000, 10));
         assert!(
             direct.violation <= bound + 0.01,
             "direct {} should not exceed bound {}",
@@ -251,13 +255,7 @@ mod tests {
         let m = model(3, 1, 1);
         let res = kt_violation_direct(
             &m,
-            KtOptions {
-                k: 4,
-                t_ms: 0.0,
-                spacing: WriteSpacing::ExponentialMean(10.0),
-                trials: 20_000,
-                seed: 2,
-            },
+            opts(4, 0.0, WriteSpacing::ExponentialMean(10.0), 20_000, 2),
         );
         let sum: f64 = res.versions_behind.iter().sum();
         assert!((sum - 1.0).abs() < 1e-9);
@@ -269,17 +267,35 @@ mod tests {
     #[test]
     fn strict_quorum_never_violates() {
         let m = model(3, 2, 2);
-        let res = kt_violation_direct(
-            &m,
-            KtOptions {
-                k: 1,
-                t_ms: 0.0,
-                spacing: WriteSpacing::Fixed(1.0),
-                trials: 5_000,
-                seed: 0,
-            },
-        );
+        let res = kt_violation_direct(&m, opts(1, 0.0, WriteSpacing::Fixed(1.0), 5_000, 0));
         assert_eq!(res.violation, 0.0);
         assert_eq!(res.versions_behind[0], 1.0);
+    }
+
+    #[test]
+    fn sharded_run_is_deterministic_and_statistically_equivalent() {
+        let m = model(3, 1, 1);
+        let mk = |threads| {
+            kt_violation_direct(
+                &m,
+                KtOptions {
+                    k: 2,
+                    t_ms: 1.0,
+                    spacing: WriteSpacing::Fixed(15.0),
+                    trials: 40_000,
+                    seed: 6,
+                    threads,
+                },
+            )
+        };
+        let (a, b) = (mk(4), mk(4));
+        assert_eq!(a.versions_behind, b.versions_behind, "bit-reproducible");
+        let single = mk(1);
+        assert!(
+            (a.violation - single.violation).abs() < 0.01,
+            "threads=4 {} vs threads=1 {}",
+            a.violation,
+            single.violation
+        );
     }
 }

@@ -19,9 +19,15 @@
 //! (§4.1), so the paper — and this crate — evaluates it by Monte Carlo
 //! (§5.1). The key implementation observation (see [`trial`]) is that each
 //! trial yields a single *staleness threshold* `T`, the smallest `t` at
-//! which that trial's read would have been consistent; a sorted batch of
+//! which that trial's read would have been consistent; the distribution of
 //! thresholds therefore answers *every* `t`-query and inverts to
 //! "t at 99.9% consistency" directly.
+//!
+//! Execution runs on the deterministic sharded runner and streaming
+//! summaries of `pbs-mc`: trials shard as `seed ^ shard_index`, per-shard
+//! quantile sketches merge in shard order, so results are bit-reproducible
+//! for a fixed `(seed, threads)` pair and peak memory is independent of
+//! the trial count.
 //!
 //! Entry points: [`TVisibility::simulate`] (single-threaded, deterministic)
 //! and [`TVisibility::simulate_parallel`]; production latency models from

@@ -23,16 +23,22 @@ pub struct WarsSample {
 }
 
 impl WarsSample {
-    /// Clear and reserve for `n` replicas.
+    /// Clear and ensure capacity for `n` replicas.
+    ///
+    /// Reserves only when capacity is actually short: after the first trial
+    /// warms the vectors this is four clears and four comparisons — the
+    /// Monte-Carlo hot loop performs no per-trial allocation.
     pub fn reset(&mut self, n: usize) {
         self.w.clear();
         self.a.clear();
         self.r.clear();
         self.s.clear();
-        self.w.reserve(n);
-        self.a.reserve(n);
-        self.r.reserve(n);
-        self.s.reserve(n);
+        if self.w.capacity() < n {
+            self.w.reserve(n);
+            self.a.reserve(n);
+            self.r.reserve(n);
+            self.s.reserve(n);
+        }
     }
 }
 

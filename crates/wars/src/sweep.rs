@@ -85,17 +85,19 @@ pub fn table4_sweep(
 /// The `(R, W)` pairs of Table 4, in row order.
 pub const TABLE4_PAIRS: [(u32, u32); 6] = [(1, 1), (1, 2), (2, 1), (2, 2), (3, 1), (1, 3)];
 
-/// Sweep the replication factor `N` with `R = W = 1` (Figure 7).
+/// Sweep the replication factor `N` with `R = W = 1` (Figure 7), each
+/// point sharded over `threads` on the deterministic runner.
 pub fn replication_factor_sweep(
     factory: &dyn Fn(ReplicaConfig) -> Box<dyn LatencyModel>,
     ns: &[u32],
     trials: usize,
     seed: u64,
+    threads: usize,
 ) -> Vec<(u32, TVisibility)> {
     ns.iter()
         .map(|&n| {
             let cfg = ReplicaConfig::new(n, 1, 1).expect("valid N");
-            (n, TVisibility::simulate(factory(cfg).as_ref(), trials, seed))
+            (n, TVisibility::simulate_parallel(factory(cfg).as_ref(), trials, seed, threads))
         })
         .collect()
 }
@@ -170,6 +172,7 @@ mod tests {
             &[2, 3, 5, 10],
             30_000,
             5,
+            2,
         );
         let p0: Vec<f64> = runs.iter().map(|(_, tv)| tv.prob_consistent(0.0)).collect();
         for w in p0.windows(2) {

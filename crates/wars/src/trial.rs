@@ -48,14 +48,16 @@ pub fn run_trial(cfg: ReplicaConfig, sample: &WarsSample, scratch: &mut TrialScr
     // Commit time: W-th smallest W[i] + A[i].
     scratch.wa.clear();
     scratch.wa.extend(sample.w.iter().zip(&sample.a).map(|(w, a)| w + a));
-    scratch.wa.sort_by(|x, y| x.partial_cmp(y).expect("latencies are not NaN"));
+    scratch.wa.sort_unstable_by(|x, y| x.partial_cmp(y).expect("latencies are not NaN"));
     let commit_time = scratch.wa[w_quorum - 1];
 
     // Read responders ordered by response arrival R[i] + S[i].
     scratch.order.clear();
     scratch.order.extend(0..n);
     let (r, s) = (&sample.r, &sample.s);
-    scratch.order.sort_by(|&i, &j| {
+    // `sort_unstable_by`: the stable sort allocates a merge buffer on every
+    // call, which would be the hot loop's only per-trial allocation.
+    scratch.order.sort_unstable_by(|&i, &j| {
         (r[i] + s[i]).partial_cmp(&(r[j] + s[j])).expect("latencies are not NaN")
     });
     let last_responder = scratch.order[r_quorum - 1];

@@ -3,105 +3,114 @@
 use crate::model::{LatencyModel, WarsSample};
 use crate::trial::{run_trial, TrialScratch};
 use pbs_core::ReplicaConfig;
-use pbs_dist::stats::SortedSamples;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use pbs_mc::{Mergeable, Runner, Summary};
 
-/// The result of a batch of WARS trials: the full t-visibility curve (as a
-/// sorted sample of per-trial staleness thresholds) plus read/write
+/// The result of a batch of WARS trials: the t-visibility curve (a
+/// streaming summary of per-trial staleness thresholds) plus read/write
 /// operation-latency distributions.
 ///
-/// Sorting the thresholds once makes every query O(log n):
-/// `P(consistent at t) = ECDF_T(t)` and the inverse
-/// ["t-visibility at probability p"](Self::t_at_probability) is an order
-/// statistic.
+/// All three channels are [`Summary`] accumulators — O(1) memory
+/// regardless of the trial count, with exact count/mean/extrema and
+/// sketch-approximated quantiles/CDF:
+/// `P(consistent at t) = CDF_T(t)` and the inverse
+/// ["t-visibility at probability p"](Self::t_at_probability) is a quantile
+/// query.
 #[derive(Debug, Clone)]
 pub struct TVisibility {
     cfg: ReplicaConfig,
-    thresholds: SortedSamples,
-    read_latency: SortedSamples,
-    write_latency: SortedSamples,
+    thresholds: Summary,
+    read_latency: Summary,
+    write_latency: Summary,
+    /// Exact count of trials with `threshold ≤ 0`. The threshold
+    /// distribution is *mixed* — an atom of immediately-consistent mass
+    /// (ties, strict quorums, instantaneous reads) plus a continuous
+    /// tail — and quantile sketches smear atoms, so the paper's headline
+    /// "P(consistent at t = 0)" is kept exact on the side.
+    consistent_at_zero: u64,
+}
+
+/// Per-shard accumulator: the three summaries plus reusable trial scratch
+/// (dropped on merge).
+#[derive(Default)]
+struct TvShard {
+    thresholds: Summary,
+    read: Summary,
+    write: Summary,
+    consistent_at_zero: u64,
+    sample: WarsSample,
+    scratch: TrialScratch,
+}
+
+impl Mergeable for TvShard {
+    fn merge(&mut self, other: Self) {
+        self.thresholds.merge(other.thresholds);
+        self.read.merge(other.read);
+        self.write.merge(other.write);
+        self.consistent_at_zero += other.consistent_at_zero;
+    }
 }
 
 impl TVisibility {
-    /// Run `trials` WARS trials with a fresh deterministic RNG.
+    /// Run `trials` WARS trials single-threaded — equivalent to
+    /// [`simulate_parallel`](Self::simulate_parallel) with `threads = 1`
+    /// (shard 0 replays the plain `seed` stream).
     ///
     /// Panics if `trials == 0`. 10⁴ trials resolve probabilities to ~1%;
-    /// the paper's headline numbers use 5×10⁴–10⁶ (see
-    /// [`simulate_parallel`](Self::simulate_parallel) for the larger runs).
+    /// the paper's headline numbers use 5×10⁴–10⁶.
     pub fn simulate<M: LatencyModel + ?Sized>(model: &M, trials: usize, seed: u64) -> Self {
-        assert!(trials > 0, "need at least one trial");
-        let cfg = model.config();
-        let mut rng = StdRng::seed_from_u64(seed);
-        let mut sample = WarsSample::default();
-        let mut scratch = TrialScratch::default();
-        let mut thresholds = Vec::with_capacity(trials);
-        let mut reads = Vec::with_capacity(trials);
-        let mut writes = Vec::with_capacity(trials);
-        for _ in 0..trials {
-            model.sample_trial(&mut rng, &mut sample);
-            let res = run_trial(cfg, &sample, &mut scratch);
-            thresholds.push(res.staleness_threshold);
-            reads.push(res.read_latency);
-            writes.push(res.write_latency);
-        }
-        Self {
-            cfg,
-            thresholds: SortedSamples::new(thresholds),
-            read_latency: SortedSamples::new(reads),
-            write_latency: SortedSamples::new(writes),
-        }
+        Self::simulate_parallel(model, trials, seed, 1)
     }
 
-    /// Like [`simulate`](Self::simulate) but sharded across `threads` OS
-    /// threads. Deterministic for a fixed `(seed, threads)` pair: shard `i`
-    /// uses seed `seed + i` and shard results are merged by sorting.
+    /// Run `trials` WARS trials sharded across `threads` threads on the
+    /// [`pbs_mc::Runner`]. Deterministic for a fixed `(seed, threads)`
+    /// pair: shard `i` uses seed `seed ^ i` and shard summaries merge in
+    /// shard order, so repeated runs are bit-identical regardless of
+    /// scheduling. Peak memory is O(threads · sketch compression) —
+    /// independent of `trials`.
     pub fn simulate_parallel<M: LatencyModel + Sync + ?Sized>(
         model: &M,
         trials: usize,
         seed: u64,
         threads: usize,
     ) -> Self {
-        assert!(trials > 0 && threads > 0);
-        if threads == 1 {
-            return Self::simulate(model, trials, seed);
-        }
-        let per = trials.div_ceil(threads);
-        let mut shards: Vec<TVisibility> = Vec::with_capacity(threads);
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..threads)
-                .map(|i| {
-                    let count = per.min(trials - (per * i).min(trials));
-                    scope.spawn(move || {
-                        if count == 0 {
-                            None
-                        } else {
-                            Some(Self::simulate(model, count, seed + i as u64))
-                        }
-                    })
-                })
-                .collect();
-            for h in handles {
-                if let Some(shard) = h.join().expect("WARS shard panicked") {
-                    shards.push(shard);
+        assert!(trials > 0, "need at least one trial");
+        assert!(threads > 0, "need at least one thread");
+        let cfg = model.config();
+        let shard = Runner::new(trials, seed, threads).run(|rng, info| {
+            let mut acc = TvShard::default();
+            for _ in 0..info.trials {
+                model.sample_trial(rng, &mut acc.sample);
+                let res = run_trial(cfg, &acc.sample, &mut acc.scratch);
+                acc.thresholds.record(res.staleness_threshold);
+                acc.read.record(res.read_latency);
+                acc.write.record(res.write_latency);
+                if res.staleness_threshold <= 0.0 {
+                    acc.consistent_at_zero += 1;
                 }
             }
+            acc.thresholds.seal();
+            acc.read.seal();
+            acc.write.seal();
+            acc
         });
-        let cfg = model.config();
-        let mut thresholds = Vec::with_capacity(trials);
-        let mut reads = Vec::with_capacity(trials);
-        let mut writes = Vec::with_capacity(trials);
-        for s in shards {
-            thresholds.extend_from_slice(s.thresholds.as_slice());
-            reads.extend_from_slice(s.read_latency.as_slice());
-            writes.extend_from_slice(s.write_latency.as_slice());
-        }
         Self {
             cfg,
-            thresholds: SortedSamples::new(thresholds),
-            read_latency: SortedSamples::new(reads),
-            write_latency: SortedSamples::new(writes),
+            thresholds: shard.thresholds,
+            read_latency: shard.read,
+            write_latency: shard.write,
+            consistent_at_zero: shard.consistent_at_zero,
         }
+    }
+
+    /// Fold another run (same configuration) into this one — the
+    /// mergeable-accumulator surface for callers that scale trials across
+    /// batches, processes, or machines.
+    pub fn merge(&mut self, other: TVisibility) {
+        assert_eq!(self.cfg, other.cfg, "cannot merge different configurations");
+        self.thresholds.merge(other.thresholds);
+        self.read_latency.merge(other.read_latency);
+        self.write_latency.merge(other.write_latency);
+        self.consistent_at_zero += other.consistent_at_zero;
     }
 
     /// The simulated configuration.
@@ -111,13 +120,25 @@ impl TVisibility {
 
     /// Number of trials aggregated.
     pub fn trials(&self) -> usize {
-        self.thresholds.len()
+        self.thresholds.count() as usize
     }
 
     /// `P(consistent)` for a read starting `t` ms after commit
     /// (t-visibility, Definition 3).
+    ///
+    /// `t = 0` (the paper's "immediate consistency") is **exact** — the
+    /// `threshold ≤ 0` atom is counted outside the sketch — and for
+    /// `t > 0` the exact atom lower-bounds the sketch CDF, so the curve
+    /// stays monotone through the origin.
     pub fn prob_consistent(&self, t: f64) -> f64 {
-        self.thresholds.ecdf(t)
+        let atom = self.consistent_at_zero as f64 / self.trials() as f64;
+        if t == 0.0 {
+            atom
+        } else if t > 0.0 {
+            self.thresholds.cdf(t).max(atom)
+        } else {
+            self.thresholds.cdf(t).min(atom)
+        }
     }
 
     /// Probability of *violating* t-visibility at offset `t` (`p_st`).
@@ -135,20 +156,14 @@ impl TVisibility {
 
     /// Smallest `t ≥ 0` such that `P(consistent at t) ≥ p` — e.g.
     /// `t_at_probability(0.999)` is Table 4's "t-visibility for
-    /// `p_st = .001`". Returns `None` when even the largest observed
-    /// threshold cannot reach `p` (needs more trials).
+    /// `p_st = .001`" — as a sketch quantile query (exact at `p = 1`,
+    /// rank error ∝ 1/compression elsewhere, tightest at the tails).
+    ///
+    /// Always `Some` for in-range `p`; the `Option` is kept so call sites
+    /// can stay agnostic about future resolution limits.
     pub fn t_at_probability(&self, p: f64) -> Option<f64> {
         assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
-        let n = self.thresholds.len();
-        let needed = (p * n as f64).ceil() as usize;
-        if needed == 0 {
-            return Some(0.0);
-        }
-        if needed > n {
-            return None;
-        }
-        let t = self.thresholds.as_slice()[needed - 1];
-        Some(t.max(0.0))
+        Some(self.thresholds.quantile(p).max(0.0))
     }
 
     /// ⟨k,t⟩-staleness violation probability under the paper's conservative
@@ -169,19 +184,19 @@ impl TVisibility {
         self.write_latency.percentile(pct)
     }
 
-    /// The underlying sorted staleness thresholds (for cross-validation and
-    /// plotting).
-    pub fn thresholds(&self) -> &SortedSamples {
+    /// The streaming summary of per-trial staleness thresholds (for
+    /// cross-validation and plotting).
+    pub fn thresholds(&self) -> &Summary {
         &self.thresholds
     }
 
-    /// The underlying read-latency samples.
-    pub fn read_latencies(&self) -> &SortedSamples {
+    /// The streaming summary of read operation latencies.
+    pub fn read_latencies(&self) -> &Summary {
         &self.read_latency
     }
 
-    /// The underlying write-latency samples.
-    pub fn write_latencies(&self) -> &SortedSamples {
+    /// The streaming summary of write operation latencies.
+    pub fn write_latencies(&self) -> &Summary {
         &self.write_latency
     }
 }
@@ -213,6 +228,7 @@ mod tests {
             let tv = TVisibility::simulate(&m, 5_000, 7);
             assert_eq!(tv.prob_consistent(0.0), 1.0, "R={r} W={w}");
             assert_eq!(tv.t_at_probability(1.0), Some(0.0));
+            assert!(tv.thresholds().max() <= 0.0);
         }
     }
 
@@ -238,11 +254,14 @@ mod tests {
         let tv = TVisibility::simulate(&m, 50_000, 13);
         for &p in &[0.5, 0.9, 0.99, 0.999] {
             let t = tv.t_at_probability(p).unwrap();
-            assert!(tv.prob_consistent(t) >= p, "p={p}: curve({t}) too low");
-            if t > 0.0 {
-                // Just below t the probability drops under p (minimality).
-                assert!(tv.prob_consistent(t - 1e-9) < p + 1e-9);
-            }
+            // The sketch contract is rank error, tightening toward the
+            // tails: the curve at the returned t must sit within half a
+            // percentage point of p.
+            assert!(
+                (tv.prob_consistent(t) - p).abs() < 0.005,
+                "p={p}: curve({t}) = {}",
+                tv.prob_consistent(t)
+            );
         }
     }
 
@@ -251,8 +270,16 @@ mod tests {
         let m = exp_model(cfg(3, 1, 2), 0.2, 0.2);
         let a = TVisibility::simulate(&m, 2_000, 99);
         let b = TVisibility::simulate(&m, 2_000, 99);
-        assert_eq!(a.thresholds.as_slice(), b.thresholds.as_slice());
-        assert_eq!(a.read_latency.as_slice(), b.read_latency.as_slice());
+        assert_eq!(a.thresholds(), b.thresholds());
+        assert_eq!(a.read_latencies(), b.read_latencies());
+        for i in 0..=100 {
+            let q = i as f64 / 100.0;
+            assert_eq!(
+                a.thresholds.quantile(q).to_bits(),
+                b.thresholds.quantile(q).to_bits(),
+                "q={q}"
+            );
+        }
     }
 
     #[test]
@@ -267,6 +294,17 @@ mod tests {
             let b = par.t_at_probability(p).unwrap();
             assert!((a - b).abs() < 2.0 + 0.1 * a.max(b), "p={p}: {a} vs {b}");
         }
+    }
+
+    #[test]
+    fn merge_combines_runs() {
+        let m = exp_model(cfg(3, 1, 1), 0.1, 0.5);
+        let mut a = TVisibility::simulate(&m, 20_000, 1);
+        let b = TVisibility::simulate(&m, 20_000, 2);
+        let p_a = a.prob_consistent(5.0);
+        a.merge(b);
+        assert_eq!(a.trials(), 40_000);
+        assert!((a.prob_consistent(5.0) - p_a).abs() < 0.02);
     }
 
     #[test]

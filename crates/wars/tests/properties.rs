@@ -25,11 +25,12 @@ proptest! {
     fn thresholds_well_formed(cfg in any_config(), w_rate in 0.02f64..4.0, ars_rate in 0.05f64..4.0) {
         let model = exponential_model(cfg, w_rate, ars_rate);
         let tv = TVisibility::simulate(&model, 2_000, 3);
-        for &t in tv.thresholds().as_slice() {
-            prop_assert!(t.is_finite());
-            if cfg.is_strict() {
-                prop_assert!(t <= 1e-12, "strict quorum threshold {t} > 0");
-            }
+        let t = tv.thresholds();
+        prop_assert!(t.min().is_finite() && t.max().is_finite());
+        prop_assert_eq!(t.count(), 2_000);
+        if cfg.is_strict() {
+            prop_assert!(t.max() <= 1e-12, "strict quorum threshold {} > 0", t.max());
+            prop_assert_eq!(tv.prob_consistent(0.0), 1.0);
         }
     }
 

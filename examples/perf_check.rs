@@ -1,0 +1,32 @@
+//! Throughput / memory spot-check for the `pbs-mc`-backed WARS engine:
+//!
+//! ```sh
+//! cargo run --release --example perf_check -- 1000000 8
+//! ```
+//!
+//! Peak RSS stays flat as the trial count grows (streaming sketches hold
+//! O(threads · compression) state — no sample buffers), and output is
+//! bit-identical across repeated runs for a fixed `(seed, threads)` pair.
+
+use pbs::math::ReplicaConfig;
+use pbs::wars::production::lnkd_disk_model;
+use pbs::wars::TVisibility;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let trials: usize = args.next().map_or(1_000_000, |v| v.parse().expect("trials"));
+    let threads: usize = args.next().map_or(1, |v| v.parse().expect("threads"));
+    let model = lnkd_disk_model(ReplicaConfig::new(3, 1, 1).unwrap());
+    let t0 = std::time::Instant::now();
+    let tv = TVisibility::simulate_parallel(&model, trials, 42, threads);
+    let dt = t0.elapsed();
+    println!(
+        "trials={} threads={} time={:?} trials/sec={:.0} p0={:.5} t999={:.3}",
+        trials,
+        threads,
+        dt,
+        trials as f64 / dt.as_secs_f64(),
+        tv.prob_consistent(0.0),
+        tv.t_at_probability(0.999).unwrap()
+    );
+}

@@ -5,11 +5,103 @@
 //! time-boxed (~300 ms or 10k iterations, whichever first) and reported as
 //! a single mean-per-iteration line — enough to compare hot paths across
 //! commits without the real crate's statistics machinery.
+//!
+//! When the `BENCH_JSON` environment variable names a file, every bench
+//! process additionally appends its results to that file as a JSON
+//! summary (`{"benchmarks": [...]}`), including derived throughput
+//! (elements/sec) — CI uses this to emit machine-readable perf records.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// One recorded benchmark result (for the `BENCH_JSON` summary).
+#[derive(Debug, Clone)]
+struct BenchRecord {
+    label: String,
+    mean_ns: f64,
+    iters: u64,
+    throughput: Option<Throughput>,
+}
+
+static RECORDS: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Append this process's benchmark results to the file named by the
+/// `BENCH_JSON` environment variable (no-op when unset). Called by
+/// [`criterion_main!`] after all groups run; safe to call manually.
+///
+/// The file is this shim's own format — `{"benchmarks": [...]}` — and
+/// appending from several bench processes splices into the existing array
+/// so one summary can aggregate `wars_mc`, `kvs_sim`, etc.
+pub fn write_json_summary() {
+    let Ok(path) = std::env::var("BENCH_JSON") else {
+        return;
+    };
+    let records = RECORDS.lock().expect("bench record lock");
+    if records.is_empty() {
+        return;
+    }
+    let entries: Vec<String> = records
+        .iter()
+        .map(|r| {
+            let mut fields = vec![
+                format!("\"label\": \"{}\"", json_escape(&r.label)),
+                format!("\"mean_ns_per_iter\": {:.1}", r.mean_ns),
+                format!("\"iters\": {}", r.iters),
+            ];
+            match r.throughput {
+                Some(Throughput::Elements(n)) => {
+                    fields.push(format!("\"elements_per_iter\": {n}"));
+                    fields.push(format!(
+                        "\"elements_per_sec\": {:.1}",
+                        n as f64 / r.mean_ns * 1e9
+                    ));
+                }
+                Some(Throughput::Bytes(n)) => {
+                    fields.push(format!("\"bytes_per_iter\": {n}"));
+                    fields
+                        .push(format!("\"bytes_per_sec\": {:.1}", n as f64 / r.mean_ns * 1e9));
+                }
+                None => {}
+            }
+            format!("    {{{}}}", fields.join(", "))
+        })
+        .collect();
+    let body = entries.join(",\n");
+    let merged = match std::fs::read_to_string(&path) {
+        // Splice into an existing summary written by an earlier bench
+        // process (our own format: the array closes with "\n  ]\n}").
+        Ok(existing) => match existing.rfind("\n  ]") {
+            Some(idx) => {
+                let (head, tail) = existing.split_at(idx);
+                format!("{head},\n{body}{tail}")
+            }
+            None => format!("{{\n  \"benchmarks\": [\n{body}\n  ]\n}}\n"),
+        },
+        Err(_) => format!("{{\n  \"benchmarks\": [\n{body}\n  ]\n}}\n"),
+    };
+    if let Err(e) = std::fs::write(&path, merged) {
+        eprintln!("BENCH_JSON: failed to write {path}: {e}");
+    }
+}
 
 /// Prevent the optimizer from discarding a value or the work producing it.
 pub fn black_box<T>(x: T) -> T {
@@ -112,6 +204,12 @@ fn run_one(label: &str, throughput: Option<Throughput>, f: &mut dyn FnMut(&mut B
         line.push_str(&format!("  {per_iter}"));
     }
     println!("{line}");
+    RECORDS.lock().expect("bench record lock").push(BenchRecord {
+        label: label.to_string(),
+        mean_ns: bencher.mean_ns,
+        iters: bencher.iters,
+        throughput,
+    });
 }
 
 /// The benchmark driver. Construct via `Criterion::default()` (as the
@@ -181,12 +279,14 @@ macro_rules! criterion_group {
     };
 }
 
-/// Generate `main` running the given groups.
+/// Generate `main` running the given groups, then emitting the
+/// `BENCH_JSON` summary (if requested via the environment).
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::write_json_summary();
         }
     };
 }
@@ -209,5 +309,29 @@ mod tests {
     fn labels_render() {
         assert_eq!(BenchmarkId::new("sort", "n=10").into_label(), "sort/n=10");
         assert_eq!("plain".into_label(), "plain");
+    }
+
+    #[test]
+    fn json_summary_writes_and_splices() {
+        let path =
+            std::env::temp_dir().join(format!("pbs_bench_json_{}.json", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        std::env::set_var("BENCH_JSON", &path);
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("json_probe");
+        group.throughput(Throughput::Elements(1000));
+        group.bench_function("noop", |b| b.iter(|| black_box(3 * 3)));
+        group.finish();
+        write_json_summary();
+        // A second bench process appending must splice into the array.
+        write_json_summary();
+        std::env::remove_var("BENCH_JSON");
+        let s = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert!(s.starts_with("{\n  \"benchmarks\": ["), "{s}");
+        assert!(s.trim_end().ends_with('}'), "{s}");
+        assert!(s.contains("\"label\": \"json_probe/noop\""), "{s}");
+        assert!(s.contains("\"elements_per_sec\""), "{s}");
+        assert!(s.matches("json_probe/noop").count() >= 2, "splice appends: {s}");
     }
 }

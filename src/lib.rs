@@ -8,6 +8,7 @@
 //! |--------|-------|----------|
 //! | [`math`] | `pbs-core` | Closed-form Eqs. 1–5, load bounds |
 //! | [`dist`] | `pbs-dist` | Latency distributions, mixture fitting, stats |
+//! | [`mc`] | `pbs-mc` | Deterministic sharded runner, streaming sketches |
 //! | [`sim`] | `pbs-sim` | Deterministic discrete-event simulation kernel |
 //! | [`kvs`] | `pbs-kvs` | Dynamo-style quorum-replicated KV store |
 //! | [`wars`] | `pbs-wars` | WARS Monte Carlo t-visibility engine |
@@ -40,6 +41,7 @@
 pub use pbs_core as math;
 pub use pbs_dist as dist;
 pub use pbs_kvs as kvs;
+pub use pbs_mc as mc;
 pub use pbs_predictor as predictor;
 pub use pbs_quorum as quorum;
 pub use pbs_sim as sim;

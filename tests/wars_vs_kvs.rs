@@ -2,10 +2,10 @@
 //! must match the live Dynamo-style store within tight error bounds
 //! (paper: t-visibility RMSE ≈ 0.28%, latency N-RMSE ≈ 0.48%).
 
-use pbs::dist::stats::{n_rmse, rmse, SortedSamples};
+use pbs::dist::stats::{n_rmse, rmse};
 use pbs::dist::Exponential;
 use pbs::kvs::cluster::{Cluster, ClusterOptions};
-use pbs::kvs::experiments::measure_t_visibility;
+use pbs::kvs::experiments::{measure_t_visibility, measure_t_visibility_sharded};
 use pbs::kvs::NetworkModel;
 use pbs::math::ReplicaConfig;
 use pbs::wars::production::exponential_model;
@@ -17,16 +17,28 @@ fn validate_combo(w_rate: f64, ars_rate: f64, seed: u64) -> (f64, f64) {
     let offsets: Vec<f64> = (0..25).map(|i| 1.0 + 8.0 * i as f64).collect();
     let trials_per_offset = 400;
 
-    let mut cluster = Cluster::new(
+    // Sharded live-store measurement (two independent clusters) against a
+    // sharded WARS prediction — both paths run on the pbs-mc runner.
+    let measured = measure_t_visibility_sharded(
         ClusterOptions::validation(cfg, seed),
-        NetworkModel::w_ars(
+        &NetworkModel::w_ars(
             Arc::new(Exponential::from_rate(w_rate)),
             Arc::new(Exponential::from_rate(ars_rate)),
         ),
+        1,
+        &offsets,
+        trials_per_offset,
+        0.0,
+        2,
     );
-    let measured = measure_t_visibility(&mut cluster, 1, &offsets, trials_per_offset, 0.0);
-    let predicted =
-        TVisibility::simulate(&exponential_model(cfg, w_rate, ars_rate), 200_000, seed + 1);
+    // Far-offset base seed: `seed ^ i` shard derivation means adjacent
+    // base seeds could hand both runs the same shard RNG streams.
+    let predicted = TVisibility::simulate_parallel(
+        &exponential_model(cfg, w_rate, ars_rate),
+        200_000,
+        seed + 0x10_000,
+        2,
+    );
 
     let measured_p: Vec<f64> = measured.points.iter().map(|p| p.probability()).collect();
     let predicted_p: Vec<f64> =
@@ -34,14 +46,12 @@ fn validate_combo(w_rate: f64, ars_rate: f64, seed: u64) -> (f64, f64) {
     let tvis_rmse = rmse(&predicted_p, &measured_p);
 
     let pcts: Vec<f64> = (1..=19).map(|i| i as f64 * 5.0).chain([99.0, 99.9]).collect();
-    let m_read = SortedSamples::new(measured.read_latencies.clone());
-    let m_write = SortedSamples::new(measured.write_latencies.clone());
     let mut meas = Vec::new();
     let mut pred = Vec::new();
     for &p in &pcts {
-        meas.push(m_read.percentile(p));
+        meas.push(measured.read_latency.percentile(p));
         pred.push(predicted.read_latency_percentile(p));
-        meas.push(m_write.percentile(p));
+        meas.push(measured.write_latency.percentile(p));
         pred.push(predicted.write_latency_percentile(p));
     }
     (tvis_rmse, n_rmse(&pred, &meas))
