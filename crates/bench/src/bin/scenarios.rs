@@ -1,0 +1,243 @@
+//! §6 closed loop — run a named chaos scenario (`pbs-scenario`): a
+//! declarative fault/load timeline drives a live cluster while the
+//! in-loop adaptive controller refits measured WARS latencies and
+//! (optionally) retunes `(R, W)`. Emits a windowed time-series of
+//! predicted vs. measured consistency and latency as a table, CSV, or
+//! JSON.
+//!
+//! ```text
+//! cargo run --release --bin scenarios -- --scenario latency-spike --trials 64 --seed 7
+//! cargo run --release --bin scenarios -- --list
+//! cargo run --release --bin scenarios -- --scenario diurnal-load --format csv
+//! ```
+//!
+//! `--trials` is the number of **whole-scenario replica runs** (sharded
+//! deterministically over `--threads`; bit-reproducible per
+//! `(seed, threads)`), not per-point Monte-Carlo trials.
+
+use pbs_bench::{cli, report};
+use pbs_scenario::{run_scenario_sharded, Scenario, ScenarioRun, WindowRecord};
+
+const KNOWN: &[&str] = &[
+    "scenario", "trials", "seed", "threads", "format", "adaptive", "list", "quick",
+];
+
+fn fmt_opt(v: Option<f64>, digits: usize) -> String {
+    match v {
+        Some(x) => format!("{x:.digits$}"),
+        None => "-".into(),
+    }
+}
+
+fn print_table(scenario: &Scenario, run: &ScenarioRun) {
+    report::header(&format!("{} — predicted vs. measured, {} runs", run.name, run.runs));
+    let rows: Vec<Vec<String>> = run
+        .windows
+        .iter()
+        .map(|w| {
+            vec![
+                format!("{:.0}", w.start_ms),
+                w.probes.to_string(),
+                fmt_opt(w.measured(), 4),
+                fmt_opt(w.predicted(), 4),
+                fmt_opt(w.tracking_error(), 4),
+                fmt_opt((w.probes > 0).then(|| w.read_latency.percentile(50.0)), 3),
+                fmt_opt((w.probes > 0).then(|| w.write_latency.percentile(99.0)), 3),
+                w.failed_writes.to_string(),
+                w.reconfigs.to_string(),
+            ]
+        })
+        .collect();
+    report::table(
+        &[
+            "t (ms)",
+            "probes",
+            "measured",
+            "predicted",
+            "|err|",
+            "read p50",
+            "write p99",
+            "failed",
+            "reconfigs",
+        ],
+        &rows,
+    );
+    if !run.reconfigs.is_empty() {
+        report::header(&format!(
+            "Reconfigurations applied by the in-loop controller ({} total)",
+            run.reconfigs.len()
+        ));
+        const SHOWN: usize = 24;
+        for r in run.reconfigs.iter().take(SHOWN) {
+            println!("  t={:6.0}ms  run seed {:>20}  {} → {}", r.at_ms, r.run_seed, r.from, r.to);
+        }
+        if run.reconfigs.len() > SHOWN {
+            println!("  … and {} more (see --format json)", run.reconfigs.len() - SHOWN);
+        }
+    }
+    match run.stationary_tracking_error(scenario) {
+        Some(err) => {
+            println!();
+            println!(
+                "max |predicted − measured| on stationary segments: {err:.4} (target ≤ 0.05)"
+            );
+        }
+        None => println!("\n(no stationary window had both series)"),
+    }
+}
+
+fn print_csv(run: &ScenarioRun) {
+    println!(
+        "window_start_ms,window_end_ms,probes,consistent,measured,predicted,abs_error,\
+         read_p50_ms,read_p99_ms,write_p50_ms,write_p99_ms,failed_writes,incomplete_reads,reconfigs"
+    );
+    for w in &run.windows {
+        let lat = |s: &pbs_mc::Summary, pct: f64| {
+            if s.is_empty() { String::new() } else { format!("{:.4}", s.percentile(pct)) }
+        };
+        println!(
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            w.start_ms,
+            w.end_ms,
+            w.probes,
+            w.consistent,
+            fmt_opt(w.measured(), 6).replace('-', ""),
+            fmt_opt(w.predicted(), 6).replace('-', ""),
+            fmt_opt(w.tracking_error(), 6).replace('-', ""),
+            lat(&w.read_latency, 50.0),
+            lat(&w.read_latency, 99.0),
+            lat(&w.write_latency, 50.0),
+            lat(&w.write_latency, 99.0),
+            w.failed_writes,
+            w.incomplete_reads,
+            w.reconfigs,
+        );
+    }
+}
+
+fn json_f64(v: Option<f64>) -> String {
+    match v {
+        Some(x) if x.is_finite() => format!("{x}"),
+        _ => "null".into(),
+    }
+}
+
+fn print_json(scenario: &Scenario, run: &ScenarioRun) {
+    let windows: Vec<String> = run
+        .windows
+        .iter()
+        .map(|w: &WindowRecord| {
+            format!(
+                "{{\"start_ms\":{},\"end_ms\":{},\"probes\":{},\"consistent\":{},\
+                 \"measured\":{},\"predicted\":{},\"failed_writes\":{},\
+                 \"incomplete_reads\":{},\"reconfigs\":{},\"read_p50_ms\":{},\
+                 \"write_p99_ms\":{}}}",
+                w.start_ms,
+                w.end_ms,
+                w.probes,
+                w.consistent,
+                json_f64(w.measured()),
+                json_f64(w.predicted()),
+                w.failed_writes,
+                w.incomplete_reads,
+                w.reconfigs,
+                json_f64((w.probes > 0).then(|| w.read_latency.percentile(50.0))),
+                json_f64((w.probes > 0).then(|| w.write_latency.percentile(99.0))),
+            )
+        })
+        .collect();
+    let reconfigs: Vec<String> = run
+        .reconfigs
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"at_ms\":{},\"run_seed\":{},\"from\":\"{}\",\"to\":\"{}\"}}",
+                r.at_ms, r.run_seed, r.from, r.to
+            )
+        })
+        .collect();
+    println!(
+        "{{\"scenario\":\"{}\",\"runs\":{},\"stationary_tracking_error\":{},\
+         \"windows\":[{}],\"reconfigs\":[{}]}}",
+        run.name,
+        run.runs,
+        json_f64(run.stationary_tracking_error(scenario)),
+        windows.join(","),
+        reconfigs.join(","),
+    );
+}
+
+fn main() {
+    let args = cli::Args::parse();
+    args.reject_unknown(KNOWN);
+
+    if args.flag("list") {
+        println!("built-in scenarios:");
+        for name in Scenario::builtin_names() {
+            let s = Scenario::by_name(name, 0).expect("builtin");
+            println!("  {:<18} {}", s.name, s.description);
+        }
+        return;
+    }
+
+    let seed = args.parsed::<u64>("seed").unwrap_or(42);
+    let mut trials = if args.flag("quick") { 4 } else { 16 };
+    if let Some(t) = args.parsed::<usize>("trials") {
+        trials = t;
+    }
+    let threads = args
+        .parsed::<usize>("threads")
+        .unwrap_or_else(pbs_mc::Runner::available_threads);
+    let name = args.value_of("scenario").unwrap_or_else(|| {
+        eprintln!("--scenario NAME is required (see --list)");
+        std::process::exit(2);
+    });
+    let Some(mut scenario) = Scenario::by_name(name, seed) else {
+        eprintln!(
+            "unknown scenario {name:?}; built-ins: {}",
+            Scenario::builtin_names().join(", ")
+        );
+        std::process::exit(2);
+    };
+    if let Some(adaptive) = args.parsed::<bool>("adaptive") {
+        scenario.control.adaptive = adaptive;
+    }
+    let format = args.value_of("format").unwrap_or("table");
+
+    if format == "table" {
+        println!("Scenario {:?}: {}", scenario.name, scenario.description);
+        println!(
+            "cluster N={} start config {}, {} replica runs over {} threads, seed {}, \
+             adaptive {}",
+            scenario.cluster.nodes,
+            scenario.cluster.replication,
+            trials,
+            threads,
+            seed,
+            if scenario.control.adaptive { "on" } else { "off" },
+        );
+        report::header("Timeline");
+        println!("  {:>8}  probe load (piecewise{})", "", match scenario.load_period_ms {
+            Some(p) => format!(", period {p}ms"),
+            None => String::new(),
+        });
+        for &(at, rate) in &scenario.load {
+            println!("  {at:>7.0}ms  {rate} probes/s");
+        }
+        for ev in &scenario.events {
+            println!("  {:>7.0}ms  {}", ev.at_ms, ev.event.describe());
+        }
+    }
+
+    let run = run_scenario_sharded(&scenario, trials, seed, threads);
+
+    match format {
+        "table" => print_table(&scenario, &run),
+        "csv" => print_csv(&run),
+        "json" => print_json(&scenario, &run),
+        other => {
+            eprintln!("unknown --format {other:?} (supported: table csv json)");
+            std::process::exit(2);
+        }
+    }
+}

@@ -21,13 +21,15 @@
 //! | `sla` | §6: SLA-driven configuration search |
 //! | `detector` | §4.3: asynchronous staleness detector quality |
 //! | `read_delay` | §5.3 ablation: delaying reads vs. raising R |
+//! | `scenarios` | §6 closed loop: chaos timelines + adaptive reconfiguration (`pbs-scenario`) |
 //!
 //! Run all of them with `scripts/run_all.sh` or individually:
 //! `cargo run -p pbs-bench --release --bin fig6`. Every binary accepts
-//! `--quick` (reduced trial counts for smoke runs), `--trials=N`,
-//! `--seed=N`, and `--threads=N` (shards for the deterministic `pbs-mc`
+//! `--quick` (reduced trial counts for smoke runs), `--trials N`,
+//! `--seed N`, and `--threads N` (shards for the deterministic `pbs-mc`
 //! runner; output is bit-reproducible for a fixed `(seed, threads)`
-//! pair and defaults to all available cores).
+//! pair and defaults to all available cores); both `--key value` and
+//! `--key=value` spellings are accepted (see [`cli`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -102,6 +104,100 @@ pub mod report {
     }
 }
 
+/// Minimal argv parsing shared by the harness binaries: `--key value`,
+/// `--key=value`, and bare `--flag` spellings are all accepted.
+pub mod cli {
+    /// Parsed command-line flags, in order of appearance.
+    #[derive(Debug, Clone, Default)]
+    pub struct Args {
+        pairs: Vec<(String, Option<String>)>,
+    }
+
+    impl Args {
+        /// Parse the process's arguments (skipping `argv[0]`). Exits with
+        /// status 2 on a token that is not a `--flag`.
+        pub fn parse() -> Self {
+            Self::from_tokens(std::env::args().skip(1))
+        }
+
+        /// Parse from an explicit token stream.
+        pub fn from_tokens<I: IntoIterator<Item = String>>(tokens: I) -> Self {
+            let mut pairs: Vec<(String, Option<String>)> = Vec::new();
+            for token in tokens {
+                if let Some(flag) = token.strip_prefix("--") {
+                    match flag.split_once('=') {
+                        Some((k, v)) => pairs.push((k.to_string(), Some(v.to_string()))),
+                        None => pairs.push((flag.to_string(), None)),
+                    }
+                } else if let Some((_, slot @ None)) = pairs.last_mut() {
+                    // A bare token becomes the value of the preceding flag.
+                    *slot = Some(token);
+                } else {
+                    eprintln!("unexpected argument: {token} (flags look like --key value)");
+                    std::process::exit(2);
+                }
+            }
+            Self { pairs }
+        }
+
+        /// The value of `--key` (last occurrence wins), if present.
+        pub fn value_of(&self, key: &str) -> Option<&str> {
+            self.pairs
+                .iter()
+                .rev()
+                .find(|(k, _)| k == key)
+                .and_then(|(_, v)| v.as_deref())
+        }
+
+        /// Whether `--key` appeared at all (with or without a value).
+        pub fn has(&self, key: &str) -> bool {
+            self.pairs.iter().any(|(k, _)| k == key)
+        }
+
+        /// Whether the boolean flag `--key` is set. Exits with status 2 if
+        /// it was given a value (e.g. a stray positional token after it:
+        /// `--quick 3000` is a forgotten `--trials`, not a quick run).
+        pub fn flag(&self, key: &str) -> bool {
+            match self.pairs.iter().rev().find(|(k, _)| k == key) {
+                None => false,
+                Some((_, None)) => true,
+                Some((_, Some(v))) => {
+                    eprintln!("--{key} takes no value (got {v:?})");
+                    std::process::exit(2);
+                }
+            }
+        }
+
+        /// Parse `--key`'s value, exiting with status 2 on a missing or
+        /// malformed value. `None` when the flag is absent.
+        pub fn parsed<T: std::str::FromStr>(&self, key: &str) -> Option<T> {
+            if !self.has(key) {
+                return None;
+            }
+            match self.value_of(key).and_then(|v| v.parse().ok()) {
+                Some(v) => Some(v),
+                None => {
+                    eprintln!("--{key} requires a value of type {}", std::any::type_name::<T>());
+                    std::process::exit(2);
+                }
+            }
+        }
+
+        /// Exit with status 2 if any flag is not in `known`.
+        pub fn reject_unknown(&self, known: &[&str]) {
+            for (k, _) in &self.pairs {
+                if !known.contains(&k.as_str()) {
+                    eprintln!(
+                        "unknown argument: --{k} (supported: {})",
+                        known.iter().map(|k| format!("--{k}")).collect::<Vec<_>>().join(" ")
+                    );
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+}
+
 /// Harness CLI options, parsed from `std::env::args`.
 #[derive(Debug, Clone, Copy)]
 pub struct HarnessOptions {
@@ -116,37 +212,71 @@ pub struct HarnessOptions {
 }
 
 impl HarnessOptions {
-    /// Parse `--quick`, `--trials=N`, `--seed=N`, and `--threads=N` with a
-    /// default trial budget (chosen per binary to balance fidelity and
-    /// runtime).
+    /// Parse `--quick`, `--trials N`, `--seed N`, and `--threads N`
+    /// (`--key=value` works too) with a default trial budget (chosen per
+    /// binary to balance fidelity and runtime).
     pub fn parse(default_trials: usize) -> Self {
+        let args = cli::Args::parse();
+        args.reject_unknown(&["quick", "trials", "seed", "threads"]);
+        Self::from_args(&args, default_trials)
+    }
+
+    /// Extract the shared options from pre-parsed [`cli::Args`] — for
+    /// binaries with extra flags of their own.
+    pub fn from_args(args: &cli::Args, default_trials: usize) -> Self {
         let mut trials = default_trials;
-        let mut seed = 42u64;
-        let mut threads = pbs_mc::Runner::available_threads();
-        for arg in std::env::args().skip(1) {
-            if arg == "--quick" {
-                trials = (default_trials / 20).max(1_000);
-            } else if let Some(v) = arg.strip_prefix("--trials=") {
-                trials = v.parse().expect("--trials=N requires an integer");
-            } else if let Some(v) = arg.strip_prefix("--seed=") {
-                seed = v.parse().expect("--seed=N requires an integer");
-            } else if let Some(v) = arg.strip_prefix("--threads=") {
-                threads = v.parse().expect("--threads=N requires an integer");
-                assert!(threads > 0, "--threads must be at least 1");
-            } else {
-                eprintln!(
-                    "unknown argument: {arg} (supported: --quick --trials=N --seed=N --threads=N)"
-                );
-                std::process::exit(2);
-            }
+        if args.flag("quick") {
+            trials = (default_trials / 20).max(1_000);
         }
+        if let Some(t) = args.parsed::<usize>("trials") {
+            trials = t;
+        }
+        let seed = args.parsed::<u64>("seed").unwrap_or(42);
+        let threads = args
+            .parsed::<usize>("threads")
+            .unwrap_or_else(pbs_mc::Runner::available_threads);
+        assert!(threads > 0, "--threads must be at least 1");
         Self { trials, seed, threads }
     }
 }
 
 #[cfg(test)]
 mod tests {
+    use super::cli::Args;
     use super::report;
+
+    fn args(tokens: &[&str]) -> Args {
+        Args::from_tokens(tokens.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn cli_accepts_both_spellings() {
+        let a = args(&["--trials=30", "--seed", "7", "--quick"]);
+        assert_eq!(a.parsed::<usize>("trials"), Some(30));
+        assert_eq!(a.parsed::<u64>("seed"), Some(7));
+        assert!(a.has("quick"));
+        assert!(a.flag("quick"), "bare flag is set");
+        assert!(!a.has("threads"));
+        assert_eq!(a.value_of("threads"), None);
+    }
+
+    #[test]
+    fn cli_last_occurrence_wins() {
+        let a = args(&["--seed", "1", "--seed=9"]);
+        assert_eq!(a.parsed::<u64>("seed"), Some(9));
+    }
+
+    #[test]
+    fn harness_options_from_args() {
+        let a = args(&["--trials", "64", "--seed", "7", "--threads", "2"]);
+        let o = super::HarnessOptions::from_args(&a, 1_000);
+        assert_eq!((o.trials, o.seed, o.threads), (64, 7, 2));
+        // --quick scales the default; an explicit --trials overrides it.
+        let a = args(&["--quick"]);
+        assert_eq!(super::HarnessOptions::from_args(&a, 100_000).trials, 5_000);
+        let a = args(&["--quick", "--trials", "12"]);
+        assert_eq!(super::HarnessOptions::from_args(&a, 100_000).trials, 12);
+    }
 
     #[test]
     fn pct_formatting() {

@@ -288,6 +288,12 @@ impl Empirical {
     pub fn samples(&self) -> &SortedSamples {
         &self.samples
     }
+
+    /// Take back the (sorted) sample vector, e.g. to reuse its allocation
+    /// for the next refit window.
+    pub fn into_samples(self) -> Vec<f64> {
+        self.samples.into_vec()
+    }
 }
 
 impl LatencyDistribution for Empirical {

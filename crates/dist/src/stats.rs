@@ -37,6 +37,13 @@ impl SortedSamples {
         &self.data
     }
 
+    /// Take back the (sorted) sample vector — lets callers that rebuild
+    /// distributions on a cadence recycle one allocation instead of
+    /// reallocating per refit.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
     /// Smallest sample.
     pub fn min(&self) -> f64 {
         self.data[0]

@@ -196,6 +196,7 @@ impl TraceReport {
 pub struct Cluster {
     sim: Simulation<Node>,
     ring: Arc<Ring>,
+    net: Arc<NetworkModel>,
     opts: ClusterOptions,
     rng: StdRng,
     next_op: u64,
@@ -248,6 +249,7 @@ impl Cluster {
         Self {
             sim,
             ring,
+            net,
             opts,
             rng: StdRng::seed_from_u64(opts.seed.wrapping_mul(0xd134_2543_de82_ef95)),
             next_op: 1,
@@ -269,6 +271,45 @@ impl Cluster {
     /// The consistent-hashing ring.
     pub fn ring(&self) -> &Ring {
         &self.ring
+    }
+
+    /// The cluster's network model. Its dynamic-condition methods
+    /// (partitions, link faults, regime swaps) take `&self`, so faults can
+    /// be injected mid-run: `cluster.network().partition(vec![0, 0, 1])`.
+    pub fn network(&self) -> &NetworkModel {
+        &self.net
+    }
+
+    /// Apply a new `(N, R, W)` configuration to the **running** cluster
+    /// (§6 "Variable configurations" — the reconfiguration an adaptive
+    /// controller issues when conditions drift).
+    ///
+    /// `R`/`W` changes take effect for every subsequent operation and for
+    /// the next response of any operation still in flight (coordinators
+    /// test quorums with `≥`). Changing `N` rebuilds the placement ring:
+    /// data written under the old placement stays where it is and new
+    /// replica sets take over for subsequent operations, so freshly added
+    /// replicas serve empty reads until read repair or anti-entropy
+    /// migrates the data — exactly the transient a real Dynamo-style
+    /// reconfiguration exhibits.
+    pub fn set_replication(&mut self, cfg: ReplicaConfig) {
+        assert!(
+            self.opts.nodes >= cfg.n(),
+            "cluster has {} nodes; cannot replicate {}-way",
+            self.opts.nodes,
+            cfg.n()
+        );
+        if cfg.n() != self.opts.replication.n() {
+            let ring = Arc::new(Ring::new(self.opts.nodes, self.opts.vnodes, cfg.n()));
+            self.ring = Arc::clone(&ring);
+            for id in 0..self.opts.nodes as usize {
+                self.sim.actor_mut(id).set_ring(Arc::clone(&ring));
+            }
+        }
+        self.opts.replication = cfg;
+        for id in 0..self.opts.nodes as usize {
+            self.sim.actor_mut(id).set_quorums(cfg.r(), cfg.w());
+        }
     }
 
     /// Ground-truth commit history (for custom analyses).
@@ -711,6 +752,63 @@ mod tests {
         assert_eq!(d.flagged, d.true_positives + d.false_positives);
         let stale_reads = report.reads.iter().filter(|r| !r.label.consistent).count();
         assert_eq!(stale_reads, d.true_positives + d.missed_stale);
+    }
+
+    #[test]
+    fn partition_blocks_quorum_until_healed() {
+        // N=W=3: a minority partition starves the write quorum entirely.
+        let mut opts = ClusterOptions::validation(cfg(3, 1, 3), 21);
+        opts.op_timeout_ms = 500.0;
+        let mut cluster = Cluster::new(opts, NetworkModel::w_ars(
+            Arc::new(Constant::new(1.0)),
+            Arc::new(Constant::new(1.0)),
+        ));
+        cluster.network().partition(vec![0, 0, 1]);
+        let w = cluster.write_from(0, 5);
+        assert!(w.commit.is_none(), "W=3 cannot commit across a partition");
+        cluster.network().heal_partition();
+        let w = cluster.write_from(0, 5);
+        assert!(w.commit.is_some(), "healing restores delivery");
+    }
+
+    #[test]
+    fn set_replication_changes_quorums_live() {
+        let mut opts = ClusterOptions::validation(cfg(3, 1, 1), 22);
+        opts.op_timeout_ms = 500.0;
+        let mut cluster = Cluster::new(opts, NetworkModel::w_ars(
+            Arc::new(Constant::new(1.0)),
+            Arc::new(Constant::new(1.0)),
+        ));
+        // R=W=1 under a minority partition: a majority-side coordinator
+        // still commits (itself is a replica).
+        cluster.network().partition(vec![0, 0, 1]);
+        let w = cluster.write_from(0, 7);
+        assert!(w.commit.is_some());
+        // Tighten to W=3 live: the same write now fails under partition.
+        cluster.set_replication(cfg(3, 3, 3));
+        assert_eq!(cluster.replication(), cfg(3, 3, 3));
+        let w = cluster.write_from(0, 7);
+        assert!(w.commit.is_none(), "new W=3 quorum respected immediately");
+        cluster.network().heal_partition();
+        let w = cluster.write_from(0, 7);
+        assert!(w.commit.is_some());
+        let r = cluster.read(7);
+        assert!(r.consistent(), "R=3 strict read after heal");
+    }
+
+    #[test]
+    fn set_replication_rebuilds_ring_for_new_n() {
+        let mut opts = ClusterOptions::validation(cfg(2, 1, 2), 23);
+        opts.nodes = 4;
+        let mut cluster = Cluster::new(opts, NetworkModel::w_ars(
+            Arc::new(Constant::new(1.0)),
+            Arc::new(Constant::new(1.0)),
+        ));
+        assert_eq!(cluster.ring().replicas(9).len(), 2);
+        cluster.set_replication(cfg(3, 1, 3));
+        assert_eq!(cluster.ring().replicas(9).len(), 3, "ring re-placed for N=3");
+        let w = cluster.write(9);
+        assert!(w.commit.is_some(), "W=3 write commits on the new replica set");
     }
 
     #[test]

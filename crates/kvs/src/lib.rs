@@ -45,6 +45,6 @@ pub mod staleness;
 pub mod version;
 
 pub use cluster::{Cluster, ClusterOptions, ReadOutcome, WriteOutcome};
-pub use network::NetworkModel;
+pub use network::{LinkFault, NetworkModel};
 pub use ring::Ring;
 pub use version::{CausalOrder, VectorClock, Version};

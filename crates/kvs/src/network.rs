@@ -1,8 +1,11 @@
-//! The network latency model: per-leg WARS distributions plus optional
-//! datacenter topology.
+//! The network latency model: per-leg WARS distributions, optional
+//! datacenter topology, and **dynamic conditions** (partitions, per-link
+//! faults, latency-regime changes) that can be altered while a cluster is
+//! running — the substrate for `pbs-scenario`'s fault/load timelines.
 
 use pbs_dist::DynDistribution;
 use rand::RngCore;
+use std::sync::{Arc, RwLock};
 
 /// Which WARS leg a message travels.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -17,6 +20,49 @@ pub enum Leg {
     S,
 }
 
+impl Leg {
+    fn index(self) -> usize {
+        match self {
+            Leg::W => 0,
+            Leg::A => 1,
+            Leg::R => 2,
+            Leg::S => 3,
+        }
+    }
+}
+
+/// A directed per-link latency fault: messages from `from` to `to` have
+/// their sampled delay multiplied by `scale` and then increased by
+/// `extra_ms` (a degraded NIC, an overloaded switch port, a slow WAN hop).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkFault {
+    /// Sending node.
+    pub from: usize,
+    /// Receiving node.
+    pub to: usize,
+    /// Additive one-way penalty (ms, ≥ 0).
+    pub extra_ms: f64,
+    /// Multiplicative slowdown (≥ 0; 1.0 = no scaling).
+    pub scale: f64,
+}
+
+/// Mutable network conditions, shared (behind a lock) between every node of
+/// one cluster and the driver steering the run.
+#[derive(Clone, Default)]
+struct Conditions {
+    /// Replacement per-leg distributions (a latency *regime swap*);
+    /// `None` = the base legs.
+    legs: Option<[DynDistribution; 4]>,
+    /// Per-leg multiplicative scaling on top of whichever legs are active.
+    /// `None` = all ones.
+    leg_scale: Option<[f64; 4]>,
+    /// Partition group of each node; messages crossing groups are dropped.
+    /// Empty = no partition.
+    partition: Vec<u32>,
+    /// Active per-link faults (checked in order; all matches apply).
+    link_faults: Vec<LinkFault>,
+}
+
 /// One-way message delays for the simulated cluster.
 ///
 /// Base per-leg distributions are sampled i.i.d. per message (matching the
@@ -24,17 +70,38 @@ pub enum Leg {
 /// messages crossing datacenter boundaries, reproducing §5.5's WAN model
 /// inside the full store.
 ///
-/// `Clone` is cheap (per-leg distributions are shared `Arc`s) — sharded
-/// experiment drivers clone one model per independent cluster.
-#[derive(Clone)]
+/// On top of the immutable base model sits a set of **dynamic conditions**
+/// that may change mid-run through `&self` (interior mutability):
+/// [`swap_legs`](Self::swap_legs) replaces the active distributions (a
+/// latency-regime shift), [`set_leg_scale`](Self::set_leg_scale) scales
+/// them, [`partition`](Self::partition) drops messages across group
+/// boundaries until [`heal_partition`](Self::heal_partition), and
+/// [`add_link_fault`](Self::add_link_fault) degrades individual links.
+/// Messages already in flight keep the delay they were sampled with —
+/// condition changes affect subsequent sends, exactly like a real network.
+///
+/// `Clone` **forks** the model: the clone shares the (immutable) base legs
+/// cheaply via `Arc` but receives an independent copy of the dynamic
+/// conditions, so sharded experiment drivers can steer one cluster per
+/// shard without cross-talk.
 pub struct NetworkModel {
-    w: DynDistribution,
-    a: DynDistribution,
-    r: DynDistribution,
-    s: DynDistribution,
+    base: [DynDistribution; 4],
     /// `dc_of[node]` — datacenter of each node; empty = single DC.
     dc_of: Vec<u32>,
     inter_dc_penalty_ms: f64,
+    dynamic: Arc<RwLock<Conditions>>,
+}
+
+impl Clone for NetworkModel {
+    fn clone(&self) -> Self {
+        Self {
+            base: self.base.clone(),
+            dc_of: self.dc_of.clone(),
+            inter_dc_penalty_ms: self.inter_dc_penalty_ms,
+            // Deep-fork the dynamic state: clones steer independently.
+            dynamic: Arc::new(RwLock::new(self.conditions().clone())),
+        }
+    }
 }
 
 impl NetworkModel {
@@ -45,7 +112,12 @@ impl NetworkModel {
         r: DynDistribution,
         s: DynDistribution,
     ) -> Self {
-        Self { w, a, r, s, dc_of: Vec::new(), inter_dc_penalty_ms: 0.0 }
+        Self {
+            base: [w, a, r, s],
+            dc_of: Vec::new(),
+            inter_dc_penalty_ms: 0.0,
+            dynamic: Arc::new(RwLock::new(Conditions::default())),
+        }
     }
 
     /// Common shorthand: one distribution for `W`, one shared by `A=R=S`.
@@ -62,16 +134,144 @@ impl NetworkModel {
         self
     }
 
+    fn conditions(&self) -> std::sync::RwLockReadGuard<'_, Conditions> {
+        self.dynamic.read().expect("network conditions lock poisoned")
+    }
+
+    fn conditions_mut(&self) -> std::sync::RwLockWriteGuard<'_, Conditions> {
+        self.dynamic.write().expect("network conditions lock poisoned")
+    }
+
+    // ----- dynamic conditions (mid-run steering) -----
+
+    /// Replace the active per-leg distributions — a latency *regime swap*
+    /// (e.g. SSDs degrade to disk-like write tails). Takes effect for every
+    /// message sent after the call; in-flight messages are unaffected.
+    pub fn swap_legs(
+        &self,
+        w: DynDistribution,
+        a: DynDistribution,
+        r: DynDistribution,
+        s: DynDistribution,
+    ) {
+        self.conditions_mut().legs = Some([w, a, r, s]);
+    }
+
+    /// Scale whichever legs are active by per-leg factors (≥ 0). Factors
+    /// are absolute, not cumulative: calling twice with `2.0` scales by
+    /// 2×, not 4×.
+    pub fn set_leg_scale(&self, w: f64, a: f64, r: f64, s: f64) {
+        for f in [w, a, r, s] {
+            assert!(f >= 0.0 && f.is_finite(), "leg scale must be finite and ≥ 0: {f}");
+        }
+        self.conditions_mut().leg_scale = Some([w, a, r, s]);
+    }
+
+    /// Drop any regime swap and leg scaling, returning to the base legs.
+    /// Partitions and link faults are left in place.
+    pub fn restore_base_legs(&self) {
+        let mut c = self.conditions_mut();
+        c.legs = None;
+        c.leg_scale = None;
+    }
+
+    /// Install a network partition: `groups[node]` assigns each node to a
+    /// partition group, and every message between nodes in *different*
+    /// groups is silently dropped (nodes beyond `groups.len()` fall into
+    /// group 0). Replaces any existing partition.
+    pub fn partition(&self, groups: Vec<u32>) {
+        self.conditions_mut().partition = groups;
+    }
+
+    /// Heal the partition: full pairwise delivery resumes for messages sent
+    /// after the call.
+    pub fn heal_partition(&self) {
+        self.conditions_mut().partition.clear();
+    }
+
+    /// Whether a partition currently blocks `from → to`.
+    pub fn is_partitioned(&self, from: usize, to: usize) -> bool {
+        let c = self.conditions();
+        if c.partition.is_empty() {
+            return false;
+        }
+        let a = c.partition.get(from).copied().unwrap_or(0);
+        let b = c.partition.get(to).copied().unwrap_or(0);
+        a != b
+    }
+
+    /// Whether a message from `from` to `to` would currently be delivered.
+    pub fn deliverable(&self, from: usize, to: usize) -> bool {
+        !self.is_partitioned(from, to)
+    }
+
+    /// Add a directed per-link fault (see [`LinkFault`]). Faults stack:
+    /// every matching fault applies, in insertion order.
+    pub fn add_link_fault(&self, fault: LinkFault) {
+        assert!(fault.extra_ms >= 0.0 && fault.extra_ms.is_finite());
+        assert!(fault.scale >= 0.0 && fault.scale.is_finite());
+        self.conditions_mut().link_faults.push(fault);
+    }
+
+    /// Remove every per-link fault.
+    pub fn clear_link_faults(&self) {
+        self.conditions_mut().link_faults.clear();
+    }
+
+    // ----- sampling -----
+
+    /// Attempt to transmit one message on `leg` from `from` to `to` under
+    /// the current dynamic conditions: `None` when a partition blocks the
+    /// link, otherwise the sampled one-way delay (regime, scaling, DC
+    /// penalty, link faults applied). This is the hot-path entry point —
+    /// one conditions-lock acquisition per message, with no window between
+    /// the deliverability check and the sample.
+    pub fn transmit(&self, leg: Leg, from: usize, to: usize, rng: &mut dyn RngCore) -> Option<f64> {
+        let c = self.conditions();
+        if !c.partition.is_empty() {
+            let a = c.partition.get(from).copied().unwrap_or(0);
+            let b = c.partition.get(to).copied().unwrap_or(0);
+            if a != b {
+                return None;
+            }
+        }
+        Some(self.delay_under(&c, leg, from, to, rng))
+    }
+
     /// Sample the one-way delay for a message on `leg` from node `from` to
-    /// node `to`.
+    /// node `to`, under the current dynamic conditions (regime, scaling,
+    /// link faults — but **not** partitions; callers gate delivery on
+    /// [`deliverable`](Self::deliverable), or use
+    /// [`transmit`](Self::transmit), which does both under one lock).
     pub fn delay(&self, leg: Leg, from: usize, to: usize, rng: &mut dyn RngCore) -> f64 {
-        let base = match leg {
-            Leg::W => self.w.sample(rng),
-            Leg::A => self.a.sample(rng),
-            Leg::R => self.r.sample(rng),
-            Leg::S => self.s.sample(rng),
+        let c = self.conditions();
+        self.delay_under(&c, leg, from, to, rng)
+    }
+
+    fn delay_under(
+        &self,
+        c: &Conditions,
+        leg: Leg,
+        from: usize,
+        to: usize,
+        rng: &mut dyn RngCore,
+    ) -> f64 {
+        let i = leg.index();
+        let dist = match &c.legs {
+            Some(legs) => &legs[i],
+            None => &self.base[i],
         };
-        base + self.penalty(from, to)
+        let mut delay = dist.sample(rng);
+        if let Some(scale) = c.leg_scale {
+            delay *= scale[i];
+        }
+        delay += self.penalty(from, to);
+        for f in &c.link_faults {
+            if f.from == from && f.to == to {
+                delay = delay * f.scale + f.extra_ms;
+            }
+        }
+        delay
     }
 
     fn penalty(&self, from: usize, to: usize) -> f64 {
@@ -95,11 +295,21 @@ impl NetworkModel {
 
 impl std::fmt::Debug for NetworkModel {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let c = self.conditions();
+        let active = |i: usize| -> String {
+            match &c.legs {
+                Some(legs) => legs[i].describe(),
+                None => self.base[i].describe(),
+            }
+        };
         f.debug_struct("NetworkModel")
-            .field("w", &self.w.describe())
-            .field("a", &self.a.describe())
-            .field("r", &self.r.describe())
-            .field("s", &self.s.describe())
+            .field("w", &active(0))
+            .field("a", &active(1))
+            .field("r", &active(2))
+            .field("s", &active(3))
+            .field("leg_scale", &c.leg_scale)
+            .field("partition", &c.partition)
+            .field("link_faults", &c.link_faults)
             .field("datacenters", &self.dc_of)
             .field("inter_dc_penalty_ms", &self.inter_dc_penalty_ms)
             .finish()
@@ -141,5 +351,85 @@ mod tests {
         assert_eq!(net.delay(Leg::W, 0, 2, &mut rng), 79.0, "cross DC");
         assert_eq!(net.delay(Leg::S, 2, 0, &mut rng), 76.0);
         assert_eq!(net.datacenter_of(2), 1);
+    }
+
+    #[test]
+    fn regime_swap_and_restore() {
+        let net = constant_net();
+        let mut rng = StdRng::seed_from_u64(0);
+        net.swap_legs(
+            Arc::new(Constant::new(40.0)),
+            Arc::new(Constant::new(30.0)),
+            Arc::new(Constant::new(20.0)),
+            Arc::new(Constant::new(10.0)),
+        );
+        assert_eq!(net.delay(Leg::W, 0, 1, &mut rng), 40.0);
+        assert_eq!(net.delay(Leg::S, 1, 0, &mut rng), 10.0);
+        net.restore_base_legs();
+        assert_eq!(net.delay(Leg::W, 0, 1, &mut rng), 4.0);
+    }
+
+    #[test]
+    fn leg_scale_is_absolute_not_cumulative() {
+        let net = constant_net();
+        let mut rng = StdRng::seed_from_u64(0);
+        net.set_leg_scale(2.0, 1.0, 1.0, 1.0);
+        net.set_leg_scale(2.0, 1.0, 1.0, 1.0);
+        assert_eq!(net.delay(Leg::W, 0, 1, &mut rng), 8.0, "2× once, not 4×");
+        assert_eq!(net.delay(Leg::A, 1, 0, &mut rng), 3.0, "other legs untouched");
+    }
+
+    #[test]
+    fn partition_blocks_cross_group_only() {
+        let net = constant_net();
+        net.partition(vec![0, 0, 1]);
+        assert!(net.deliverable(0, 1));
+        assert!(!net.deliverable(0, 2));
+        assert!(!net.deliverable(2, 1));
+        assert!(net.deliverable(2, 2), "self-delivery always works");
+        net.heal_partition();
+        assert!(net.deliverable(0, 2));
+    }
+
+    #[test]
+    fn link_faults_scale_then_add() {
+        let net = constant_net();
+        let mut rng = StdRng::seed_from_u64(0);
+        net.add_link_fault(LinkFault { from: 0, to: 1, extra_ms: 5.0, scale: 3.0 });
+        assert_eq!(net.delay(Leg::W, 0, 1, &mut rng), 4.0 * 3.0 + 5.0);
+        assert_eq!(net.delay(Leg::W, 1, 0, &mut rng), 4.0, "directed: reverse unaffected");
+        net.clear_link_faults();
+        assert_eq!(net.delay(Leg::W, 0, 1, &mut rng), 4.0);
+    }
+
+    #[test]
+    fn transmit_gates_on_partition_and_samples_otherwise() {
+        let net = constant_net();
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(net.transmit(Leg::W, 0, 2, &mut rng), Some(4.0));
+        net.partition(vec![0, 0, 1]);
+        assert_eq!(net.transmit(Leg::W, 0, 2, &mut rng), None, "cross-group blocked");
+        assert_eq!(net.transmit(Leg::W, 0, 1, &mut rng), Some(4.0), "same group flows");
+        net.heal_partition();
+        assert_eq!(net.transmit(Leg::W, 0, 2, &mut rng), Some(4.0));
+    }
+
+    #[test]
+    fn clone_forks_dynamic_conditions() {
+        let net = constant_net();
+        net.partition(vec![0, 1]);
+        let fork = net.clone();
+        assert!(!fork.deliverable(0, 1), "clone inherits current conditions");
+        net.heal_partition();
+        assert!(!fork.deliverable(0, 1), "healing the original leaves the fork alone");
+        fork.heal_partition();
+        let mut rng = StdRng::seed_from_u64(0);
+        fork.swap_legs(
+            Arc::new(Constant::new(9.0)),
+            Arc::new(Constant::new(9.0)),
+            Arc::new(Constant::new(9.0)),
+            Arc::new(Constant::new(9.0)),
+        );
+        assert_eq!(net.delay(Leg::W, 0, 1, &mut rng), 4.0, "fork's swap is private");
     }
 }

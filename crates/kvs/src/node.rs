@@ -285,6 +285,24 @@ impl Node {
         self.store.len()
     }
 
+    /// Change the quorum sizes this node uses when coordinating (live
+    /// reconfiguration, §6 "Variable configurations"). Operations already
+    /// in flight complete under whichever threshold is in force when their
+    /// responses arrive — the coordinator checks `≥`, so shrinking a
+    /// quorum lets pending operations commit on their next response.
+    pub fn set_quorums(&mut self, r: u32, w: u32) {
+        assert!(r >= 1 && w >= 1);
+        self.opts.r = r;
+        self.opts.w = w;
+    }
+
+    /// Swap the placement ring (live replication-factor change). Existing
+    /// stored data stays put; anti-entropy and read repair migrate it to
+    /// the new replica sets over time.
+    pub fn set_ring(&mut self, ring: Arc<Ring>) {
+        self.ring = ring;
+    }
+
     fn apply_version(&mut self, key: u64, version: Version) {
         let entry = self.store.entry(key).or_insert(version);
         if version > *entry {
@@ -292,12 +310,15 @@ impl Node {
         }
     }
 
-    /// Send with sampled per-leg latency, subject to message loss.
+    /// Send with sampled per-leg latency, subject to message loss and any
+    /// active network partition.
     fn send(&mut self, ctx: &mut Context<'_, Msg>, leg: Leg, to: ActorId, msg: Msg) {
         if self.opts.drop_prob > 0.0 && self.rng.gen::<f64>() < self.opts.drop_prob {
             return; // lost in transit
         }
-        let delay = self.net.delay(leg, self.id, to, &mut self.rng);
+        let Some(delay) = self.net.transmit(leg, self.id, to, &mut self.rng) else {
+            return; // partitioned away
+        };
         if self.opts.record_leg_samples {
             match leg {
                 Leg::W => self.leg_samples.w.push(delay),
@@ -357,7 +378,7 @@ impl Node {
             return; // duplicate (e.g. hint + original both landed)
         }
         state.acked.push(replica);
-        if state.committed.is_none() && state.acked.len() == self.opts.w as usize {
+        if state.committed.is_none() && state.acked.len() >= self.opts.w as usize {
             state.committed = Some(ctx.now());
             self.client_results.insert(
                 op_id,
@@ -451,7 +472,7 @@ impl Node {
             return;
         };
         state.responses.push((replica, version));
-        if state.returned.is_none() && state.responses.len() == self.opts.r as usize {
+        if state.returned.is_none() && state.responses.len() >= self.opts.r as usize {
             // Return the newest of the first R responses (None < Some).
             let best = state.responses.iter().map(|(_, v)| *v).max().flatten();
             state.returned = Some(best);

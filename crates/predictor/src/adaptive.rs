@@ -1,13 +1,44 @@
 //! Adaptive reconfiguration (§6 "Variable configurations"): keep a sliding
 //! window of measured one-way latencies, refit empirical distributions, and
 //! re-run the SLA optimizer when conditions drift.
+//!
+//! The controller is built for **in-loop** use by a scenario driver: feed
+//! it drained leg samples with [`AdaptiveController::observe_many`] on a
+//! cadence, then either [`predict`](AdaptiveController::predict) the
+//! current configuration's behaviour or
+//! [`reoptimize`](AdaptiveController::reoptimize) the whole `(R, W)` space.
+//! Both are fallible (`Err` on an empty window) rather than panicking, and
+//! both recycle internal scratch buffers so steady-state refits perform no
+//! per-call sample-vector reallocation.
 
-use crate::sla::{optimize, SlaReport, SlaSpec};
+use crate::predictor::Predictor;
+use crate::sla::{optimize_threads, SlaReport, SlaSpec};
 use pbs_core::ReplicaConfig;
 use pbs_dist::Empirical;
 use pbs_wars::{IidModel, LatencyModel};
 use std::collections::VecDeque;
 use std::sync::Arc;
+
+/// Why a refit could not run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdaptiveError {
+    /// No samples have been observed yet — call
+    /// [`AdaptiveController::observe`] /
+    /// [`observe_many`](AdaptiveController::observe_many) first.
+    EmptyWindow,
+}
+
+impl std::fmt::Display for AdaptiveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdaptiveError::EmptyWindow => {
+                write!(f, "sample window is empty; observe latencies before refitting")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AdaptiveError {}
 
 /// A bounded sliding window of latency samples for one WARS leg.
 #[derive(Debug, Clone)]
@@ -42,6 +73,14 @@ impl SampleWindow {
         self.samples.is_empty()
     }
 
+    /// Copy the windowed samples into `out` (cleared first), reusing its
+    /// allocation.
+    pub fn write_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(self.samples.iter().copied());
+    }
+
+    #[cfg(test)]
     fn to_empirical(&self) -> Empirical {
         Empirical::from_samples(self.samples.iter().copied().collect())
     }
@@ -49,6 +88,36 @@ impl SampleWindow {
 
 /// The online controller: observes per-leg latencies, periodically refits
 /// and re-optimizes the replication configuration.
+///
+/// ```
+/// use pbs_predictor::adaptive::AdaptiveController;
+/// use pbs_predictor::SlaSpec;
+/// use pbs_core::ReplicaConfig;
+/// use pbs_dist::{Exponential, LatencyDistribution};
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let spec = SlaSpec::consistency(0.99, 10.0);
+/// let mut ctl = AdaptiveController::new(spec, vec![3], 2_000, 4_000, 1).with_threads(1);
+///
+/// // An empty window is an error, not a panic.
+/// assert!(ctl.reoptimize().is_err());
+///
+/// // Observe measured one-way latencies (e.g. drained from a live store)…
+/// let (w, ars) = (Exponential::from_mean(2.0), Exponential::from_mean(0.5));
+/// let mut rng = StdRng::seed_from_u64(7);
+/// for _ in 0..2_000 {
+///     ctl.observe(w.sample(&mut rng), ars.sample(&mut rng),
+///                 ars.sample(&mut rng), ars.sample(&mut rng));
+/// }
+///
+/// // …then predict the current config or re-optimize the whole space.
+/// let cfg = ReplicaConfig::new(3, 1, 1).unwrap();
+/// let p = ctl.predict(cfg).unwrap();
+/// assert!(p.prob_consistent(10.0) > 0.9);
+/// let report = ctl.reoptimize().unwrap();
+/// assert!(report.best_config().is_some());
+/// ```
 #[derive(Debug)]
 pub struct AdaptiveController {
     w: SampleWindow,
@@ -61,11 +130,19 @@ pub struct AdaptiveController {
     /// Monte-Carlo budget per candidate evaluation.
     trials: usize,
     seed: u64,
+    /// Shards per Monte-Carlo evaluation.
+    threads: usize,
+    /// Recycled per-leg sample buffers (W, A, R, S): refits take them,
+    /// hand them to `Empirical`, and reclaim them afterwards, so the
+    /// steady state allocates nothing per call.
+    scratch: [Vec<f64>; 4],
 }
 
 impl AdaptiveController {
     /// Build a controller with the given SLA, candidate `N`s, window size,
-    /// and per-evaluation trial budget.
+    /// and per-evaluation trial budget. Monte-Carlo evaluations shard over
+    /// the host's cores by default; see
+    /// [`with_threads`](Self::with_threads).
     pub fn new(spec: SlaSpec, ns: Vec<u32>, window: usize, trials: usize, seed: u64) -> Self {
         assert!(!ns.is_empty());
         Self {
@@ -77,7 +154,23 @@ impl AdaptiveController {
             ns,
             trials,
             seed,
+            threads: crate::default_threads(),
+            scratch: Default::default(),
         }
+    }
+
+    /// Fix the Monte-Carlo shard count (default: the host's cores, capped
+    /// at 8). Drivers that already parallelise at a coarser grain pass 1,
+    /// which also makes refits host-independent.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        assert!(threads > 0);
+        self.threads = threads;
+        self
+    }
+
+    /// The SLA the optimizer targets.
+    pub fn spec(&self) -> &SlaSpec {
+        &self.spec
     }
 
     /// Record one WARS observation (one message per leg).
@@ -88,32 +181,104 @@ impl AdaptiveController {
         self.s.push(s);
     }
 
-    /// Total observations currently windowed (per leg).
+    /// Bulk-ingest drained per-leg samples (the shape
+    /// `pbs_kvs::Cluster::drain_leg_samples` produces). Legs may have
+    /// different lengths — each feeds its own window.
+    pub fn observe_many(&mut self, w: &[f64], a: &[f64], r: &[f64], s: &[f64]) {
+        for &v in w {
+            self.w.push(v);
+        }
+        for &v in a {
+            self.a.push(v);
+        }
+        for &v in r {
+            self.r.push(v);
+        }
+        for &v in s {
+            self.s.push(v);
+        }
+    }
+
+    /// Smallest per-leg window fill — refit quality is bounded by the
+    /// least-observed leg.
     pub fn window_len(&self) -> usize {
-        self.w.len()
+        self.w.len().min(self.a.len()).min(self.r.len()).min(self.s.len())
+    }
+
+    /// Refit the windowed per-leg empirical distributions, taking the
+    /// scratch buffers. Callers must pass the result to
+    /// [`reclaim`](Self::reclaim) once the models built on it are dropped.
+    fn windowed_legs(&mut self) -> Result<[Arc<Empirical>; 4], AdaptiveError> {
+        if self.w.is_empty() || self.a.is_empty() || self.r.is_empty() || self.s.is_empty() {
+            return Err(AdaptiveError::EmptyWindow);
+        }
+        let [sw, sa, sr, ss] = &mut self.scratch;
+        self.w.write_into(sw);
+        self.a.write_into(sa);
+        self.r.write_into(sr);
+        self.s.write_into(ss);
+        Ok([
+            Arc::new(Empirical::from_samples(std::mem::take(sw))),
+            Arc::new(Empirical::from_samples(std::mem::take(sa))),
+            Arc::new(Empirical::from_samples(std::mem::take(sr))),
+            Arc::new(Empirical::from_samples(std::mem::take(ss))),
+        ])
+    }
+
+    /// Recover the scratch buffers from refit legs whose models are gone
+    /// (no-op for any leg still shared).
+    fn reclaim(&mut self, legs: [Arc<Empirical>; 4]) {
+        for (slot, leg) in self.scratch.iter_mut().zip(legs) {
+            if let Ok(emp) = Arc::try_unwrap(leg) {
+                *slot = emp.into_samples();
+            }
+        }
+    }
+
+    /// Refit from the current window and predict the behaviour of **one**
+    /// configuration — the cheap in-loop query a closed-loop driver issues
+    /// every control interval (vs. the full `O(N²)` sweep of
+    /// [`reoptimize`](Self::reoptimize)).
+    ///
+    /// # Errors
+    ///
+    /// [`AdaptiveError::EmptyWindow`] when any leg has no samples yet.
+    pub fn predict(&mut self, cfg: ReplicaConfig) -> Result<Predictor, AdaptiveError> {
+        let legs = self.windowed_legs()?;
+        let [we, ae, re, se] = &legs;
+        let model =
+            IidModel::new(cfg, "windowed", we.clone(), ae.clone(), re.clone(), se.clone());
+        let p = Predictor::from_model_threads(&model, self.trials, self.seed, self.threads);
+        drop(model);
+        self.reclaim(legs);
+        Ok(p)
     }
 
     /// Refit empirical distributions from the current window and run the
-    /// SLA optimizer. Requires a nonempty window.
-    pub fn reoptimize(&self) -> SlaReport {
-        assert!(!self.w.is_empty(), "observe() some samples first");
-        let (we, ae, re, se) = (
-            Arc::new(self.w.to_empirical()),
-            Arc::new(self.a.to_empirical()),
-            Arc::new(self.r.to_empirical()),
-            Arc::new(self.s.to_empirical()),
-        );
-        let factory = move |cfg: ReplicaConfig| -> Box<dyn LatencyModel> {
-            Box::new(IidModel::new(
-                cfg,
-                "windowed",
-                we.clone(),
-                ae.clone(),
-                re.clone(),
-                se.clone(),
-            ))
+    /// SLA optimizer over every candidate `(N, R, W)`.
+    ///
+    /// # Errors
+    ///
+    /// [`AdaptiveError::EmptyWindow`] when any leg has no samples yet.
+    pub fn reoptimize(&mut self) -> Result<SlaReport, AdaptiveError> {
+        let legs = self.windowed_legs()?;
+        let report = {
+            let [we, ae, re, se] = &legs;
+            let (we, ae, re, se) = (we.clone(), ae.clone(), re.clone(), se.clone());
+            let factory = move |cfg: ReplicaConfig| -> Box<dyn LatencyModel> {
+                Box::new(IidModel::new(
+                    cfg,
+                    "windowed",
+                    we.clone(),
+                    ae.clone(),
+                    re.clone(),
+                    se.clone(),
+                ))
+            };
+            optimize_threads(&factory, &self.ns, &self.spec, self.trials, self.seed, self.threads)
         };
-        optimize(&factory, &self.ns, &self.spec, self.trials, self.seed)
+        self.reclaim(legs);
+        Ok(report)
     }
 }
 
@@ -136,6 +301,56 @@ mod tests {
         assert_eq!(emp.samples().max(), 4.0);
     }
 
+    #[test]
+    fn empty_window_is_an_error_not_a_panic() {
+        let spec = SlaSpec::consistency(0.9, 5.0);
+        let mut ctl = AdaptiveController::new(spec, vec![3], 100, 100, 1).with_threads(1);
+        assert_eq!(ctl.reoptimize().unwrap_err(), AdaptiveError::EmptyWindow);
+        let cfg = pbs_core::ReplicaConfig::new(3, 1, 1).unwrap();
+        assert_eq!(ctl.predict(cfg).unwrap_err(), AdaptiveError::EmptyWindow);
+        // A partially fed window (legs uneven) is still an error.
+        ctl.observe_many(&[1.0, 2.0], &[1.0], &[], &[]);
+        assert_eq!(ctl.reoptimize().unwrap_err(), AdaptiveError::EmptyWindow);
+        assert_eq!(ctl.window_len(), 0);
+    }
+
+    #[test]
+    fn scratch_buffers_are_recycled() {
+        let spec = SlaSpec::consistency(0.5, 50.0);
+        let mut ctl = AdaptiveController::new(spec, vec![3], 1_000, 500, 1).with_threads(1);
+        let d = Exponential::from_mean(1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1_000 {
+            ctl.observe(d.sample(&mut rng), d.sample(&mut rng), d.sample(&mut rng), d.sample(&mut rng));
+        }
+        ctl.reoptimize().unwrap();
+        let caps: Vec<usize> = ctl.scratch.iter().map(|s| s.capacity()).collect();
+        assert!(caps.iter().all(|&c| c >= 1_000), "buffers reclaimed: {caps:?}");
+        // A second refit reuses them (capacity unchanged ⇒ no realloc).
+        ctl.reoptimize().unwrap();
+        let caps2: Vec<usize> = ctl.scratch.iter().map(|s| s.capacity()).collect();
+        assert_eq!(caps, caps2);
+    }
+
+    #[test]
+    fn predict_matches_reoptimize_evaluation() {
+        let spec = SlaSpec::consistency(0.9, 5.0);
+        let mut ctl = AdaptiveController::new(spec, vec![3], 2_000, 4_000, 3).with_threads(1);
+        let w = Exponential::from_mean(5.0);
+        let ars = Exponential::from_mean(0.8);
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..2_000 {
+            ctl.observe(w.sample(&mut rng), ars.sample(&mut rng), ars.sample(&mut rng), ars.sample(&mut rng));
+        }
+        let cfg = pbs_core::ReplicaConfig::new(3, 1, 1).unwrap();
+        let p = ctl.predict(cfg).unwrap();
+        let report = ctl.reoptimize().unwrap();
+        let eval = report.evaluations.iter().find(|e| e.cfg == cfg).unwrap();
+        // Same window, same trials, same seed, same thread count → the
+        // sweep's evaluation of this config matches the direct prediction.
+        assert_eq!(p.prob_consistent(5.0), eval.consistency);
+    }
+
     /// The §6 story: fast disks → partial quorum qualifies; disks degrade →
     /// the same SLA now requires waiting (a strict quorum or bust).
     #[test]
@@ -150,7 +365,7 @@ mod tests {
         for _ in 0..4_000 {
             ctl.observe(fast.sample(&mut rng), ars.sample(&mut rng), ars.sample(&mut rng), ars.sample(&mut rng));
         }
-        let report = ctl.reoptimize();
+        let report = ctl.reoptimize().expect("window is full");
         let best = report.best_config().expect("fast phase qualifies");
         assert!(best.cfg.is_partial(), "fast writes → partial quorum wins: {}", best.cfg);
 
@@ -160,7 +375,7 @@ mod tests {
         for _ in 0..4_000 {
             ctl.observe(slow.sample(&mut rng), ars.sample(&mut rng), ars.sample(&mut rng), ars.sample(&mut rng));
         }
-        let report = ctl.reoptimize();
+        let report = ctl.reoptimize().expect("window is full");
         match report.best_config() {
             Some(best) => assert!(
                 best.cfg.is_strict(),

@@ -28,5 +28,12 @@ pub mod multikey;
 pub mod predictor;
 pub mod sla;
 
+pub use adaptive::{AdaptiveController, AdaptiveError};
 pub use predictor::Predictor;
 pub use sla::{ConfigEvaluation, SlaReport, SlaSpec};
+
+/// This crate's default Monte-Carlo shard count: the host's cores, capped
+/// at 8 (per-evaluation trial budgets rarely amortise more shards).
+pub(crate) fn default_threads() -> usize {
+    pbs_mc::Runner::available_threads().min(8)
+}

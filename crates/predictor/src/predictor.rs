@@ -37,7 +37,7 @@ impl Predictor {
         trials: usize,
         seed: u64,
     ) -> Self {
-        Self::from_model_threads(model, trials, seed, pbs_mc::Runner::available_threads().min(8))
+        Self::from_model_threads(model, trials, seed, crate::default_threads())
     }
 
     /// Build from any WARS latency model with an explicit shard count.

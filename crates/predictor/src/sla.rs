@@ -86,14 +86,27 @@ impl SlaReport {
     }
 }
 
-/// Evaluate one configuration against an SLA.
+/// Evaluate one configuration against an SLA, sharding the Monte Carlo
+/// over the host's cores.
 pub fn evaluate_config<M: LatencyModel + Sync + ?Sized>(
     model: &M,
     spec: &SlaSpec,
     trials: usize,
     seed: u64,
 ) -> ConfigEvaluation {
-    let p = Predictor::from_model(model, trials, seed);
+    evaluate_config_threads(model, spec, trials, seed, crate::default_threads())
+}
+
+/// [`evaluate_config`] with an explicit shard count — host-independent
+/// results for a fixed `(trials, seed, threads)` triple.
+pub fn evaluate_config_threads<M: LatencyModel + Sync + ?Sized>(
+    model: &M,
+    spec: &SlaSpec,
+    trials: usize,
+    seed: u64,
+    threads: usize,
+) -> ConfigEvaluation {
+    let p = Predictor::from_model_threads(model, trials, seed, threads);
     let cfg = p.config();
     let consistency = p.prob_consistent(spec.within_ms);
     let read_latency = p.read_latency(spec.latency_percentile);
@@ -126,11 +139,25 @@ pub fn optimize(
     trials: usize,
     seed: u64,
 ) -> SlaReport {
+    optimize_threads(factory, ns, spec, trials, seed, crate::default_threads())
+}
+
+/// [`optimize`] with an explicit per-evaluation shard count. Closed-loop
+/// drivers that embed the optimizer inside their own parallel shards pass
+/// `threads = 1` for full determinism and no thread oversubscription.
+pub fn optimize_threads(
+    factory: &dyn Fn(ReplicaConfig) -> Box<dyn LatencyModel>,
+    ns: &[u32],
+    spec: &SlaSpec,
+    trials: usize,
+    seed: u64,
+    threads: usize,
+) -> SlaReport {
     let mut evaluations = Vec::new();
     for &n in ns {
         for cfg in ReplicaConfig::all_for_n(n) {
             let model = factory(cfg);
-            evaluations.push(evaluate_config(model.as_ref(), spec, trials, seed));
+            evaluations.push(evaluate_config_threads(model.as_ref(), spec, trials, seed, threads));
         }
     }
     let best = evaluations

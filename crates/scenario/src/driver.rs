@@ -1,0 +1,353 @@
+//! The closed-loop scenario driver: runs a live cluster through a
+//! scenario's fault/load timeline while an in-loop [`AdaptiveController`]
+//! consumes drained leg samples, refits on a cadence, and (optionally)
+//! applies reconfigurations — emitting a windowed time-series of
+//! predicted vs. measured consistency and latency.
+
+use crate::event::apply_event;
+use crate::scenario::Scenario;
+use pbs_core::ReplicaConfig;
+use pbs_kvs::Cluster;
+use pbs_mc::{Mergeable, Runner, Summary};
+use pbs_predictor::AdaptiveController;
+use pbs_sim::{SimDuration, SimTime};
+use pbs_workload::{ArrivalProcess, PiecewisePoisson};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One reporting window of a scenario run (counts sum and sketches merge
+/// across replicated runs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowRecord {
+    /// Window start (ms from scenario start).
+    pub start_ms: f64,
+    /// Window end (ms).
+    pub end_ms: f64,
+    /// Probes whose write committed and whose read completed.
+    pub probes: u64,
+    /// Probes whose read was consistent (ground truth).
+    pub consistent: u64,
+    /// Sum of the in-force predicted `P(consistent)` over probes that had
+    /// a prediction available.
+    pub predicted_sum: f64,
+    /// Number of probes contributing to `predicted_sum`.
+    pub predicted_count: u64,
+    /// Probe writes that failed to commit (availability loss).
+    pub failed_writes: u64,
+    /// Probe reads that timed out.
+    pub incomplete_reads: u64,
+    /// Commit latencies of successful probe writes (ms).
+    pub write_latency: Summary,
+    /// Latencies of completed probe reads (ms).
+    pub read_latency: Summary,
+    /// Reconfigurations the controller applied in this window.
+    pub reconfigs: u64,
+}
+
+impl WindowRecord {
+    fn new(start_ms: f64, end_ms: f64) -> Self {
+        Self {
+            start_ms,
+            end_ms,
+            probes: 0,
+            consistent: 0,
+            predicted_sum: 0.0,
+            predicted_count: 0,
+            failed_writes: 0,
+            incomplete_reads: 0,
+            write_latency: Summary::new(),
+            read_latency: Summary::new(),
+            reconfigs: 0,
+        }
+    }
+
+    /// Measured `P(consistent)` in this window (`None` with no probes).
+    pub fn measured(&self) -> Option<f64> {
+        (self.probes > 0).then(|| self.consistent as f64 / self.probes as f64)
+    }
+
+    /// Mean predicted `P(consistent)` in force during this window
+    /// (`None` before the controller's first refit).
+    pub fn predicted(&self) -> Option<f64> {
+        (self.predicted_count > 0).then(|| self.predicted_sum / self.predicted_count as f64)
+    }
+
+    /// `|predicted − measured|`, when both exist.
+    pub fn tracking_error(&self) -> Option<f64> {
+        Some((self.predicted()? - self.measured()?).abs())
+    }
+}
+
+impl Mergeable for WindowRecord {
+    fn merge(&mut self, other: Self) {
+        assert_eq!(self.start_ms, other.start_ms, "window grids differ");
+        self.probes += other.probes;
+        self.consistent += other.consistent;
+        self.predicted_sum += other.predicted_sum;
+        self.predicted_count += other.predicted_count;
+        self.failed_writes += other.failed_writes;
+        self.incomplete_reads += other.incomplete_reads;
+        self.write_latency.merge(other.write_latency);
+        self.read_latency.merge(other.read_latency);
+        self.reconfigs += other.reconfigs;
+    }
+}
+
+/// One reconfiguration the in-loop controller applied.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReconfigRecord {
+    /// When it was applied (ms from scenario start).
+    pub at_ms: f64,
+    /// Seed of the replica run that applied it.
+    pub run_seed: u64,
+    /// Configuration before.
+    pub from: ReplicaConfig,
+    /// Configuration after.
+    pub to: ReplicaConfig,
+}
+
+/// The merged result of one or more replicated runs of a scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioRun {
+    /// Scenario name.
+    pub name: String,
+    /// Windowed time-series.
+    pub windows: Vec<WindowRecord>,
+    /// Every reconfiguration across every replica run, in merge order.
+    pub reconfigs: Vec<ReconfigRecord>,
+    /// Replica runs folded into this result.
+    pub runs: u64,
+}
+
+impl ScenarioRun {
+    fn empty(scenario: &Scenario) -> Self {
+        let windows = (0..scenario.window_count())
+            .map(|i| {
+                let start = i as f64 * scenario.window_ms;
+                WindowRecord::new(start, (start + scenario.window_ms).min(scenario.duration_ms))
+            })
+            .collect();
+        Self { name: scenario.name.clone(), windows, reconfigs: Vec::new(), runs: 0 }
+    }
+
+    /// Largest `|predicted − measured|` over windows that lie entirely
+    /// inside the scenario's declared stationary segments (`None` when no
+    /// such window has both series) — the acceptance metric for
+    /// closed-loop prediction quality.
+    pub fn stationary_tracking_error(&self, scenario: &Scenario) -> Option<f64> {
+        self.windows
+            .iter()
+            .filter(|w| {
+                scenario
+                    .stationary
+                    .iter()
+                    .any(|&(a, b)| w.start_ms >= a && w.end_ms <= b)
+            })
+            .filter_map(WindowRecord::tracking_error)
+            .max_by(|a, b| a.partial_cmp(b).expect("errors are not NaN"))
+    }
+}
+
+impl Mergeable for ScenarioRun {
+    fn merge(&mut self, other: Self) {
+        if other.runs == 0 {
+            return;
+        }
+        if self.runs == 0 {
+            *self = other;
+            return;
+        }
+        assert_eq!(self.windows.len(), other.windows.len(), "window grids differ");
+        for (a, b) in self.windows.iter_mut().zip(other.windows) {
+            a.merge(b);
+        }
+        self.reconfigs.extend(other.reconfigs);
+        self.runs += other.runs;
+    }
+}
+
+fn advance(cluster: &mut Cluster, to_ms: f64) {
+    let target = SimTime::from_ms(to_ms);
+    if target > cluster.now() {
+        cluster.advance_to(target);
+    }
+}
+
+/// Run one replica of `scenario`, seeded by `run_seed`.
+///
+/// The loop interleaves three clocks in simulated-time order: probe
+/// arrivals from the scenario's piecewise load, fault events from its
+/// timeline, and the controller's refit cadence. Each probe is a
+/// write→read pair (the read issued `probe_offset_ms` after the write's
+/// commit, as in §5.2's validation); each refit drains the cluster's
+/// measured one-way WARS samples into the controller, re-predicts the
+/// current configuration, and — when the scenario is adaptive — applies
+/// the SLA optimizer's winning configuration to the live cluster.
+///
+/// Clock policy: windows are indexed by the **simulated** clock. Probes
+/// block, so a timed-out operation can run past a scheduled event or
+/// refit; those then apply as soon as the probe completes (bounded by the
+/// op timeout), and if the simulation races more than one window ahead of
+/// the arrival process the backlogged arrivals are shed.
+pub fn run_scenario(scenario: &Scenario, run_seed: u64) -> ScenarioRun {
+    scenario.validate();
+    let mut opts = scenario.cluster;
+    opts.seed = run_seed;
+    opts.record_leg_samples = true;
+    let mut cluster = Cluster::new(opts, scenario.network.clone());
+
+    let control = &scenario.control;
+    let mut ctl = AdaptiveController::new(
+        control.spec,
+        control.candidate_ns.clone(),
+        control.window,
+        control.mc_trials,
+        run_seed ^ 0xada9_71c0_1175_0c5e,
+    )
+    .with_threads(1);
+    let mut rng = StdRng::seed_from_u64(run_seed ^ 0xd1b5_4a32_d192_ed03);
+
+    // Probe load: per-second rates → per-ms rates.
+    let segments: Vec<(f64, f64)> =
+        scenario.load.iter().map(|&(start, per_s)| (start, per_s / 1000.0)).collect();
+    let mut load = match scenario.load_period_ms {
+        Some(p) => PiecewisePoisson::cyclic(segments, p),
+        None => PiecewisePoisson::new(segments),
+    };
+    load.reset(0.0);
+
+    let mut out = ScenarioRun::empty(scenario);
+    out.runs = 1;
+    let last_window = out.windows.len() - 1;
+    let window_index = |at_ms: f64| -> usize {
+        ((at_ms / scenario.window_ms) as usize).min(last_window)
+    };
+
+    let mut ev_idx = 0usize;
+    let mut next_refit = control.refit_interval_ms;
+    let mut current_cfg = opts.replication;
+    let mut predicted: Option<f64> = None;
+
+    loop {
+        let _gap = load.next_gap(&mut rng);
+        let mut t = load.now_ms();
+        // Timed-out probes advance the cluster clock by up to the op
+        // timeout while the arrival clock crawls; unchecked, the two
+        // diverge without bound and events/windows drift. If the
+        // simulation races more than one window ahead, shed the arrival
+        // backlog (an overloaded real cluster would, too) and continue
+        // from the simulated now.
+        let sim_ms = cluster.now().as_ms();
+        if sim_ms - t > scenario.window_ms {
+            load.reset(sim_ms);
+            t = sim_ms;
+        }
+        if t >= scenario.duration_ms {
+            break;
+        }
+
+        // Fire fault events and refits that are due before this probe, in
+        // time order, advancing the cluster to each scheduled instant (an
+        // event the last blocking probe ran past applies as soon as that
+        // probe completes — `cursor` is the simulated now in that case).
+        let cursor = t.max(sim_ms);
+        while ev_idx < scenario.events.len() || next_refit <= cursor {
+            let ev_at = scenario.events.get(ev_idx).map(|e| e.at_ms).unwrap_or(f64::INFINITY);
+            let refit_at = next_refit;
+            if ev_at.min(refit_at) > cursor {
+                break;
+            }
+            if ev_at <= refit_at {
+                advance(&mut cluster, ev_at);
+                apply_event(&mut cluster, &scenario.events[ev_idx].event);
+                ev_idx += 1;
+                continue;
+            }
+            advance(&mut cluster, refit_at);
+            let legs = cluster.drain_leg_samples();
+            ctl.observe_many(&legs.w, &legs.a, &legs.r, &legs.s);
+            if ctl.window_len() >= control.min_samples {
+                if control.adaptive {
+                    if let Ok(report) = ctl.reoptimize() {
+                        if let Some(best) = report.best_config() {
+                            if best.cfg != current_cfg {
+                                cluster.set_replication(best.cfg);
+                                out.windows[window_index(refit_at)].reconfigs += 1;
+                                out.reconfigs.push(ReconfigRecord {
+                                    at_ms: refit_at,
+                                    run_seed,
+                                    from: current_cfg,
+                                    to: best.cfg,
+                                });
+                                current_cfg = best.cfg;
+                            }
+                        }
+                    }
+                }
+                if let Ok(p) = ctl.predict(current_cfg) {
+                    predicted = Some(p.prob_consistent(scenario.probe_offset_ms));
+                }
+            }
+            next_refit += control.refit_interval_ms;
+        }
+
+        // Issue the probe: a write, then a read `probe_offset_ms` after its
+        // commit. (If the cluster's clock already passed the arrival time —
+        // a previous probe ran long — the probe issues immediately.)
+        advance(&mut cluster, t);
+        let key = rng.gen_range(0..scenario.keys);
+        let w = cluster.write(key);
+        let win = &mut out.windows[window_index(w.start.as_ms())];
+        match w.commit {
+            None => win.failed_writes += 1,
+            Some(commit) => {
+                win.write_latency.record(w.latency_ms().expect("committed"));
+                let read_at = commit + SimDuration::from_ms(scenario.probe_offset_ms);
+                let r = cluster.read_at(key, read_at);
+                match r.label {
+                    None => win.incomplete_reads += 1,
+                    Some(label) => {
+                        win.read_latency.record(r.latency_ms().expect("completed"));
+                        win.probes += 1;
+                        if label.consistent {
+                            win.consistent += 1;
+                        }
+                        if let Some(p) = predicted {
+                            win.predicted_sum += p;
+                            win.predicted_count += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    for w in &mut out.windows {
+        w.write_latency.seal();
+        w.read_latency.seal();
+    }
+    out
+}
+
+/// Replicate `scenario` across `trials` independent whole-scenario runs
+/// sharded over `threads` (the `pbs-mc` determinism contract: shard `i`
+/// seeds `seed ^ i`, run `j` of a shard derives
+/// `shard_seed ^ (j · φ64)`, accumulators merge in shard order), yielding
+/// per-window counts large enough for confidence intervals. Results are
+/// bit-reproducible for a fixed `(seed, threads)` pair.
+pub fn run_scenario_sharded(
+    scenario: &Scenario,
+    trials: usize,
+    seed: u64,
+    threads: usize,
+) -> ScenarioRun {
+    assert!(trials > 0 && threads > 0);
+    Runner::new(trials, seed, threads).run(|_rng, info| {
+        let mut acc = ScenarioRun::empty(scenario);
+        for j in 0..info.trials {
+            let run_seed = info.seed ^ (j as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            acc.merge(run_scenario(scenario, run_seed));
+        }
+        acc
+    })
+}

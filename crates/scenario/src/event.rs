@@ -1,0 +1,138 @@
+//! The scenario event vocabulary: everything a fault/load timeline can do
+//! to a running cluster.
+
+use pbs_dist::DynDistribution;
+use pbs_kvs::{Cluster, LinkFault};
+use pbs_sim::SimTime;
+
+/// One dynamic condition change. Events are interpreted by
+/// [`apply_event`] against a live [`Cluster`]; each takes effect at the
+/// simulated instant it is applied (in-flight messages keep the
+/// conditions they were sent under).
+#[derive(Clone)]
+pub enum ScenarioEvent {
+    /// Crash `node` for `down_ms` (state wiped iff the cluster's
+    /// `wipe_on_crash` is set).
+    Crash {
+        /// Node to crash.
+        node: usize,
+        /// Downtime in ms.
+        down_ms: f64,
+    },
+    /// Install a network partition: `groups[node]` is each node's side;
+    /// cross-group messages are dropped.
+    Partition {
+        /// Partition group per node.
+        groups: Vec<u32>,
+    },
+    /// Remove the partition.
+    HealPartition,
+    /// Degrade one directed link (see [`LinkFault`]).
+    DegradeLink(LinkFault),
+    /// Remove every link fault.
+    ClearLinkFaults,
+    /// Swap the active per-leg latency distributions — a latency *regime*
+    /// change (e.g. SSD-like service times degrade to disk-like tails).
+    SwapRegime {
+        /// Write-propagation leg.
+        w: DynDistribution,
+        /// Write-ack leg.
+        a: DynDistribution,
+        /// Read-request leg.
+        r: DynDistribution,
+        /// Read-response leg.
+        s: DynDistribution,
+    },
+    /// Scale the active legs by per-leg factors (absolute, not
+    /// cumulative).
+    ScaleLegs {
+        /// W factor.
+        w: f64,
+        /// A factor.
+        a: f64,
+        /// R factor.
+        r: f64,
+        /// S factor.
+        s: f64,
+    },
+    /// Drop any regime swap / leg scaling, returning to the base network.
+    RestoreBaseline,
+}
+
+impl ScenarioEvent {
+    /// Short human-readable description for timelines and logs.
+    pub fn describe(&self) -> String {
+        match self {
+            ScenarioEvent::Crash { node, down_ms } => {
+                format!("crash node {node} for {down_ms}ms")
+            }
+            ScenarioEvent::Partition { groups } => format!("partition {groups:?}"),
+            ScenarioEvent::HealPartition => "heal partition".into(),
+            ScenarioEvent::DegradeLink(f) => format!(
+                "degrade link {}→{} (×{} +{}ms)",
+                f.from, f.to, f.scale, f.extra_ms
+            ),
+            ScenarioEvent::ClearLinkFaults => "clear link faults".into(),
+            ScenarioEvent::SwapRegime { w, a, r, s } => format!(
+                "swap regime W={} A={} R={} S={}",
+                w.describe(),
+                a.describe(),
+                r.describe(),
+                s.describe()
+            ),
+            ScenarioEvent::ScaleLegs { w, a, r, s } => {
+                format!("scale legs W×{w} A×{a} R×{r} S×{s}")
+            }
+            ScenarioEvent::RestoreBaseline => "restore baseline network".into(),
+        }
+    }
+}
+
+impl std::fmt::Debug for ScenarioEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ScenarioEvent({})", self.describe())
+    }
+}
+
+/// An event pinned to an absolute scenario time.
+#[derive(Debug, Clone)]
+pub struct TimedEvent {
+    /// When the event fires (ms from scenario start).
+    pub at_ms: f64,
+    /// What happens.
+    pub event: ScenarioEvent,
+}
+
+impl TimedEvent {
+    /// Construct a timed event.
+    pub fn new(at_ms: f64, event: ScenarioEvent) -> Self {
+        assert!(at_ms >= 0.0 && at_ms.is_finite());
+        Self { at_ms, event }
+    }
+}
+
+/// Apply one event to a live cluster **at the cluster's current simulated
+/// time**. Drivers advance the cluster to the event's `at_ms` before
+/// calling this, so the event takes effect at the scheduled `SimTime` —
+/// except when a blocking probe already ran past `at_ms`, in which case it
+/// applies as soon as that probe completes (see
+/// [`run_scenario`](crate::run_scenario)'s clock policy).
+pub fn apply_event(cluster: &mut Cluster, event: &ScenarioEvent) {
+    match event {
+        ScenarioEvent::Crash { node, down_ms } => {
+            let now: SimTime = cluster.now();
+            cluster.crash_node_at(*node, now, *down_ms);
+        }
+        ScenarioEvent::Partition { groups } => cluster.network().partition(groups.clone()),
+        ScenarioEvent::HealPartition => cluster.network().heal_partition(),
+        ScenarioEvent::DegradeLink(fault) => cluster.network().add_link_fault(*fault),
+        ScenarioEvent::ClearLinkFaults => cluster.network().clear_link_faults(),
+        ScenarioEvent::SwapRegime { w, a, r, s } => {
+            cluster.network().swap_legs(w.clone(), a.clone(), r.clone(), s.clone());
+        }
+        ScenarioEvent::ScaleLegs { w, a, r, s } => {
+            cluster.network().set_leg_scale(*w, *a, *r, *s);
+        }
+        ScenarioEvent::RestoreBaseline => cluster.network().restore_base_legs(),
+    }
+}

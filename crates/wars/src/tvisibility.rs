@@ -57,6 +57,18 @@ impl TVisibility {
     ///
     /// Panics if `trials == 0`. 10⁴ trials resolve probabilities to ~1%;
     /// the paper's headline numbers use 5×10⁴–10⁶.
+    ///
+    /// ```
+    /// use pbs_core::ReplicaConfig;
+    /// use pbs_wars::{production, TVisibility};
+    ///
+    /// // Figure 6's LNKD-SSD curve at Cassandra's default N=3, R=W=1.
+    /// let cfg = ReplicaConfig::new(3, 1, 1).unwrap();
+    /// let tv = TVisibility::simulate(&production::lnkd_ssd_model(cfg), 20_000, 42);
+    /// assert!((tv.prob_consistent(0.0) - 0.974).abs() < 0.01); // ≈97.4% at t=0
+    /// assert_eq!(tv.t_at_probability(0.999).map(|t| t < 5.0), Some(true));
+    /// assert!(tv.read_latency_percentile(99.9) < 2.0);
+    /// ```
     pub fn simulate<M: LatencyModel + ?Sized>(model: &M, trials: usize, seed: u64) -> Self {
         Self::simulate_parallel(model, trials, seed, 1)
     }

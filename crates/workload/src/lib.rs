@@ -4,8 +4,10 @@
 //! here:
 //!
 //! * [`arrivals`] — when operations happen (fixed-rate, Poisson, bursty
-//!   on/off processes). §5.2's validation interleaves writes with concurrent
-//!   reads; §3.2's monotonic-reads model is parameterised by rates.
+//!   on/off, and piecewise-nonstationary [`PiecewisePoisson`] processes).
+//!   §5.2's validation interleaves writes with concurrent reads; §3.2's
+//!   monotonic-reads model is parameterised by rates; `pbs-scenario`'s
+//!   load timelines are piecewise schedules.
 //! * [`keys`] — which keys they touch (uniform, Zipf, hot-set). Dynamo-style
 //!   stores shard one quorum system per key (§2.2), so key popularity drives
 //!   per-key write rates γgw.
@@ -23,7 +25,7 @@ pub mod keys;
 pub mod ops;
 pub mod session;
 
-pub use arrivals::{ArrivalProcess, Bursty, FixedRate, Poisson};
+pub use arrivals::{ArrivalProcess, Bursty, FixedRate, PiecewisePoisson, Poisson};
 pub use keys::{HotSet, KeyChooser, UniformKeys, Zipf};
 pub use ops::{Op, OpKind, OpMix, TraceBuilder};
 pub use session::SessionModel;

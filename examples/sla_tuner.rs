@@ -69,7 +69,7 @@ fn main() {
                 ars.sample(&mut rng),
             );
         }
-        let report = controller.reoptimize();
+        let report = controller.reoptimize().expect("window was just filled");
         match report.best_config() {
             Some(best) => println!(
                 "  {phase:<32} → {}  ({} window samples)",

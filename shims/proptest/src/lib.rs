@@ -197,7 +197,7 @@ pub mod prop {
             VecStrategy { element, size: size.into() }
         }
 
-        /// See [`vec`].
+        /// See [`vec()`].
         #[derive(Debug, Clone)]
         pub struct VecStrategy<S> {
             element: S,

@@ -15,6 +15,7 @@
 //! | [`quorum`] | `pbs-quorum` | Quorum-system constructions & analysis |
 //! | [`workload`] | `pbs-workload` | Arrival processes, key popularity, sessions |
 //! | [`predictor`] | `pbs-predictor` | SLA optimizer, online prediction, multi-key |
+//! | [`scenario`] | `pbs-scenario` | Closed-loop chaos scenarios + adaptive reconfiguration |
 //!
 //! ## Thirty-second tour
 //!
@@ -44,6 +45,7 @@ pub use pbs_kvs as kvs;
 pub use pbs_mc as mc;
 pub use pbs_predictor as predictor;
 pub use pbs_quorum as quorum;
+pub use pbs_scenario as scenario;
 pub use pbs_sim as sim;
 pub use pbs_wars as wars;
 pub use pbs_workload as workload;
