@@ -1,11 +1,13 @@
 //! Criterion: simulated Dynamo-style store throughput (operations per
-//! second through the discrete-event kernel).
+//! second through the discrete-event kernel), for both the blocking probe
+//! path and the open-loop client-actor engine.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use pbs_core::ReplicaConfig;
 use pbs_dist::Exponential;
-use pbs_kvs::cluster::{Cluster, ClusterOptions, TraceOp};
-use pbs_kvs::NetworkModel;
+use pbs_kvs::cluster::{Cluster, ClusterOptions};
+use pbs_kvs::{run_open_loop, ClientOptions, NetworkModel, OpenLoopOptions};
+use pbs_workload::{OpMix, OpSource, OpStream, Poisson, UniformKeys};
 use std::sync::Arc;
 
 fn net() -> NetworkModel {
@@ -15,11 +17,41 @@ fn net() -> NetworkModel {
     )
 }
 
+const OPS: usize = 1_000;
+
+fn open_loop_opts(seed: u64, read_repair: bool) -> ClusterOptions {
+    let cfg = ReplicaConfig::new(3, 1, 1).unwrap();
+    let mut opts = ClusterOptions::validation(cfg, seed);
+    opts.read_repair = read_repair;
+    opts.op_timeout_ms = 2_000.0;
+    opts
+}
+
+/// 16 clients × ~31 ops/s each ≈ 500 ops/s for 2 simulated seconds ≈ OPS.
+fn run_open_loop_workload(seed: u64, read_repair: bool) -> pbs_kvs::OpenLoopReport {
+    let engine = OpenLoopOptions::new(2_000.0, 500.0, 2_000.0);
+    run_open_loop(
+        open_loop_opts(seed, read_repair),
+        &net(),
+        &engine,
+        16,
+        ClientOptions { op_timeout_ms: 2_000.0, ..ClientOptions::default() },
+        |_| -> Box<dyn OpSource> {
+            Box::new(OpStream::new(
+                Poisson::per_second(OPS as f64 / 2.0 / 16.0),
+                UniformKeys::new(16),
+                OpMix::new(2.0 / 3.0),
+                1,
+            ))
+        },
+        |_| {},
+    )
+}
+
 fn bench_kvs(c: &mut Criterion) {
     let cfg = ReplicaConfig::new(3, 1, 1).unwrap();
 
     let mut group = c.benchmark_group("kvs");
-    const OPS: usize = 1_000;
     group.throughput(Throughput::Elements(OPS as u64));
 
     group.bench_function("sequential_write_read_pairs", |b| {
@@ -33,26 +65,12 @@ fn bench_kvs(c: &mut Criterion) {
         })
     });
 
-    group.bench_function("trace_mixed_workload", |b| {
-        let trace: Vec<TraceOp> = (0..OPS)
-            .map(|i| TraceOp { at_ms: i as f64 * 2.0, is_read: i % 3 != 0, key: (i % 16) as u64 })
-            .collect();
-        b.iter(|| {
-            let mut cluster = Cluster::new(ClusterOptions::validation(cfg, 2), net());
-            cluster.run_trace(&trace)
-        })
+    group.bench_function("open_loop_mixed_workload", |b| {
+        b.iter(|| run_open_loop_workload(2, false))
     });
 
-    group.bench_function("trace_with_read_repair", |b| {
-        let mut opts = ClusterOptions::validation(cfg, 3);
-        opts.read_repair = true;
-        let trace: Vec<TraceOp> = (0..OPS)
-            .map(|i| TraceOp { at_ms: i as f64 * 2.0, is_read: i % 3 != 0, key: (i % 16) as u64 })
-            .collect();
-        b.iter(|| {
-            let mut cluster = Cluster::new(opts, net());
-            cluster.run_trace(&trace)
-        })
+    group.bench_function("open_loop_with_read_repair", |b| {
+        b.iter(|| run_open_loop_workload(3, true))
     });
 
     group.finish();

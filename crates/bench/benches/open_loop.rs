@@ -1,0 +1,77 @@
+//! Criterion: the open-loop concurrency engine — sustained ops/sec with
+//! thousands of in-sim client actors, plus a memory-boundedness probe.
+//!
+//! CI pipes this through the criterion shim's `BENCH_JSON` hook into
+//! `BENCH_4.json`. The `heap_note` label encodes the peak event-heap and
+//! in-flight figures from a 10k-client run (the peak-RSS story: memory is
+//! O(clients + in-flight), never O(workload length) — the old `run_trace`
+//! path pre-injected the whole trace).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pbs_core::ReplicaConfig;
+use pbs_dist::Exponential;
+use pbs_kvs::{
+    run_open_loop, ClientOptions, ClusterOptions, NetworkModel, OpenLoopOptions, OpenLoopReport,
+};
+use pbs_workload::{OpMix, OpSource, OpStream, Poisson, UniformKeys};
+use std::sync::Arc;
+
+fn net() -> NetworkModel {
+    NetworkModel::w_ars(
+        Arc::new(Exponential::from_rate(0.1)),
+        Arc::new(Exponential::from_rate(0.5)),
+    )
+}
+
+fn run(clients: usize, total_rate_per_sec: f64, duration_ms: f64, seed: u64) -> OpenLoopReport {
+    let cfg = ReplicaConfig::new(3, 1, 1).unwrap();
+    let mut opts = ClusterOptions::validation(cfg, seed);
+    opts.op_timeout_ms = 2_000.0;
+    let engine = OpenLoopOptions::new(duration_ms, 500.0, opts.op_timeout_ms);
+    let per_client = total_rate_per_sec / clients as f64;
+    run_open_loop(
+        opts,
+        &net(),
+        &engine,
+        clients,
+        ClientOptions { op_timeout_ms: 2_000.0, ..ClientOptions::default() },
+        |_| -> Box<dyn OpSource> {
+            Box::new(OpStream::new(
+                Poisson::per_second(per_client),
+                UniformKeys::new(64),
+                OpMix::linkedin(),
+                1,
+            ))
+        },
+        |_| {},
+    )
+}
+
+fn bench_open_loop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("open_loop");
+
+    // Sustained simulated throughput: 5k ops/s over 64 clients for 2
+    // simulated seconds = 10k ops per iteration.
+    const OPS: u64 = 10_000;
+    group.throughput(Throughput::Elements(OPS));
+    group.bench_function("64_clients_10k_ops", |b| {
+        b.iter(|| run(64, 5_000.0, 2_000.0, 7))
+    });
+    group.finish();
+
+    // Memory-boundedness witness at 10k concurrent clients (run once; the
+    // figures ride the label into BENCH_4.json).
+    let wide = run(10_000, 10_000.0, 1_000.0, 11);
+    assert!(wide.issued > 5_000, "10k clients should issue ~10k ops");
+    let label = format!(
+        "heap_note_10k_clients_issued_{}_peak_heap_{}_peak_inflight_{}",
+        wide.issued, wide.peak_pending_events, wide.peak_in_flight
+    );
+    let mut group = c.benchmark_group("open_loop");
+    group.throughput(Throughput::Elements(wide.issued));
+    group.bench_function(label, |b| b.iter(|| criterion::black_box(wide.issued)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_open_loop);
+criterion_main!(benches);

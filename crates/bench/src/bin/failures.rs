@@ -1,13 +1,18 @@
 //! §6 "Failure modes" — staleness and availability under crashes, with and
-//! without hinted handoff and anti-entropy. A failed replica set of N nodes
-//! behaves like an N−F set; hints and Merkle sync bound the damage.
+//! without hinted handoff and anti-entropy, measured under **open-loop**
+//! probe load (write→read pairs from an in-sim client actor). A failed
+//! replica set of N nodes behaves like an N−F set; hints and Merkle sync
+//! bound the damage.
 
 use pbs_bench::{report, HarnessOptions};
 use pbs_core::ReplicaConfig;
 use pbs_dist::Exponential;
-use pbs_kvs::cluster::{Cluster, ClusterOptions, TraceOp};
-use pbs_kvs::NetworkModel;
+use pbs_kvs::{
+    run_open_loop_with, ClientOptions, ClusterOptions, NetworkModel, OpenLoopOptions,
+};
 use pbs_sim::SimTime;
+use pbs_workload::{FixedRate, OpMix, OpSource, OpStream, UniformKeys};
+use std::cell::Cell;
 use std::sync::Arc;
 
 fn net() -> NetworkModel {
@@ -17,8 +22,8 @@ fn net() -> NetworkModel {
     )
 }
 
-/// Run a read/write trace while one replica crash-loops; report
-/// consistency, failure counts, and detector stats.
+/// Run open-loop write→read probes while one replica crash-loops; report
+/// consistency, failure counts, and healing-mechanism activity.
 fn scenario(
     name: &str,
     hinted: bool,
@@ -35,39 +40,62 @@ fn scenario(
     opts.sync_interval_ms = sync_ms;
     opts.wipe_on_crash = wipe;
     opts.op_timeout_ms = 5_000.0;
-    let mut cluster = Cluster::new(opts, net());
 
-    // Crash-loop node 1: down 500ms out of every 2s.
-    for cycle in 0..((ops as f64 * 5.0 / 2000.0).ceil() as usize + 1) {
-        cluster.crash_node_at(1, SimTime::from_ms(250.0 + 2000.0 * cycle as f64), 500.0);
-    }
+    // One probe pair per 10 ms: a write, then a read of the same key 5 ms
+    // later (racing the write's propagation tail) — the same shape as the
+    // old pre-built trace, generated lazily.
+    let pairs = ops / 2;
+    let duration_ms = pairs as f64 * 10.0;
+    let engine = OpenLoopOptions::new(duration_ms, 1_000.0, opts.op_timeout_ms);
+    let hints = Cell::new(0u64);
+    let syncs = Cell::new(0u64);
+    let rep = run_open_loop_with(
+        opts,
+        &net(),
+        &engine,
+        1,
+        ClientOptions {
+            op_timeout_ms: opts.op_timeout_ms,
+            probe_read_offset_ms: Some(5.0),
+            ..ClientOptions::default()
+        },
+        |_| -> Box<dyn OpSource> {
+            Box::new(OpStream::new(
+                FixedRate::new(10.0),
+                UniformKeys::new(8),
+                OpMix::writes_only(),
+                1,
+            ))
+        },
+        // Crash-loop node 1: down 500ms out of every 2s.
+        |cluster| {
+            for cycle in 0..((duration_ms / 2000.0).ceil() as usize + 1) {
+                cluster.crash_node_at(1, SimTime::from_ms(250.0 + 2000.0 * cycle as f64), 500.0);
+            }
+        },
+        |cluster| {
+            hints.set((0..3).map(|i| cluster.node(i).hints_delivered).sum());
+            syncs.set((0..3).map(|i| cluster.node(i).sync_rounds).sum());
+        },
+    );
 
-    // Write/read pairs per key: op 2j writes key (j mod 8), op 2j+1 reads
-    // the same key 5 ms later, racing the write's propagation tail.
-    let trace: Vec<TraceOp> = (0..ops)
-        .map(|i| TraceOp {
-            at_ms: 300.0 + i as f64 * 5.0,
-            is_read: i % 2 == 1,
-            key: ((i / 2) % 8) as u64,
-        })
-        .collect();
-    let report = cluster.run_trace(&trace);
-    let hints: u64 = (0..3).map(|i| cluster.node(i).hints_delivered).sum();
-    let syncs: u64 = (0..3).map(|i| cluster.node(i).sync_rounds).sum();
     vec![
         name.to_string(),
-        pbs_bench::report::pct(report.consistency_rate()),
-        report.failed_writes.to_string(),
-        report.incomplete_reads.to_string(),
-        hints.to_string(),
-        syncs.to_string(),
+        report::pct(rep.consistency_rate()),
+        rep.failed_writes.to_string(),
+        rep.incomplete_reads.to_string(),
+        hints.get().to_string(),
+        syncs.get().to_string(),
     ]
 }
 
 fn main() {
     let opts = HarnessOptions::parse(4_000);
     println!("Failure modes (paper §6): crash-looping replica, N=3, R=1, W=2");
-    println!("({} ops per scenario; node 1 down 500ms of every 2s)", opts.trials);
+    println!(
+        "({} open-loop probe ops per scenario; node 1 down 500ms of every 2s)",
+        opts.trials
+    );
 
     report::header("Scenario comparison");
     let rows = vec![
@@ -82,9 +110,9 @@ fn main() {
         &rows,
     );
     println!();
-    println!("Expected shape: writes fail only when the crashed node was coordinating (the");
-    println!("two healthy replicas still form the W=2 quorum — §6's 'an N replica set with");
-    println!("F failures behaves like an N−F set'). The crashed replica accumulates");
-    println!("staleness during downtime; hinted handoff repairs it after recovery and");
-    println!("anti-entropy converges wiped state, lifting P(consistent).");
+    println!("Expected shape: coordinator selection skips the crashed node, so writes fail");
+    println!("only when the two healthy replicas cannot form the W=2 quorum (§6's 'an N");
+    println!("replica set with F failures behaves like an N−F set'). The crashed replica");
+    println!("accumulates staleness during downtime; hinted handoff repairs it after");
+    println!("recovery and anti-entropy converges wiped state, lifting P(consistent).");
 }

@@ -22,6 +22,7 @@
 //! | `detector` | §4.3: asynchronous staleness detector quality |
 //! | `read_delay` | §5.3 ablation: delaying reads vs. raising R |
 //! | `scenarios` | §6 closed loop: chaos timelines + adaptive reconfiguration (`pbs-scenario`) |
+//! | `throughput` | open-loop arrival-rate × (N,R,W) sweep: ops/sec, latency quantiles, consistency vs. load |
 //!
 //! Run all of them with `scripts/run_all.sh` or individually:
 //! `cargo run -p pbs-bench --release --bin fig6`. Every binary accepts

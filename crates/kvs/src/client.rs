@@ -1,0 +1,441 @@
+//! In-sim client actors: the open-loop traffic source.
+//!
+//! A [`ClientActor`] lives *inside* the simulation alongside the nodes. It
+//! pulls operations lazily from a streaming [`OpSource`] (arrival process ×
+//! key popularity × read/write mix from `pbs-workload`), issues them to
+//! coordinator nodes without waiting for completion, and keeps per-session
+//! state so monotonic-reads and read-your-writes violations (§3.2) are
+//! measured *empirically* on the live cluster rather than only modelled
+//! analytically.
+//!
+//! Memory discipline: a client holds one pre-pulled arrival, its in-flight
+//! operation table (capped — arrivals beyond the cap are shed, as an
+//! overloaded open-loop system must), and a bounded buffer of completed
+//! operations that the driver drains every window. Nothing scales with the
+//! length of the workload.
+
+use crate::messages::Msg;
+use crate::node::{ClientResult, DownTracker};
+use pbs_sim::{Actor, Context, Event, SimDuration, SimTime};
+use pbs_workload::{OpKind, OpSource};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+// Client-side timer tags (same top-byte scheme as the node's).
+const TAG_KIND_SHIFT: u64 = 56;
+const CKIND_ARRIVAL: u64 = 1;
+const CKIND_OP_TIMEOUT: u64 = 2;
+const CKIND_PROBE_READ: u64 = 3;
+
+fn ctag(kind: u64, op: u64) -> u64 {
+    debug_assert!(op < (1 << TAG_KIND_SHIFT));
+    (kind << TAG_KIND_SHIFT) | op
+}
+
+fn ctag_kind(t: u64) -> u64 {
+    t >> TAG_KIND_SHIFT
+}
+
+fn ctag_op(t: u64) -> u64 {
+    t & ((1 << TAG_KIND_SHIFT) - 1)
+}
+
+/// Bits reserved for a client's local operation counter; the client index
+/// occupies the bits above, keeping op ids globally unique across clients
+/// *and* disjoint from the blocking harness's low id space.
+const CLIENT_OP_SHIFT: u64 = 40;
+
+/// Maximum number of client actors per cluster (op ids must fit in the
+/// 56-bit timer-tag op space alongside the counter).
+pub const MAX_CLIENTS: u32 = (1 << (TAG_KIND_SHIFT - CLIENT_OP_SHIFT)) as u32 - 1;
+
+/// Per-client knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ClientOptions {
+    /// Client-side operation timeout: an op with no result by then is
+    /// recorded as timed out (late results are ignored).
+    pub op_timeout_ms: f64,
+    /// In-flight cap: arrivals while the table is full are shed (counted
+    /// in [`ClientStats::shed`]). Bounds client memory under overload.
+    pub max_in_flight: usize,
+    /// Probe mode: every *committed* write schedules a read of the same
+    /// key this many ms after its commit (the §5.2 write→read probe pair),
+    /// in addition to any reads the op source emits.
+    pub probe_read_offset_ms: Option<f64>,
+    /// Capacity of the completed-op buffer the driver drains each window;
+    /// overflow is counted in [`ClientStats::dropped_results`].
+    pub result_capacity: usize,
+}
+
+impl Default for ClientOptions {
+    fn default() -> Self {
+        Self {
+            op_timeout_ms: 10_000.0,
+            max_in_flight: 1_024,
+            probe_read_offset_ms: None,
+            result_capacity: 1 << 16,
+        }
+    }
+}
+
+/// Cumulative per-client counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClientStats {
+    /// Operations issued to a coordinator.
+    pub issued: u64,
+    /// Arrivals shed because the in-flight table was full.
+    pub shed: u64,
+    /// Completed ops dropped because the result buffer was full (the
+    /// driver drained too rarely).
+    pub dropped_results: u64,
+    /// Reads that returned an older version than a previous read of the
+    /// same key by this client (monotonic-reads violation, §3.2).
+    pub monotonic_violations: u64,
+    /// Reads that returned an older version than this client's own last
+    /// committed write of the key (read-your-writes violation).
+    pub ryw_violations: u64,
+    /// Completed reads checked against the session state.
+    pub reads_checked: u64,
+    /// High-water mark of the in-flight table.
+    pub peak_in_flight: u64,
+}
+
+/// One finished operation, drained by the engine each window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompletedOp {
+    /// Operation id.
+    pub op_id: u64,
+    /// Issuing client index.
+    pub client: u32,
+    /// Read or write.
+    pub kind: OpKind,
+    /// Target key.
+    pub key: u64,
+    /// Issue time.
+    pub start: SimTime,
+    /// Completion time (`None` = client-side timeout).
+    pub finish: Option<SimTime>,
+    /// Write: the coordinator-assigned sequence; read: the returned
+    /// sequence (`None` = empty read or timeout).
+    pub seq: Option<u64>,
+    /// Commit time (writes only; `None` = failed or timed out).
+    pub commit: Option<SimTime>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Pending {
+    key: u64,
+    kind: OpKind,
+    start: SimTime,
+}
+
+/// The open-loop client actor.
+pub struct ClientActor {
+    index: u32,
+    nodes: usize,
+    opts: ClientOptions,
+    rng: StdRng,
+    source: Box<dyn OpSource>,
+    down: Arc<DownTracker>,
+    /// Stream epoch: the simulated instant of the (most recent)
+    /// `StartClient`.
+    base: SimTime,
+    /// Stream-clock offset at the epoch: `at_ms` values already consumed
+    /// from the source before the (re)start. An arrival maps to
+    /// `base + (op.at_ms − offset_ms)`, so a stop→start cycle resumes
+    /// immediately instead of replaying the consumed stream time as dead
+    /// air.
+    offset_ms: f64,
+    /// Stream-clock value of the last op pulled from the source.
+    consumed_ms: f64,
+    /// The pre-pulled next arrival (exactly one is buffered).
+    next: Option<pbs_workload::Op>,
+    next_local: u64,
+    stopped: bool,
+    in_flight: HashMap<u64, Pending>,
+    /// Probe tokens → key, for reads scheduled at commit + offset.
+    probe_pending: HashMap<u64, u64>,
+    /// Completed ops awaiting the driver's window drain (bounded).
+    pub completed: Vec<CompletedOp>,
+    /// Highest sequence seen by this client's reads, per key.
+    last_read_seq: HashMap<u64, u64>,
+    /// Highest sequence committed by this client's writes, per key.
+    last_write_seq: HashMap<u64, u64>,
+    /// Cumulative counters.
+    pub stats: ClientStats,
+}
+
+impl std::fmt::Debug for ClientActor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClientActor")
+            .field("index", &self.index)
+            .field("in_flight", &self.in_flight.len())
+            .field("completed", &self.completed.len())
+            .field("stopped", &self.stopped)
+            .finish()
+    }
+}
+
+impl ClientActor {
+    /// Build client `index` over a cluster of `nodes` coordinators, with
+    /// its own deterministic RNG stream derived from the cluster seed.
+    pub fn new(
+        index: u32,
+        nodes: usize,
+        source: Box<dyn OpSource>,
+        opts: ClientOptions,
+        down: Arc<DownTracker>,
+        cluster_seed: u64,
+    ) -> Self {
+        assert!(index < MAX_CLIENTS, "at most {MAX_CLIENTS} clients per cluster");
+        assert!(opts.max_in_flight >= 1 && opts.result_capacity >= 1);
+        assert!(opts.op_timeout_ms > 0.0);
+        let seed = cluster_seed
+            ^ (index as u64 + 1).wrapping_mul(0xa076_1d64_78bd_642f)
+            ^ 0x2545_f491_4f6c_dd1d;
+        Self {
+            index,
+            nodes,
+            opts,
+            rng: StdRng::seed_from_u64(seed),
+            source,
+            down,
+            base: SimTime::ZERO,
+            offset_ms: 0.0,
+            consumed_ms: 0.0,
+            next: None,
+            next_local: 0,
+            stopped: false,
+            in_flight: HashMap::new(),
+            probe_pending: HashMap::new(),
+            completed: Vec::new(),
+            last_read_seq: HashMap::new(),
+            last_write_seq: HashMap::new(),
+            stats: ClientStats::default(),
+        }
+    }
+
+    /// The client's logical index.
+    pub fn index(&self) -> u32 {
+        self.index
+    }
+
+    /// Operations currently awaiting a result or timeout.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// Drain the completed-op buffer (driver-side, between events).
+    pub fn drain_completed(&mut self) -> Vec<CompletedOp> {
+        std::mem::take(&mut self.completed)
+    }
+
+    fn alloc_local(&mut self) -> u64 {
+        let local = self.next_local;
+        self.next_local += 1;
+        debug_assert!(local < (1 << CLIENT_OP_SHIFT));
+        ((self.index as u64 + 1) << CLIENT_OP_SHIFT) | local
+    }
+
+    fn push_completed(&mut self, op: CompletedOp) {
+        if self.completed.len() >= self.opts.result_capacity {
+            self.stats.dropped_results += 1;
+        } else {
+            self.completed.push(op);
+        }
+    }
+
+    fn schedule_next_arrival(&mut self, ctx: &mut Context<'_, Msg>) {
+        if self.stopped {
+            return;
+        }
+        let op = self.source.next_op(&mut self.rng);
+        self.consumed_ms = op.at_ms;
+        let at = self.base + SimDuration::from_ms((op.at_ms - self.offset_ms).max(0.0));
+        let delay = at.duration_since(ctx.now()).as_ms();
+        self.next = Some(op);
+        ctx.set_timer(delay, ctag(CKIND_ARRIVAL, 0));
+    }
+
+    fn issue(&mut self, ctx: &mut Context<'_, Msg>, kind: OpKind, key: u64) {
+        if self.in_flight.len() >= self.opts.max_in_flight {
+            self.stats.shed += 1;
+            return;
+        }
+        let op_id = self.alloc_local();
+        self.in_flight.insert(op_id, Pending { key, kind, start: ctx.now() });
+        self.stats.issued += 1;
+        self.stats.peak_in_flight = self.stats.peak_in_flight.max(self.in_flight.len() as u64);
+        let coord = self.down.pick_up_node(&mut self.rng, self.nodes);
+        let msg = match kind {
+            OpKind::Write => Msg::ClientWrite { op_id, key },
+            OpKind::Read => Msg::ClientRead { op_id, key },
+        };
+        ctx.send(coord, 0.0, msg);
+        ctx.set_timer(self.opts.op_timeout_ms, ctag(CKIND_OP_TIMEOUT, op_id));
+    }
+
+    fn on_arrival(&mut self, ctx: &mut Context<'_, Msg>) {
+        if self.stopped {
+            return;
+        }
+        if let Some(op) = self.next.take() {
+            self.issue(ctx, op.kind, op.key);
+        }
+        self.schedule_next_arrival(ctx);
+    }
+
+    fn on_result(&mut self, ctx: &mut Context<'_, Msg>, result: ClientResult) {
+        match result {
+            ClientResult::Write { op_id, key, version, start, commit } => {
+                if self.in_flight.remove(&op_id).is_none() {
+                    return; // already timed out client-side
+                }
+                if let Some(ct) = commit {
+                    let entry = self.last_write_seq.entry(key).or_insert(0);
+                    *entry = (*entry).max(version.seq);
+                    if let Some(offset) = self.opts.probe_read_offset_ms {
+                        // The commit result arrives at the commit instant
+                        // (zero-delay delivery), so the probe read fires at
+                        // commit + offset.
+                        debug_assert_eq!(ctx.now(), ct);
+                        let token = self.next_local;
+                        self.next_local += 1;
+                        self.probe_pending.insert(token, key);
+                        ctx.set_timer(offset, ctag(CKIND_PROBE_READ, token));
+                    }
+                }
+                self.push_completed(CompletedOp {
+                    op_id,
+                    client: self.index,
+                    kind: OpKind::Write,
+                    key,
+                    start,
+                    finish: Some(ctx.now()),
+                    seq: Some(version.seq),
+                    commit,
+                });
+            }
+            ClientResult::Read { op_id, key, start, finish, version } => {
+                if self.in_flight.remove(&op_id).is_none() {
+                    return;
+                }
+                let returned = version.map(|v| v.seq);
+                let seen = returned.unwrap_or(0);
+                self.stats.reads_checked += 1;
+                if seen < self.last_read_seq.get(&key).copied().unwrap_or(0) {
+                    self.stats.monotonic_violations += 1;
+                }
+                if seen < self.last_write_seq.get(&key).copied().unwrap_or(0) {
+                    self.stats.ryw_violations += 1;
+                }
+                let entry = self.last_read_seq.entry(key).or_insert(0);
+                *entry = (*entry).max(seen);
+                self.push_completed(CompletedOp {
+                    op_id,
+                    client: self.index,
+                    kind: OpKind::Read,
+                    key,
+                    start,
+                    finish: Some(finish),
+                    seq: returned,
+                    commit: None,
+                });
+            }
+        }
+    }
+
+    fn on_op_timeout(&mut self, op_id: u64) {
+        let Some(p) = self.in_flight.remove(&op_id) else {
+            return; // completed in time
+        };
+        self.push_completed(CompletedOp {
+            op_id,
+            client: self.index,
+            kind: p.kind,
+            key: p.key,
+            start: p.start,
+            finish: None,
+            seq: None,
+            commit: None,
+        });
+    }
+
+    fn on_probe_read(&mut self, ctx: &mut Context<'_, Msg>, token: u64) {
+        if let Some(key) = self.probe_pending.remove(&token) {
+            self.issue(ctx, OpKind::Read, key);
+        }
+    }
+}
+
+impl Actor for ClientActor {
+    type Msg = Msg;
+
+    fn on_event(&mut self, ctx: &mut Context<'_, Msg>, event: Event<Msg>) {
+        match event {
+            Event::Message { msg, .. } => match msg {
+                Msg::StartClient => {
+                    self.base = ctx.now();
+                    // Re-base onto the stream time already consumed, so a
+                    // restarted client resumes generating immediately.
+                    self.offset_ms = self.consumed_ms;
+                    self.stopped = false;
+                    self.schedule_next_arrival(ctx);
+                }
+                Msg::StopClient => {
+                    self.stopped = true;
+                    self.next = None;
+                }
+                Msg::OpResult { result } => self.on_result(ctx, result),
+                other => unreachable!("client actor received {other:?}"),
+            },
+            Event::Timer { tag } => match ctag_kind(tag) {
+                CKIND_ARRIVAL => self.on_arrival(ctx),
+                CKIND_OP_TIMEOUT => self.on_op_timeout(ctag_op(tag)),
+                CKIND_PROBE_READ => self.on_probe_read(ctx, ctag_op(tag)),
+                other => unreachable!("unknown client timer kind {other}"),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_ids_are_disjoint_across_clients_and_harness() {
+        let down = Arc::new(DownTracker::new(3));
+        let mk = |i| {
+            ClientActor::new(
+                i,
+                3,
+                Box::new(pbs_workload::OpStream::new(
+                    pbs_workload::FixedRate::new(1.0),
+                    pbs_workload::UniformKeys::new(4),
+                    pbs_workload::OpMix::linkedin(),
+                    1,
+                )),
+                ClientOptions::default(),
+                Arc::clone(&down),
+                9,
+            )
+        };
+        let mut a = mk(0);
+        let mut b = mk(1);
+        let ida = a.alloc_local();
+        let idb = b.alloc_local();
+        assert_ne!(ida, idb);
+        assert!(ida >= (1 << CLIENT_OP_SHIFT), "client ids sit above harness ids");
+        assert_eq!(ctag_op(ctag(CKIND_OP_TIMEOUT, ida)), ida, "ids survive timer tags");
+    }
+
+    #[test]
+    fn client_tag_round_trip() {
+        let t = ctag(CKIND_PROBE_READ, 0xDEAD_BEEF);
+        assert_eq!(ctag_kind(t), CKIND_PROBE_READ);
+        assert_eq!(ctag_op(t), 0xDEAD_BEEF);
+    }
+}

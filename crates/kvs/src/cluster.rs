@@ -1,17 +1,35 @@
-//! The cluster harness: builds the simulated store, drives client
-//! operations, and labels every read against ground truth.
+//! The cluster harness: builds the simulated store, hosts both the
+//! blocking client API and the open-loop client actors, and labels every
+//! read against ground truth.
+//!
+//! Two client paths share one simulation (sequentially, never
+//! interleaved — blocking ops are allowed only before `start_clients`,
+//! where they are handy for seeding data):
+//!
+//! * **Blocking** ([`Cluster::write`] / [`Cluster::read`]) — the harness
+//!   injects one operation, steps the simulation until its result appears,
+//!   and labels it immediately. One op at a time; the §5.2 probe shape.
+//! * **Open loop** ([`Cluster::add_client`] + [`Cluster::drain_window`]) —
+//!   [`ClientActor`]s live *inside* the simulation, generate arrivals
+//!   lazily from streaming `pbs-workload` sources, and keep thousands of
+//!   operations in flight. Completed ops stream out through each client's
+//!   bounded buffer; the driver drains them every window, folds commits
+//!   into the online [`GroundTruth`] watermark, and labels reads
+//!   incrementally. Memory is bounded by in-flight work, never by
+//!   workload length.
 
+use crate::client::{ClientActor, ClientOptions, ClientStats, CompletedOp};
 use crate::messages::Msg;
 use crate::network::NetworkModel;
-use crate::node::{ClientResult, DetectorEvent, Node, NodeOptions};
+use crate::node::{ClientResult, DetectorEvent, DownTracker, Node, NodeOptions, SeqAllocator};
 use crate::ring::Ring;
 use crate::staleness::{GroundTruth, ReadLabel};
-use crate::version::Version;
 use pbs_core::ReplicaConfig;
-use pbs_sim::{SimTime, Simulation};
+use pbs_sim::{Actor, ActorId, Context, Event, SimTime, Simulation};
+use pbs_workload::{OpKind, OpSource};
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use std::collections::HashMap;
+use rand::SeedableRng;
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
 /// Cluster-wide configuration.
@@ -38,12 +56,14 @@ pub struct ClusterOptions {
     pub sync_interval_ms: Option<f64>,
     /// Whether crashed nodes lose their stores.
     pub wipe_on_crash: bool,
-    /// Client-side operation timeout.
+    /// Client-side operation timeout. Also the retention horizon for the
+    /// coordinators' pending-op sweep and the detector-matching grace
+    /// window.
     pub op_timeout_ms: f64,
     /// Record per-message one-way W/A/R/S delays for online prediction
     /// (§5.5/§6); drain with [`Cluster::drain_leg_samples`].
     pub record_leg_samples: bool,
-    /// Master seed (node RNGs derive from it).
+    /// Master seed (node and client RNGs derive from it).
     pub seed: u64,
 }
 
@@ -76,7 +96,9 @@ pub struct WriteOutcome {
     pub op_id: u64,
     /// Key written.
     pub key: u64,
-    /// Assigned dense sequence number.
+    /// Coordinator-assigned dense sequence number (0 when the operation
+    /// produced no result at all — e.g. the op timed out before the
+    /// coordinator reported back).
     pub seq: u64,
     /// Issue time.
     pub start: SimTime,
@@ -121,34 +143,6 @@ impl ReadOutcome {
     }
 }
 
-/// One operation of a pre-generated trace.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct TraceOp {
-    /// Issue time (ms).
-    pub at_ms: f64,
-    /// True for reads, false for writes.
-    pub is_read: bool,
-    /// Target key.
-    pub key: u64,
-}
-
-/// A labelled read from a trace run.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct LabeledRead {
-    /// Operation id.
-    pub op_id: u64,
-    /// Key read.
-    pub key: u64,
-    /// Issue time.
-    pub start: SimTime,
-    /// Returned sequence (None = empty read).
-    pub returned_seq: Option<u64>,
-    /// Ground-truth verdict.
-    pub label: ReadLabel,
-    /// Whether the §4.3 detector flagged this read.
-    pub flagged: bool,
-}
-
 /// Detector performance against ground truth (§4.3).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DetectorStats {
@@ -164,50 +158,180 @@ pub struct DetectorStats {
     pub missed_stale: usize,
 }
 
-/// Aggregate results of a trace run.
-#[derive(Debug, Clone, Default)]
-pub struct TraceReport {
-    /// Committed write latencies (ms).
-    pub write_latencies: Vec<f64>,
-    /// Completed read latencies (ms).
-    pub read_latencies: Vec<f64>,
-    /// Writes that never committed.
-    pub failed_writes: usize,
-    /// Reads that never completed.
-    pub incomplete_reads: usize,
-    /// All labelled reads.
-    pub reads: Vec<LabeledRead>,
-    /// Staleness-detector performance.
-    pub detector: DetectorStats,
-}
-
-impl TraceReport {
-    /// Fraction of completed reads that were consistent.
-    pub fn consistency_rate(&self) -> f64 {
-        if self.reads.is_empty() {
-            return 1.0;
+impl DetectorStats {
+    /// Precision: fraction of flags that were truly stale (1 with no
+    /// flags).
+    pub fn precision(&self) -> f64 {
+        if self.flagged == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / self.flagged as f64
         }
-        let ok = self.reads.iter().filter(|r| r.label.consistent).count();
-        ok as f64 / self.reads.len() as f64
+    }
+
+    /// Recall: fraction of truly stale reads that were flagged (1 with no
+    /// stale reads).
+    pub fn recall(&self) -> f64 {
+        let stale = self.true_positives + self.missed_stale;
+        if stale == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / stale as f64
+        }
     }
 }
 
-/// A simulated Dynamo-style cluster with a blocking client API.
+/// Streaming matcher between labelled reads and asynchronous detector
+/// flags. A flag can arrive a window or two after its read was labelled
+/// (the `N − R` late responses trickle in), so verdicts are retained for
+/// one op-timeout after labelling and matched as flags drain.
+#[derive(Debug, Default)]
+struct DetectorTracker {
+    /// op id → (consistent, already flagged).
+    verdicts: HashMap<u64, (bool, bool)>,
+    /// `(expires_at, op_id)` in insertion (= time) order.
+    expiry: VecDeque<(SimTime, u64)>,
+    flagged: usize,
+    true_positives: usize,
+    false_positives: usize,
+    stale_seen: usize,
+}
+
+impl DetectorTracker {
+    fn observe_read(&mut self, op_id: u64, consistent: bool, expires_at: SimTime) {
+        if !consistent {
+            self.stale_seen += 1;
+        }
+        self.verdicts.insert(op_id, (consistent, false));
+        self.expiry.push_back((expires_at, op_id));
+    }
+
+    fn observe_flag(&mut self, op_id: u64) {
+        if let Some((consistent, flagged)) = self.verdicts.get_mut(&op_id) {
+            if *flagged {
+                return; // several late responses can flag one read
+            }
+            *flagged = true;
+            self.flagged += 1;
+            if *consistent {
+                self.false_positives += 1;
+            } else {
+                self.true_positives += 1;
+            }
+        }
+    }
+
+    fn expire(&mut self, now: SimTime) {
+        while let Some(&(at, op_id)) = self.expiry.front() {
+            if at > now {
+                break;
+            }
+            self.expiry.pop_front();
+            self.verdicts.remove(&op_id);
+        }
+    }
+
+    fn stats(&self) -> DetectorStats {
+        DetectorStats {
+            flagged: self.flagged,
+            true_positives: self.true_positives,
+            false_positives: self.false_positives,
+            missed_stale: self.stale_seen - self.true_positives,
+        }
+    }
+}
+
+/// A read drained from the open-loop engine, labelled against the online
+/// ground-truth watermark.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OpenRead {
+    /// The completed operation (`finish: None` = client-side timeout).
+    pub op: CompletedOp,
+    /// Ground-truth verdict (None when the read timed out).
+    pub label: Option<ReadLabel>,
+}
+
+/// Everything that finished during one open-loop window.
+#[derive(Debug, Clone, Default)]
+pub struct WindowDrain {
+    /// The window's closing instant (= the new commit watermark).
+    pub until_ms: f64,
+    /// Completed writes (committed, failed, and timed out).
+    pub writes: Vec<CompletedOp>,
+    /// Completed reads with their online labels.
+    pub reads: Vec<OpenRead>,
+}
+
+/// One item yielded by [`WindowDrain::fold`].
+#[derive(Debug, Clone, Copy)]
+pub enum WindowOp<'a> {
+    /// A completed write (committed, failed, or timed out).
+    Write(&'a CompletedOp),
+    /// A completed read with its online label.
+    Read(&'a OpenRead),
+}
+
+impl WindowDrain {
+    /// Visit every drained op with its reporting-window index — the one
+    /// shared definition of window attribution (by op **start**, clamped
+    /// to the grid) used by every open-loop consumer, so the scenario
+    /// time-series and the engine reports can never diverge on it.
+    pub fn fold<F>(&self, window_ms: f64, last_window: usize, mut visit: F)
+    where
+        F: FnMut(usize, WindowOp<'_>),
+    {
+        let widx = |start: SimTime| ((start.as_ms() / window_ms) as usize).min(last_window);
+        for w in &self.writes {
+            visit(widx(w.start), WindowOp::Write(w));
+        }
+        for r in &self.reads {
+            visit(widx(r.op.start), WindowOp::Read(r));
+        }
+    }
+}
+
+/// Either a storage node or an in-sim client — the two inhabitants of the
+/// cluster's simulation.
+#[allow(clippy::large_enum_variant)]
+pub enum ClusterActor {
+    /// A Dynamo-style storage node (coordinator + replica).
+    Node(Node),
+    /// An open-loop client actor.
+    Client(ClientActor),
+}
+
+impl Actor for ClusterActor {
+    type Msg = Msg;
+
+    fn on_event(&mut self, ctx: &mut Context<'_, Msg>, event: Event<Msg>) {
+        match self {
+            ClusterActor::Node(n) => n.on_event(ctx, event),
+            ClusterActor::Client(c) => c.on_event(ctx, event),
+        }
+    }
+}
+
+/// A simulated Dynamo-style cluster hosting storage nodes and (optionally)
+/// open-loop client actors.
 pub struct Cluster {
-    sim: Simulation<Node>,
+    sim: Simulation<ClusterActor>,
     ring: Arc<Ring>,
     net: Arc<NetworkModel>,
     opts: ClusterOptions,
     rng: StdRng,
     next_op: u64,
-    next_seq: HashMap<u64, u64>,
+    down: Arc<DownTracker>,
+    clients: Vec<ActorId>,
+    clients_started: bool,
     ground_truth: GroundTruth,
+    detector: DetectorTracker,
 }
 
 impl std::fmt::Debug for Cluster {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Cluster")
             .field("nodes", &self.opts.nodes)
+            .field("clients", &self.clients.len())
             .field("replication", &self.opts.replication)
             .field("now", &self.sim.now())
             .finish()
@@ -223,8 +347,11 @@ impl Cluster {
             opts.replication.n(),
             opts.nodes
         );
+        assert!(opts.op_timeout_ms > 0.0);
         let ring = Arc::new(Ring::new(opts.nodes, opts.vnodes, opts.replication.n()));
         let net = Arc::new(network);
+        let seq = Arc::new(SeqAllocator::new());
+        let down = Arc::new(DownTracker::new(opts.nodes as usize));
         let node_opts = NodeOptions {
             r: opts.replication.r(),
             w: opts.replication.w(),
@@ -237,14 +364,26 @@ impl Cluster {
         };
         let mut sim = Simulation::new();
         for id in 0..opts.nodes as usize {
-            let node = Node::new(id, node_opts, Arc::clone(&net), Arc::clone(&ring), opts.seed);
-            let actor = sim.add_actor(node);
+            let node = Node::new(
+                id,
+                node_opts,
+                Arc::clone(&net),
+                Arc::clone(&ring),
+                Arc::clone(&seq),
+                Arc::clone(&down),
+                opts.seed,
+            );
+            let actor = sim.add_actor(ClusterActor::Node(node));
             debug_assert_eq!(actor, id);
         }
         if let Some(interval) = opts.sync_interval_ms {
             for id in 0..opts.nodes as usize {
                 sim.inject(id, 0.0, Msg::StartSync { interval_ms: interval });
             }
+        }
+        // Pending-op GC keeps coordinator state bounded by in-flight work.
+        for id in 0..opts.nodes as usize {
+            sim.inject(id, 0.0, Msg::StartGc { interval_ms: opts.op_timeout_ms });
         }
         Self {
             sim,
@@ -253,8 +392,11 @@ impl Cluster {
             opts,
             rng: StdRng::seed_from_u64(opts.seed.wrapping_mul(0xd134_2543_de82_ef95)),
             next_op: 1,
-            next_seq: HashMap::new(),
+            down,
+            clients: Vec::new(),
+            clients_started: false,
             ground_truth: GroundTruth::new(),
+            detector: DetectorTracker::default(),
         }
     }
 
@@ -303,12 +445,12 @@ impl Cluster {
             let ring = Arc::new(Ring::new(self.opts.nodes, self.opts.vnodes, cfg.n()));
             self.ring = Arc::clone(&ring);
             for id in 0..self.opts.nodes as usize {
-                self.sim.actor_mut(id).set_ring(Arc::clone(&ring));
+                self.node_mut(id).set_ring(Arc::clone(&ring));
             }
         }
         self.opts.replication = cfg;
         for id in 0..self.opts.nodes as usize {
-            self.sim.actor_mut(id).set_quorums(cfg.r(), cfg.w());
+            self.node_mut(id).set_quorums(cfg.r(), cfg.w());
         }
     }
 
@@ -318,8 +460,26 @@ impl Cluster {
     }
 
     /// Direct access to a node (stats, stored versions, crash state).
+    /// Panics if `id` is a client actor.
     pub fn node(&self, id: usize) -> &Node {
-        self.sim.actor(id)
+        match self.sim.actor(id) {
+            ClusterActor::Node(n) => n,
+            ClusterActor::Client(_) => panic!("actor {id} is a client, not a node"),
+        }
+    }
+
+    fn node_mut(&mut self, id: usize) -> &mut Node {
+        match self.sim.actor_mut(id) {
+            ClusterActor::Node(n) => n,
+            ClusterActor::Client(_) => panic!("actor {id} is a client, not a node"),
+        }
+    }
+
+    fn client_mut(&mut self, id: ActorId) -> &mut ClientActor {
+        match self.sim.actor_mut(id) {
+            ClusterActor::Client(c) => c,
+            ClusterActor::Node(_) => panic!("actor {id} is a node, not a client"),
+        }
     }
 
     /// Advance simulated time, processing all events up to `at`.
@@ -331,11 +491,17 @@ impl Cluster {
     /// the cluster's `wipe_on_crash` is set).
     pub fn crash_node_at(&mut self, node: usize, at: SimTime, down_ms: f64) {
         let wipe = self.opts.wipe_on_crash;
+        assert!(node < self.opts.nodes as usize, "cannot crash client actor {node}");
         self.sim.inject_at(node, at, Msg::Crash { down_ms, wipe });
     }
 
+    /// Choose a coordinator for the next operation: uniform over **up**
+    /// nodes, falling back to an arbitrary node only when the whole
+    /// cluster is down (the op then times out, as it must). Handing an
+    /// operation to a crashed node would silently turn it into an op
+    /// timeout.
     fn pick_coordinator(&mut self) -> usize {
-        self.rng.gen_range(0..self.opts.nodes as usize)
+        self.down.pick_up_node(&mut self.rng, self.opts.nodes as usize)
     }
 
     fn alloc_op(&mut self) -> u64 {
@@ -344,15 +510,23 @@ impl Cluster {
         id
     }
 
-    fn alloc_seq(&mut self, key: u64) -> u64 {
-        let seq = self.next_seq.entry(key).or_insert(0);
-        *seq += 1;
-        *seq
+    /// The two client paths cannot *interleave*: a blocking op steps the
+    /// simulation and records its commit directly, advancing the ground
+    /// truth past open-loop results still buffered in client actors —
+    /// which would corrupt the watermark. Blocking ops are fine **before**
+    /// clients start (e.g. seeding data); once `start_clients` has run,
+    /// only the open-loop drain may drive this cluster.
+    fn assert_blocking_allowed(&self) {
+        assert!(
+            !self.clients_started,
+            "blocking operations cannot interleave with started open-loop clients \
+             (seed data before start_clients, or use the open-loop path)"
+        );
     }
 
     fn step_until_result(&mut self, coord: usize, op_id: u64, deadline: SimTime) -> Option<ClientResult> {
         loop {
-            if let Some(res) = self.sim.actor_mut(coord).client_results.remove(&op_id) {
+            if let Some(res) = self.node_mut(coord).client_results.remove(&op_id) {
                 return Some(res);
             }
             match self.sim.peek_next_time() {
@@ -364,27 +538,26 @@ impl Cluster {
         }
     }
 
-    /// Blocking quorum write from a random coordinator; returns at commit
-    /// time (or after the op timeout).
+    /// Blocking quorum write from a random up coordinator; returns at
+    /// commit time (or after the op timeout).
     pub fn write(&mut self, key: u64) -> WriteOutcome {
         let coord = self.pick_coordinator();
         self.write_from(coord, key)
     }
 
-    /// Blocking quorum write from a specific coordinator.
+    /// Blocking quorum write from a specific coordinator. The coordinator
+    /// assigns the version's sequence number when the write starts.
     pub fn write_from(&mut self, coord: usize, key: u64) -> WriteOutcome {
+        self.assert_blocking_allowed();
         let op_id = self.alloc_op();
-        let seq = self.alloc_seq(key);
-        let version = Version::new(seq, coord as u32);
-        let replicas: Vec<usize> = self.ring.replicas(key).iter().map(|&n| n as usize).collect();
         let start = self.sim.now();
-        self.sim.inject(coord, 0.0, Msg::ClientWrite { op_id, key, version, replicas });
+        self.sim.inject(coord, 0.0, Msg::ClientWrite { op_id, key });
         let deadline = start + pbs_sim::SimDuration::from_ms(self.opts.op_timeout_ms);
         let result = self.step_until_result(coord, op_id, deadline);
-        let commit = match result {
-            Some(ClientResult::Write { commit, .. }) => commit,
+        let (seq, commit) = match result {
+            Some(ClientResult::Write { version, commit, .. }) => (version.seq, commit),
             Some(other) => unreachable!("write op returned {other:?}"),
-            None => None,
+            None => (0, None),
         };
         if let Some(ct) = commit {
             self.ground_truth.record_commit(key, seq, ct);
@@ -407,9 +580,9 @@ impl Cluster {
 
     /// Blocking quorum read from a specific coordinator at time `at`.
     pub fn read_at_from(&mut self, coord: usize, key: u64, at: SimTime) -> ReadOutcome {
+        self.assert_blocking_allowed();
         let op_id = self.alloc_op();
-        let replicas: Vec<usize> = self.ring.replicas(key).iter().map(|&n| n as usize).collect();
-        self.sim.inject_at(coord, at, Msg::ClientRead { op_id, key, replicas });
+        self.sim.inject_at(coord, at, Msg::ClientRead { op_id, key });
         let deadline = at + pbs_sim::SimDuration::from_ms(self.opts.op_timeout_ms);
         let result = self.step_until_result(coord, op_id, deadline);
         match result {
@@ -430,6 +603,138 @@ impl Cluster {
         }
     }
 
+    // ----- the open-loop client path -----
+
+    /// Add an in-sim client actor that will pull operations from `source`
+    /// once [`start_clients`](Self::start_clients) runs. Returns the
+    /// client's actor id.
+    pub fn add_client(&mut self, source: Box<dyn OpSource>, copts: ClientOptions) -> ActorId {
+        assert!(!self.clients_started, "add clients before starting them");
+        let index = self.clients.len() as u32;
+        let client = ClientActor::new(
+            index,
+            self.opts.nodes as usize,
+            source,
+            copts,
+            Arc::clone(&self.down),
+            self.opts.seed,
+        );
+        let id = self.sim.add_actor(ClusterActor::Client(client));
+        self.clients.push(id);
+        id
+    }
+
+    /// Number of client actors.
+    pub fn client_count(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// Immutable access to a client actor.
+    pub fn client(&self, id: ActorId) -> &ClientActor {
+        match self.sim.actor(id) {
+            ClusterActor::Client(c) => c,
+            ClusterActor::Node(_) => panic!("actor {id} is a node, not a client"),
+        }
+    }
+
+    /// Start every client actor's arrival stream at the current simulated
+    /// time.
+    pub fn start_clients(&mut self) {
+        self.clients_started = true;
+        for i in 0..self.clients.len() {
+            let id = self.clients[i];
+            self.sim.inject(id, 0.0, Msg::StartClient);
+        }
+    }
+
+    /// Stop every client actor's arrival stream (in-flight operations
+    /// still complete or time out).
+    pub fn stop_clients(&mut self) {
+        for i in 0..self.clients.len() {
+            let id = self.clients[i];
+            self.sim.inject(id, 0.0, Msg::StopClient);
+        }
+    }
+
+    /// Total in-flight operations across all client actors.
+    pub fn in_flight_total(&self) -> usize {
+        self.clients.iter().map(|&id| self.client(id).in_flight()).sum()
+    }
+
+    /// Events currently pending in the simulation's scheduler — the
+    /// open-loop memory story: this stays O(clients + in-flight), never
+    /// O(workload length).
+    pub fn pending_events(&self) -> usize {
+        self.sim.pending_events()
+    }
+
+    /// Summed per-client counters.
+    pub fn client_stats(&self) -> ClientStats {
+        let mut total = ClientStats::default();
+        for &id in &self.clients {
+            let s = self.client(id).stats;
+            total.issued += s.issued;
+            total.shed += s.shed;
+            total.dropped_results += s.dropped_results;
+            total.monotonic_violations += s.monotonic_violations;
+            total.ryw_violations += s.ryw_violations;
+            total.reads_checked += s.reads_checked;
+            // Per-client peaks sum to an upper bound on the global peak.
+            total.peak_in_flight += s.peak_in_flight;
+        }
+        total
+    }
+
+    /// Advance to `until`, drain every client's completed operations, fold
+    /// the commits into the online ground truth, advance the commit
+    /// watermark to `until`, and label the drained reads.
+    ///
+    /// Correctness of the watermark: `run_until(until)` has processed every
+    /// event at or before `until`, and results are delivered to clients
+    /// with zero delay, so every commit at or before `until` has been
+    /// drained — no commit below the watermark can appear later.
+    pub fn drain_window(&mut self, until: SimTime) -> WindowDrain {
+        self.advance_to(until);
+        let mut writes: Vec<CompletedOp> = Vec::new();
+        let mut raw_reads: Vec<CompletedOp> = Vec::new();
+        for i in 0..self.clients.len() {
+            let id = self.clients[i];
+            for op in self.client_mut(id).drain_completed() {
+                match op.kind {
+                    OpKind::Write => writes.push(op),
+                    OpKind::Read => raw_reads.push(op),
+                }
+            }
+        }
+        for w in &writes {
+            if let (Some(seq), Some(ct)) = (w.seq, w.commit) {
+                self.ground_truth.ingest_commit(w.key, seq, ct);
+            }
+        }
+        self.ground_truth.advance_watermark(until);
+
+        let grace = pbs_sim::SimDuration::from_ms(self.opts.op_timeout_ms);
+        let mut reads = Vec::with_capacity(raw_reads.len());
+        for op in raw_reads {
+            let label = op.finish.map(|_| self.ground_truth.label_read(op.key, op.start, op.seq));
+            if let Some(l) = label {
+                self.detector.observe_read(op.op_id, l.consistent, until + grace);
+            }
+            reads.push(OpenRead { op, label });
+        }
+        for ev in self.drain_detector_events() {
+            self.detector.observe_flag(ev.op_id);
+        }
+        self.detector.expire(until);
+        WindowDrain { until_ms: until.as_ms(), writes, reads }
+    }
+
+    /// Cumulative staleness-detector performance over every drained
+    /// window (§4.3), matched against ground-truth labels.
+    pub fn detector_stats(&self) -> DetectorStats {
+        self.detector.stats()
+    }
+
     /// Drain the per-leg WARS latency samples recorded by every node
     /// (requires `record_leg_samples`). Feed these into
     /// `pbs_predictor::Predictor::from_samples` to close the
@@ -437,7 +742,7 @@ impl Cluster {
     pub fn drain_leg_samples(&mut self) -> crate::node::LegSamples {
         let mut all = crate::node::LegSamples::default();
         for id in 0..self.opts.nodes as usize {
-            all.merge(&mut self.sim.actor_mut(id).leg_samples);
+            all.merge(&mut self.node_mut(id).leg_samples);
         }
         all
     }
@@ -446,109 +751,10 @@ impl Cluster {
     pub fn drain_detector_events(&mut self) -> Vec<DetectorEvent> {
         let mut all = Vec::new();
         for id in 0..self.opts.nodes as usize {
-            all.append(&mut self.sim.actor_mut(id).detector_log);
+            all.append(&mut self.node_mut(id).detector_log);
         }
         all.sort_by_key(|e| (e.at, e.op_id));
         all
-    }
-
-    /// Run a pre-generated trace of operations (times must be
-    /// nondecreasing), then settle and label everything.
-    pub fn run_trace(&mut self, trace: &[TraceOp]) -> TraceReport {
-        let base = self.sim.now();
-        let mut last_at = base;
-        for op in trace {
-            let at = base + pbs_sim::SimDuration::from_ms(op.at_ms);
-            assert!(at >= last_at, "trace must be time-ordered");
-            last_at = at;
-            let coord = self.pick_coordinator();
-            let op_id = self.alloc_op();
-            let replicas: Vec<usize> =
-                self.ring.replicas(op.key).iter().map(|&n| n as usize).collect();
-            if op.is_read {
-                self.sim.inject_at(coord, at, Msg::ClientRead { op_id, key: op.key, replicas });
-            } else {
-                let seq = self.alloc_seq(op.key);
-                let version = Version::new(seq, coord as u32);
-                self.sim.inject_at(
-                    coord,
-                    at,
-                    Msg::ClientWrite { op_id, key: op.key, version, replicas },
-                );
-            }
-        }
-        // Let everything settle (including the op timeout window).
-        let settle = last_at + pbs_sim::SimDuration::from_ms(self.opts.op_timeout_ms);
-        self.sim.run_until(settle);
-
-        // Drain results from every node.
-        let mut results: Vec<ClientResult> = Vec::new();
-        for id in 0..self.opts.nodes as usize {
-            results.extend(self.sim.actor_mut(id).client_results.drain().map(|(_, v)| v));
-        }
-        // Record commits in time order.
-        let mut commits: Vec<(u64, u64, SimTime)> = results
-            .iter()
-            .filter_map(|r| match r {
-                ClientResult::Write { key, version, commit: Some(ct), .. } => {
-                    Some((*key, version.seq, *ct))
-                }
-                _ => None,
-            })
-            .collect();
-        commits.sort_by_key(|&(_, _, ct)| ct);
-        for (key, seq, ct) in &commits {
-            self.ground_truth.record_commit(*key, *seq, *ct);
-        }
-
-        let detector_events = self.drain_detector_events();
-        let flagged_ops: std::collections::HashSet<u64> =
-            detector_events.iter().map(|e| e.op_id).collect();
-
-        let mut report = TraceReport::default();
-        let mut seen_reads = 0usize;
-        let mut seen_writes = 0usize;
-        for r in &results {
-            match r {
-                ClientResult::Write { start, commit, .. } => {
-                    seen_writes += 1;
-                    match commit {
-                        Some(ct) => report.write_latencies.push((*ct - *start).as_ms()),
-                        None => report.failed_writes += 1,
-                    }
-                }
-                ClientResult::Read { op_id, key, start, finish, version } => {
-                    seen_reads += 1;
-                    report.read_latencies.push((*finish - *start).as_ms());
-                    let returned_seq = version.map(|v| v.seq);
-                    let label = self.ground_truth.label_read(*key, *start, returned_seq);
-                    let flagged = flagged_ops.contains(op_id);
-                    report.reads.push(LabeledRead {
-                        op_id: *op_id,
-                        key: *key,
-                        start: *start,
-                        returned_seq,
-                        label,
-                        flagged,
-                    });
-                    if flagged {
-                        report.detector.flagged += 1;
-                        if label.consistent {
-                            report.detector.false_positives += 1;
-                        } else {
-                            report.detector.true_positives += 1;
-                        }
-                    } else if !label.consistent {
-                        report.detector.missed_stale += 1;
-                    }
-                }
-            }
-        }
-        let total_reads = trace.iter().filter(|o| o.is_read).count();
-        let total_writes = trace.len() - total_reads;
-        report.incomplete_reads = total_reads - seen_reads;
-        report.failed_writes += total_writes - seen_writes;
-        report
     }
 }
 
@@ -651,6 +857,32 @@ mod tests {
     }
 
     #[test]
+    fn coordinator_selection_skips_down_nodes() {
+        // Regression: a crashed node must not coordinate (it would drop
+        // the request, silently turning it into an op timeout). With node
+        // 0 down, every one of 60 R=W=1 operations must still complete —
+        // before the fix, ~1/3 of them would be handed to node 0 and die.
+        let mut opts = ClusterOptions::validation(cfg(3, 1, 1), 6);
+        opts.op_timeout_ms = 1_000.0;
+        let mut cluster = Cluster::new(opts, exp_net(1.0, 1.0));
+        cluster.crash_node_at(0, SimTime::from_ms(0.0), 600_000.0);
+        cluster.advance_to(SimTime::from_ms(1.0));
+        for i in 0..60 {
+            let w = cluster.write(i);
+            assert!(w.commit.is_some(), "write {i} routed to a crashed coordinator");
+            let r = cluster.read(i);
+            assert!(r.finish.is_some(), "read {i} routed to a crashed coordinator");
+        }
+        // When every node is down, selection falls back (and ops time out).
+        cluster.crash_node_at(1, cluster.now(), 600_000.0);
+        cluster.crash_node_at(2, cluster.now(), 600_000.0);
+        let at = cluster.now() + pbs_sim::SimDuration::from_ms(1.0);
+        cluster.advance_to(at);
+        let w = cluster.write(1);
+        assert!(w.commit.is_none(), "all-down cluster cannot commit");
+    }
+
+    #[test]
     fn hinted_handoff_heals_after_recovery() {
         let mut opts = ClusterOptions::validation(cfg(3, 1, 1), 6);
         opts.hinted_handoff = true;
@@ -729,29 +961,6 @@ mod tests {
         }
         let repairs: u64 = (0..3).map(|i| cluster.node(i).repairs_sent).sum();
         let _ = repairs; // repairs may be zero if the quorum had propagated
-    }
-
-    #[test]
-    fn trace_run_reports_consistency_and_detector() {
-        let mut cluster = Cluster::new(
-            ClusterOptions::validation(cfg(3, 1, 1), 9),
-            exp_net(0.05, 1.0),
-        );
-        let mut trace = Vec::new();
-        for i in 0..600 {
-            trace.push(TraceOp { at_ms: i as f64 * 5.0, is_read: i % 3 != 0, key: i % 4 });
-        }
-        let report = cluster.run_trace(&trace);
-        assert_eq!(report.failed_writes, 0);
-        assert_eq!(report.incomplete_reads, 0);
-        assert_eq!(report.reads.len(), 400);
-        let rate = report.consistency_rate();
-        assert!(rate > 0.3, "consistency rate {rate}");
-        // Detector bookkeeping is internally consistent.
-        let d = report.detector;
-        assert_eq!(d.flagged, d.true_positives + d.false_positives);
-        let stale_reads = report.reads.iter().filter(|r| !r.label.consistent).count();
-        assert_eq!(stale_reads, d.true_positives + d.missed_stale);
     }
 
     #[test]

@@ -30,21 +30,43 @@
 //! records every commit (version, commit time) and labels every read against
 //! the versions actually committed before it started — the oracle the paper
 //! could only approximate with instrumentation.
+//!
+//! Two client paths drive the store:
+//!
+//! * **Blocking** — [`Cluster::write`]/[`Cluster::read`] serialise one
+//!   operation at a time (the §5.2 probe shape used by
+//!   [`experiments`]).
+//! * **Open loop** — in-sim [`client::ClientActor`]s generate arrivals
+//!   lazily from streaming `pbs-workload` sources and keep thousands of
+//!   operations in flight; [`openloop::run_open_loop`] drives them window
+//!   by window with online (watermark-based) staleness labelling and
+//!   O(in-flight) memory. See [`openloop`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod client;
 pub mod cluster;
 pub mod experiments;
 pub mod merkle;
 pub mod messages;
 pub mod network;
 pub mod node;
+pub mod openloop;
 pub mod ring;
 pub mod staleness;
 pub mod version;
 
-pub use cluster::{Cluster, ClusterOptions, ReadOutcome, WriteOutcome};
+pub use client::{ClientActor, ClientOptions, ClientStats, CompletedOp};
+pub use cluster::{
+    Cluster, ClusterOptions, DetectorStats, OpenRead, ReadOutcome, WindowDrain, WindowOp,
+    WriteOutcome,
+};
 pub use network::{LinkFault, NetworkModel};
+pub use node::{DownTracker, SeqAllocator};
+pub use openloop::{
+    run_open_loop, run_open_loop_sharded, run_open_loop_with, OpenLoopOptions, OpenLoopReport,
+    OpenWindow,
+};
 pub use ring::Ring;
 pub use version::{CausalOrder, VectorClock, Version};

@@ -1,32 +1,39 @@
 //! The message vocabulary of the Dynamo-style protocol.
 
+use crate::node::ClientResult;
 use crate::version::Version;
 use pbs_sim::ActorId;
 
 /// Everything that travels between actors in the simulated cluster.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Msg {
-    // ----- client → coordinator (injected by the harness) -----
-    /// Begin a quorum write of `key` with the pre-assigned version.
+    // ----- client → coordinator -----
+    // Issued either by an in-sim client actor (open loop) or injected by
+    // the blocking harness. The coordinator computes the preference list
+    // from its ring and assigns the write's sequence number when the
+    // operation actually starts.
+    /// Begin a quorum write of `key`.
     ClientWrite {
-        /// Harness-assigned operation id.
+        /// Globally unique operation id (allocated by the issuer).
         op_id: u64,
         /// Target key.
         key: u64,
-        /// The version to install (dense per-key sequence).
-        version: Version,
-        /// The key's preference list (computed from the ring by the
-        /// harness, as the coordinator would).
-        replicas: Vec<ActorId>,
     },
     /// Begin a quorum read of `key`.
     ClientRead {
-        /// Harness-assigned operation id.
+        /// Globally unique operation id.
         op_id: u64,
         /// Target key.
         key: u64,
-        /// The key's preference list.
-        replicas: Vec<ActorId>,
+    },
+
+    // ----- coordinator → client actor -----
+    /// A completed operation, routed back to the in-sim client actor that
+    /// issued it (operations injected by the blocking harness instead land
+    /// in the coordinator's `client_results`).
+    OpResult {
+        /// The completed operation.
+        result: ClientResult,
     },
 
     // ----- coordinator → replica -----
@@ -134,4 +141,17 @@ pub enum Msg {
         /// Sync period in milliseconds.
         interval_ms: f64,
     },
+    /// Start the periodic pending-op sweep on the receiving node: entries
+    /// older than `interval_ms` (the op timeout) are garbage-collected so
+    /// coordinator memory stays bounded by in-flight operations.
+    StartGc {
+        /// Sweep period = retention horizon in milliseconds.
+        interval_ms: f64,
+    },
+    /// Begin generating load (client actors only): schedules the actor's
+    /// first arrival.
+    StartClient,
+    /// Stop generating load (client actors only): no further arrivals are
+    /// issued; operations already in flight complete or time out normally.
+    StopClient,
 }

@@ -6,11 +6,12 @@ use crate::messages::Msg;
 use crate::network::{Leg, NetworkModel};
 use crate::ring::Ring;
 use crate::version::Version;
-use pbs_sim::{Actor, ActorId, Context, Event, SimTime};
+use pbs_sim::{Actor, ActorId, Context, Event, SimDuration, SimTime};
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::{Rng, RngCore, SeedableRng};
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
 
 // ---------------------------------------------------------------------------
 // Timer tags: the top byte selects the timer kind, the rest carries an op id.
@@ -20,6 +21,75 @@ const KIND_RECOVER: u64 = 1;
 const KIND_SYNC: u64 = 2;
 const KIND_HINT_FLUSH: u64 = 3;
 const KIND_WRITE_TIMEOUT: u64 = 4;
+const KIND_GC: u64 = 5;
+
+/// Cluster-wide dense per-key sequence allocation. Coordinators draw from
+/// it when a write **starts** (not when a trace is built), so versions are
+/// ordered by actual write-start order even with thousands of concurrent
+/// in-flight writes from many client actors.
+///
+/// The mutex is uncontended — the simulation is single-threaded; the lock
+/// only makes the allocator shareable behind `Arc` across actors.
+#[derive(Debug, Default)]
+pub struct SeqAllocator {
+    next: Mutex<HashMap<u64, u64>>,
+}
+
+impl SeqAllocator {
+    /// Fresh allocator (all keys start at sequence 1).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocate the next dense sequence number for `key` (1-based).
+    pub fn next(&self, key: u64) -> u64 {
+        let mut map = self.next.lock().expect("seq allocator poisoned");
+        let seq = map.entry(key).or_insert(0);
+        *seq += 1;
+        *seq
+    }
+}
+
+/// Shared liveness map: nodes mark themselves down/up on crash/recovery,
+/// and operation issuers (the blocking harness and in-sim client actors
+/// alike) consult it to avoid handing an operation to a crashed
+/// coordinator — which would silently become an op timeout.
+#[derive(Debug)]
+pub struct DownTracker {
+    down: Vec<AtomicBool>,
+}
+
+impl DownTracker {
+    /// All-up tracker over `nodes` nodes.
+    pub fn new(nodes: usize) -> Self {
+        Self { down: (0..nodes).map(|_| AtomicBool::new(false)).collect() }
+    }
+
+    /// Mark `node` down or up.
+    pub fn set_down(&self, node: usize, down: bool) {
+        self.down[node].store(down, Ordering::Relaxed);
+    }
+
+    /// Whether `node` is currently marked down.
+    pub fn is_down(&self, node: usize) -> bool {
+        self.down[node].load(Ordering::Relaxed)
+    }
+
+    /// Pick a coordinator uniformly at random among **up** nodes, falling
+    /// back to the raw draw when every node is down (the op will then time
+    /// out, as it must). Consumes exactly one RNG draw regardless of crash
+    /// state, so healthy-cluster RNG streams are unchanged by this check.
+    pub fn pick_up_node(&self, rng: &mut dyn RngCore, nodes: usize) -> usize {
+        let start = rng.gen_range(0..nodes);
+        for probe in 0..nodes {
+            let candidate = (start + probe) % nodes;
+            if !self.is_down(candidate) {
+                return candidate;
+            }
+        }
+        start
+    }
+}
 
 fn tag(kind: u64, op: u64) -> u64 {
     debug_assert!(op < (1 << TAG_KIND_SHIFT));
@@ -173,6 +243,9 @@ struct WriteState {
     acked: Vec<ActorId>,
     committed: Option<SimTime>,
     start: SimTime,
+    /// The in-sim client actor awaiting the result (`None` = issued by the
+    /// blocking harness, which polls `client_results` instead).
+    reply_to: Option<ActorId>,
 }
 
 #[derive(Debug)]
@@ -187,6 +260,7 @@ struct ReadState {
     /// fresher version, warranting a second repair).
     repaired: Vec<(ActorId, Version)>,
     start: SimTime,
+    reply_to: Option<ActorId>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -202,8 +276,11 @@ pub struct Node {
     opts: NodeOptions,
     net: Arc<NetworkModel>,
     ring: Arc<Ring>,
+    seq_alloc: Arc<SeqAllocator>,
+    down_map: Arc<DownTracker>,
     rng: StdRng,
     down: bool,
+    gc_interval_ms: Option<f64>,
     store: HashMap<u64, Version>,
     pending_writes: HashMap<u64, WriteState>,
     pending_reads: HashMap<u64, ReadState>,
@@ -240,12 +317,15 @@ impl std::fmt::Debug for Node {
 }
 
 impl Node {
-    /// Build node `id` with its own deterministic RNG stream.
+    /// Build node `id` with its own deterministic RNG stream. The sequence
+    /// allocator and down-tracker are shared cluster-wide.
     pub fn new(
         id: ActorId,
         opts: NodeOptions,
         net: Arc<NetworkModel>,
         ring: Arc<Ring>,
+        seq_alloc: Arc<SeqAllocator>,
+        down_map: Arc<DownTracker>,
         seed: u64,
     ) -> Self {
         Self {
@@ -253,8 +333,11 @@ impl Node {
             opts,
             net,
             ring,
+            seq_alloc,
+            down_map,
             rng: StdRng::seed_from_u64(seed ^ (id as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)),
             down: false,
+            gc_interval_ms: None,
             store: HashMap::new(),
             pending_writes: HashMap::new(),
             pending_reads: HashMap::new(),
@@ -337,17 +420,31 @@ impl Node {
         }
     }
 
+    /// Route a completed operation to its issuer: in-sim client actors get
+    /// an [`Msg::OpResult`] message (zero delay — clients are co-located
+    /// with their coordinator); blocking-harness operations land in
+    /// [`client_results`](Self::client_results).
+    fn deliver(&mut self, ctx: &mut Context<'_, Msg>, reply_to: Option<ActorId>, result: ClientResult) {
+        match reply_to {
+            Some(client) => ctx.send(client, 0.0, Msg::OpResult { result }),
+            None => {
+                self.client_results.insert(result.op_id(), result);
+            }
+        }
+    }
+
     // ----- coordinator: writes -----
 
-    fn on_client_write(
-        &mut self,
-        ctx: &mut Context<'_, Msg>,
-        op_id: u64,
-        key: u64,
-        version: Version,
-        replicas: Vec<ActorId>,
-    ) {
+    fn on_client_write(&mut self, ctx: &mut Context<'_, Msg>, op_id: u64, key: u64, from: ActorId) {
+        // The sequence number is assigned here — when the write actually
+        // starts at its coordinator — so version order matches write-start
+        // order even under thousands of concurrent in-flight writes.
+        let seq = self.seq_alloc.next(key);
+        let version = Version::new(seq, self.id as u32);
+        let replicas: Vec<ActorId> =
+            self.ring.replicas(key).iter().map(|&n| n as usize).collect();
         debug_assert!(replicas.len() >= self.opts.w as usize);
+        let reply_to = (from != self.id).then_some(from);
         let state = WriteState {
             key,
             version,
@@ -355,6 +452,7 @@ impl Node {
             acked: Vec::with_capacity(replicas.len()),
             committed: None,
             start: ctx.now(),
+            reply_to,
         };
         self.pending_writes.insert(op_id, state);
         for &replica in &replicas {
@@ -378,10 +476,11 @@ impl Node {
             return; // duplicate (e.g. hint + original both landed)
         }
         state.acked.push(replica);
+        let mut completed: Option<(Option<ActorId>, ClientResult)> = None;
         if state.committed.is_none() && state.acked.len() >= self.opts.w as usize {
             state.committed = Some(ctx.now());
-            self.client_results.insert(
-                op_id,
+            completed = Some((
+                state.reply_to,
                 ClientResult::Write {
                     op_id,
                     key: state.key,
@@ -389,10 +488,13 @@ impl Node {
                     start: state.start,
                     commit: Some(ctx.now()),
                 },
-            );
+            ));
         }
         if state.acked.len() == state.replicas.len() {
             self.pending_writes.remove(&op_id); // fully replicated
+        }
+        if let Some((reply_to, result)) = completed {
+            self.deliver(ctx, reply_to, result);
         }
     }
 
@@ -402,8 +504,9 @@ impl Node {
         };
         if state.committed.is_none() {
             // The write failed to reach its quorum in time.
-            self.client_results.insert(
-                op_id,
+            self.deliver(
+                ctx,
+                state.reply_to,
                 ClientResult::Write {
                     op_id,
                     key: state.key,
@@ -438,14 +541,11 @@ impl Node {
 
     // ----- coordinator: reads -----
 
-    fn on_client_read(
-        &mut self,
-        ctx: &mut Context<'_, Msg>,
-        op_id: u64,
-        key: u64,
-        replicas: Vec<ActorId>,
-    ) {
+    fn on_client_read(&mut self, ctx: &mut Context<'_, Msg>, op_id: u64, key: u64, from: ActorId) {
+        let replicas: Vec<ActorId> =
+            self.ring.replicas(key).iter().map(|&n| n as usize).collect();
         debug_assert!(replicas.len() >= self.opts.r as usize);
+        let reply_to = (from != self.id).then_some(from);
         let state = ReadState {
             key,
             replicas: replicas.clone(),
@@ -453,6 +553,7 @@ impl Node {
             returned: None,
             repaired: Vec::new(),
             start: ctx.now(),
+            reply_to,
         };
         self.pending_reads.insert(op_id, state);
         for &replica in &replicas {
@@ -472,12 +573,13 @@ impl Node {
             return;
         };
         state.responses.push((replica, version));
+        let mut completed: Option<(Option<ActorId>, ClientResult)> = None;
         if state.returned.is_none() && state.responses.len() >= self.opts.r as usize {
             // Return the newest of the first R responses (None < Some).
             let best = state.responses.iter().map(|(_, v)| *v).max().flatten();
             state.returned = Some(best);
-            self.client_results.insert(
-                op_id,
+            completed = Some((
+                state.reply_to,
                 ClientResult::Read {
                     op_id,
                     key: state.key,
@@ -485,7 +587,7 @@ impl Node {
                     finish: now,
                     version: best,
                 },
-            );
+            ));
         } else if let Some(returned) = state.returned {
             // A late (N − R) response: the asynchronous staleness detector
             // (§4.3) compares it against what the client saw.
@@ -532,12 +634,39 @@ impl Node {
         if state.responses.len() == state.replicas.len() {
             self.pending_reads.remove(&op_id);
         }
+        if let Some((reply_to, result)) = completed {
+            self.deliver(ctx, reply_to, result);
+        }
         if let Some((key, freshest, stale)) = repairs {
             for replica in stale {
                 self.repairs_sent += 1;
                 self.send(ctx, Leg::W, replica, Msg::RepairWrite { key, version: freshest });
             }
         }
+    }
+
+    // ----- pending-op garbage collection -----
+
+    /// Periodic sweep: drop pending-op state older than the retention
+    /// horizon. Issuers detect their own timeouts (the blocking harness by
+    /// deadline, client actors by their per-op timer), so a swept entry
+    /// has already been reported; sweeping merely bounds coordinator
+    /// memory by *in-flight* operations under message loss or partitions,
+    /// where the N-th ack/response may never arrive.
+    fn on_gc(&mut self, ctx: &mut Context<'_, Msg>) {
+        let Some(interval) = self.gc_interval_ms else {
+            return;
+        };
+        ctx.set_timer(interval, tag(KIND_GC, 0));
+        let horizon = SimDuration::from_ms(interval);
+        let now = ctx.now();
+        let cutoff = if now.as_nanos() > horizon.as_nanos() {
+            SimTime::from_ms(now.as_ms() - interval)
+        } else {
+            return; // nothing can be old enough yet
+        };
+        self.pending_writes.retain(|_, s| s.start > cutoff);
+        self.pending_reads.retain(|_, s| s.start > cutoff);
     }
 
     // ----- anti-entropy -----
@@ -609,6 +738,7 @@ impl Node {
 
     fn on_crash(&mut self, ctx: &mut Context<'_, Msg>, down_ms: f64, wipe: bool) {
         self.down = true;
+        self.down_map.set_down(self.id, true);
         if wipe {
             self.store.clear();
         }
@@ -620,6 +750,7 @@ impl Node {
 
     fn on_recover(&mut self, ctx: &mut Context<'_, Msg>) {
         self.down = false;
+        self.down_map.set_down(self.id, false);
         if self.sync_interval_ms.is_some() {
             ctx.set_timer(0.0, tag(KIND_SYNC, 0));
         }
@@ -632,22 +763,25 @@ impl Actor for Node {
     type Msg = Msg;
 
     fn on_event(&mut self, ctx: &mut Context<'_, Msg>, event: Event<Msg>) {
-        // A crashed node processes nothing except its own recovery timer.
+        // A crashed node processes nothing except its own recovery timer
+        // and the GC sweep (pure bookkeeping, kept alive through crashes).
         if self.down {
             if let Event::Timer { tag: t } = event {
-                if tag_kind(t) == KIND_RECOVER {
-                    self.on_recover(ctx);
+                match tag_kind(t) {
+                    KIND_RECOVER => self.on_recover(ctx),
+                    KIND_GC => self.on_gc(ctx),
+                    _ => {}
                 }
             }
             return;
         }
         match event {
-            Event::Message { msg, .. } => match msg {
-                Msg::ClientWrite { op_id, key, version, replicas } => {
-                    self.on_client_write(ctx, op_id, key, version, replicas);
+            Event::Message { from, msg } => match msg {
+                Msg::ClientWrite { op_id, key } => {
+                    self.on_client_write(ctx, op_id, key, from);
                 }
-                Msg::ClientRead { op_id, key, replicas } => {
-                    self.on_client_read(ctx, op_id, key, replicas);
+                Msg::ClientRead { op_id, key } => {
+                    self.on_client_read(ctx, op_id, key, from);
                 }
                 Msg::ReplicaWrite { op_id, key, version, coordinator } => {
                     self.apply_version(key, version);
@@ -703,12 +837,23 @@ impl Actor for Node {
                         / (self.ring.nodes() as f64 + 1.0);
                     ctx.set_timer(stagger, tag(KIND_SYNC, 0));
                 }
+                Msg::StartGc { interval_ms } => {
+                    self.gc_interval_ms = Some(interval_ms);
+                    ctx.set_timer(interval_ms, tag(KIND_GC, 0));
+                }
+                Msg::OpResult { result } => {
+                    unreachable!("nodes never receive op results: {result:?}")
+                }
+                Msg::StartClient | Msg::StopClient => {
+                    unreachable!("client lifecycle messages target client actors")
+                }
             },
             Event::Timer { tag: t } => match tag_kind(t) {
                 KIND_RECOVER => self.on_recover(ctx),
                 KIND_SYNC => self.on_sync_timer(ctx),
                 KIND_HINT_FLUSH => self.on_hint_flush(ctx),
                 KIND_WRITE_TIMEOUT => self.on_write_timeout(ctx, tag_op(t)),
+                KIND_GC => self.on_gc(ctx),
                 other => unreachable!("unknown timer kind {other}"),
             },
         }
@@ -734,7 +879,15 @@ mod tests {
             Arc::new(pbs_dist::Constant::new(1.0)),
         ));
         let ring = Arc::new(Ring::new(3, 8, 3));
-        let mut node = Node::new(0, NodeOptions::default(), net, ring, 7);
+        let mut node = Node::new(
+            0,
+            NodeOptions::default(),
+            net,
+            ring,
+            Arc::new(SeqAllocator::new()),
+            Arc::new(DownTracker::new(3)),
+            7,
+        );
         node.apply_version(5, Version::new(2, 0));
         node.apply_version(5, Version::new(1, 0));
         assert_eq!(node.stored_version(5), Some(Version::new(2, 0)));

@@ -1,0 +1,512 @@
+//! The open-loop concurrency engine: drive a cluster of in-sim client
+//! actors window by window and aggregate a streaming report.
+//!
+//! This replaces the old buffering `run_trace` path. Where `run_trace`
+//! pre-injected the whole trace into the event heap (O(trace) memory) and
+//! labelled reads only after a final settle, the open-loop engine:
+//!
+//! * generates arrivals lazily inside the simulation (heap stays
+//!   O(clients + in-flight));
+//! * labels reads **online** as the [`GroundTruth`](crate::staleness::GroundTruth)
+//!   commit watermark passes each window boundary;
+//! * streams completed operations out through bounded per-client buffers,
+//!   folding them into O(1)-memory `pbs-mc` summaries.
+//!
+//! Whole-workload replication shards over the deterministic `pbs-mc`
+//! runner ([`run_open_loop_sharded`]) and stays bit-reproducible per
+//! `(seed, threads)`.
+
+use crate::client::ClientOptions;
+use crate::cluster::{Cluster, ClusterOptions, DetectorStats, WindowOp};
+use crate::network::NetworkModel;
+use pbs_mc::{Mergeable, Runner, Summary};
+use pbs_sim::SimTime;
+use pbs_workload::OpSource;
+
+/// Engine-level knobs (per-client knobs live in [`ClientOptions`]).
+#[derive(Debug, Clone, Copy)]
+pub struct OpenLoopOptions {
+    /// Workload length: clients generate arrivals in `[0, duration_ms)`.
+    pub duration_ms: f64,
+    /// Drain cadence (also the reporting-window width).
+    pub window_ms: f64,
+    /// Extra time after `duration_ms` for in-flight operations to finish
+    /// or time out before the final drain.
+    pub settle_ms: f64,
+}
+
+impl OpenLoopOptions {
+    /// `duration / window`, with a settle of one client op timeout.
+    pub fn new(duration_ms: f64, window_ms: f64, settle_ms: f64) -> Self {
+        assert!(duration_ms > 0.0 && window_ms > 0.0 && settle_ms >= 0.0);
+        Self { duration_ms, window_ms, settle_ms }
+    }
+
+    /// Number of reporting windows.
+    pub fn window_count(&self) -> usize {
+        (self.duration_ms / self.window_ms).ceil() as usize
+    }
+}
+
+/// Per-window counts (merge element-wise across replica runs).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct OpenWindow {
+    /// Window start (ms).
+    pub start_ms: f64,
+    /// Committed writes whose op started in this window.
+    pub writes: u64,
+    /// Writes that failed or timed out.
+    pub failed_writes: u64,
+    /// Labelled reads that started in this window.
+    pub reads: u64,
+    /// Labelled reads that were consistent.
+    pub consistent: u64,
+    /// Reads that timed out client-side.
+    pub incomplete_reads: u64,
+}
+
+impl OpenWindow {
+    /// Measured `P(consistent)` in this window (`None` with no reads).
+    pub fn measured(&self) -> Option<f64> {
+        (self.reads > 0).then(|| self.consistent as f64 / self.reads as f64)
+    }
+}
+
+/// The merged result of one or more open-loop runs.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct OpenLoopReport {
+    /// Windowed consistency/availability time-series.
+    pub windows: Vec<OpenWindow>,
+    /// Operations issued to coordinators.
+    pub issued: u64,
+    /// Arrivals shed at the client in-flight cap.
+    pub shed: u64,
+    /// Committed writes.
+    pub commits: u64,
+    /// Failed or timed-out writes.
+    pub failed_writes: u64,
+    /// Labelled (completed) reads.
+    pub reads: u64,
+    /// Labelled reads that were consistent.
+    pub consistent: u64,
+    /// Total versions-behind over stale reads (capped per read).
+    pub versions_behind_total: u64,
+    /// Reads that timed out client-side.
+    pub incomplete_reads: u64,
+    /// Empirical monotonic-reads violations (§3.2) across client sessions.
+    pub monotonic_violations: u64,
+    /// Empirical read-your-writes violations across client sessions.
+    pub ryw_violations: u64,
+    /// Commit latencies of committed writes (ms).
+    pub write_latency: Summary,
+    /// Latencies of completed reads (ms).
+    pub read_latency: Summary,
+    /// Staleness-detector performance (§4.3) vs. online ground truth.
+    pub detector: DetectorStats,
+    /// Upper bound on peak concurrent in-flight ops (sum of per-client
+    /// peaks).
+    pub peak_in_flight: u64,
+    /// Peak scheduler-queue length observed at window boundaries — the
+    /// memory-boundedness witness (O(clients + in-flight), not O(trace)).
+    pub peak_pending_events: u64,
+    /// Simulated duration per run (ms).
+    pub sim_ms: f64,
+    /// Replica runs folded into this report.
+    pub runs: u64,
+}
+
+impl OpenLoopReport {
+    /// Fraction of labelled reads that were consistent.
+    pub fn consistency_rate(&self) -> f64 {
+        if self.reads == 0 {
+            return 1.0;
+        }
+        self.consistent as f64 / self.reads as f64
+    }
+
+    /// Completed operations (commits + labelled reads) per simulated
+    /// second, per run.
+    pub fn achieved_ops_per_sec(&self) -> f64 {
+        if self.sim_ms <= 0.0 || self.runs == 0 {
+            return 0.0;
+        }
+        (self.commits + self.reads) as f64 / self.runs as f64 / (self.sim_ms / 1000.0)
+    }
+
+    /// Monotonic-reads violation rate over session-checked reads.
+    pub fn monotonic_violation_rate(&self) -> f64 {
+        if self.reads == 0 {
+            return 0.0;
+        }
+        self.monotonic_violations as f64 / self.reads as f64
+    }
+}
+
+impl Mergeable for OpenLoopReport {
+    fn merge(&mut self, other: Self) {
+        if other.runs == 0 {
+            return;
+        }
+        if self.runs == 0 {
+            *self = other;
+            return;
+        }
+        assert_eq!(self.windows.len(), other.windows.len(), "window grids differ");
+        for (a, b) in self.windows.iter_mut().zip(other.windows) {
+            assert_eq!(a.start_ms, b.start_ms, "window grids differ");
+            a.writes += b.writes;
+            a.failed_writes += b.failed_writes;
+            a.reads += b.reads;
+            a.consistent += b.consistent;
+            a.incomplete_reads += b.incomplete_reads;
+        }
+        self.issued += other.issued;
+        self.shed += other.shed;
+        self.commits += other.commits;
+        self.failed_writes += other.failed_writes;
+        self.reads += other.reads;
+        self.consistent += other.consistent;
+        self.versions_behind_total += other.versions_behind_total;
+        self.incomplete_reads += other.incomplete_reads;
+        self.monotonic_violations += other.monotonic_violations;
+        self.ryw_violations += other.ryw_violations;
+        self.write_latency.merge(other.write_latency);
+        self.read_latency.merge(other.read_latency);
+        self.detector.flagged += other.detector.flagged;
+        self.detector.true_positives += other.detector.true_positives;
+        self.detector.false_positives += other.detector.false_positives;
+        self.detector.missed_stale += other.detector.missed_stale;
+        self.peak_in_flight = self.peak_in_flight.max(other.peak_in_flight);
+        self.peak_pending_events = self.peak_pending_events.max(other.peak_pending_events);
+        self.sim_ms = self.sim_ms.max(other.sim_ms);
+        self.runs += other.runs;
+    }
+}
+
+/// Run one open-loop workload: `clients` client actors pulling from
+/// `make_source(client_index)`, drained every window. `prepare` runs once
+/// on the freshly built cluster before load starts (schedule crashes,
+/// partitions, etc.); pass `|_| {}` when unused.
+pub fn run_open_loop<F, P>(
+    opts: ClusterOptions,
+    network: &NetworkModel,
+    engine: &OpenLoopOptions,
+    clients: usize,
+    copts: ClientOptions,
+    make_source: F,
+    prepare: P,
+) -> OpenLoopReport
+where
+    F: Fn(u32) -> Box<dyn OpSource>,
+    P: FnOnce(&mut Cluster),
+{
+    run_open_loop_with(opts, network, engine, clients, copts, make_source, prepare, |_| {})
+}
+
+/// [`run_open_loop`] with a `finish` hook that runs on the settled
+/// cluster after the final drain — for harnesses that report node-level
+/// stats (hints delivered, sync rounds, stored versions) alongside the
+/// engine report.
+#[allow(clippy::too_many_arguments)] // a deliberate flat harness entry point
+pub fn run_open_loop_with<F, P, Q>(
+    opts: ClusterOptions,
+    network: &NetworkModel,
+    engine: &OpenLoopOptions,
+    clients: usize,
+    copts: ClientOptions,
+    make_source: F,
+    prepare: P,
+    finish: Q,
+) -> OpenLoopReport
+where
+    F: Fn(u32) -> Box<dyn OpSource>,
+    P: FnOnce(&mut Cluster),
+    Q: FnOnce(&Cluster),
+{
+    assert!(clients >= 1);
+    let mut cluster = Cluster::new(opts, network.clone());
+    prepare(&mut cluster);
+    for i in 0..clients {
+        cluster.add_client(make_source(i as u32), copts);
+    }
+    cluster.start_clients();
+
+    let mut report = OpenLoopReport {
+        windows: (0..engine.window_count())
+            .map(|i| OpenWindow { start_ms: i as f64 * engine.window_ms, ..OpenWindow::default() })
+            .collect(),
+        sim_ms: engine.duration_ms,
+        runs: 1,
+        ..OpenLoopReport::default()
+    };
+    let last_window = report.windows.len() - 1;
+
+    let mut next = engine.window_ms;
+    let mut stopped = false;
+    loop {
+        let until = next.min(engine.duration_ms + engine.settle_ms);
+        if until >= engine.duration_ms && !stopped {
+            // Stop arrivals exactly at the workload end, then settle.
+            cluster.drain_and_fold(
+                SimTime::from_ms(engine.duration_ms),
+                &mut report,
+                engine.window_ms,
+                last_window,
+            );
+            cluster.stop_clients();
+            stopped = true;
+        }
+        cluster.drain_and_fold(SimTime::from_ms(until), &mut report, engine.window_ms, last_window);
+        if until >= engine.duration_ms + engine.settle_ms {
+            break;
+        }
+        next += engine.window_ms;
+    }
+
+    let stats = cluster.client_stats();
+    report.issued = stats.issued;
+    report.shed = stats.shed;
+    report.monotonic_violations = stats.monotonic_violations;
+    report.ryw_violations = stats.ryw_violations;
+    report.peak_in_flight = stats.peak_in_flight;
+    report.detector = cluster.detector_stats();
+    assert_eq!(stats.dropped_results, 0, "driver drained too rarely for the result buffers");
+    report.write_latency.seal();
+    report.read_latency.seal();
+    finish(&cluster);
+    report
+}
+
+impl Cluster {
+    /// [`Cluster::drain_window`] + fold into an [`OpenLoopReport`].
+    fn drain_and_fold(
+        &mut self,
+        until: SimTime,
+        report: &mut OpenLoopReport,
+        window_ms: f64,
+        last_window: usize,
+    ) {
+        if until <= self.now() && self.now() > SimTime::ZERO {
+            return; // boundary already drained
+        }
+        let drain = self.drain_window(until);
+        report.peak_pending_events =
+            report.peak_pending_events.max(self.pending_events() as u64);
+        drain.fold(window_ms, last_window, |idx, item| match item {
+            WindowOp::Write(w) => {
+                let win = &mut report.windows[idx];
+                match w.commit {
+                    Some(_) => {
+                        win.writes += 1;
+                        report.commits += 1;
+                        let latency = (w.finish.expect("committed") - w.start).as_ms();
+                        report.write_latency.record(latency);
+                    }
+                    None => {
+                        win.failed_writes += 1;
+                        report.failed_writes += 1;
+                    }
+                }
+            }
+            WindowOp::Read(r) => {
+                let win = &mut report.windows[idx];
+                match r.label {
+                    Some(label) => {
+                        win.reads += 1;
+                        report.reads += 1;
+                        if label.consistent {
+                            win.consistent += 1;
+                            report.consistent += 1;
+                        } else {
+                            report.versions_behind_total += label.versions_behind;
+                        }
+                        let latency = (r.op.finish.expect("labelled") - r.op.start).as_ms();
+                        report.read_latency.record(latency);
+                    }
+                    None => {
+                        win.incomplete_reads += 1;
+                        report.incomplete_reads += 1;
+                    }
+                }
+            }
+        });
+    }
+}
+
+/// Replicate an open-loop workload across `trials` independent runs
+/// sharded over `threads` on the deterministic `pbs-mc` runner: shard `i`
+/// seeds `seed ^ i`, run `j` of a shard derives `shard_seed ^ (j · φ64)`,
+/// and reports merge in shard order — bit-reproducible for a fixed
+/// `(seed, threads)` pair.
+#[allow(clippy::too_many_arguments)] // a deliberate flat harness entry point
+pub fn run_open_loop_sharded<F, P>(
+    opts: ClusterOptions,
+    network: &NetworkModel,
+    engine: &OpenLoopOptions,
+    clients: usize,
+    copts: ClientOptions,
+    trials: usize,
+    threads: usize,
+    make_source: F,
+    prepare: P,
+) -> OpenLoopReport
+where
+    F: Fn(u32, u64) -> Box<dyn OpSource> + Sync,
+    P: Fn(&mut Cluster) + Sync,
+{
+    assert!(trials > 0 && threads > 0);
+    Runner::new(trials, opts.seed, threads).run(|_rng, info| {
+        let mut acc = OpenLoopReport::default();
+        for j in 0..info.trials {
+            let run_seed = info.seed ^ (j as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            let mut run_opts = opts;
+            run_opts.seed = run_seed;
+            acc.merge(run_open_loop(
+                run_opts,
+                network,
+                engine,
+                clients,
+                copts,
+                |client| make_source(client, run_seed),
+                &prepare,
+            ));
+        }
+        acc
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pbs_core::ReplicaConfig;
+    use pbs_dist::Exponential;
+    use pbs_workload::{OpMix, OpStream, Poisson, UniformKeys};
+    use std::sync::Arc;
+
+    fn exp_net(w_rate: f64, ars_rate: f64) -> NetworkModel {
+        NetworkModel::w_ars(
+            Arc::new(Exponential::from_rate(w_rate)),
+            Arc::new(Exponential::from_rate(ars_rate)),
+        )
+    }
+
+    fn source(rate_per_sec: f64, keys: u64, read_frac: f64) -> Box<dyn OpSource> {
+        Box::new(OpStream::new(
+            Poisson::per_second(rate_per_sec),
+            UniformKeys::new(keys),
+            OpMix::new(read_frac),
+            1,
+        ))
+    }
+
+    fn small_opts(seed: u64) -> ClusterOptions {
+        let mut o = ClusterOptions::validation(ReplicaConfig::new(3, 1, 1).unwrap(), seed);
+        o.op_timeout_ms = 2_000.0;
+        o
+    }
+
+    #[test]
+    fn open_loop_reports_consistency_and_detector() {
+        let engine = OpenLoopOptions::new(3_000.0, 500.0, 2_000.0);
+        let report = run_open_loop(
+            small_opts(9),
+            &exp_net(0.05, 1.0),
+            &engine,
+            4,
+            ClientOptions { op_timeout_ms: 2_000.0, ..ClientOptions::default() },
+            |_| source(50.0, 4, 2.0 / 3.0),
+            |_| {},
+        );
+        assert_eq!(report.runs, 1);
+        assert!(report.issued > 400, "~600 ops expected, got {}", report.issued);
+        assert_eq!(report.failed_writes, 0);
+        assert_eq!(report.incomplete_reads, 0);
+        assert_eq!(report.shed, 0);
+        let rate = report.consistency_rate();
+        assert!(rate > 0.3 && rate < 1.0, "consistency rate {rate}");
+        // Detector bookkeeping is internally consistent.
+        let d = report.detector;
+        assert_eq!(d.flagged, d.true_positives + d.false_positives);
+        let stale = report.reads - report.consistent;
+        assert_eq!(stale as usize, d.true_positives + d.missed_stale);
+        assert!(report.read_latency.count() == report.reads);
+        assert_eq!(report.write_latency.count(), report.commits);
+        // Per-window counts roll up to the totals.
+        let by_window: u64 = report.windows.iter().map(|w| w.reads).sum();
+        assert_eq!(by_window, report.reads);
+    }
+
+    #[test]
+    fn sharded_open_loop_is_bit_reproducible() {
+        let engine = OpenLoopOptions::new(1_000.0, 250.0, 1_000.0);
+        let run = || {
+            run_open_loop_sharded(
+                small_opts(11),
+                &exp_net(0.1, 0.5),
+                &engine,
+                2,
+                ClientOptions { op_timeout_ms: 1_000.0, ..ClientOptions::default() },
+                6,
+                3,
+                |_, run_seed| source(40.0 + (run_seed % 3) as f64, 4, 0.5),
+                |_| {},
+            )
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a, b, "same (seed, threads) must be bit-identical");
+        assert_eq!(a.runs, 6);
+    }
+
+    #[test]
+    fn stopped_clients_resume_immediately_on_restart() {
+        use pbs_sim::SimTime;
+        let mut cluster = Cluster::new(small_opts(21), exp_net(0.5, 1.0));
+        cluster.add_client(
+            Box::new(OpStream::new(
+                pbs_workload::FixedRate::new(10.0),
+                UniformKeys::new(4),
+                OpMix::new(0.5),
+                1,
+            )),
+            ClientOptions { op_timeout_ms: 1_000.0, ..ClientOptions::default() },
+        );
+        cluster.start_clients();
+        cluster.drain_window(SimTime::from_ms(500.0));
+        let after_first = cluster.client_stats().issued;
+        assert!(after_first >= 45, "~50 arrivals in 500ms, got {after_first}");
+        cluster.stop_clients();
+        // A long quiet gap: nothing should be generated.
+        cluster.drain_window(SimTime::from_ms(5_000.0));
+        let during_stop = cluster.client_stats().issued;
+        assert!(during_stop <= after_first + 1, "stopped client kept generating");
+        // Restart: arrivals must resume immediately, not replay the
+        // consumed stream time as dead air.
+        cluster.start_clients();
+        cluster.drain_window(SimTime::from_ms(5_500.0));
+        let after_restart = cluster.client_stats().issued;
+        assert!(
+            after_restart >= during_stop + 45,
+            "restart should resume at full rate: {during_stop} -> {after_restart}"
+        );
+    }
+
+    #[test]
+    fn strict_quorums_stay_consistent_under_open_loop_load() {
+        let mut opts = ClusterOptions::validation(ReplicaConfig::new(3, 2, 2).unwrap(), 13);
+        opts.op_timeout_ms = 2_000.0;
+        let engine = OpenLoopOptions::new(2_000.0, 500.0, 2_000.0);
+        let report = run_open_loop(
+            opts,
+            &exp_net(0.1, 0.5),
+            &engine,
+            8,
+            ClientOptions { op_timeout_ms: 2_000.0, ..ClientOptions::default() },
+            |_| source(25.0, 8, 0.6),
+            |_| {},
+        );
+        assert!(report.reads > 100);
+        assert_eq!(report.consistency_rate(), 1.0, "R+W>N must never go stale");
+        assert_eq!(report.monotonic_violations, 0);
+        assert_eq!(report.ryw_violations, 0);
+    }
+}

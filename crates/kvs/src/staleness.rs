@@ -1,10 +1,25 @@
-//! Ground-truth staleness labelling.
+//! Ground-truth staleness labelling — batch and online.
 //!
 //! The simulator records every commit `(key, seq, commit time)`; a read that
 //! started at `t` and returned `seq_r` is **consistent** (Definition 3) iff
 //! `seq_r ≥ max{seq committed at or before t}`. Returning a newer,
 //! not-yet-committed (in-flight) version also counts as consistent, matching
 //! §3.1's k-regular semantics — such versions always have larger `seq`.
+//!
+//! Two ingestion paths feed the same history:
+//!
+//! * **Batch** — [`GroundTruth::record_commit`] requires nondecreasing
+//!   commit times per key (the blocking harness serialises operations, so
+//!   this holds trivially).
+//! * **Online** — the open-loop engine completes thousands of overlapping
+//!   writes whose results drain window by window, out of per-key time
+//!   order. [`GroundTruth::ingest_commit`] buffers them, and
+//!   [`GroundTruth::advance_watermark`] folds everything at or before the
+//!   watermark into the history once the caller can guarantee no earlier
+//!   commit is still outstanding (in the simulator: after `run_until(t)`,
+//!   every commit ≤ `t` has been drained). Reads with `start ≤ watermark`
+//!   then label identically to the batch path — labels depend only on the
+//!   committed history at or before the read's start.
 
 use pbs_sim::SimTime;
 use std::collections::HashMap;
@@ -39,6 +54,12 @@ pub struct ReadLabel {
 #[derive(Debug, Default)]
 pub struct GroundTruth {
     keys: HashMap<u64, KeyHistory>,
+    /// Commits seen by [`ingest_commit`](Self::ingest_commit) but not yet
+    /// folded into the per-key histories: `(commit, key, seq)`.
+    pending: Vec<(SimTime, u64, u64)>,
+    /// Everything at or before this instant is final (folded into the
+    /// histories); labels for reads starting at or before it are exact.
+    watermark: SimTime,
 }
 
 impl GroundTruth {
@@ -47,9 +68,60 @@ impl GroundTruth {
         Self::default()
     }
 
-    /// Record a committed write. Calls must be in nondecreasing commit-time
-    /// order per key (the harness drains results in simulation order; the
-    /// method asserts this).
+    /// The commit watermark: reads starting at or before it can be
+    /// labelled exactly (every commit that can affect them is in the
+    /// history).
+    pub fn watermark(&self) -> SimTime {
+        self.watermark
+    }
+
+    /// Buffer a commit observed out of per-key time order (the open-loop
+    /// path). It becomes visible to labelling when
+    /// [`advance_watermark`](Self::advance_watermark) passes its commit
+    /// time. The commit must lie beyond the current watermark — older ones
+    /// would have been finalised already.
+    pub fn ingest_commit(&mut self, key: u64, seq: u64, commit: SimTime) {
+        assert!(
+            commit > self.watermark,
+            "commit at {commit} arrived at or below the watermark {}",
+            self.watermark
+        );
+        self.pending.push((commit, key, seq));
+    }
+
+    /// Declare that every commit at or before `to` has been ingested:
+    /// fold the buffered commits ≤ `to` into the per-key histories (in
+    /// commit-time order — ties resolve in ingestion order, which in the
+    /// deterministic simulator is event order) and advance the watermark.
+    pub fn advance_watermark(&mut self, to: SimTime) {
+        if to <= self.watermark {
+            return;
+        }
+        self.watermark = to;
+        if self.pending.is_empty() {
+            return;
+        }
+        // Stable sort keeps ingestion order for equal commit times.
+        self.pending.sort_by_key(|&(t, _, _)| t);
+        let split = self.pending.partition_point(|&(t, _, _)| t <= to);
+        for (commit, key, seq) in self.pending.drain(..split) {
+            let h = self.keys.entry(key).or_default();
+            debug_assert!(h.commits.last().is_none_or(|&(last, _)| commit >= last));
+            let max = h.prefix_max_seq.last().copied().unwrap_or(0).max(seq);
+            h.commits.push((commit, seq));
+            h.prefix_max_seq.push(max);
+        }
+    }
+
+    /// Commits ingested but not yet finalised by the watermark.
+    pub fn pending_commits(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Record a committed write directly into the history (the batch
+    /// path). Calls must be in nondecreasing commit-time order per key
+    /// (the blocking harness serialises operations; the method asserts
+    /// this). Advances the watermark to the commit time.
     pub fn record_commit(&mut self, key: u64, seq: u64, commit: SimTime) {
         let h = self.keys.entry(key).or_default();
         if let Some(&(last, _)) = h.commits.last() {
@@ -58,6 +130,7 @@ impl GroundTruth {
         let max = h.prefix_max_seq.last().copied().unwrap_or(0).max(seq);
         h.commits.push((commit, seq));
         h.prefix_max_seq.push(max);
+        self.watermark = self.watermark.max(commit);
     }
 
     /// Number of commits recorded for `key`.
@@ -191,5 +264,52 @@ mod tests {
         let mut gt = GroundTruth::new();
         gt.record_commit(1, 1, t(10.0));
         gt.record_commit(1, 2, t(5.0));
+    }
+
+    #[test]
+    fn online_ingestion_matches_batch() {
+        // Commits ingested out of time order, watermark advanced in two
+        // steps — labels must match the batch path exactly.
+        let mut online = GroundTruth::new();
+        online.ingest_commit(1, 2, t(20.0));
+        online.ingest_commit(1, 1, t(10.0));
+        online.ingest_commit(1, 3, t(45.0));
+        online.advance_watermark(t(30.0));
+        assert_eq!(online.pending_commits(), 1, "commit at 45 still pending");
+        assert_eq!(online.watermark(), t(30.0));
+
+        let mut batch = GroundTruth::new();
+        batch.record_commit(1, 1, t(10.0));
+        batch.record_commit(1, 2, t(20.0));
+        for (start, ret) in [(5.0, None), (15.0, Some(1)), (25.0, Some(1)), (25.0, Some(2))] {
+            assert_eq!(
+                online.label_read(1, t(start), ret),
+                batch.label_read(1, t(start), ret),
+                "start {start}, returned {ret:?}"
+            );
+        }
+
+        // Passing the third commit's time folds it in.
+        online.advance_watermark(t(50.0));
+        assert_eq!(online.pending_commits(), 0);
+        assert!(!online.label_read(1, t(46.0), Some(2)).consistent);
+    }
+
+    #[test]
+    fn equal_time_commits_fold_in_ingestion_order() {
+        let mut gt = GroundTruth::new();
+        gt.ingest_commit(7, 5, t(10.0));
+        gt.ingest_commit(7, 4, t(10.0));
+        gt.advance_watermark(t(10.0));
+        assert_eq!(gt.commits_for(7), 2);
+        assert_eq!(gt.latest_committed_at(7, t(10.0)), Some(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "watermark")]
+    fn ingest_below_watermark_panics() {
+        let mut gt = GroundTruth::new();
+        gt.advance_watermark(t(100.0));
+        gt.ingest_commit(1, 1, t(99.0));
     }
 }

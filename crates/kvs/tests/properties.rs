@@ -30,6 +30,86 @@ proptest! {
         prop_assert_eq!(ring.replicas(key), reps, "stable");
     }
 
+    /// Online (incremental watermark) labelling agrees **exactly** with the
+    /// settle-then-label batch path on randomized interleaved traces —
+    /// including timed-out writes (sequence numbers that never commit) and
+    /// staleness deeper than the `versions_behind` cap.
+    #[test]
+    fn online_watermark_labelling_matches_batch(
+        writes in prop::collection::vec(
+            // (key, commit_time_ms, commit_roll) — seq is assigned densely
+            // per key in vector order; rolls ≥ 8 model timed-out writes
+            // whose seq never commits. Out-of-order commit times and
+            // uncommitted seqs both occur.
+            (0u64..3, 1u64..20_000, 0u32..10),
+            1..120,
+        ),
+        reads in prop::collection::vec(
+            (0u64..3, 0u64..22_000, prop::option::of(1u64..100)),
+            1..40,
+        ),
+        chunks in 2usize..6,
+    ) {
+        // Assign dense per-key seqs in issue order; keep only committed
+        // writes as ground-truth commits.
+        let mut next_seq = [0u64; 3];
+        let mut commits: Vec<(u64, u64, u64)> = Vec::new(); // (key, seq, time)
+        for &(key, time, roll) in &writes {
+            next_seq[key as usize] += 1;
+            if roll < 8 {
+                commits.push((key, next_seq[key as usize], time));
+            }
+        }
+
+        // Batch path: settle, sort by commit time, record in order.
+        let mut sorted = commits.clone();
+        sorted.sort_by_key(|&(_, _, t)| t);
+        let mut batch = GroundTruth::new();
+        for &(key, seq, t) in &sorted {
+            batch.record_commit(key, seq, SimTime::from_ms(t as f64));
+        }
+        let expected: Vec<_> = reads
+            .iter()
+            .map(|&(key, start, ret)| batch.label_read(key, SimTime::from_ms(start as f64), ret))
+            .collect();
+
+        // Online path: ingest commits in *reverse* issue order (maximally
+        // out of time order) in `chunks` watermark steps; label each read
+        // as soon as the watermark passes its start.
+        let horizon = 25_000u64;
+        let mut online = GroundTruth::new();
+        let mut pending_commits: Vec<(u64, u64, u64)> = commits.clone();
+        pending_commits.reverse();
+        let mut labelled: Vec<Option<pbs_kvs::staleness::ReadLabel>> = vec![None; reads.len()];
+        let mut watermark = 0u64;
+        for step in 1..=chunks {
+            let to = if step == chunks { horizon } else { horizon * step as u64 / chunks as u64 };
+            // Everything committing in (watermark, to] must be ingested
+            // before the watermark passes it — order is free.
+            pending_commits.retain(|&(key, seq, t)| {
+                if t > watermark && t <= to {
+                    online.ingest_commit(key, seq, SimTime::from_ms(t as f64));
+                    false
+                } else {
+                    true
+                }
+            });
+            online.advance_watermark(SimTime::from_ms(to as f64));
+            for (i, &(key, start, ret)) in reads.iter().enumerate() {
+                if labelled[i].is_none() && start <= to {
+                    labelled[i] =
+                        Some(online.label_read(key, SimTime::from_ms(start as f64), ret));
+                }
+            }
+            watermark = to;
+        }
+        prop_assert!(pending_commits.is_empty());
+        prop_assert_eq!(online.pending_commits(), 0);
+        for (i, exp) in expected.iter().enumerate() {
+            prop_assert_eq!(labelled[i].expect("all reads labelled"), *exp, "read {}", i);
+        }
+    }
+
     /// Ground-truth labelling agrees with a brute-force reference on random
     /// commit histories and probes.
     #[test]

@@ -106,6 +106,32 @@ impl Predictor {
         staleness::prob_within_k_versions(self.cfg, k)
     }
 
+    /// Expected consistency of a read arriving at a *random* time into a
+    /// key written by a stationary Poisson process committing at
+    /// `commit_rate_per_ms` — the open-loop traffic regime (cf. Zhong et
+    /// al.'s staleness-under-arrival-traffic model, and the comparison
+    /// target for `pbs-kvs`'s `throughput` sweep).
+    ///
+    /// By PASTA, the age of the newest commit at the read's start is
+    /// `T ~ Exp(γ)`; treating staleness with respect to that newest write
+    /// (exact when at most one write is in flight per key — the low-load
+    /// regime) gives `E[P_c(T)] = ∫₀¹ P_c(−ln u / γ) du`, evaluated by a
+    /// 512-point midpoint rule on the substituted integrand.
+    pub fn expected_consistency_under_poisson(&self, commit_rate_per_ms: f64) -> f64 {
+        assert!(
+            commit_rate_per_ms > 0.0 && commit_rate_per_ms.is_finite(),
+            "commit rate must be positive"
+        );
+        const POINTS: usize = 512;
+        let mut total = 0.0;
+        for i in 0..POINTS {
+            let u = (i as f64 + 0.5) / POINTS as f64;
+            let t = -u.ln() / commit_rate_per_ms;
+            total += self.prob_consistent(t);
+        }
+        total / POINTS as f64
+    }
+
     /// Closed-form monotonic-reads violation probability (Eq. 3).
     pub fn monotonic_reads_violation(&self, gamma_gw: f64, gamma_cr: f64) -> f64 {
         staleness::monotonic_reads_violation(self.cfg, gamma_gw, gamma_cr)
@@ -183,6 +209,27 @@ mod tests {
             let b = empirical.prob_consistent(t);
             assert!((a - b).abs() < 0.02, "t={t}: analytic {a} vs empirical {b}");
         }
+    }
+
+    #[test]
+    fn expected_consistency_under_poisson_bounds_and_monotonicity() {
+        let p = Predictor::from_model(&exponential_model(cfg(3, 1, 1), 0.1, 0.5), 40_000, 7);
+        let at0 = p.prob_consistent(0.0);
+        // Slow writes (rare commits) → reads land long after the last
+        // commit → near the asymptote; fast writes → near P_c(0).
+        let slow = p.expected_consistency_under_poisson(1e-4);
+        let fast = p.expected_consistency_under_poisson(10.0);
+        assert!(slow > 0.99, "rare commits should look consistent: {slow}");
+        assert!(fast < at0 + 0.05, "hot keys should look like t≈0: {fast} vs {at0}");
+        let mut last = 1.0 + 1e-9;
+        for rate in [1e-4, 1e-3, 1e-2, 1e-1, 1.0] {
+            let e = p.expected_consistency_under_poisson(rate);
+            assert!(e <= last, "expected consistency must fall with write rate");
+            last = e;
+        }
+        // Strict quorums are immune to load.
+        let strict = Predictor::from_model(&exponential_model(cfg(3, 2, 2), 0.1, 0.5), 5_000, 8);
+        assert_eq!(strict.expected_consistency_under_poisson(1.0), 1.0);
     }
 
     #[test]

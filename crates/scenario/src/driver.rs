@@ -1,19 +1,26 @@
-//! The closed-loop scenario driver: runs a live cluster through a
-//! scenario's fault/load timeline while an in-loop [`AdaptiveController`]
-//! consumes drained leg samples, refits on a cadence, and (optionally)
-//! applies reconfigurations — emitting a windowed time-series of
-//! predicted vs. measured consistency and latency.
+//! The scenario driver: runs a live cluster through a scenario's
+//! fault/load timeline **under open-loop probe load** while an in-loop
+//! [`AdaptiveController`] consumes drained leg samples, refits on a
+//! cadence, and (optionally) applies reconfigurations — emitting a
+//! windowed time-series of predicted vs. measured consistency and
+//! latency.
+//!
+//! Probes ride the open-loop engine: an in-sim client actor pulls write
+//! arrivals from the scenario's piecewise load, and each committed write
+//! schedules a read of the same key `probe_offset_ms` after its commit
+//! (the §5.2 probe pair). Probes overlap freely — a timed-out operation
+//! no longer blocks the simulation, so fault events, refits, and windows
+//! all fire at their exact scheduled instants and reads are labelled
+//! online as the commit watermark passes each window boundary.
 
 use crate::event::apply_event;
 use crate::scenario::Scenario;
 use pbs_core::ReplicaConfig;
-use pbs_kvs::Cluster;
+use pbs_kvs::{ClientOptions, Cluster, WindowDrain, WindowOp};
 use pbs_mc::{Mergeable, Runner, Summary};
 use pbs_predictor::AdaptiveController;
-use pbs_sim::{SimDuration, SimTime};
-use pbs_workload::{ArrivalProcess, PiecewisePoisson};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use pbs_sim::SimTime;
+use pbs_workload::{OpMix, OpStream, PiecewisePoisson, UniformKeys};
 
 /// One reporting window of a scenario run (counts sum and sketches merge
 /// across replicated runs).
@@ -173,22 +180,81 @@ fn advance(cluster: &mut Cluster, to_ms: f64) {
     }
 }
 
+/// The prediction in force over time: a step function of
+/// `(from_ms, P(consistent at probe offset))` appended at each successful
+/// refit. Probes look up the step at their read's start.
+#[derive(Debug, Default)]
+struct PredictionSteps {
+    steps: Vec<(f64, f64)>,
+}
+
+impl PredictionSteps {
+    fn push(&mut self, from_ms: f64, p: f64) {
+        self.steps.push((from_ms, p));
+    }
+
+    fn at(&self, t_ms: f64) -> Option<f64> {
+        self.steps.iter().rev().find(|&&(from, _)| from <= t_ms).map(|&(_, p)| p)
+    }
+}
+
+/// Fold one window drain into the run's window grid. Window attribution
+/// (by op start, clamped — reads of writes committing near the end of
+/// the run may start past `duration`) is [`WindowDrain::fold`]'s, shared
+/// with the engine reports.
+fn fold_drain(
+    out: &mut ScenarioRun,
+    window_ms: f64,
+    drain: &WindowDrain,
+    predictions: &PredictionSteps,
+) {
+    let last = out.windows.len() - 1;
+    drain.fold(window_ms, last, |idx, item| {
+        let win = &mut out.windows[idx];
+        match item {
+            WindowOp::Write(w) => match w.commit {
+                Some(_) => {
+                    let latency = (w.finish.expect("committed") - w.start).as_ms();
+                    win.write_latency.record(latency);
+                }
+                None => win.failed_writes += 1,
+            },
+            WindowOp::Read(r) => match r.label {
+                None => win.incomplete_reads += 1,
+                Some(label) => {
+                    let latency = (r.op.finish.expect("labelled") - r.op.start).as_ms();
+                    win.read_latency.record(latency);
+                    win.probes += 1;
+                    if label.consistent {
+                        win.consistent += 1;
+                    }
+                    if let Some(p) = predictions.at(r.op.start.as_ms()) {
+                        win.predicted_sum += p;
+                        win.predicted_count += 1;
+                    }
+                }
+            },
+        }
+    });
+}
+
 /// Run one replica of `scenario`, seeded by `run_seed`.
 ///
-/// The loop interleaves three clocks in simulated-time order: probe
-/// arrivals from the scenario's piecewise load, fault events from its
-/// timeline, and the controller's refit cadence. Each probe is a
-/// write→read pair (the read issued `probe_offset_ms` after the write's
-/// commit, as in §5.2's validation); each refit drains the cluster's
-/// measured one-way WARS samples into the controller, re-predicts the
-/// current configuration, and — when the scenario is adaptive — applies
-/// the SLA optimizer's winning configuration to the live cluster.
+/// The driver runs the **open-loop engine**: an in-sim probe client pulls
+/// write arrivals from the scenario's piecewise load and schedules a read
+/// of the same key `probe_offset_ms` after each commit. The loop then
+/// interleaves three exact clocks in simulated-time order — fault events,
+/// the controller's refit cadence, and window drains. Each refit drains
+/// the cluster's measured one-way WARS samples into the controller,
+/// re-predicts the current configuration, and — when the scenario is
+/// adaptive — applies the SLA optimizer's winning configuration to the
+/// live cluster. Each window drain advances the online ground-truth
+/// watermark and labels the probes that completed in the window.
 ///
-/// Clock policy: windows are indexed by the **simulated** clock. Probes
-/// block, so a timed-out operation can run past a scheduled event or
-/// refit; those then apply as soon as the probe completes (bounded by the
-/// op timeout), and if the simulation races more than one window ahead of
-/// the arrival process the backlogged arrivals are shed.
+/// Because probes no longer block the simulation, a timed-out operation
+/// cannot delay an event or refit past its scheduled instant, and load
+/// shedding only occurs at the client's in-flight cap (a genuinely
+/// overloaded store), not from clock divergence.
 pub fn run_scenario(scenario: &Scenario, run_seed: u64) -> ScenarioRun {
     scenario.validate();
     let mut opts = scenario.cluster;
@@ -205,16 +271,26 @@ pub fn run_scenario(scenario: &Scenario, run_seed: u64) -> ScenarioRun {
         run_seed ^ 0xada9_71c0_1175_0c5e,
     )
     .with_threads(1);
-    let mut rng = StdRng::seed_from_u64(run_seed ^ 0xd1b5_4a32_d192_ed03);
 
-    // Probe load: per-second rates → per-ms rates.
+    // Probe load: per-second rates → per-ms rates, pulled lazily by the
+    // in-sim probe client (writes only; reads ride the probe offset).
     let segments: Vec<(f64, f64)> =
         scenario.load.iter().map(|&(start, per_s)| (start, per_s / 1000.0)).collect();
-    let mut load = match scenario.load_period_ms {
+    let load = match scenario.load_period_ms {
         Some(p) => PiecewisePoisson::cyclic(segments, p),
         None => PiecewisePoisson::new(segments),
     };
-    load.reset(0.0);
+    let source = OpStream::new(load, UniformKeys::new(scenario.keys), OpMix::writes_only(), 1);
+    cluster.add_client(
+        Box::new(source),
+        ClientOptions {
+            op_timeout_ms: opts.op_timeout_ms,
+            max_in_flight: 4_096,
+            probe_read_offset_ms: Some(scenario.probe_offset_ms),
+            result_capacity: 1 << 16,
+        },
+    );
+    cluster.start_clients();
 
     let mut out = ScenarioRun::empty(scenario);
     out.runs = 1;
@@ -225,44 +301,24 @@ pub fn run_scenario(scenario: &Scenario, run_seed: u64) -> ScenarioRun {
 
     let mut ev_idx = 0usize;
     let mut next_refit = control.refit_interval_ms;
+    let mut next_window = scenario.window_ms;
     let mut current_cfg = opts.replication;
-    let mut predicted: Option<f64> = None;
+    let mut predictions = PredictionSteps::default();
 
     loop {
-        let _gap = load.next_gap(&mut rng);
-        let mut t = load.now_ms();
-        // Timed-out probes advance the cluster clock by up to the op
-        // timeout while the arrival clock crawls; unchecked, the two
-        // diverge without bound and events/windows drift. If the
-        // simulation races more than one window ahead, shed the arrival
-        // backlog (an overloaded real cluster would, too) and continue
-        // from the simulated now.
-        let sim_ms = cluster.now().as_ms();
-        if sim_ms - t > scenario.window_ms {
-            load.reset(sim_ms);
-            t = sim_ms;
-        }
+        let ev_at = scenario.events.get(ev_idx).map(|e| e.at_ms).unwrap_or(f64::INFINITY);
+        let t = ev_at.min(next_refit).min(next_window);
         if t >= scenario.duration_ms {
             break;
         }
-
-        // Fire fault events and refits that are due before this probe, in
-        // time order, advancing the cluster to each scheduled instant (an
-        // event the last blocking probe ran past applies as soon as that
-        // probe completes — `cursor` is the simulated now in that case).
-        let cursor = t.max(sim_ms);
-        while ev_idx < scenario.events.len() || next_refit <= cursor {
-            let ev_at = scenario.events.get(ev_idx).map(|e| e.at_ms).unwrap_or(f64::INFINITY);
+        if ev_at <= t {
+            advance(&mut cluster, ev_at);
+            apply_event(&mut cluster, &scenario.events[ev_idx].event);
+            ev_idx += 1;
+            continue;
+        }
+        if next_refit <= t {
             let refit_at = next_refit;
-            if ev_at.min(refit_at) > cursor {
-                break;
-            }
-            if ev_at <= refit_at {
-                advance(&mut cluster, ev_at);
-                apply_event(&mut cluster, &scenario.events[ev_idx].event);
-                ev_idx += 1;
-                continue;
-            }
             advance(&mut cluster, refit_at);
             let legs = cluster.drain_leg_samples();
             ctl.observe_many(&legs.w, &legs.a, &legs.r, &legs.s);
@@ -285,42 +341,26 @@ pub fn run_scenario(scenario: &Scenario, run_seed: u64) -> ScenarioRun {
                     }
                 }
                 if let Ok(p) = ctl.predict(current_cfg) {
-                    predicted = Some(p.prob_consistent(scenario.probe_offset_ms));
+                    predictions.push(refit_at, p.prob_consistent(scenario.probe_offset_ms));
                 }
             }
             next_refit += control.refit_interval_ms;
+            continue;
         }
-
-        // Issue the probe: a write, then a read `probe_offset_ms` after its
-        // commit. (If the cluster's clock already passed the arrival time —
-        // a previous probe ran long — the probe issues immediately.)
-        advance(&mut cluster, t);
-        let key = rng.gen_range(0..scenario.keys);
-        let w = cluster.write(key);
-        let win = &mut out.windows[window_index(w.start.as_ms())];
-        match w.commit {
-            None => win.failed_writes += 1,
-            Some(commit) => {
-                win.write_latency.record(w.latency_ms().expect("committed"));
-                let read_at = commit + SimDuration::from_ms(scenario.probe_offset_ms);
-                let r = cluster.read_at(key, read_at);
-                match r.label {
-                    None => win.incomplete_reads += 1,
-                    Some(label) => {
-                        win.read_latency.record(r.latency_ms().expect("completed"));
-                        win.probes += 1;
-                        if label.consistent {
-                            win.consistent += 1;
-                        }
-                        if let Some(p) = predicted {
-                            win.predicted_sum += p;
-                            win.predicted_count += 1;
-                        }
-                    }
-                }
-            }
-        }
+        let drain = cluster.drain_window(SimTime::from_ms(next_window));
+        fold_drain(&mut out, scenario.window_ms, &drain, &predictions);
+        next_window += scenario.window_ms;
     }
+
+    // End of the workload: stop arrivals at `duration`, let in-flight
+    // probes finish or time out, and fold the final drain (ops started
+    // before the cut are attributed to their start windows; late probe
+    // reads clamp to the last window, as before).
+    advance(&mut cluster, scenario.duration_ms);
+    cluster.stop_clients();
+    let settle = SimTime::from_ms(scenario.duration_ms + opts.op_timeout_ms);
+    let drain = cluster.drain_window(settle);
+    fold_drain(&mut out, scenario.window_ms, &drain, &predictions);
 
     for w in &mut out.windows {
         w.write_latency.seal();

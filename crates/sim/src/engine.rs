@@ -201,6 +201,13 @@ impl<A: Actor> Simulation<A> {
         self.queue.peek().map(|s| s.time)
     }
 
+    /// Number of events currently waiting in the scheduler queue. Open-loop
+    /// drivers use this to verify the heap stays bounded by in-flight work
+    /// rather than total trace length.
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+
     /// Inject an external message to `target`, `delay_ms` after the current
     /// simulated time. The `from` field is set to `target` itself.
     pub fn inject(&mut self, target: ActorId, delay_ms: f64, msg: A::Msg) {

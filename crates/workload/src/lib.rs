@@ -11,8 +11,10 @@
 //! * [`keys`] — which keys they touch (uniform, Zipf, hot-set). Dynamo-style
 //!   stores shard one quorum system per key (§2.2), so key popularity drives
 //!   per-key write rates γgw.
-//! * [`ops`] and [`session`] — read/write mixes, full traces, and per-client
-//!   session models for measuring monotonic-reads violations.
+//! * [`ops`] and [`session`] — read/write mixes, streaming operation
+//!   sources ([`OpStream`] — what the open-loop client actors in `pbs-kvs`
+//!   pull from), full traces, and per-client session models for measuring
+//!   monotonic-reads violations.
 //!
 //! All generation is deterministic given an RNG, matching the workspace's
 //! reproducibility rule.
@@ -27,5 +29,5 @@ pub mod session;
 
 pub use arrivals::{ArrivalProcess, Bursty, FixedRate, PiecewisePoisson, Poisson};
 pub use keys::{HotSet, KeyChooser, UniformKeys, Zipf};
-pub use ops::{Op, OpKind, OpMix, TraceBuilder};
+pub use ops::{Op, OpKind, OpMix, OpSource, OpStream, TraceBuilder};
 pub use session::SessionModel;

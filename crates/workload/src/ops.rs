@@ -1,4 +1,10 @@
-//! Operation mixes and trace generation.
+//! Operation mixes, streaming operation sources, and trace generation.
+//!
+//! The streaming layer is the workload side of the open-loop concurrency
+//! engine: an [`OpStream`] yields one time-stamped [`Op`] at a time (O(1)
+//! memory), so in-sim client actors can pull arrivals lazily instead of
+//! pre-materialising a `Vec<Op>`. [`TraceBuilder::build`] is now a thin
+//! collector over the same stream.
 
 use crate::arrivals::ArrivalProcess;
 use crate::keys::KeyChooser;
@@ -46,6 +52,11 @@ impl OpMix {
         Self::new(0.6)
     }
 
+    /// All writes — e.g. the probe half of a write→read probe pair.
+    pub fn writes_only() -> Self {
+        Self::new(0.0)
+    }
+
     /// Sample an operation kind.
     pub fn sample(&self, rng: &mut dyn RngCore) -> OpKind {
         if rng.gen::<f64>() < self.read_fraction {
@@ -61,46 +72,111 @@ impl OpMix {
     }
 }
 
-/// Builds complete operation traces from an arrival process, a key chooser,
-/// and an op mix, spread round-robin across `clients`.
-pub struct TraceBuilder<A, K> {
+/// A streaming source of time-ordered operations.
+///
+/// This is the interface the open-loop client actors in `pbs-kvs` pull
+/// from: one operation at a time, deterministic given the RNG, with no
+/// buffering — memory stays O(1) regardless of how long the workload runs.
+pub trait OpSource {
+    /// Produce the next operation. `at_ms` values are nondecreasing and
+    /// relative to the stream's own clock (its first call starts at 0 plus
+    /// the first inter-arrival gap).
+    fn next_op(&mut self, rng: &mut dyn RngCore) -> Op;
+}
+
+impl<S: OpSource + ?Sized> OpSource for Box<S> {
+    fn next_op(&mut self, rng: &mut dyn RngCore) -> Op {
+        (**self).next_op(rng)
+    }
+}
+
+/// The canonical [`OpSource`]: arrivals × key popularity × read/write mix,
+/// spread round-robin across `clients` logical client ids.
+#[derive(Debug, Clone)]
+pub struct OpStream<A, K> {
     arrivals: A,
     keys: K,
     mix: OpMix,
     clients: u32,
+    now_ms: f64,
+    idx: u64,
+}
+
+impl<A: ArrivalProcess, K: KeyChooser> OpStream<A, K> {
+    /// Assemble a stream from its three ingredients.
+    pub fn new(arrivals: A, keys: K, mix: OpMix, clients: u32) -> Self {
+        assert!(clients >= 1);
+        Self { arrivals, keys, mix, clients, now_ms: 0.0, idx: 0 }
+    }
+
+    /// Reset the stream clock and the round-robin client counter to zero
+    /// (the arrival process keeps its internal state, e.g. a burst phase).
+    pub fn rewind(&mut self) {
+        self.now_ms = 0.0;
+        self.idx = 0;
+    }
+
+    /// The stream's current clock (ms): the timestamp of the last yielded
+    /// operation.
+    pub fn now_ms(&self) -> f64 {
+        self.now_ms
+    }
+}
+
+impl<A: ArrivalProcess, K: KeyChooser> OpSource for OpStream<A, K> {
+    fn next_op(&mut self, rng: &mut dyn RngCore) -> Op {
+        self.now_ms += self.arrivals.next_gap(rng);
+        let op = Op {
+            at_ms: self.now_ms,
+            kind: self.mix.sample(rng),
+            key: self.keys.choose(rng),
+            client: (self.idx % self.clients as u64) as u32,
+        };
+        self.idx += 1;
+        op
+    }
+}
+
+/// Builds operation traces from an arrival process, a key chooser, and an
+/// op mix, spread round-robin across `clients` — a thin collector over
+/// [`OpStream`].
+pub struct TraceBuilder<A, K> {
+    stream: OpStream<A, K>,
 }
 
 impl<A: ArrivalProcess, K: KeyChooser> TraceBuilder<A, K> {
     /// Assemble a builder.
     pub fn new(arrivals: A, keys: K, mix: OpMix, clients: u32) -> Self {
-        assert!(clients >= 1);
-        Self { arrivals, keys, mix, clients }
+        Self { stream: OpStream::new(arrivals, keys, mix, clients) }
     }
 
-    /// Generate `n` operations starting at time 0.
+    /// Iterate operations lazily (the streaming face of this builder):
+    /// the returned iterator yields time-ordered operations forever, so
+    /// bound it with `.take(n)` or by timestamp.
+    pub fn iter<'a>(
+        &'a mut self,
+        rng: &'a mut dyn RngCore,
+    ) -> impl Iterator<Item = Op> + 'a {
+        let stream = &mut self.stream;
+        std::iter::repeat_with(move || stream.next_op(rng))
+    }
+
+    /// Generate `n` operations starting at time 0 — collects
+    /// [`iter`](Self::iter) after rewinding the stream clock.
     pub fn build(&mut self, rng: &mut dyn RngCore, n: usize) -> Vec<Op> {
-        let mut t = 0.0;
-        let mut ops = Vec::with_capacity(n);
-        for i in 0..n {
-            t += self.arrivals.next_gap(rng);
-            ops.push(Op {
-                at_ms: t,
-                kind: self.mix.sample(rng),
-                key: self.keys.choose(rng),
-                client: (i as u32) % self.clients,
-            });
-        }
-        ops
+        self.stream.rewind();
+        self.iter(rng).take(n).collect()
+    }
+
+    /// Convert into the underlying stream (for open-loop client actors).
+    pub fn into_stream(self) -> OpStream<A, K> {
+        self.stream
     }
 }
 
 impl<A: std::fmt::Debug, K: std::fmt::Debug> std::fmt::Debug for TraceBuilder<A, K> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("TraceBuilder")
-            .field("arrivals", &self.arrivals)
-            .field("keys", &self.keys)
-            .field("clients", &self.clients)
-            .finish_non_exhaustive()
+        f.debug_struct("TraceBuilder").field("stream", &self.stream).finish_non_exhaustive()
     }
 }
 
@@ -126,7 +202,7 @@ mod tests {
     fn degenerate_mixes() {
         let mut rng = StdRng::seed_from_u64(1);
         assert_eq!(OpMix::new(1.0).sample(&mut rng), OpKind::Read);
-        assert_eq!(OpMix::new(0.0).sample(&mut rng), OpKind::Write);
+        assert_eq!(OpMix::writes_only().sample(&mut rng), OpKind::Write);
     }
 
     #[test]
@@ -146,5 +222,57 @@ mod tests {
         assert_eq!(trace[0].client, 0);
         assert_eq!(trace[5].client, 1);
         assert!(trace.iter().all(|o| o.key < 16));
+    }
+
+    #[test]
+    fn build_matches_streaming_pull() {
+        // `build` must be exactly "rewind + n pulls" from the stream.
+        let mk = || {
+            TraceBuilder::new(
+                Poisson::per_second(500.0),
+                UniformKeys::new(8),
+                OpMix::new(0.5),
+                3,
+            )
+        };
+        let built = mk().build(&mut StdRng::seed_from_u64(9), 64);
+        let mut stream = mk().into_stream();
+        let mut rng = StdRng::seed_from_u64(9);
+        let pulled: Vec<Op> = (0..64).map(|_| stream.next_op(&mut rng)).collect();
+        assert_eq!(built, pulled);
+    }
+
+    #[test]
+    fn stream_is_o1_memory_and_monotone() {
+        let mut stream = OpStream::new(
+            Poisson::per_ms(1.0),
+            UniformKeys::new(4),
+            OpMix::linkedin(),
+            2,
+        );
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut last = 0.0;
+        for _ in 0..10_000 {
+            let op = stream.next_op(&mut rng);
+            assert!(op.at_ms >= last);
+            last = op.at_ms;
+        }
+        assert!((stream.now_ms() - last).abs() < 1e-12);
+        stream.rewind();
+        assert_eq!(stream.now_ms(), 0.0);
+    }
+
+    #[test]
+    fn iter_continues_the_stream() {
+        let mut b = TraceBuilder::new(
+            Poisson::per_second(100.0),
+            UniformKeys::new(2),
+            OpMix::new(0.5),
+            1,
+        );
+        let mut rng = StdRng::seed_from_u64(4);
+        let first: Vec<Op> = b.iter(&mut rng).take(5).collect();
+        let next: Vec<Op> = b.iter(&mut rng).take(5).collect();
+        assert!(next[0].at_ms >= first[4].at_ms, "iter resumes, build rewinds");
     }
 }

@@ -1,11 +1,13 @@
 //! End-to-end consistency invariants of the Dynamo-style store, including
 //! the read-repair and hinted-handoff ablations DESIGN.md calls out.
+//! Mixed-traffic cases run on the open-loop client-actor engine.
 
 use pbs::dist::Exponential;
-use pbs::kvs::cluster::{Cluster, ClusterOptions, TraceOp};
+use pbs::kvs::cluster::{Cluster, ClusterOptions};
 use pbs::kvs::experiments::measure_t_visibility;
-use pbs::kvs::NetworkModel;
+use pbs::kvs::{run_open_loop, ClientOptions, NetworkModel, OpenLoopOptions};
 use pbs::math::ReplicaConfig;
+use pbs::workload::{FixedRate, OpMix, OpSource, OpStream, UniformKeys};
 use std::sync::Arc;
 
 fn net(w_mean: f64, ars_mean: f64) -> NetworkModel {
@@ -43,31 +45,36 @@ fn partial_quorums_converge() {
 }
 
 /// Read repair ablation: with lossy write propagation and repeated reads of
-/// the same keys, enabling read repair must improve consistency.
+/// the same keys, enabling read repair must improve consistency. Traffic is
+/// open-loop: one write per 5 keys per 35 ms with six reads between writes,
+/// generated lazily by an in-sim client.
 #[test]
 fn read_repair_improves_consistency_under_loss() {
     let cfg = ReplicaConfig::new(3, 1, 1).unwrap();
-    let trace: Vec<TraceOp> = {
-        let mut t = Vec::new();
-        let mut at = 0.0;
-        for round in 0..150 {
-            let key = (round % 5) as u64;
-            t.push(TraceOp { at_ms: at, is_read: false, key });
-            at += 5.0;
-            for _ in 0..6 {
-                t.push(TraceOp { at_ms: at, is_read: true, key });
-                at += 5.0;
-            }
-        }
-        t
-    };
     let run = |read_repair: bool| {
         let mut opts = ClusterOptions::validation(cfg, 33);
         opts.drop_prob = 0.35; // writes frequently miss replicas outright
         opts.read_repair = read_repair;
         opts.op_timeout_ms = 10_000.0;
-        let mut cluster = Cluster::new(opts, net(2.0, 1.0));
-        cluster.run_trace(&trace).consistency_rate()
+        let engine = OpenLoopOptions::new(5_250.0, 1_000.0, opts.op_timeout_ms);
+        let report = run_open_loop(
+            opts,
+            &net(2.0, 1.0),
+            &engine,
+            1,
+            ClientOptions { op_timeout_ms: opts.op_timeout_ms, ..ClientOptions::default() },
+            |_| -> Box<dyn OpSource> {
+                Box::new(OpStream::new(
+                    FixedRate::new(5.0),
+                    UniformKeys::new(5),
+                    OpMix::new(6.0 / 7.0),
+                    1,
+                ))
+            },
+            |_| {},
+        );
+        assert!(report.reads > 500, "enough labelled reads to compare");
+        report.consistency_rate()
     };
     let without = run(false);
     let with = run(true);
@@ -123,27 +130,53 @@ fn hinted_handoff_heals_crashed_replica() {
     assert_eq!(caught_up_without, 0, "no healing path exists without hints");
 }
 
-/// Dense per-key versions survive a concurrent mixed trace: every read
-/// returns a version that was actually written, and ground-truth labelling
-/// is internally consistent.
+/// Dense per-key versions survive concurrent open-loop mixed traffic:
+/// every read returns a version that was actually written, and the online
+/// (watermark-labelled) ground truth is internally consistent window by
+/// window.
 #[test]
-fn trace_labels_are_internally_consistent() {
+fn open_loop_labels_are_internally_consistent() {
     let cfg = ReplicaConfig::new(3, 2, 1).unwrap();
-    let mut cluster = Cluster::new(ClusterOptions::validation(cfg, 35), net(5.0, 1.0));
-    let trace: Vec<TraceOp> = (0..2_000)
-        .map(|i| TraceOp { at_ms: i as f64 * 2.0, is_read: i % 4 != 0, key: (i % 3) as u64 })
-        .collect();
-    let report = cluster.run_trace(&trace);
-    assert_eq!(report.incomplete_reads, 0);
-    assert_eq!(report.failed_writes, 0);
-    for read in &report.reads {
-        if let Some(seq) = read.returned_seq {
-            assert!(seq >= 1, "returned versions are 1-based");
+    let mut opts = ClusterOptions::validation(cfg, 35);
+    opts.op_timeout_ms = 5_000.0;
+    let mut cluster = Cluster::new(opts, net(5.0, 1.0));
+    for _ in 0..4 {
+        cluster.add_client(
+            Box::new(OpStream::new(
+                FixedRate::new(8.0),
+                UniformKeys::new(3),
+                OpMix::new(0.75),
+                1,
+            )),
+            ClientOptions { op_timeout_ms: opts.op_timeout_ms, ..ClientOptions::default() },
+        );
+    }
+    cluster.start_clients();
+    let mut labelled = 0usize;
+    let mut writes = 0usize;
+    for window in 1..=8u32 {
+        let drain = cluster.drain_window(pbs::sim::SimTime::from_ms(window as f64 * 500.0));
+        writes += drain.writes.len();
+        for w in &drain.writes {
+            assert!(w.commit.is_some(), "reliable network: every write commits");
+            assert!(w.seq.unwrap() >= 1, "coordinator sequences are 1-based");
         }
-        if read.label.consistent {
-            assert_eq!(read.label.versions_behind, 0);
-        } else {
-            assert!(read.label.versions_behind >= 1);
+        for r in &drain.reads {
+            let label = r.label.expect("reliable network: every read completes");
+            labelled += 1;
+            if let Some(seq) = r.op.seq {
+                assert!(seq >= 1, "returned versions are 1-based");
+            }
+            if label.consistent {
+                assert_eq!(label.versions_behind, 0);
+            } else {
+                assert!(label.versions_behind >= 1);
+            }
         }
     }
+    assert!(labelled > 1_000, "got {labelled} labelled reads");
+    assert!(writes > 300, "got {writes} writes");
+    // The watermark advanced with the drains and nothing is stuck pending.
+    assert_eq!(cluster.ground_truth().pending_commits(), 0);
+    assert_eq!(cluster.ground_truth().watermark(), pbs::sim::SimTime::from_ms(4_000.0));
 }
