@@ -1,0 +1,81 @@
+//! `bench_guard` — the CI bench-regression gate.
+//!
+//! Reads a `BENCH_JSON` summary (the criterion shim's format), finds one
+//! benchmark by label, and fails (exit 1) when its `elements_per_sec`
+//! falls below a floor — CI uses it to keep the open-loop hot path from
+//! silently regressing past 0.9× the previous PR's baseline:
+//!
+//! ```text
+//! cargo run -p pbs-bench --release --bin bench_guard -- \
+//!     --file BENCH_5.json --bench open_loop/64_clients_10k_ops --min 271591
+//! ```
+//!
+//! The parser is deliberately narrow: it understands exactly the
+//! line-oriented JSON the shim writes (one object per line), which keeps
+//! the gate dependency-free.
+
+use pbs_bench::cli::Args;
+
+/// Extract `"field": <number>` from a single-line JSON object.
+fn field_f64(line: &str, field: &str) -> Option<f64> {
+    let needle = format!("\"{field}\": ");
+    let start = line.find(&needle)? + needle.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+fn main() {
+    let args = Args::parse();
+    args.reject_unknown(&["file", "bench", "min"]);
+    let file = args.value_of("file").unwrap_or("BENCH_5.json").to_string();
+    let bench = args
+        .value_of("bench")
+        .unwrap_or("open_loop/64_clients_10k_ops")
+        .to_string();
+    let min: f64 = args.parsed("min").unwrap_or_else(|| {
+        eprintln!("--min <elements_per_sec floor> is required");
+        std::process::exit(2);
+    });
+
+    let content = match std::fs::read_to_string(&file) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("bench_guard: cannot read {file}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let label_needle = format!("\"label\": \"{bench}\"");
+    let Some(line) = content.lines().find(|l| l.contains(&label_needle)) else {
+        eprintln!("bench_guard: no benchmark labelled {bench:?} in {file}");
+        std::process::exit(1);
+    };
+    let Some(actual) = field_f64(line, "elements_per_sec") else {
+        eprintln!("bench_guard: {bench:?} has no elements_per_sec field: {line}");
+        std::process::exit(1);
+    };
+    if actual < min {
+        eprintln!(
+            "bench_guard: REGRESSION — {bench} ran at {actual:.0} elements/sec, \
+             below the floor of {min:.0}"
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "bench_guard: OK — {bench} at {actual:.0} elements/sec (floor {min:.0}, {:.2}× headroom)",
+        actual / min
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::field_f64;
+
+    #[test]
+    fn extracts_fields_from_shim_lines() {
+        let line = r#"    {"label": "open_loop/64_clients_10k_ops", "mean_ns_per_iter": 15259062.4, "iters": 20, "elements_per_iter": 10000, "elements_per_sec": 655348.3},"#;
+        assert_eq!(field_f64(line, "elements_per_sec"), Some(655348.3));
+        assert_eq!(field_f64(line, "iters"), Some(20.0));
+        assert_eq!(field_f64(line, "missing"), None);
+    }
+}

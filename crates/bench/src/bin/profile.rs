@@ -1,0 +1,201 @@
+//! `profile` — the hot-path performance harness.
+//!
+//! Runs the open-loop engine on the same `64_clients_10k_ops` shape as the
+//! criterion benchmark and reports the numbers that matter for scheduler
+//! and allocation work:
+//!
+//! * **events/sec** — raw simulator dispatch rate (every message, timer,
+//!   and arrival), the scheduler's own throughput;
+//! * **ops/sec** — completed client operations per wall second;
+//! * **allocs/op, bytes/op** — from a counting global allocator, only
+//!   when built with `--features alloc-profile` (`n/a` otherwise);
+//! * **scheduler occupancy** — peak pending events, cascade count, slot
+//!   occupancy and ready-batch length at the end of the run, from
+//!   [`pbs_sim::SchedulerStats`].
+//!
+//! When `BENCH_JSON` names a file, the headline figures are appended to
+//! its `metrics` array (same hook the criterion benches use), so CI can
+//! fold a profile run into `BENCH_5.json`.
+//!
+//! ```text
+//! cargo run -p pbs-bench --release --bin profile
+//! cargo run -p pbs-bench --release --features alloc-profile --bin profile
+//! cargo run -p pbs-bench --release --bin profile -- --clients 1024 --rate 20000
+//! ```
+//!
+//! To A/B the scheduler implementations, add
+//! `--features pbs-sim/heap-scheduler` to either invocation: the workload
+//! is bit-identical under both, so any delta is pure scheduler cost.
+
+use pbs_bench::cli::Args;
+use pbs_bench::report;
+use pbs_core::ReplicaConfig;
+use pbs_dist::Exponential;
+use pbs_kvs::{
+    run_open_loop_with, ClientOptions, ClusterOptions, NetworkModel, OpenLoopOptions,
+};
+use pbs_workload::{OpMix, OpSource, OpStream, Poisson, UniformKeys};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Counting global allocator, installed only with `--features
+/// alloc-profile`. Lives in the binary (not the library, which forbids
+/// `unsafe`): delegates to the system allocator and counts calls/bytes.
+#[cfg(feature = "alloc-profile")]
+mod alloc_counter {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    pub static ALLOCS: AtomicU64 = AtomicU64::new(0);
+    pub static BYTES: AtomicU64 = AtomicU64::new(0);
+
+    struct Counting;
+
+    // SAFETY: pure delegation to `System`; the counters are relaxed
+    // atomics with no effect on allocation behaviour.
+    unsafe impl GlobalAlloc for Counting {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+            unsafe { System.alloc(layout) }
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            unsafe { System.dealloc(ptr, layout) }
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+            unsafe { System.realloc(ptr, layout, new_size) }
+        }
+
+        unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+            unsafe { System.alloc_zeroed(layout) }
+        }
+    }
+
+    #[global_allocator]
+    static COUNTING: Counting = Counting;
+
+    pub fn snapshot() -> (u64, u64) {
+        (ALLOCS.load(Ordering::Relaxed), BYTES.load(Ordering::Relaxed))
+    }
+}
+
+#[cfg(not(feature = "alloc-profile"))]
+mod alloc_counter {
+    pub fn snapshot() -> (u64, u64) {
+        (0, 0)
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    args.reject_unknown(&["clients", "rate", "duration-ms", "seed", "iters", "quick"]);
+    let clients: usize = args.parsed("clients").unwrap_or(64);
+    let rate: f64 = args.parsed("rate").unwrap_or(5_000.0);
+    let duration_ms: f64 = args.parsed("duration-ms").unwrap_or(2_000.0);
+    let seed: u64 = args.parsed("seed").unwrap_or(7);
+    let iters: usize = args.parsed("iters").unwrap_or(if args.flag("quick") { 1 } else { 5 });
+
+    let cfg = ReplicaConfig::new(3, 1, 1).unwrap();
+    let mut opts = ClusterOptions::validation(cfg, seed);
+    opts.op_timeout_ms = 2_000.0;
+    let engine = OpenLoopOptions::new(duration_ms, 500.0, opts.op_timeout_ms);
+    let net = NetworkModel::w_ars(
+        Arc::new(Exponential::from_rate(0.1)),
+        Arc::new(Exponential::from_rate(0.5)),
+    );
+    let per_client = rate / clients as f64;
+
+    report::header(&format!(
+        "profile: open loop, {clients} clients × {per_client:.1} ops/s × {duration_ms} ms (seed {seed}, {iters} iters)"
+    ));
+
+    let mut best_ops_per_sec = 0.0f64;
+    let mut best_events_per_sec = 0.0f64;
+    let mut rows = Vec::new();
+    for iter in 0..iters {
+        let (allocs0, bytes0) = alloc_counter::snapshot();
+        let start = Instant::now();
+        let mut events = 0u64;
+        let mut sched = pbs_sim::SchedulerStats::default();
+        let report = run_open_loop_with(
+            opts,
+            &net,
+            &engine,
+            clients,
+            ClientOptions { op_timeout_ms: 2_000.0, ..ClientOptions::default() },
+            |_| -> Box<dyn OpSource> {
+                Box::new(OpStream::new(
+                    Poisson::per_second(per_client),
+                    UniformKeys::new(64),
+                    OpMix::linkedin(),
+                    1,
+                ))
+            },
+            |_| {},
+            |cluster| {
+                events = cluster.events_processed();
+                sched = cluster.scheduler_stats();
+            },
+        );
+        let wall = start.elapsed().as_secs_f64();
+        let (allocs1, bytes1) = alloc_counter::snapshot();
+        let ops = report.commits + report.reads;
+        let ops_per_sec = ops as f64 / wall;
+        best_ops_per_sec = best_ops_per_sec.max(ops_per_sec);
+        best_events_per_sec = best_events_per_sec.max(events as f64 / wall);
+        let (allocs_per_op, bytes_per_op) = if cfg!(feature = "alloc-profile") {
+            (
+                format!("{:.1}", (allocs1 - allocs0) as f64 / ops as f64),
+                format!("{:.0}", (bytes1 - bytes0) as f64 / ops as f64),
+            )
+        } else {
+            ("n/a".into(), "n/a".into())
+        };
+        rows.push(vec![
+            format!("{iter}"),
+            format!("{ops}"),
+            format!("{:.0}", ops_per_sec),
+            format!("{:.2}M", events as f64 / wall / 1e6),
+            allocs_per_op,
+            bytes_per_op,
+            format!("{}", sched.peak_pending),
+            format!("{}", sched.cascaded),
+            format!("{}", sched.occupied_slots),
+        ]);
+    }
+    report::table(
+        &[
+            "iter",
+            "ops",
+            "ops/sec",
+            "events/sec",
+            "allocs/op",
+            "bytes/op",
+            "peak_pending",
+            "cascaded",
+            "slots",
+        ],
+        &rows,
+    );
+    println!();
+    println!("best: {best_ops_per_sec:.0} ops/sec");
+
+    // Fold the headline figures into the BENCH_JSON summary (no-op when
+    // the env var is unset).
+    criterion::record_metric("profile_best_ops_per_sec", best_ops_per_sec);
+    criterion::record_metric("profile_best_events_per_sec", best_events_per_sec);
+    if cfg!(feature = "alloc-profile") {
+        if let Some(last) = rows.last() {
+            if let Ok(allocs) = last[4].parse::<f64>() {
+                criterion::record_metric("profile_allocs_per_op", allocs);
+            }
+        }
+    }
+    criterion::write_json_summary();
+}

@@ -23,6 +23,8 @@
 //! | `read_delay` | §5.3 ablation: delaying reads vs. raising R |
 //! | `scenarios` | §6 closed loop: chaos timelines + adaptive reconfiguration (`pbs-scenario`) |
 //! | `throughput` | open-loop arrival-rate × (N,R,W) sweep: ops/sec, latency quantiles, consistency vs. load |
+//! | `profile` | hot-path profiler: events/sec, allocs/op (`--features alloc-profile`), scheduler occupancy (see `docs/performance.md`) |
+//! | `bench_guard` | CI bench-regression gate over `BENCH_*.json` summaries |
 //!
 //! Run all of them with `scripts/run_all.sh` or individually:
 //! `cargo run -p pbs-bench --release --bin fig6`. Every binary accepts

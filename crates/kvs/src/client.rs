@@ -14,13 +14,13 @@
 //! operations that the driver drains every window. Nothing scales with the
 //! length of the workload.
 
+use crate::fxhash::FxHashMap;
 use crate::messages::Msg;
 use crate::node::{ClientResult, DownTracker};
 use pbs_sim::{Actor, Context, Event, SimDuration, SimTime};
 use pbs_workload::{OpKind, OpSource};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::collections::HashMap;
 use std::sync::Arc;
 
 // Client-side timer tags (same top-byte scheme as the node's).
@@ -154,15 +154,15 @@ pub struct ClientActor {
     next: Option<pbs_workload::Op>,
     next_local: u64,
     stopped: bool,
-    in_flight: HashMap<u64, Pending>,
+    in_flight: FxHashMap<u64, Pending>,
     /// Probe tokens → key, for reads scheduled at commit + offset.
-    probe_pending: HashMap<u64, u64>,
+    probe_pending: FxHashMap<u64, u64>,
     /// Completed ops awaiting the driver's window drain (bounded).
     pub completed: Vec<CompletedOp>,
     /// Highest sequence seen by this client's reads, per key.
-    last_read_seq: HashMap<u64, u64>,
+    last_read_seq: FxHashMap<u64, u64>,
     /// Highest sequence committed by this client's writes, per key.
-    last_write_seq: HashMap<u64, u64>,
+    last_write_seq: FxHashMap<u64, u64>,
     /// Cumulative counters.
     pub stats: ClientStats,
 }
@@ -208,11 +208,11 @@ impl ClientActor {
             next: None,
             next_local: 0,
             stopped: false,
-            in_flight: HashMap::new(),
-            probe_pending: HashMap::new(),
+            in_flight: FxHashMap::default(),
+            probe_pending: FxHashMap::default(),
             completed: Vec::new(),
-            last_read_seq: HashMap::new(),
-            last_write_seq: HashMap::new(),
+            last_read_seq: FxHashMap::default(),
+            last_write_seq: FxHashMap::default(),
             stats: ClientStats::default(),
         }
     }
@@ -227,9 +227,11 @@ impl ClientActor {
         self.in_flight.len()
     }
 
-    /// Drain the completed-op buffer (driver-side, between events).
-    pub fn drain_completed(&mut self) -> Vec<CompletedOp> {
-        std::mem::take(&mut self.completed)
+    /// Drain the completed-op buffer into `out` (driver-side, between
+    /// events). Appends; the client's buffer keeps its capacity, so the
+    /// window-by-window plumbing allocates nothing in steady state.
+    pub fn drain_completed_into(&mut self, out: &mut Vec<CompletedOp>) {
+        out.append(&mut self.completed);
     }
 
     fn alloc_local(&mut self) -> u64 {

@@ -19,6 +19,7 @@
 //!   workload length.
 
 use crate::client::{ClientActor, ClientOptions, ClientStats, CompletedOp};
+use crate::fxhash::FxHashMap;
 use crate::messages::Msg;
 use crate::network::NetworkModel;
 use crate::node::{ClientResult, DetectorEvent, DownTracker, Node, NodeOptions, SeqAllocator};
@@ -29,7 +30,7 @@ use pbs_sim::{Actor, ActorId, Context, Event, SimTime, Simulation};
 use pbs_workload::{OpKind, OpSource};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::sync::Arc;
 
 /// Cluster-wide configuration.
@@ -188,7 +189,7 @@ impl DetectorStats {
 #[derive(Debug, Default)]
 struct DetectorTracker {
     /// op id → (consistent, already flagged).
-    verdicts: HashMap<u64, (bool, bool)>,
+    verdicts: FxHashMap<u64, (bool, bool)>,
     /// `(expires_at, op_id)` in insertion (= time) order.
     expiry: VecDeque<(SimTime, u64)>,
     flagged: usize,
@@ -325,6 +326,10 @@ pub struct Cluster {
     clients_started: bool,
     ground_truth: GroundTruth,
     detector: DetectorTracker,
+    /// Reusable window-drain buffers (completed ops, detector events) so
+    /// the per-window plumbing performs no steady-state allocation.
+    drain_scratch: Vec<CompletedOp>,
+    detector_scratch: Vec<DetectorEvent>,
 }
 
 impl std::fmt::Debug for Cluster {
@@ -397,6 +402,8 @@ impl Cluster {
             clients_started: false,
             ground_truth: GroundTruth::new(),
             detector: DetectorTracker::default(),
+            drain_scratch: Vec::new(),
+            detector_scratch: Vec::new(),
         }
     }
 
@@ -668,6 +675,17 @@ impl Cluster {
         self.sim.pending_events()
     }
 
+    /// Total events the simulation has dispatched.
+    pub fn events_processed(&self) -> u64 {
+        self.sim.events_processed()
+    }
+
+    /// Scheduler counters (peak queue depth, cascades, slot occupancy) —
+    /// surfaced for the `profile` harness.
+    pub fn scheduler_stats(&self) -> pbs_sim::SchedulerStats {
+        self.sim.scheduler_stats()
+    }
+
     /// Summed per-client counters.
     pub fn client_stats(&self) -> ClientStats {
         let mut total = ClientStats::default();
@@ -694,39 +712,58 @@ impl Cluster {
     /// with zero delay, so every commit at or before `until` has been
     /// drained — no commit below the watermark can appear later.
     pub fn drain_window(&mut self, until: SimTime) -> WindowDrain {
+        let mut drain = WindowDrain::default();
+        self.drain_window_into(until, &mut drain);
+        drain
+    }
+
+    /// [`drain_window`](Self::drain_window) into caller-owned buffers:
+    /// `drain` is cleared and refilled, keeping its capacity, so a driver
+    /// looping over many windows allocates nothing in steady state.
+    pub fn drain_window_into(&mut self, until: SimTime, drain: &mut WindowDrain) {
         self.advance_to(until);
-        let mut writes: Vec<CompletedOp> = Vec::new();
-        let mut raw_reads: Vec<CompletedOp> = Vec::new();
+        drain.until_ms = until.as_ms();
+        drain.writes.clear();
+        drain.reads.clear();
+        let mut ops = std::mem::take(&mut self.drain_scratch);
+        debug_assert!(ops.is_empty());
         for i in 0..self.clients.len() {
             let id = self.clients[i];
-            for op in self.client_mut(id).drain_completed() {
-                match op.kind {
-                    OpKind::Write => writes.push(op),
-                    OpKind::Read => raw_reads.push(op),
-                }
-            }
+            self.client_mut(id).drain_completed_into(&mut ops);
         }
-        for w in &writes {
-            if let (Some(seq), Some(ct)) = (w.seq, w.commit) {
-                self.ground_truth.ingest_commit(w.key, seq, ct);
+        // Pass 1: commits feed the ground-truth watermark.
+        for op in &ops {
+            if matches!(op.kind, OpKind::Write) {
+                if let (Some(seq), Some(ct)) = (op.seq, op.commit) {
+                    self.ground_truth.ingest_commit(op.key, seq, ct);
+                }
+                drain.writes.push(*op);
             }
         }
         self.ground_truth.advance_watermark(until);
 
+        // Pass 2: label the window's reads against the advanced watermark.
         let grace = pbs_sim::SimDuration::from_ms(self.opts.op_timeout_ms);
-        let mut reads = Vec::with_capacity(raw_reads.len());
-        for op in raw_reads {
-            let label = op.finish.map(|_| self.ground_truth.label_read(op.key, op.start, op.seq));
-            if let Some(l) = label {
-                self.detector.observe_read(op.op_id, l.consistent, until + grace);
+        for op in &ops {
+            if matches!(op.kind, OpKind::Read) {
+                let label =
+                    op.finish.map(|_| self.ground_truth.label_read(op.key, op.start, op.seq));
+                if let Some(l) = label {
+                    self.detector.observe_read(op.op_id, l.consistent, until + grace);
+                }
+                drain.reads.push(OpenRead { op: *op, label });
             }
-            reads.push(OpenRead { op, label });
         }
-        for ev in self.drain_detector_events() {
+        ops.clear();
+        self.drain_scratch = ops;
+        let mut events = std::mem::take(&mut self.detector_scratch);
+        self.collect_detector_events(&mut events);
+        for ev in &events {
             self.detector.observe_flag(ev.op_id);
         }
+        events.clear();
+        self.detector_scratch = events;
         self.detector.expire(until);
-        WindowDrain { until_ms: until.as_ms(), writes, reads }
     }
 
     /// Cumulative staleness-detector performance over every drained
@@ -750,11 +787,15 @@ impl Cluster {
     /// Drain the staleness-detector logs of every node.
     pub fn drain_detector_events(&mut self) -> Vec<DetectorEvent> {
         let mut all = Vec::new();
-        for id in 0..self.opts.nodes as usize {
-            all.append(&mut self.node_mut(id).detector_log);
-        }
-        all.sort_by_key(|e| (e.at, e.op_id));
+        self.collect_detector_events(&mut all);
         all
+    }
+
+    fn collect_detector_events(&mut self, out: &mut Vec<DetectorEvent>) {
+        for id in 0..self.opts.nodes as usize {
+            out.append(&mut self.node_mut(id).detector_log);
+        }
+        out.sort_by_key(|e| (e.at, e.op_id));
     }
 }
 
@@ -952,7 +993,7 @@ mod tests {
         // After the read completes and repairs propagate, all replicas hold
         // the version.
         cluster.advance_to(cluster.now() + pbs_sim::SimDuration::from_ms(60_000.0));
-        for &rep in &cluster.ring().replicas(key) {
+        for &rep in cluster.ring().replicas(key) {
             assert_eq!(
                 cluster.node(rep as usize).stored_version(key).map(|v| v.seq),
                 Some(1),

@@ -48,6 +48,7 @@
 pub mod client;
 pub mod cluster;
 pub mod experiments;
+pub mod fxhash;
 pub mod merkle;
 pub mod messages;
 pub mod network;

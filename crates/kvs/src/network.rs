@@ -5,6 +5,7 @@
 
 use pbs_dist::DynDistribution;
 use rand::RngCore;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, RwLock};
 
 /// Which WARS leg a message travels.
@@ -90,6 +91,11 @@ pub struct NetworkModel {
     dc_of: Vec<u32>,
     inter_dc_penalty_ms: f64,
     dynamic: Arc<RwLock<Conditions>>,
+    /// Whether any dynamic condition is currently active. The per-message
+    /// hot path checks this one relaxed load and, in the common
+    /// no-conditions case, samples the base legs without touching the
+    /// conditions lock at all.
+    dynamic_active: Arc<AtomicBool>,
 }
 
 impl Clone for NetworkModel {
@@ -100,6 +106,7 @@ impl Clone for NetworkModel {
             inter_dc_penalty_ms: self.inter_dc_penalty_ms,
             // Deep-fork the dynamic state: clones steer independently.
             dynamic: Arc::new(RwLock::new(self.conditions().clone())),
+            dynamic_active: Arc::new(AtomicBool::new(self.dynamic_active.load(Ordering::Relaxed))),
         }
     }
 }
@@ -117,6 +124,7 @@ impl NetworkModel {
             dc_of: Vec::new(),
             inter_dc_penalty_ms: 0.0,
             dynamic: Arc::new(RwLock::new(Conditions::default())),
+            dynamic_active: Arc::new(AtomicBool::new(false)),
         }
     }
 
@@ -138,8 +146,16 @@ impl NetworkModel {
         self.dynamic.read().expect("network conditions lock poisoned")
     }
 
-    fn conditions_mut(&self) -> std::sync::RwLockWriteGuard<'_, Conditions> {
-        self.dynamic.write().expect("network conditions lock poisoned")
+    /// Mutate the dynamic conditions and refresh the hot-path activity
+    /// flag. All condition setters funnel through here.
+    fn update_conditions(&self, f: impl FnOnce(&mut Conditions)) {
+        let mut c = self.dynamic.write().expect("network conditions lock poisoned");
+        f(&mut c);
+        let active = c.legs.is_some()
+            || c.leg_scale.is_some()
+            || !c.partition.is_empty()
+            || !c.link_faults.is_empty();
+        self.dynamic_active.store(active, Ordering::Relaxed);
     }
 
     // ----- dynamic conditions (mid-run steering) -----
@@ -154,7 +170,7 @@ impl NetworkModel {
         r: DynDistribution,
         s: DynDistribution,
     ) {
-        self.conditions_mut().legs = Some([w, a, r, s]);
+        self.update_conditions(|c| c.legs = Some([w, a, r, s]));
     }
 
     /// Scale whichever legs are active by per-leg factors (≥ 0). Factors
@@ -164,15 +180,16 @@ impl NetworkModel {
         for f in [w, a, r, s] {
             assert!(f >= 0.0 && f.is_finite(), "leg scale must be finite and ≥ 0: {f}");
         }
-        self.conditions_mut().leg_scale = Some([w, a, r, s]);
+        self.update_conditions(|c| c.leg_scale = Some([w, a, r, s]));
     }
 
     /// Drop any regime swap and leg scaling, returning to the base legs.
     /// Partitions and link faults are left in place.
     pub fn restore_base_legs(&self) {
-        let mut c = self.conditions_mut();
-        c.legs = None;
-        c.leg_scale = None;
+        self.update_conditions(|c| {
+            c.legs = None;
+            c.leg_scale = None;
+        });
     }
 
     /// Install a network partition: `groups[node]` assigns each node to a
@@ -180,13 +197,13 @@ impl NetworkModel {
     /// groups is silently dropped (nodes beyond `groups.len()` fall into
     /// group 0). Replaces any existing partition.
     pub fn partition(&self, groups: Vec<u32>) {
-        self.conditions_mut().partition = groups;
+        self.update_conditions(|c| c.partition = groups);
     }
 
     /// Heal the partition: full pairwise delivery resumes for messages sent
     /// after the call.
     pub fn heal_partition(&self) {
-        self.conditions_mut().partition.clear();
+        self.update_conditions(|c| c.partition.clear());
     }
 
     /// Whether a partition currently blocks `from → to`.
@@ -210,12 +227,12 @@ impl NetworkModel {
     pub fn add_link_fault(&self, fault: LinkFault) {
         assert!(fault.extra_ms >= 0.0 && fault.extra_ms.is_finite());
         assert!(fault.scale >= 0.0 && fault.scale.is_finite());
-        self.conditions_mut().link_faults.push(fault);
+        self.update_conditions(|c| c.link_faults.push(fault));
     }
 
     /// Remove every per-link fault.
     pub fn clear_link_faults(&self) {
-        self.conditions_mut().link_faults.clear();
+        self.update_conditions(|c| c.link_faults.clear());
     }
 
     // ----- sampling -----
@@ -227,6 +244,12 @@ impl NetworkModel {
     /// one conditions-lock acquisition per message, with no window between
     /// the deliverability check and the sample.
     pub fn transmit(&self, leg: Leg, from: usize, to: usize, rng: &mut dyn RngCore) -> Option<f64> {
+        if !self.dynamic_active.load(Ordering::Relaxed) {
+            // Hot path: no partitions, regimes, scaling, or link faults —
+            // sample the base leg without acquiring the conditions lock.
+            // Consumes exactly the same RNG draws as the general path.
+            return Some(self.base[leg.index()].sample(rng) + self.penalty(from, to));
+        }
         let c = self.conditions();
         if !c.partition.is_empty() {
             let a = c.partition.get(from).copied().unwrap_or(0);
@@ -244,6 +267,9 @@ impl NetworkModel {
     /// [`deliverable`](Self::deliverable), or use
     /// [`transmit`](Self::transmit), which does both under one lock).
     pub fn delay(&self, leg: Leg, from: usize, to: usize, rng: &mut dyn RngCore) -> f64 {
+        if !self.dynamic_active.load(Ordering::Relaxed) {
+            return self.base[leg.index()].sample(rng) + self.penalty(from, to);
+        }
         let c = self.conditions();
         self.delay_under(&c, leg, from, to, rng)
     }

@@ -1,6 +1,7 @@
 //! The Dynamo-style node: every node can coordinate client operations and
 //! store replicas (§2.2, Figure 1).
 
+use crate::fxhash::FxHashMap;
 use crate::merkle;
 use crate::messages::Msg;
 use crate::network::{Leg, NetworkModel};
@@ -9,7 +10,6 @@ use crate::version::Version;
 use pbs_sim::{Actor, ActorId, Context, Event, SimDuration, SimTime};
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -32,7 +32,7 @@ const KIND_GC: u64 = 5;
 /// only makes the allocator shareable behind `Arc` across actors.
 #[derive(Debug, Default)]
 pub struct SeqAllocator {
-    next: Mutex<HashMap<u64, u64>>,
+    next: Mutex<FxHashMap<u64, u64>>,
 }
 
 impl SeqAllocator {
@@ -248,7 +248,21 @@ struct WriteState {
     reply_to: Option<ActorId>,
 }
 
-#[derive(Debug)]
+impl Default for WriteState {
+    fn default() -> Self {
+        Self {
+            key: 0,
+            version: Version::new(0, 0),
+            replicas: Vec::new(),
+            acked: Vec::new(),
+            committed: None,
+            start: SimTime::ZERO,
+            reply_to: None,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
 struct ReadState {
     key: u64,
     replicas: Vec<ActorId>,
@@ -281,14 +295,19 @@ pub struct Node {
     rng: StdRng,
     down: bool,
     gc_interval_ms: Option<f64>,
-    store: HashMap<u64, Version>,
-    pending_writes: HashMap<u64, WriteState>,
-    pending_reads: HashMap<u64, ReadState>,
+    store: FxHashMap<u64, Version>,
+    pending_writes: FxHashMap<u64, WriteState>,
+    pending_reads: FxHashMap<u64, ReadState>,
+    /// Retired pending-op states, recycled slab-style so the per-op
+    /// replica/ack/response vectors are allocated once and reused for the
+    /// life of the node.
+    write_pool: Vec<WriteState>,
+    read_pool: Vec<ReadState>,
     hints: Vec<Hint>,
     hint_flush_scheduled: bool,
     sync_interval_ms: Option<f64>,
     /// Completed client operations awaiting harness pickup.
-    pub client_results: HashMap<u64, ClientResult>,
+    pub client_results: FxHashMap<u64, ClientResult>,
     /// Accumulated staleness-detector observations.
     pub detector_log: Vec<DetectorEvent>,
     /// Per-leg one-way latency samples (WARS instrumentation, §5.5's
@@ -338,13 +357,15 @@ impl Node {
             rng: StdRng::seed_from_u64(seed ^ (id as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)),
             down: false,
             gc_interval_ms: None,
-            store: HashMap::new(),
-            pending_writes: HashMap::new(),
-            pending_reads: HashMap::new(),
+            store: FxHashMap::default(),
+            pending_writes: FxHashMap::default(),
+            pending_reads: FxHashMap::default(),
+            write_pool: Vec::new(),
+            read_pool: Vec::new(),
             hints: Vec::new(),
             hint_flush_scheduled: false,
             sync_interval_ms: None,
-            client_results: HashMap::new(),
+            client_results: FxHashMap::default(),
             detector_log: Vec::new(),
             leg_samples: LegSamples::default(),
             repairs_sent: 0,
@@ -441,21 +462,18 @@ impl Node {
         // order even under thousands of concurrent in-flight writes.
         let seq = self.seq_alloc.next(key);
         let version = Version::new(seq, self.id as u32);
-        let replicas: Vec<ActorId> =
-            self.ring.replicas(key).iter().map(|&n| n as usize).collect();
-        debug_assert!(replicas.len() >= self.opts.w as usize);
         let reply_to = (from != self.id).then_some(from);
-        let state = WriteState {
-            key,
-            version,
-            replicas: replicas.clone(),
-            acked: Vec::with_capacity(replicas.len()),
-            committed: None,
-            start: ctx.now(),
-            reply_to,
-        };
-        self.pending_writes.insert(op_id, state);
-        for &replica in &replicas {
+        let mut state = self.write_pool.pop().unwrap_or_default();
+        state.key = key;
+        state.version = version;
+        state.replicas.clear();
+        state.replicas.extend(self.ring.replicas(key).iter().map(|&n| n as usize));
+        state.acked.clear();
+        state.committed = None;
+        state.start = ctx.now();
+        state.reply_to = reply_to;
+        debug_assert!(state.replicas.len() >= self.opts.w as usize);
+        for &replica in &state.replicas {
             self.send(
                 ctx,
                 Leg::W,
@@ -463,6 +481,7 @@ impl Node {
                 Msg::ReplicaWrite { op_id, key, version, coordinator: self.id },
             );
         }
+        self.pending_writes.insert(op_id, state);
         if self.opts.hinted_handoff {
             ctx.set_timer(self.opts.hint_timeout_ms, tag(KIND_WRITE_TIMEOUT, op_id));
         }
@@ -491,7 +510,9 @@ impl Node {
             ));
         }
         if state.acked.len() == state.replicas.len() {
-            self.pending_writes.remove(&op_id); // fully replicated
+            if let Some(state) = self.pending_writes.remove(&op_id) {
+                self.write_pool.push(state); // fully replicated; recycle
+            }
         }
         if let Some((reply_to, result)) = completed {
             self.deliver(ctx, reply_to, result);
@@ -522,6 +543,7 @@ impl Node {
                 self.hints.push(Hint { target: replica, key: state.key, version: state.version });
             }
         }
+        self.write_pool.push(state);
         self.schedule_hint_flush(ctx);
     }
 
@@ -542,23 +564,21 @@ impl Node {
     // ----- coordinator: reads -----
 
     fn on_client_read(&mut self, ctx: &mut Context<'_, Msg>, op_id: u64, key: u64, from: ActorId) {
-        let replicas: Vec<ActorId> =
-            self.ring.replicas(key).iter().map(|&n| n as usize).collect();
-        debug_assert!(replicas.len() >= self.opts.r as usize);
         let reply_to = (from != self.id).then_some(from);
-        let state = ReadState {
-            key,
-            replicas: replicas.clone(),
-            responses: Vec::with_capacity(replicas.len()),
-            returned: None,
-            repaired: Vec::new(),
-            start: ctx.now(),
-            reply_to,
-        };
-        self.pending_reads.insert(op_id, state);
-        for &replica in &replicas {
+        let mut state = self.read_pool.pop().unwrap_or_default();
+        state.key = key;
+        state.replicas.clear();
+        state.replicas.extend(self.ring.replicas(key).iter().map(|&n| n as usize));
+        state.responses.clear();
+        state.returned = None;
+        state.repaired.clear();
+        state.start = ctx.now();
+        state.reply_to = reply_to;
+        debug_assert!(state.replicas.len() >= self.opts.r as usize);
+        for &replica in &state.replicas {
             self.send(ctx, Leg::R, replica, Msg::ReplicaRead { op_id, key, coordinator: self.id });
         }
+        self.pending_reads.insert(op_id, state);
     }
 
     fn on_read_resp(
@@ -632,7 +652,9 @@ impl Node {
             }
         }
         if state.responses.len() == state.replicas.len() {
-            self.pending_reads.remove(&op_id);
+            if let Some(state) = self.pending_reads.remove(&op_id) {
+                self.read_pool.push(state); // fully answered; recycle
+            }
         }
         if let Some((reply_to, result)) = completed {
             self.deliver(ctx, reply_to, result);

@@ -17,7 +17,7 @@
 //! `(seed, threads)`.
 
 use crate::client::ClientOptions;
-use crate::cluster::{Cluster, ClusterOptions, DetectorStats, WindowOp};
+use crate::cluster::{Cluster, ClusterOptions, DetectorStats, WindowDrain, WindowOp};
 use crate::network::NetworkModel;
 use pbs_mc::{Mergeable, Runner, Summary};
 use pbs_sim::SimTime;
@@ -243,6 +243,9 @@ where
 
     let mut next = engine.window_ms;
     let mut stopped = false;
+    // One drain buffer for the whole run: window plumbing reuses its
+    // capacity instead of allocating per window.
+    let mut drain = WindowDrain::default();
     loop {
         let until = next.min(engine.duration_ms + engine.settle_ms);
         if until >= engine.duration_ms && !stopped {
@@ -252,11 +255,18 @@ where
                 &mut report,
                 engine.window_ms,
                 last_window,
+                &mut drain,
             );
             cluster.stop_clients();
             stopped = true;
         }
-        cluster.drain_and_fold(SimTime::from_ms(until), &mut report, engine.window_ms, last_window);
+        cluster.drain_and_fold(
+            SimTime::from_ms(until),
+            &mut report,
+            engine.window_ms,
+            last_window,
+            &mut drain,
+        );
         if until >= engine.duration_ms + engine.settle_ms {
             break;
         }
@@ -278,18 +288,19 @@ where
 }
 
 impl Cluster {
-    /// [`Cluster::drain_window`] + fold into an [`OpenLoopReport`].
+    /// [`Cluster::drain_window_into`] + fold into an [`OpenLoopReport`].
     fn drain_and_fold(
         &mut self,
         until: SimTime,
         report: &mut OpenLoopReport,
         window_ms: f64,
         last_window: usize,
+        drain: &mut WindowDrain,
     ) {
         if until <= self.now() && self.now() > SimTime::ZERO {
             return; // boundary already drained
         }
-        let drain = self.drain_window(until);
+        self.drain_window_into(until, drain);
         report.peak_pending_events =
             report.peak_pending_events.max(self.pending_events() as u64);
         drain.fold(window_ms, last_window, |idx, item| match item {

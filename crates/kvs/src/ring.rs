@@ -17,10 +17,20 @@ pub fn fnv1a64(bytes: &[u8]) -> u64 {
 
 /// A consistent-hashing ring mapping keys to ordered replica lists
 /// ("preference lists" in Dynamo terms).
+///
+/// Preference lists are **precomputed per ring segment** at construction:
+/// a key's list depends only on which inter-vnode segment its hash lands
+/// in, so [`replicas`](Self::replicas) is a binary search plus a slice
+/// borrow — no allocation and no clockwise walk on the per-operation
+/// path.
 #[derive(Debug, Clone)]
 pub struct Ring {
     /// `(position, node)` pairs sorted by position.
     positions: Vec<(u64, u32)>,
+    /// Flattened preference lists, `replication` entries per vnode
+    /// position: `pref[i * replication ..][.. replication]` is the
+    /// ordered replica list for keys landing on segment `i`.
+    pref: Vec<u32>,
     nodes: u32,
     replication: u32,
 }
@@ -46,7 +56,23 @@ impl Ring {
             }
         }
         positions.sort_unstable();
-        Self { positions, nodes, replication }
+        // Precompute the preference list of every segment: the first
+        // `replication` distinct physical nodes clockwise from each vnode.
+        let mut pref = Vec::with_capacity(positions.len() * replication as usize);
+        for start in 0..positions.len() {
+            let base = pref.len();
+            for i in 0..positions.len() {
+                let (_, node) = positions[(start + i) % positions.len()];
+                if !pref[base..].contains(&node) {
+                    pref.push(node);
+                    if pref.len() - base == replication as usize {
+                        break;
+                    }
+                }
+            }
+            debug_assert_eq!(pref.len() - base, replication as usize);
+        }
+        Self { positions, pref, nodes, replication }
     }
 
     /// Number of physical nodes.
@@ -60,21 +86,12 @@ impl Ring {
     }
 
     /// The ordered preference list for `key`: the first `N` *distinct*
-    /// physical nodes clockwise from the key's position.
-    pub fn replicas(&self, key: u64) -> Vec<u32> {
+    /// physical nodes clockwise from the key's position. Borrowed from the
+    /// precomputed per-segment table — allocation-free.
+    pub fn replicas(&self, key: u64) -> &[u32] {
         let pos = fnv1a64(&key.to_le_bytes());
-        let start = self.positions.partition_point(|&(p, _)| p < pos);
-        let mut out = Vec::with_capacity(self.replication as usize);
-        for i in 0..self.positions.len() {
-            let (_, node) = self.positions[(start + i) % self.positions.len()];
-            if !out.contains(&node) {
-                out.push(node);
-                if out.len() == self.replication as usize {
-                    break;
-                }
-            }
-        }
-        out
+        let start = self.positions.partition_point(|&(p, _)| p < pos) % self.positions.len();
+        &self.pref[start * self.replication as usize..][..self.replication as usize]
     }
 
     /// Whether `node` replicates `key`.
@@ -93,7 +110,7 @@ mod tests {
         for key in 0..500u64 {
             let reps = ring.replicas(key);
             assert_eq!(reps.len(), 3);
-            let mut sorted = reps.clone();
+            let mut sorted = reps.to_vec();
             sorted.sort_unstable();
             sorted.dedup();
             assert_eq!(sorted.len(), 3, "distinct physical nodes");
@@ -114,7 +131,7 @@ mod tests {
     fn full_replication_covers_all_nodes() {
         let ring = Ring::new(4, 8, 4);
         for key in 0..50u64 {
-            let mut reps = ring.replicas(key);
+            let mut reps = ring.replicas(key).to_vec();
             reps.sort_unstable();
             assert_eq!(reps, vec![0, 1, 2, 3]);
         }

@@ -21,8 +21,8 @@
 //!   then label identically to the batch path — labels depend only on the
 //!   committed history at or before the read's start.
 
+use crate::fxhash::FxHashMap;
 use pbs_sim::SimTime;
-use std::collections::HashMap;
 
 /// Cap on the reported versions-behind count; deeper staleness is reported
 /// as this value. Keeps labelling O(staleness) per read instead of
@@ -53,7 +53,7 @@ pub struct ReadLabel {
 /// Ground-truth commit history across all keys.
 #[derive(Debug, Default)]
 pub struct GroundTruth {
-    keys: HashMap<u64, KeyHistory>,
+    keys: FxHashMap<u64, KeyHistory>,
     /// Commits seen by [`ingest_commit`](Self::ingest_commit) but not yet
     /// folded into the per-key histories: `(commit, key, seq)`.
     pending: Vec<(SimTime, u64, u64)>,

@@ -20,7 +20,7 @@ proptest! {
     ) {
         let replication = 1 + key as u32 % nodes;
         let ring = Ring::new(nodes, vnodes, replication);
-        let reps = ring.replicas(key);
+        let reps = ring.replicas(key).to_vec();
         prop_assert_eq!(reps.len(), replication as usize);
         let mut sorted = reps.clone();
         sorted.sort_unstable();

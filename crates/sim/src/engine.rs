@@ -1,8 +1,19 @@
 //! The event loop: actors, messages, timers, and the scheduler.
+//!
+//! # Ordering contract
+//!
+//! Events are delivered in ascending `(time, sequence)` order: the
+//! sequence number is assigned when an event is scheduled, so events with
+//! equal timestamps fire in schedule order (FIFO within equal time), and
+//! an event scheduled mid-drain at the current instant fires after every
+//! earlier-scheduled equal-time event. The contract is a total order,
+//! which is why swapping the scheduler implementation (see [`queue`])
+//! cannot change any seeded run's behaviour.
+//!
+//! [`queue`]: crate::queue
 
+use crate::queue::{EventQueue, SchedulerStats};
 use crate::time::{SimDuration, SimTime};
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 
 /// Index of an actor within a [`Simulation`].
 pub type ActorId = usize;
@@ -36,11 +47,24 @@ pub trait Actor {
 
 /// Handle through which an actor interacts with the simulation during
 /// event processing.
-#[derive(Debug)]
+///
+/// Effects are scheduled **directly** into the event queue (through an
+/// erased sink, so `Context` stays non-generic over the scheduler): no
+/// intermediate outbox buffer, no second copy per message.
 pub struct Context<'a, M> {
     now: SimTime,
     self_id: ActorId,
-    outbox: &'a mut Vec<Outgoing<M>>,
+    actors: usize,
+    queue: &'a mut dyn ScheduleSink<M>,
+}
+
+impl<M> std::fmt::Debug for Context<'_, M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Context")
+            .field("now", &self.now)
+            .field("self_id", &self.self_id)
+            .finish()
+    }
 }
 
 impl<M> Context<'_, M> {
@@ -58,57 +82,42 @@ impl<M> Context<'_, M> {
     /// time. Messages are never reordered relative to equal-time events
     /// scheduled earlier.
     pub fn send(&mut self, to: ActorId, delay_ms: f64, msg: M) {
+        assert!(to < self.actors, "message to unknown actor {to}");
         let at = self.now + SimDuration::from_ms(delay_ms);
-        self.outbox.push(Outgoing { at, to, kind: OutgoingKind::Message { from: self.self_id, msg } });
+        self.queue.schedule_event(at, to, Event::Message { from: self.self_id, msg });
     }
 
     /// Arrange for a [`Event::Timer`] with `tag` to fire on this actor after
     /// `delay_ms`.
     pub fn set_timer(&mut self, delay_ms: f64, tag: u64) {
         let at = self.now + SimDuration::from_ms(delay_ms);
-        self.outbox.push(Outgoing { at, to: self.self_id, kind: OutgoingKind::Timer { tag } });
+        self.queue.schedule_event(at, self.self_id, Event::Timer { tag });
     }
 }
 
-#[derive(Debug)]
-struct Outgoing<M> {
-    at: SimTime,
-    to: ActorId,
-    kind: OutgoingKind<M>,
+/// Object-safe adapter that lets the non-generic [`Context`] schedule into
+/// whichever [`EventQueue`] the simulation runs on.
+trait ScheduleSink<M> {
+    fn schedule_event(&mut self, at: SimTime, to: ActorId, event: Event<M>);
 }
 
-#[derive(Debug)]
-enum OutgoingKind<M> {
-    Message { from: ActorId, msg: M },
-    Timer { tag: u64 },
+impl<M, Q: EventQueue<(ActorId, Event<M>)>> ScheduleSink<M> for Q {
+    #[inline]
+    fn schedule_event(&mut self, at: SimTime, to: ActorId, event: Event<M>) {
+        self.schedule(at, (to, event));
+    }
 }
 
-/// An entry in the scheduler's priority queue.
-struct Scheduled<M> {
-    time: SimTime,
-    seq: u64,
-    target: ActorId,
-    event: Event<M>,
-}
-
-impl<M> PartialEq for Scheduled<M> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl<M> Eq for Scheduled<M> {}
-impl<M> PartialOrd for Scheduled<M> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<M> Ord for Scheduled<M> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reversed: BinaryHeap is a max-heap, we want earliest-first, with
-        // the sequence number as a deterministic tiebreak.
-        (other.time, other.seq).cmp(&(self.time, self.seq))
-    }
-}
+/// The scheduler used by [`Simulation`] unless overridden: the timer
+/// wheel, or the reference binary heap when the `heap-scheduler` feature
+/// is enabled (for A/B benchmarking on identical workloads).
+#[cfg(not(feature = "heap-scheduler"))]
+pub type DefaultQueue<M> = crate::queue::WheelQueue<(ActorId, Event<M>)>;
+/// The scheduler used by [`Simulation`] unless overridden: the timer
+/// wheel, or the reference binary heap when the `heap-scheduler` feature
+/// is enabled (for A/B benchmarking on identical workloads).
+#[cfg(feature = "heap-scheduler")]
+pub type DefaultQueue<M> = crate::queue::HeapQueue<(ActorId, Event<M>)>;
 
 /// A deterministic discrete-event simulation over a homogeneous set of
 /// actors.
@@ -137,13 +146,11 @@ impl<M> Ord for Scheduled<M> {
 /// assert_eq!(sim.actor(a).0, 8 + 4 + 2 + 1);
 /// assert_eq!(sim.now(), SimTime::from_ms(3.0));
 /// ```
-pub struct Simulation<A: Actor> {
+pub struct Simulation<A: Actor, Q = DefaultQueue<<A as Actor>::Msg>> {
     actors: Vec<A>,
-    queue: BinaryHeap<Scheduled<A::Msg>>,
+    queue: Q,
     now: SimTime,
-    seq: u64,
     events_processed: u64,
-    scratch: Vec<Outgoing<A::Msg>>,
 }
 
 impl<A: Actor> Default for Simulation<A> {
@@ -153,16 +160,19 @@ impl<A: Actor> Default for Simulation<A> {
 }
 
 impl<A: Actor> Simulation<A> {
-    /// Empty simulation at time zero.
+    /// Empty simulation at time zero, on the default scheduler.
     pub fn new() -> Self {
-        Self {
-            actors: Vec::new(),
-            queue: BinaryHeap::new(),
-            now: SimTime::ZERO,
-            seq: 0,
-            events_processed: 0,
-            scratch: Vec::new(),
-        }
+        Self::with_queue(DefaultQueue::default())
+    }
+}
+
+impl<A: Actor, Q: EventQueue<(ActorId, Event<A::Msg>)>> Simulation<A, Q> {
+    /// Empty simulation at time zero, scheduling through `queue` — for
+    /// tests and benchmarks that pin a specific scheduler implementation
+    /// (e.g. comparing [`HeapQueue`](crate::queue::HeapQueue) against
+    /// [`WheelQueue`](crate::queue::WheelQueue) on one workload).
+    pub fn with_queue(queue: Q) -> Self {
+        Self { actors: Vec::new(), queue, now: SimTime::ZERO, events_processed: 0 }
     }
 
     /// Register an actor; returns its id.
@@ -196,16 +206,23 @@ impl<A: Actor> Simulation<A> {
         self.events_processed
     }
 
-    /// Timestamp of the next pending event, if any.
-    pub fn peek_next_time(&self) -> Option<SimTime> {
-        self.queue.peek().map(|s| s.time)
+    /// Timestamp of the next pending event, if any. Takes `&mut self`
+    /// because the wheel scheduler materialises its front batch lazily.
+    pub fn peek_next_time(&mut self) -> Option<SimTime> {
+        self.queue.next_time()
     }
 
     /// Number of events currently waiting in the scheduler queue. Open-loop
-    /// drivers use this to verify the heap stays bounded by in-flight work
+    /// drivers use this to verify the queue stays bounded by in-flight work
     /// rather than total trace length.
     pub fn pending_events(&self) -> usize {
         self.queue.len()
+    }
+
+    /// Scheduler counters (pending/peak events, cascades, slot occupancy)
+    /// for the `profile` harness.
+    pub fn scheduler_stats(&self) -> SchedulerStats {
+        self.queue.stats()
     }
 
     /// Inject an external message to `target`, `delay_ms` after the current
@@ -226,35 +243,27 @@ impl<A: Actor> Simulation<A> {
     }
 
     fn push(&mut self, time: SimTime, target: ActorId, event: Event<A::Msg>) {
-        let seq = self.seq;
-        self.seq += 1;
-        self.queue.push(Scheduled { time, seq, target, event });
+        self.queue.schedule(time, (target, event));
     }
 
     /// Process a single event; returns `false` when the queue is empty.
     pub fn step(&mut self) -> bool {
-        let Some(scheduled) = self.queue.pop() else {
+        let Some((time, (target, event))) = self.queue.pop() else {
             return false;
         };
-        debug_assert!(scheduled.time >= self.now, "scheduler went backwards");
-        self.now = scheduled.time;
+        debug_assert!(time >= self.now, "scheduler went backwards");
+        self.now = time;
         self.events_processed += 1;
 
-        let mut outbox = std::mem::take(&mut self.scratch);
-        debug_assert!(outbox.is_empty());
-        {
-            let mut ctx = Context { now: self.now, self_id: scheduled.target, outbox: &mut outbox };
-            self.actors[scheduled.target].on_event(&mut ctx, scheduled.event);
-        }
-        for out in outbox.drain(..) {
-            assert!(out.to < self.actors.len(), "message to unknown actor {}", out.to);
-            let event = match out.kind {
-                OutgoingKind::Message { from, msg } => Event::Message { from, msg },
-                OutgoingKind::Timer { tag } => Event::Timer { tag },
-            };
-            self.push(out.at, out.to, event);
-        }
-        self.scratch = outbox;
+        // Disjoint field borrows: the handler mutates its own actor while
+        // scheduling follow-ups straight into the queue.
+        let mut ctx = Context {
+            now: self.now,
+            self_id: target,
+            actors: self.actors.len(),
+            queue: &mut self.queue,
+        };
+        self.actors[target].on_event(&mut ctx, event);
         true
     }
 
@@ -281,7 +290,7 @@ impl<A: Actor> Simulation<A> {
     }
 }
 
-impl<A: Actor> std::fmt::Debug for Simulation<A> {
+impl<A: Actor, Q: EventQueue<(ActorId, Event<A::Msg>)>> std::fmt::Debug for Simulation<A, Q> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Simulation")
             .field("actors", &self.actors.len())

@@ -11,23 +11,33 @@
 //!
 //! 1. **Determinism** — identical seeds and inputs yield identical event
 //!    orders. Events are ordered by `(time, sequence-number)`; simultaneous
-//!    events fire in schedule order. The kernel owns no RNG: actors sample
+//!    events fire in schedule order (the full contract is spelled out in
+//!    [`queue::EventQueue`]). The kernel owns no RNG: actors sample
 //!    latencies themselves from RNGs they own, so the kernel never
 //!    perturbs randomness.
-//! 2. **Zero `unsafe`, no dependencies** — a binary heap and a virtual
+//! 2. **Zero `unsafe`, no dependencies** — a timer wheel and a virtual
 //!    clock.
-//! 3. **Speed** — the WARS validation runs hundreds of thousands of
-//!    operations; event dispatch is allocation-free in steady state
-//!    (a reusable outbox buffer is recycled between events).
+//! 3. **Speed** — the open-loop engine dispatches millions of events per
+//!    second; scheduling is amortised `O(1)` on a hierarchical timer
+//!    wheel ([`queue::WheelQueue`]) and allocation-free in steady state
+//!    (slot buckets, the sort scratch, and the outbox buffer are all
+//!    recycled between events). The reference binary-heap scheduler is
+//!    kept behind the `heap-scheduler` feature for A/B benchmarking, and
+//!    as the oracle for the wheel's equivalence property tests — the
+//!    two produce **bit-identical** event orders because the ordering
+//!    contract is a total order.
 //!
-//! See [`Simulation`] for the event loop and [`Actor`] for the behaviour
-//! trait.
+//! See [`Simulation`] for the event loop, [`Actor`] for the behaviour
+//! trait, and [`queue`] for the scheduler implementations and their
+//! shared ordering contract.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod queue;
 pub mod time;
 
-pub use engine::{Actor, ActorId, Context, Event, Simulation};
+pub use engine::{Actor, ActorId, Context, DefaultQueue, Event, Simulation};
+pub use queue::{EventQueue, HeapQueue, SchedulerStats, WheelQueue};
 pub use time::{SimDuration, SimTime};

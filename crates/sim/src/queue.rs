@@ -1,0 +1,486 @@
+//! Event-queue implementations behind the simulation scheduler.
+//!
+//! Both queues implement the same **ordering contract** (see
+//! [`EventQueue`]): events are delivered in ascending `(time, sequence)`
+//! order, where the sequence number is assigned at [`schedule`] time. Two
+//! events with equal timestamps therefore fire in the order they were
+//! scheduled (FIFO within equal time), and an event scheduled *while* an
+//! equal-time batch is being drained fires after every member of that
+//! batch that was scheduled earlier. Because the contract is a total
+//! order (sequence numbers are unique), any two correct implementations
+//! deliver bit-identical event sequences — which is what lets the
+//! calendar queue replace the binary heap without perturbing a single
+//! seeded run.
+//!
+//! * [`HeapQueue`] — the reference implementation: a `BinaryHeap` ordered
+//!   by `(time, seq)`. `O(log n)` per operation with large constant
+//!   factors (pointer-heavy sift paths over ~100-byte entries).
+//! * [`WheelQueue`] — a hierarchical timer wheel (calendar queue):
+//!   amortised `O(1)` scheduling and `O(1)` pops, the default scheduler.
+//!   See the type-level docs for the tick/overflow design.
+//!
+//! The `heap-scheduler` cargo feature switches [`Simulation`] back to the
+//! heap so the two can be A/B-benchmarked on identical workloads
+//! (`cargo bench -p pbs-bench --bench open_loop --features
+//! pbs-sim/heap-scheduler`).
+//!
+//! [`schedule`]: EventQueue::schedule
+//! [`Simulation`]: crate::Simulation
+
+use crate::time::SimTime;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Counters describing scheduler behaviour, for the `profile` harness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedulerStats {
+    /// Events currently queued.
+    pub pending: usize,
+    /// High-water mark of `pending`.
+    pub peak_pending: usize,
+    /// Total events ever scheduled (equals the next sequence number).
+    pub scheduled: u64,
+    /// Events redistributed from a higher wheel level to a lower one
+    /// (0 for the heap; each event cascades at most `LEVELS − 1` times).
+    pub cascaded: u64,
+    /// Wheel slots currently occupied (0 for the heap).
+    pub occupied_slots: usize,
+    /// Length of the sorted front batch (0 for the heap).
+    pub ready: usize,
+}
+
+/// A priority queue of timestamped events with FIFO tie-breaking.
+///
+/// The contract every implementation must honour: [`pop`] returns events
+/// in ascending `(time, seq)` order, where `seq` is the number of
+/// [`schedule`] calls that preceded the event's own. Scheduling is only
+/// ever *forward*: callers never schedule below the time of the last
+/// popped event (the simulation clock is monotone).
+///
+/// [`pop`]: EventQueue::pop
+/// [`schedule`]: EventQueue::schedule
+pub trait EventQueue<T>: Default {
+    /// Enqueue `item` to fire at `at`.
+    fn schedule(&mut self, at: SimTime, item: T);
+
+    /// Remove and return the earliest event, or `None` when empty.
+    fn pop(&mut self) -> Option<(SimTime, T)>;
+
+    /// Timestamp of the earliest pending event. Takes `&mut self` because
+    /// the wheel materialises its front batch lazily.
+    fn next_time(&mut self) -> Option<SimTime>;
+
+    /// Events currently queued.
+    fn len(&self) -> usize;
+
+    /// Whether no events are queued.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Scheduler counters (see [`SchedulerStats`]).
+    fn stats(&self) -> SchedulerStats;
+}
+
+struct Entry<T> {
+    time: SimTime,
+    seq: u64,
+    item: T,
+}
+
+impl<T> Entry<T> {
+    #[inline]
+    fn key(&self) -> (SimTime, u64) {
+        (self.time, self.seq)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// HeapQueue: the reference binary-heap scheduler.
+// ---------------------------------------------------------------------------
+
+struct HeapEntry<T>(Entry<T>);
+
+impl<T> PartialEq for HeapEntry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.key() == other.0.key()
+    }
+}
+impl<T> Eq for HeapEntry<T> {}
+impl<T> PartialOrd for HeapEntry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for HeapEntry<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest-first.
+        other.0.key().cmp(&self.0.key())
+    }
+}
+
+/// The reference scheduler: a binary heap ordered by `(time, seq)`.
+///
+/// Kept (a) as the semantic oracle for the wheel's property tests and
+/// (b) selectable via the `heap-scheduler` feature for A/B benchmarks.
+pub struct HeapQueue<T> {
+    heap: BinaryHeap<HeapEntry<T>>,
+    seq: u64,
+    peak: usize,
+}
+
+impl<T> Default for HeapQueue<T> {
+    fn default() -> Self {
+        Self { heap: BinaryHeap::new(), seq: 0, peak: 0 }
+    }
+}
+
+impl<T> HeapQueue<T> {
+    /// Empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl<T> EventQueue<T> for HeapQueue<T> {
+    fn schedule(&mut self, at: SimTime, item: T) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(HeapEntry(Entry { time: at, seq, item }));
+        self.peak = self.peak.max(self.heap.len());
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, T)> {
+        self.heap.pop().map(|HeapEntry(e)| (e.time, e.item))
+    }
+
+    fn next_time(&mut self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.0.time)
+    }
+
+    fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    fn stats(&self) -> SchedulerStats {
+        SchedulerStats {
+            pending: self.heap.len(),
+            peak_pending: self.peak,
+            scheduled: self.seq,
+            ..SchedulerStats::default()
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// WheelQueue: hierarchical timer wheel (calendar queue).
+// ---------------------------------------------------------------------------
+
+/// Tick width: `2^16` ns ≈ 65.5 µs. Events within one tick are ordered
+/// exactly (by their nanosecond timestamps) when the tick is drained.
+const TICK_SHIFT: u32 = 16;
+/// log2(slots per level).
+const LEVEL_BITS: u32 = 6;
+/// Slots per level.
+const SLOTS: usize = 1 << LEVEL_BITS;
+const SLOT_MASK: u64 = SLOTS as u64 - 1;
+/// Levels. `LEVELS × LEVEL_BITS = 48` bits of tick, and ticks are
+/// `nanos >> 16`, so the wheel spans the **entire** `u64` nanosecond
+/// range — there is no overflow list to manage.
+const LEVELS: usize = 8;
+
+/// A hierarchical timer wheel — the default scheduler.
+///
+/// # Design
+///
+/// Time is quantised into `2^16` ns ticks. Eight levels of 64 slots each
+/// hash events by successive 6-bit groups of their tick number, so the
+/// wheel's horizon is `2^48` ticks = the full `u64` nanosecond range; no
+/// separate overflow structure is needed. An event lands at the lowest
+/// level whose 6-bit group differs from the current wheel position
+/// (`O(1)`: one XOR + `leading_zeros`), and cascades toward level 0 as
+/// the wheel's clock reaches its slot — each event moves at most
+/// `LEVELS − 1` times in its life.
+///
+/// The wheel clock does not tick through empty slots: per-level occupancy
+/// bitmaps let [`next_time`](EventQueue::next_time) jump straight to the
+/// next occupied slot. When a level-0 slot (one tick) expires, its events
+/// are sorted by `(time, seq)` — restoring exact sub-tick order — into a
+/// sorted **ready batch**. Events scheduled at or below the ready batch's
+/// tick (zero-delay sends are the common case) are merged into the batch
+/// by binary insertion, which preserves the global delivery order because
+/// monotone sequence numbers place them after every equal-time event
+/// scheduled earlier. Pops are `O(1)` pops off the front of the batch.
+///
+/// Slot vectors and the sort scratch buffer are recycled, so steady-state
+/// scheduling performs no allocation.
+pub struct WheelQueue<T> {
+    /// `LEVELS × SLOTS` unsorted buckets, indexed `level * SLOTS + slot`.
+    slots: Vec<Vec<Entry<T>>>,
+    /// Per-level occupancy bitmap (bit `s` ⇔ slot `s` non-empty).
+    occupancy: [u64; LEVELS],
+    /// The wheel position: tick of the most recently expired slot. All
+    /// queued events in the wheel have ticks strictly greater; events at
+    /// or below it live in `ready`.
+    now_tick: u64,
+    /// Sorted front batch in ascending `(time, seq)` order.
+    ready: VecDeque<Entry<T>>,
+    /// Reusable buffer for slot drains.
+    scratch: Vec<Entry<T>>,
+    len: usize,
+    seq: u64,
+    peak: usize,
+    cascaded: u64,
+}
+
+impl<T> Default for WheelQueue<T> {
+    fn default() -> Self {
+        Self {
+            slots: (0..LEVELS * SLOTS).map(|_| Vec::new()).collect(),
+            occupancy: [0; LEVELS],
+            now_tick: 0,
+            ready: VecDeque::new(),
+            scratch: Vec::new(),
+            len: 0,
+            seq: 0,
+            peak: 0,
+            cascaded: 0,
+        }
+    }
+}
+
+impl<T> WheelQueue<T> {
+    /// Empty queue at tick zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Place an entry: into the sorted ready batch when its tick is at or
+    /// below the wheel position, else into the wheel level addressed by
+    /// the highest differing 6-bit tick group.
+    fn place(&mut self, e: Entry<T>) {
+        let t_tick = e.time.as_nanos() >> TICK_SHIFT;
+        if t_tick <= self.now_tick {
+            // Fast path: a fresh event carries the largest sequence number,
+            // so it belongs at the back unless later-*time* events are
+            // already waiting there.
+            match self.ready.back() {
+                Some(b) if b.key() > e.key() => {
+                    let i = self.ready.partition_point(|x| x.key() < e.key());
+                    self.ready.insert(i, e);
+                }
+                _ => self.ready.push_back(e),
+            }
+        } else {
+            let diff = t_tick ^ self.now_tick;
+            let level = ((63 - diff.leading_zeros()) / LEVEL_BITS) as usize;
+            let shift = LEVEL_BITS * level as u32;
+            let slot = ((t_tick >> shift) & SLOT_MASK) as usize;
+            self.occupancy[level] |= 1 << slot;
+            self.slots[level * SLOTS + slot].push(e);
+        }
+    }
+
+    /// Advance the wheel to the next occupied slot: drain a level-0 slot
+    /// into `ready`, or expand one higher-level slot downward.
+    fn advance(&mut self) {
+        for level in 0..LEVELS {
+            let shift = LEVEL_BITS * level as u32;
+            let pos = ((self.now_tick >> shift) & SLOT_MASK) as u32;
+            // Slots at or after the current position. The slot *at* the
+            // position is always empty (drained when the clock passed it),
+            // so the mask never re-delivers.
+            let occ = self.occupancy[level] & (!0u64 << pos);
+            if occ == 0 {
+                continue; // nothing left at this level's current rotation
+            }
+            let slot = occ.trailing_zeros() as usize;
+            self.occupancy[level] &= !(1u64 << slot);
+            // Absolute tick of the slot's start: keep the bits above this
+            // level, substitute the slot index, zero everything below.
+            let span = shift + LEVEL_BITS;
+            let high = if span >= 64 { 0 } else { (self.now_tick >> span) << span };
+            self.now_tick = high | ((slot as u64) << shift);
+            let idx = level * SLOTS + slot;
+            let mut batch =
+                std::mem::replace(&mut self.slots[idx], std::mem::take(&mut self.scratch));
+            if level == 0 {
+                // One tick's events: restore exact sub-tick order.
+                batch.sort_unstable_by_key(|e| (e.time, e.seq));
+                debug_assert!(self.ready.is_empty());
+                self.ready.extend(batch.drain(..));
+            } else {
+                // Redistribute into lower levels (strictly descends:
+                // every tick in the slot agrees with `now_tick` above
+                // this level's bit group).
+                self.cascaded += batch.len() as u64;
+                for e in batch.drain(..) {
+                    self.place(e);
+                }
+            }
+            self.scratch = batch; // recycle the capacity
+            return;
+        }
+        unreachable!("advance() called with events queued but no occupied slot");
+    }
+
+    fn ensure_ready(&mut self) {
+        while self.ready.is_empty() && self.len > 0 {
+            self.advance();
+        }
+    }
+}
+
+impl<T> EventQueue<T> for WheelQueue<T> {
+    fn schedule(&mut self, at: SimTime, item: T) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.len += 1;
+        self.peak = self.peak.max(self.len);
+        self.place(Entry { time: at, seq, item });
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, T)> {
+        self.ensure_ready();
+        let e = self.ready.pop_front()?;
+        self.len -= 1;
+        Some((e.time, e.item))
+    }
+
+    fn next_time(&mut self) -> Option<SimTime> {
+        self.ensure_ready();
+        self.ready.front().map(|e| e.time)
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn stats(&self) -> SchedulerStats {
+        SchedulerStats {
+            pending: self.len,
+            peak_pending: self.peak,
+            scheduled: self.seq,
+            cascaded: self.cascaded,
+            occupied_slots: self.occupancy.iter().map(|o| o.count_ones() as usize).sum(),
+            ready: self.ready.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: f64) -> SimTime {
+        SimTime::from_ms(ms)
+    }
+
+    fn drain<Q: EventQueue<u32>>(q: &mut Q) -> Vec<(SimTime, u32)> {
+        let mut out = Vec::new();
+        while let Some(e) = q.pop() {
+            out.push(e);
+        }
+        out
+    }
+
+    #[test]
+    fn wheel_orders_by_time_then_fifo() {
+        let mut q = WheelQueue::new();
+        q.schedule(t(5.0), 0);
+        q.schedule(t(1.0), 1);
+        q.schedule(t(5.0), 2);
+        q.schedule(t(0.0), 3);
+        let order: Vec<u32> = drain(&mut q).into_iter().map(|(_, v)| v).collect();
+        assert_eq!(order, [3, 1, 0, 2], "time order, FIFO on ties");
+    }
+
+    #[test]
+    fn wheel_matches_heap_on_mixed_horizons() {
+        // Timestamps spanning sub-tick spacing up to multi-level horizons
+        // (0 ns … 10 min), interleaved with pops.
+        let times_ms = [
+            0.0, 0.000001, 0.0001, 0.07, 0.07, 1.0, 4.2, 4.2, 65.0, 300.0, 300.0, 4_000.0,
+            17_000.0, 300_000.0, 600_000.0,
+        ];
+        let mut wheel = WheelQueue::new();
+        let mut heap = HeapQueue::new();
+        let mut w_out = Vec::new();
+        let mut h_out = Vec::new();
+        for (i, &ms) in times_ms.iter().enumerate() {
+            wheel.schedule(t(ms), i as u32);
+            heap.schedule(t(ms), i as u32);
+            if i % 3 == 2 {
+                w_out.extend(wheel.pop());
+                h_out.extend(heap.pop());
+            }
+        }
+        w_out.extend(drain(&mut wheel));
+        h_out.extend(drain(&mut heap));
+        assert_eq!(w_out, h_out);
+    }
+
+    #[test]
+    fn zero_delay_insert_lands_after_equal_time_batch() {
+        let mut q = WheelQueue::new();
+        for i in 0..4 {
+            q.schedule(t(2.0), i);
+        }
+        assert_eq!(q.pop().map(|(_, v)| v), Some(0));
+        // Scheduled mid-drain at the same instant: fires after 1, 2, 3.
+        q.schedule(t(2.0), 99);
+        let rest: Vec<u32> = drain(&mut q).into_iter().map(|(_, v)| v).collect();
+        assert_eq!(rest, [1, 2, 3, 99]);
+    }
+
+    #[test]
+    fn between_batch_insert_preempts_ready() {
+        let mut q = WheelQueue::new();
+        q.schedule(t(0.0), 0);
+        q.schedule(t(100.0), 1);
+        assert_eq!(q.pop().map(|(_, v)| v), Some(0));
+        // next_time materialises the t=100 batch; an insert *between* the
+        // popped time and the batch must still fire first.
+        assert_eq!(q.next_time(), Some(t(100.0)));
+        q.schedule(t(50.0), 2);
+        q.schedule(t(100.0), 3);
+        let rest: Vec<u32> = drain(&mut q).into_iter().map(|(_, v)| v).collect();
+        assert_eq!(rest, [2, 1, 3]);
+    }
+
+    #[test]
+    fn far_future_spans_all_levels() {
+        // ~3.2 simulated years exercises the top wheel levels.
+        let mut q = WheelQueue::new();
+        q.schedule(SimTime::from_ms(1e11), 0);
+        q.schedule(t(0.5), 1);
+        let out = drain(&mut q);
+        assert_eq!(out[0], (t(0.5), 1));
+        assert_eq!(out[1], (SimTime::from_ms(1e11), 0));
+        assert_eq!(q.stats().pending, 0);
+    }
+
+    #[test]
+    fn max_time_is_representable() {
+        let mut q = WheelQueue::new();
+        q.schedule(SimTime::MAX, 7);
+        q.schedule(SimTime::ZERO, 8);
+        assert_eq!(q.next_time(), Some(SimTime::ZERO));
+        let out = drain(&mut q);
+        assert_eq!(out.last(), Some(&(SimTime::MAX, 7)));
+    }
+
+    #[test]
+    fn stats_track_pending_and_cascades() {
+        let mut q: WheelQueue<u32> = WheelQueue::new();
+        for i in 0..10 {
+            q.schedule(t(1_000.0 + i as f64), i); // beyond level 0 → cascades
+        }
+        assert_eq!(q.stats().pending, 10);
+        assert_eq!(q.stats().scheduled, 10);
+        let _ = drain(&mut q);
+        let s = q.stats();
+        assert_eq!(s.pending, 0);
+        assert!(s.cascaded > 0, "ms-scale timers must cascade");
+        assert_eq!(s.peak_pending, 10);
+    }
+}

@@ -8,8 +8,13 @@
 //!
 //! When the `BENCH_JSON` environment variable names a file, every bench
 //! process additionally appends its results to that file as a JSON
-//! summary (`{"benchmarks": [...]}`), including derived throughput
-//! (elements/sec) — CI uses this to emit machine-readable perf records.
+//! summary (`{"benchmarks": [...], "metrics": [...]}`), including derived
+//! throughput (elements/sec) — CI uses this to emit machine-readable perf
+//! records. Besides timed benchmarks, a bench can publish standalone
+//! scalar facts (peak queue depths, allocation counts, occupancy figures)
+//! through [`record_metric`]; they land in the `metrics` array as
+//! `{"name": ..., "value": ...}` objects instead of being smuggled
+//! through fake timing entries.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -27,6 +32,16 @@ struct BenchRecord {
 }
 
 static RECORDS: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
+static METRICS: Mutex<Vec<(String, f64)>> = Mutex::new(Vec::new());
+
+/// Publish a standalone scalar metric into the `BENCH_JSON` summary's
+/// `metrics` array (no-op on the printed report). Use this for facts that
+/// are not timings — peak queue depths, allocation counts, occupancy —
+/// rather than encoding them into benchmark labels or fake ns/iter
+/// figures.
+pub fn record_metric(name: impl Into<String>, value: f64) {
+    METRICS.lock().expect("metric record lock").push((name.into(), value));
+}
 
 fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
@@ -44,60 +59,80 @@ fn json_escape(s: &str) -> String {
     out
 }
 
-/// Append this process's benchmark results to the file named by the
-/// `BENCH_JSON` environment variable (no-op when unset). Called by
+/// Entry lines of `section` in an existing summary file (our own
+/// line-oriented format: one `    {...}` object per line between the
+/// section header and its closing `  ]`).
+fn existing_entries(existing: &str, section: &str) -> Vec<String> {
+    let header = format!("  \"{section}\": [");
+    let mut out = Vec::new();
+    let mut in_section = false;
+    for line in existing.lines() {
+        if line == header {
+            in_section = true;
+        } else if in_section {
+            if line.starts_with("  ]") {
+                break;
+            }
+            out.push(line.trim_end_matches(',').to_string());
+        }
+    }
+    out
+}
+
+/// Append this process's benchmark results and metrics to the file named
+/// by the `BENCH_JSON` environment variable (no-op when unset). Called by
 /// [`criterion_main!`] after all groups run; safe to call manually.
 ///
-/// The file is this shim's own format — `{"benchmarks": [...]}` — and
-/// appending from several bench processes splices into the existing array
-/// so one summary can aggregate `wars_mc`, `kvs_sim`, etc.
+/// The file is this shim's own format — `{"benchmarks": [...],
+/// "metrics": [...]}` — and appending from several bench processes merges
+/// into the existing arrays so one summary can aggregate `wars_mc`,
+/// `kvs_sim`, etc.
 pub fn write_json_summary() {
     let Ok(path) = std::env::var("BENCH_JSON") else {
         return;
     };
     let records = RECORDS.lock().expect("bench record lock");
-    if records.is_empty() {
+    let metrics = METRICS.lock().expect("metric record lock");
+    if records.is_empty() && metrics.is_empty() {
         return;
     }
-    let entries: Vec<String> = records
-        .iter()
-        .map(|r| {
-            let mut fields = vec![
-                format!("\"label\": \"{}\"", json_escape(&r.label)),
-                format!("\"mean_ns_per_iter\": {:.1}", r.mean_ns),
-                format!("\"iters\": {}", r.iters),
-            ];
-            match r.throughput {
-                Some(Throughput::Elements(n)) => {
-                    fields.push(format!("\"elements_per_iter\": {n}"));
-                    fields.push(format!(
-                        "\"elements_per_sec\": {:.1}",
-                        n as f64 / r.mean_ns * 1e9
-                    ));
-                }
-                Some(Throughput::Bytes(n)) => {
-                    fields.push(format!("\"bytes_per_iter\": {n}"));
-                    fields
-                        .push(format!("\"bytes_per_sec\": {:.1}", n as f64 / r.mean_ns * 1e9));
-                }
-                None => {}
+    let existing = std::fs::read_to_string(&path).unwrap_or_default();
+    let mut bench_entries = existing_entries(&existing, "benchmarks");
+    let mut metric_entries = existing_entries(&existing, "metrics");
+    bench_entries.extend(records.iter().map(|r| {
+        let mut fields = vec![
+            format!("\"label\": \"{}\"", json_escape(&r.label)),
+            format!("\"mean_ns_per_iter\": {:.1}", r.mean_ns),
+            format!("\"iters\": {}", r.iters),
+        ];
+        match r.throughput {
+            Some(Throughput::Elements(n)) => {
+                fields.push(format!("\"elements_per_iter\": {n}"));
+                fields.push(format!("\"elements_per_sec\": {:.1}", n as f64 / r.mean_ns * 1e9));
             }
-            format!("    {{{}}}", fields.join(", "))
-        })
-        .collect();
-    let body = entries.join(",\n");
-    let merged = match std::fs::read_to_string(&path) {
-        // Splice into an existing summary written by an earlier bench
-        // process (our own format: the array closes with "\n  ]\n}").
-        Ok(existing) => match existing.rfind("\n  ]") {
-            Some(idx) => {
-                let (head, tail) = existing.split_at(idx);
-                format!("{head},\n{body}{tail}")
+            Some(Throughput::Bytes(n)) => {
+                fields.push(format!("\"bytes_per_iter\": {n}"));
+                fields.push(format!("\"bytes_per_sec\": {:.1}", n as f64 / r.mean_ns * 1e9));
             }
-            None => format!("{{\n  \"benchmarks\": [\n{body}\n  ]\n}}\n"),
-        },
-        Err(_) => format!("{{\n  \"benchmarks\": [\n{body}\n  ]\n}}\n"),
+            None => {}
+        }
+        format!("    {{{}}}", fields.join(", "))
+    }));
+    metric_entries.extend(metrics.iter().map(|(name, value)| {
+        format!("    {{\"name\": \"{}\", \"value\": {value}}}", json_escape(name))
+    }));
+    let body = |entries: &[String]| {
+        if entries.is_empty() {
+            String::new()
+        } else {
+            format!("\n{}\n  ", entries.join(",\n"))
+        }
     };
+    let merged = format!(
+        "{{\n  \"benchmarks\": [{}],\n  \"metrics\": [{}]\n}}\n",
+        body(&bench_entries),
+        body(&metric_entries),
+    );
     if let Err(e) = std::fs::write(&path, merged) {
         eprintln!("BENCH_JSON: failed to write {path}: {e}");
     }
