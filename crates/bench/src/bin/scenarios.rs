@@ -9,17 +9,25 @@
 //! cargo run --release --bin scenarios -- --scenario latency-spike --trials 64 --seed 7
 //! cargo run --release --bin scenarios -- --list
 //! cargo run --release --bin scenarios -- --scenario diurnal-load --format csv
+//! cargo run --release --bin scenarios -- --scenario buggify-storm --chaos --seed 7
 //! ```
 //!
 //! `--trials` is the number of **whole-scenario replica runs** (sharded
 //! deterministically over `--threads`; bit-reproducible per
 //! `(seed, threads)`), not per-point Monte-Carlo trials.
+//!
+//! `--chaos` turns the run into a checked chaos run: a seeded buggify
+//! storm is installed (unless the scenario carries its own profile), the
+//! full op history is recorded, and the offline checker replays it
+//! against the streaming session counters and online staleness labels.
+//! The process exits nonzero if any cross-check fails — the CI smoke
+//! gate.
 
 use pbs_bench::{cli, report};
 use pbs_scenario::{run_scenario_sharded, Scenario, ScenarioRun, WindowRecord};
 
 const KNOWN: &[&str] = &[
-    "scenario", "trials", "seed", "threads", "format", "adaptive", "list", "quick",
+    "scenario", "trials", "seed", "threads", "format", "adaptive", "list", "quick", "chaos",
 ];
 
 fn fmt_opt(v: Option<f64>, digits: usize) -> String {
@@ -156,14 +164,30 @@ fn print_json(scenario: &Scenario, run: &ScenarioRun) {
             )
         })
         .collect();
+    let check = match &run.check {
+        Some(c) => format!(
+            "{{\"clean\":{},\"reads_checked\":{},\"monotonic\":{},\"ryw\":{},\
+             \"labelled_reads\":{},\"stale_reads\":{},\"mismatches\":{}}}",
+            c.is_clean(),
+            c.sessions.reads_checked,
+            c.sessions.monotonic_violations,
+            c.sessions.ryw_violations,
+            c.labels.labelled_reads,
+            c.labels.stale_reads,
+            c.labels.mismatches,
+        ),
+        None => "null".into(),
+    };
     println!(
         "{{\"scenario\":\"{}\",\"runs\":{},\"stationary_tracking_error\":{},\
-         \"windows\":[{}],\"reconfigs\":[{}]}}",
+         \"windows\":[{}],\"reconfigs\":[{}],\"check\":{},\"event_errors\":{}}}",
         run.name,
         run.runs,
         json_f64(run.stationary_tracking_error(scenario)),
         windows.join(","),
         reconfigs.join(","),
+        check,
+        run.event_errors,
     );
 }
 
@@ -202,6 +226,13 @@ fn main() {
     if let Some(adaptive) = args.parsed::<bool>("adaptive") {
         scenario.control.adaptive = adaptive;
     }
+    let chaos = args.flag("chaos");
+    if chaos {
+        if scenario.fault_profile.is_none() {
+            scenario.fault_profile = Some(pbs_kvs::FaultProfile::storm(seed));
+        }
+        scenario.check_history = true;
+    }
     let format = args.value_of("format").unwrap_or("table");
 
     if format == "table" {
@@ -238,6 +269,46 @@ fn main() {
         other => {
             eprintln!("unknown --format {other:?} (supported: table csv json)");
             std::process::exit(2);
+        }
+    }
+
+    if let Some(check) = run.check {
+        if format == "table" {
+            report::header("History checker (offline oracle vs. streaming machinery)");
+            let s = check.sessions;
+            println!(
+                "  session replay : {} reads, {} monotonic / {} RYW violations \
+                 (streaming: {} reads, {} / {}) — {}",
+                s.reads_checked,
+                s.monotonic_violations,
+                s.ryw_violations,
+                s.streaming_reads_checked,
+                s.streaming_monotonic,
+                s.streaming_ryw,
+                if s.agrees() { "AGREE" } else { "DISAGREE" },
+            );
+            let l = check.labels;
+            println!(
+                "  label recount  : {} labelled reads, {} stale, {} mismatches",
+                l.labelled_reads, l.stale_reads, l.mismatches
+            );
+            if let Some(c) = check.convergence {
+                println!(
+                    "  convergence    : {} keys, {} divergent, {} stale replicas — {}",
+                    c.keys_checked,
+                    c.divergent_keys,
+                    c.stale_replicas,
+                    if c.converged() { "CONVERGED" } else { "DIVERGED" },
+                );
+            }
+            println!("  event errors   : {}", run.event_errors);
+        }
+        if !check.is_clean() || run.event_errors > 0 {
+            eprintln!(
+                "history checker FAILED: {check:?} (event errors: {})",
+                run.event_errors
+            );
+            std::process::exit(1);
         }
     }
 }

@@ -1,0 +1,433 @@
+//! Jepsen-style offline history checking: an independent oracle for the
+//! streaming consistency machinery.
+//!
+//! The open-loop engine labels staleness *online* (watermark-fed
+//! [`GroundTruth`]) and counts session-guarantee violations *streaming*
+//! (per-client state updated in completion order). Both are clever enough
+//! to be wrong. This module re-derives every verdict from first
+//! principles over a recorded [`OpHistory`]:
+//!
+//! * [`replay_sessions`] — rebuild each client's per-key session state
+//!   from the history alone and recount monotonic-reads / read-your-writes
+//!   violations (§3.2); the counts must equal the streaming counters
+//!   exactly.
+//! * [`relabel_reads`] — rebuild the commit history from the recorded
+//!   writes (batch path, no watermark), relabel every read, and compare
+//!   against the online labels; any mismatch is a bug in the watermark
+//!   plumbing.
+//! * [`check_convergence`] — after quiescence, every live replica of every
+//!   written key must hold the same version, at least as new as the
+//!   newest committed one (read repair + hinted handoff + anti-entropy
+//!   actually converged).
+//!
+//! The checker is a test/diagnostic harness: recording a history is
+//! O(operations) memory, deliberately trading the engine's O(in-flight)
+//! discipline for auditability. Enable it with
+//! [`Cluster::enable_history`](crate::Cluster::enable_history) (done for
+//! you by [`run_open_loop_checked`](crate::run_open_loop_checked) and the
+//! `scenarios --chaos` bench mode).
+
+use crate::client::{ClientStats, CompletedOp};
+use crate::cluster::Cluster;
+use crate::fxhash::FxHashMap;
+use crate::staleness::{GroundTruth, ReadLabel};
+use pbs_mc::Mergeable;
+use pbs_sim::SimTime;
+use pbs_workload::OpKind;
+
+/// One operation as recorded for offline checking.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistoryOp {
+    /// The completed operation (timed-out ops appear with `finish: None`).
+    pub op: CompletedOp,
+    /// The online staleness label (labelled reads only).
+    pub label: Option<ReadLabel>,
+}
+
+/// The full recorded op history of a run, in drain order (which preserves
+/// each client's completion order — the order session guarantees are
+/// defined over).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct OpHistory {
+    ops: Vec<HistoryOp>,
+}
+
+impl OpHistory {
+    /// Empty history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append one recorded operation.
+    pub fn push(&mut self, op: CompletedOp, label: Option<ReadLabel>) {
+        self.ops.push(HistoryOp { op, label });
+    }
+
+    /// The recorded operations, in drain order.
+    pub fn ops(&self) -> &[HistoryOp] {
+        &self.ops
+    }
+
+    /// Number of recorded operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+/// Offline session-guarantee recount vs. the streaming counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionCheck {
+    /// Reads the offline replay checked (completed reads only).
+    pub reads_checked: u64,
+    /// Monotonic-reads violations found by the offline replay.
+    pub monotonic_violations: u64,
+    /// Read-your-writes violations found by the offline replay.
+    pub ryw_violations: u64,
+    /// Streaming counterpart of `reads_checked`.
+    pub streaming_reads_checked: u64,
+    /// Streaming counterpart of `monotonic_violations`.
+    pub streaming_monotonic: u64,
+    /// Streaming counterpart of `ryw_violations`.
+    pub streaming_ryw: u64,
+}
+
+impl SessionCheck {
+    /// Whether the offline replay and the streaming counters agree on all
+    /// three counts.
+    pub fn agrees(&self) -> bool {
+        self.reads_checked == self.streaming_reads_checked
+            && self.monotonic_violations == self.streaming_monotonic
+            && self.ryw_violations == self.streaming_ryw
+    }
+}
+
+/// Offline relabelling vs. the online staleness labels.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LabelCheck {
+    /// Reads that carried an online label and were relabelled.
+    pub labelled_reads: u64,
+    /// Reads whose offline label disagreed with the online one.
+    pub mismatches: u64,
+    /// Reads the offline relabelling found inconsistent (stale).
+    pub stale_reads: u64,
+}
+
+/// Post-quiescence replica agreement per written key.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConvergenceCheck {
+    /// Keys with at least one committed write.
+    pub keys_checked: u64,
+    /// Keys whose live replicas disagree with each other.
+    pub divergent_keys: u64,
+    /// Live replicas holding something older than the newest committed
+    /// version of their key.
+    pub stale_replicas: u64,
+}
+
+impl ConvergenceCheck {
+    /// Whether every live replica of every written key agreed and was
+    /// at least as new as the newest committed version.
+    pub fn converged(&self) -> bool {
+        self.divergent_keys == 0 && self.stale_replicas == 0
+    }
+}
+
+/// The combined verdict of one checked run (mergeable across shards).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CheckReport {
+    /// Session-guarantee recount.
+    pub sessions: SessionCheck,
+    /// Staleness-label recount.
+    pub labels: LabelCheck,
+    /// Replica convergence (when requested — only meaningful after the
+    /// run has quiesced with faults cleared).
+    pub convergence: Option<ConvergenceCheck>,
+    /// Runs merged into this report.
+    pub runs: u32,
+}
+
+impl CheckReport {
+    /// Whether every cross-check passed: streaming and offline session
+    /// counts agree, no label mismatches, and (when checked) replicas
+    /// converged. Violations themselves do **not** make a report unclean
+    /// — under injected faults violations are expected; the checker's job
+    /// is that both derivations agree on them.
+    pub fn is_clean(&self) -> bool {
+        self.sessions.agrees()
+            && self.labels.mismatches == 0
+            && self.convergence.is_none_or(|c| c.converged())
+    }
+}
+
+impl Mergeable for CheckReport {
+    fn merge(&mut self, other: Self) {
+        let s = &mut self.sessions;
+        s.reads_checked += other.sessions.reads_checked;
+        s.monotonic_violations += other.sessions.monotonic_violations;
+        s.ryw_violations += other.sessions.ryw_violations;
+        s.streaming_reads_checked += other.sessions.streaming_reads_checked;
+        s.streaming_monotonic += other.sessions.streaming_monotonic;
+        s.streaming_ryw += other.sessions.streaming_ryw;
+        self.labels.labelled_reads += other.labels.labelled_reads;
+        self.labels.mismatches += other.labels.mismatches;
+        self.labels.stale_reads += other.labels.stale_reads;
+        self.convergence = match (self.convergence, other.convergence) {
+            (Some(mut a), Some(b)) => {
+                a.keys_checked += b.keys_checked;
+                a.divergent_keys += b.divergent_keys;
+                a.stale_replicas += b.stale_replicas;
+                Some(a)
+            }
+            (a, b) => a.or(b),
+        };
+        self.runs += other.runs;
+    }
+}
+
+/// Recount session-guarantee violations from the history alone and
+/// compare against the streaming totals (`streaming` should be the
+/// cluster-wide [`ClientStats`] sum).
+///
+/// The replay mirrors the streaming rules exactly: per `(client, key)`,
+/// in completion order; timed-out operations don't touch session state;
+/// a write advances the read-your-writes floor only once committed; an
+/// empty read counts as sequence 0.
+pub fn replay_sessions(history: &OpHistory, streaming: &ClientStats) -> SessionCheck {
+    let mut last_read: FxHashMap<(u32, u64), u64> = FxHashMap::default();
+    let mut last_write: FxHashMap<(u32, u64), u64> = FxHashMap::default();
+    let mut check = SessionCheck {
+        streaming_reads_checked: streaming.reads_checked,
+        streaming_monotonic: streaming.monotonic_violations,
+        streaming_ryw: streaming.ryw_violations,
+        ..SessionCheck::default()
+    };
+    for h in history.ops() {
+        let op = &h.op;
+        if op.finish.is_none() {
+            continue; // timed out: the client never saw a result
+        }
+        let session = (op.client, op.key);
+        match op.kind {
+            OpKind::Write => {
+                if op.commit.is_some() {
+                    let seq = op.seq.expect("completed writes carry their sequence");
+                    let floor = last_write.entry(session).or_insert(0);
+                    *floor = (*floor).max(seq);
+                }
+            }
+            OpKind::Read => {
+                let seen = op.seq.unwrap_or(0);
+                check.reads_checked += 1;
+                if seen < last_read.get(&session).copied().unwrap_or(0) {
+                    check.monotonic_violations += 1;
+                }
+                if seen < last_write.get(&session).copied().unwrap_or(0) {
+                    check.ryw_violations += 1;
+                }
+                let floor = last_read.entry(session).or_insert(0);
+                *floor = (*floor).max(seen);
+            }
+        }
+    }
+    check
+}
+
+/// Rebuild the commit history from the recorded writes and relabel every
+/// online-labelled read through the batch [`GroundTruth`] path — no
+/// watermark, no windowing. Any disagreement with the online label is a
+/// mismatch (a bug in the online machinery, never an artefact of faults:
+/// both derivations see the same committed writes).
+pub fn relabel_reads(history: &OpHistory) -> LabelCheck {
+    let mut commits: Vec<(SimTime, u64, u64)> = history
+        .ops()
+        .iter()
+        .filter_map(|h| {
+            let op = &h.op;
+            match (op.kind, op.commit) {
+                (OpKind::Write, Some(ct)) => {
+                    Some((ct, op.key, op.seq.expect("committed writes carry their sequence")))
+                }
+                _ => None,
+            }
+        })
+        .collect();
+    // Stable sort: equal commit times keep recorded (event) order, the
+    // same tie-break the online ingestion path uses.
+    commits.sort_by_key(|&(t, _, _)| t);
+    let mut gt = GroundTruth::new();
+    for (commit, key, seq) in commits {
+        gt.record_commit(key, seq, commit);
+    }
+    let mut check = LabelCheck::default();
+    for h in history.ops() {
+        let (op, Some(online)) = (&h.op, h.label) else {
+            continue;
+        };
+        debug_assert_eq!(op.kind, OpKind::Read, "only reads carry labels");
+        check.labelled_reads += 1;
+        let offline = gt.label_read(op.key, op.start, op.seq);
+        if !offline.consistent {
+            check.stale_reads += 1;
+        }
+        if offline != online {
+            check.mismatches += 1;
+        }
+    }
+    check
+}
+
+/// Verify that, after quiescence, all live replicas of every written key
+/// agree — and agree on something at least as new as the newest committed
+/// version. Only meaningful once in-flight traffic has drained and any
+/// fault profile has been cleared long enough for anti-entropy to run;
+/// with active message drops, divergence is expected, not a bug.
+pub fn check_convergence(cluster: &Cluster) -> ConvergenceCheck {
+    let gt = cluster.ground_truth();
+    let mut check = ConvergenceCheck::default();
+    for key in gt.tracked_keys() {
+        let latest = gt.latest_committed_at(key, SimTime::MAX).unwrap_or(0);
+        let stored: Vec<u64> = cluster
+            .replicas_of(key)
+            .into_iter()
+            .filter(|&n| !cluster.node(n).is_down())
+            .map(|n| cluster.node(n).stored_version(key).map_or(0, |v| v.seq))
+            .collect();
+        let Some(&first) = stored.first() else {
+            continue; // every replica down: nothing to compare
+        };
+        check.keys_checked += 1;
+        if stored.iter().any(|&s| s != first) {
+            check.divergent_keys += 1;
+        }
+        check.stale_replicas += stored.iter().filter(|&&s| s < latest).count() as u64;
+    }
+    check
+}
+
+/// Run every offline check against a finished cluster: session replay vs.
+/// the streaming counters, label recount, and (optionally) convergence.
+pub fn check_run(history: &OpHistory, cluster: &Cluster, convergence: bool) -> CheckReport {
+    let streaming = cluster.client_stats();
+    CheckReport {
+        sessions: replay_sessions(history, &streaming),
+        labels: relabel_reads(history),
+        convergence: convergence.then(|| check_convergence(cluster)),
+        runs: 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: f64) -> SimTime {
+        SimTime::from_ms(ms)
+    }
+
+    fn write(client: u32, key: u64, seq: u64, start: f64, commit: Option<f64>) -> CompletedOp {
+        CompletedOp {
+            op_id: seq,
+            client,
+            kind: OpKind::Write,
+            key,
+            start: t(start),
+            finish: commit.map(t),
+            seq: Some(seq),
+            commit: commit.map(t),
+        }
+    }
+
+    fn read(client: u32, key: u64, seq: Option<u64>, start: f64, finish: f64) -> CompletedOp {
+        CompletedOp {
+            op_id: 1_000 + start as u64,
+            client,
+            kind: OpKind::Read,
+            key,
+            start: t(start),
+            finish: Some(t(finish)),
+            seq,
+            commit: None,
+        }
+    }
+
+    #[test]
+    fn session_replay_counts_violations_per_client() {
+        let mut h = OpHistory::new();
+        h.push(write(0, 1, 1, 0.0, Some(1.0)), None);
+        h.push(read(0, 1, Some(1), 2.0, 3.0), None); // fine
+        h.push(read(0, 1, None, 4.0, 5.0), None); // MR + RYW violation
+        h.push(read(1, 1, None, 4.0, 5.0), None); // other client: no state, fine
+        let streaming = ClientStats {
+            reads_checked: 3,
+            monotonic_violations: 1,
+            ryw_violations: 1,
+            ..ClientStats::default()
+        };
+        let check = replay_sessions(&h, &streaming);
+        assert_eq!(check.reads_checked, 3);
+        assert_eq!(check.monotonic_violations, 1);
+        assert_eq!(check.ryw_violations, 1);
+        assert!(check.agrees());
+        let off = replay_sessions(&h, &ClientStats::default());
+        assert!(!off.agrees(), "disagreement with zeroed streaming counters is detected");
+    }
+
+    #[test]
+    fn session_replay_skips_timeouts_and_uncommitted_writes() {
+        let mut h = OpHistory::new();
+        h.push(write(0, 1, 5, 0.0, None), None); // failed write: no RYW floor
+        let mut timed_out = read(0, 1, None, 1.0, 0.0);
+        timed_out.finish = None;
+        timed_out.seq = None;
+        h.push(timed_out, None); // timed out: not checked
+        h.push(read(0, 1, None, 2.0, 3.0), None); // empty read, no floor: fine
+        let check = replay_sessions(&h, &ClientStats::default());
+        assert_eq!(check.reads_checked, 1);
+        assert_eq!(check.monotonic_violations, 0);
+        assert_eq!(check.ryw_violations, 0);
+    }
+
+    #[test]
+    fn relabel_matches_correct_online_labels_and_flags_wrong_ones() {
+        let consistent = ReadLabel { consistent: true, versions_behind: 0 };
+        let stale1 = ReadLabel { consistent: false, versions_behind: 1 };
+        let mut h = OpHistory::new();
+        h.push(write(0, 7, 1, 0.0, Some(10.0)), None);
+        h.push(write(0, 7, 2, 11.0, Some(20.0)), None);
+        h.push(read(1, 7, Some(2), 25.0, 26.0), Some(consistent));
+        h.push(read(1, 7, Some(1), 25.0, 26.0), Some(stale1));
+        let check = relabel_reads(&h);
+        assert_eq!(check.labelled_reads, 2);
+        assert_eq!(check.stale_reads, 1);
+        assert_eq!(check.mismatches, 0);
+
+        // Corrupt an online label: the offline pass must catch it.
+        let mut bad = OpHistory::new();
+        bad.push(write(0, 7, 1, 0.0, Some(10.0)), None);
+        bad.push(read(1, 7, None, 15.0, 16.0), Some(consistent));
+        let check = relabel_reads(&bad);
+        assert_eq!(check.mismatches, 1);
+    }
+
+    #[test]
+    fn merged_reports_sum() {
+        let mut a = CheckReport {
+            sessions: SessionCheck { reads_checked: 2, streaming_reads_checked: 2, ..Default::default() },
+            labels: LabelCheck { labelled_reads: 2, ..Default::default() },
+            convergence: Some(ConvergenceCheck { keys_checked: 3, ..Default::default() }),
+            runs: 1,
+        };
+        let b = a;
+        a.merge(b);
+        assert_eq!(a.runs, 2);
+        assert_eq!(a.sessions.reads_checked, 4);
+        assert_eq!(a.labels.labelled_reads, 4);
+        assert_eq!(a.convergence.unwrap().keys_checked, 6);
+        assert!(a.is_clean());
+    }
+}

@@ -18,6 +18,7 @@
 //!   incrementally. Memory is bounded by in-flight work, never by
 //!   workload length.
 
+use crate::checker::OpHistory;
 use crate::client::{ClientActor, ClientOptions, ClientStats, CompletedOp};
 use crate::fxhash::FxHashMap;
 use crate::messages::Msg;
@@ -326,6 +327,10 @@ pub struct Cluster {
     clients_started: bool,
     ground_truth: GroundTruth,
     detector: DetectorTracker,
+    /// Recorded op history for the offline [`checker`](crate::checker)
+    /// (None = recording off, the default: the open-loop engine's
+    /// O(in-flight) memory story is preserved unless a checker asks).
+    history: Option<OpHistory>,
     /// Reusable window-drain buffers (completed ops, detector events) so
     /// the per-window plumbing performs no steady-state allocation.
     drain_scratch: Vec<CompletedOp>,
@@ -402,6 +407,7 @@ impl Cluster {
             clients_started: false,
             ground_truth: GroundTruth::new(),
             detector: DetectorTracker::default(),
+            history: None,
             drain_scratch: Vec::new(),
             detector_scratch: Vec::new(),
         }
@@ -423,10 +429,41 @@ impl Cluster {
     }
 
     /// The cluster's network model. Its dynamic-condition methods
-    /// (partitions, link faults, regime swaps) take `&self`, so faults can
-    /// be injected mid-run: `cluster.network().partition(vec![0, 0, 1])`.
+    /// (partitions, link faults, regime swaps, buggify fault profiles)
+    /// take `&self`, so faults can be injected mid-run:
+    /// `cluster.network().partition(vec![0, 0, 1])` — or, with explicit
+    /// length checking, `cluster.network().try_partition(groups,
+    /// cluster.node_count())`.
     pub fn network(&self) -> &NetworkModel {
         &self.net
+    }
+
+    /// Number of storage nodes (client actors excluded).
+    pub fn node_count(&self) -> usize {
+        self.opts.nodes as usize
+    }
+
+    /// The current replica set of `key`, as node indices.
+    pub fn replicas_of(&self, key: u64) -> Vec<usize> {
+        self.ring.replicas(key).iter().map(|&n| n as usize).collect()
+    }
+
+    /// Start recording every completed operation (and its online label)
+    /// into an [`OpHistory`] for the offline [`checker`](crate::checker).
+    /// Costs O(operations) memory — a deliberate trade for auditability;
+    /// leave it off for long measurement runs.
+    pub fn enable_history(&mut self) {
+        self.history.get_or_insert_with(OpHistory::new);
+    }
+
+    /// Take the recorded history (recording continues into a fresh one if
+    /// it was enabled). Returns an empty history when recording was never
+    /// enabled.
+    pub fn take_history(&mut self) -> OpHistory {
+        match self.history.as_mut() {
+            Some(h) => std::mem::take(h),
+            None => OpHistory::new(),
+        }
     }
 
     /// Apply a new `(N, R, W)` configuration to the **running** cluster
@@ -568,6 +605,24 @@ impl Cluster {
         };
         if let Some(ct) = commit {
             self.ground_truth.record_commit(key, seq, ct);
+            // A recorded history must contain every commit the online
+            // ground truth saw, or the offline relabelling would diverge
+            // on reads racing seed data. Blocking ops carry the client
+            // sentinel `u32::MAX`, which never collides with an open-loop
+            // client index.
+            if let Some(history) = self.history.as_mut() {
+                let op = CompletedOp {
+                    op_id,
+                    client: u32::MAX,
+                    kind: OpKind::Write,
+                    key,
+                    start,
+                    finish: Some(ct),
+                    seq: Some(seq),
+                    commit: Some(ct),
+                };
+                history.push(op, None);
+            }
         }
         WriteOutcome { op_id, key, seq, start, commit }
     }
@@ -752,6 +807,24 @@ impl Cluster {
                     self.detector.observe_read(op.op_id, l.consistent, until + grace);
                 }
                 drain.reads.push(OpenRead { op: *op, label });
+            }
+        }
+        // Pass 3 (only when a checker asked): append the window to the
+        // offline history, pairing each read with the label pass 2 just
+        // produced. Drain order preserves each client's completion order,
+        // which is the order session guarantees are defined over.
+        if let Some(history) = self.history.as_mut() {
+            let mut next_read = 0;
+            for op in &ops {
+                match op.kind {
+                    OpKind::Write => history.push(*op, None),
+                    OpKind::Read => {
+                        let labelled = &drain.reads[next_read];
+                        next_read += 1;
+                        debug_assert_eq!(labelled.op.op_id, op.op_id);
+                        history.push(*op, labelled.label);
+                    }
+                }
             }
         }
         ops.clear();
@@ -949,6 +1022,46 @@ mod tests {
             Some(1),
             "hint delivered after recovery"
         );
+    }
+
+    #[test]
+    fn hints_coalesce_and_expire_past_the_op_timeout() {
+        // Regression for the write-state hinting leak: a permanently
+        // crashed replica used to accumulate one hint per timed-out write,
+        // rebroadcast on every flush, forever. Hints for the same
+        // (target, key) must coalesce, and the GC sweep must expire hints
+        // whose target stays unreachable past the op-timeout horizon.
+        let mut opts = ClusterOptions::validation(cfg(3, 1, 1), 9);
+        opts.hinted_handoff = true;
+        opts.hint_timeout_ms = 50.0;
+        opts.hint_flush_interval_ms = 100.0;
+        opts.op_timeout_ms = 1_000.0;
+        let mut cluster = Cluster::new(opts, NetworkModel::w_ars(
+            Arc::new(Constant::new(1.0)),
+            Arc::new(Constant::new(1.0)),
+        ));
+        let key = 3u64;
+        let victim = cluster.ring().replicas(key)[2] as usize;
+        cluster.crash_node_at(victim, SimTime::from_ms(0.0), 60_000.0);
+        cluster.advance_to(SimTime::from_ms(1.0));
+        let coord = (victim + 1) % 3;
+        let w1 = cluster.write_from(coord, key);
+        let w2 = cluster.write_from(coord, key);
+        assert!(w1.commit.is_some() && w2.commit.is_some(), "W=1 commits");
+        // Both write timeouts hint the same missed replica and key: one
+        // coalesced hint carrying the newer version, not two.
+        cluster.advance_to(SimTime::from_ms(500.0));
+        assert_eq!(cluster.node(coord).hint_count(), 1, "hints coalesced");
+        assert_eq!(cluster.node(coord).hints_expired, 0);
+        // The target stays down past the op-timeout sweep: the hint is
+        // garbage-collected rather than re-flushed forever.
+        cluster.advance_to(SimTime::from_ms(2_500.0));
+        assert_eq!(cluster.node(coord).hint_count(), 0, "hint expired by GC");
+        assert!(cluster.node(coord).hints_expired >= 1);
+        // Recovery long after the horizon: no stale hint arrives; healing
+        // is anti-entropy's job now (disabled here, so the key is absent).
+        cluster.advance_to(SimTime::from_ms(61_000.0));
+        assert_eq!(cluster.node(victim).stored_version(key), None);
     }
 
     #[test]

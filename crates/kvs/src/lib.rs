@@ -25,6 +25,12 @@
 //!   `N − R` late read responses against the returned value and log
 //!   potential staleness, with ground-truth labelling to measure the false
 //!   positive rate.
+//! * **Buggify fault injection** — a seed-driven [`buggify::FaultProfile`]
+//!   installed on the [`NetworkModel`] drops, duplicates, reorders, and
+//!   slows messages, lags replica disk applies, and skews per-node protocol
+//!   clocks, all bit-reproducibly; the [`checker`] module replays recorded
+//!   op histories as an independent oracle for the streaming session
+//!   guarantees, the online staleness labels, and replica convergence.
 //!
 //! Ground-truth staleness comes from [`staleness::GroundTruth`]: the harness
 //! records every commit (version, commit time) and labels every read against
@@ -45,6 +51,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod buggify;
+pub mod checker;
 pub mod client;
 pub mod cluster;
 pub mod experiments;
@@ -58,6 +66,8 @@ pub mod ring;
 pub mod staleness;
 pub mod version;
 
+pub use buggify::{Delivery, FaultConfigError, FaultProfile};
+pub use checker::{CheckReport, ConvergenceCheck, LabelCheck, OpHistory, SessionCheck};
 pub use client::{ClientActor, ClientOptions, ClientStats, CompletedOp};
 pub use cluster::{
     Cluster, ClusterOptions, DetectorStats, OpenRead, ReadOutcome, WindowDrain, WindowOp,
@@ -66,8 +76,8 @@ pub use cluster::{
 pub use network::{LinkFault, NetworkModel};
 pub use node::{DownTracker, SeqAllocator};
 pub use openloop::{
-    run_open_loop, run_open_loop_sharded, run_open_loop_with, OpenLoopOptions, OpenLoopReport,
-    OpenWindow,
+    run_open_loop, run_open_loop_checked, run_open_loop_sharded, run_open_loop_with,
+    OpenLoopOptions, OpenLoopReport, OpenWindow,
 };
 pub use ring::Ring;
 pub use version::{CausalOrder, VectorClock, Version};

@@ -48,6 +48,21 @@ pub enum Msg {
         /// Where to send the ack.
         coordinator: ActorId,
     },
+    // ----- replica → itself (fault injection) -----
+    /// A [`Msg::ReplicaWrite`] apply deferred by buggify disk lag: the
+    /// replica re-delivers the write to itself after the lag and only then
+    /// applies it and acks the coordinator. Lost if the replica crashes
+    /// before the lag elapses — exactly like an fsync that never happened.
+    DiskApply {
+        /// Operation id.
+        op_id: u64,
+        /// Target key.
+        key: u64,
+        /// Version being installed.
+        version: Version,
+        /// Where to send the ack.
+        coordinator: ActorId,
+    },
     /// Replica-level read.
     ReplicaRead {
         /// Operation id.

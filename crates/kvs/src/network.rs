@@ -1,12 +1,21 @@
 //! The network latency model: per-leg WARS distributions, optional
 //! datacenter topology, and **dynamic conditions** (partitions, per-link
-//! faults, latency-regime changes) that can be altered while a cluster is
-//! running — the substrate for `pbs-scenario`'s fault/load timelines.
+//! faults, latency-regime changes, and buggify [`FaultProfile`]s) that can
+//! be altered while a cluster is running — the substrate for
+//! `pbs-scenario`'s fault/load timelines.
 
+use crate::buggify::{Delivery, FaultConfigError, FaultProfile};
 use pbs_dist::DynDistribution;
+use pbs_sim::SkewedClock;
 use rand::RngCore;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, RwLock};
+
+/// Uniform draw in `[0, 1)` matching the `rand` shim's `Standard` f64
+/// layout, usable through `dyn RngCore`.
+fn unit(rng: &mut dyn RngCore) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
 
 /// Which WARS leg a message travels.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -62,6 +71,8 @@ struct Conditions {
     partition: Vec<u32>,
     /// Active per-link faults (checked in order; all matches apply).
     link_faults: Vec<LinkFault>,
+    /// Installed buggify fault profile; `None` = no injected faults.
+    faults: Option<FaultProfile>,
 }
 
 /// One-way message delays for the simulated cluster.
@@ -154,7 +165,8 @@ impl NetworkModel {
         let active = c.legs.is_some()
             || c.leg_scale.is_some()
             || !c.partition.is_empty()
-            || !c.link_faults.is_empty();
+            || !c.link_faults.is_empty()
+            || c.faults.is_some();
         self.dynamic_active.store(active, Ordering::Relaxed);
     }
 
@@ -194,10 +206,28 @@ impl NetworkModel {
 
     /// Install a network partition: `groups[node]` assigns each node to a
     /// partition group, and every message between nodes in *different*
-    /// groups is silently dropped (nodes beyond `groups.len()` fall into
-    /// group 0). Replaces any existing partition.
+    /// groups is silently dropped. Replaces any existing partition.
+    ///
+    /// **Saturating contract**: nodes beyond `groups.len()` are treated as
+    /// members of group 0 — a short vector therefore *connects* the tail
+    /// of the cluster to whichever nodes were explicitly assigned group 0,
+    /// which is rarely what a scenario intends. Prefer
+    /// [`try_partition`](Self::try_partition), which rejects a grouping
+    /// that does not cover every node; this method is kept for callers
+    /// that deliberately want "everyone else in group 0" shorthand.
     pub fn partition(&self, groups: Vec<u32>) {
         self.update_conditions(|c| c.partition = groups);
+    }
+
+    /// Install a network partition, rejecting a grouping that does not
+    /// assign exactly one group to each of the cluster's `nodes` nodes
+    /// (see [`partition`](Self::partition) for the saturating fallback).
+    pub fn try_partition(&self, groups: Vec<u32>, nodes: usize) -> Result<(), FaultConfigError> {
+        if groups.len() != nodes {
+            return Err(FaultConfigError::GroupCountMismatch { groups: groups.len(), nodes });
+        }
+        self.update_conditions(|c| c.partition = groups);
+        Ok(())
     }
 
     /// Heal the partition: full pairwise delivery resumes for messages sent
@@ -223,16 +253,51 @@ impl NetworkModel {
     }
 
     /// Add a directed per-link fault (see [`LinkFault`]). Faults stack:
-    /// every matching fault applies, in insertion order.
-    pub fn add_link_fault(&self, fault: LinkFault) {
-        assert!(fault.extra_ms >= 0.0 && fault.extra_ms.is_finite());
-        assert!(fault.scale >= 0.0 && fault.scale.is_finite());
+    /// every matching fault applies, in insertion order. Non-finite or
+    /// negative parameters are rejected with an error (not a panic), so
+    /// a bad scenario timeline cannot abort a run mid-flight.
+    pub fn add_link_fault(&self, fault: LinkFault) -> Result<(), FaultConfigError> {
+        if !(fault.extra_ms.is_finite() && fault.extra_ms >= 0.0) {
+            return Err(FaultConfigError::BadMagnitude {
+                field: "link_fault.extra_ms",
+                value: fault.extra_ms,
+            });
+        }
+        if !(fault.scale.is_finite() && fault.scale >= 0.0) {
+            return Err(FaultConfigError::BadMagnitude {
+                field: "link_fault.scale",
+                value: fault.scale,
+            });
+        }
         self.update_conditions(|c| c.link_faults.push(fault));
+        Ok(())
     }
 
     /// Remove every per-link fault.
     pub fn clear_link_faults(&self) {
         self.update_conditions(|c| c.link_faults.clear());
+    }
+
+    /// Install a buggify [`FaultProfile`], validating it first. Takes
+    /// effect for messages sent (and replica applies performed) after the
+    /// call; replaces any previously installed profile.
+    pub fn set_fault_profile(&self, profile: FaultProfile) -> Result<(), FaultConfigError> {
+        profile.validate()?;
+        self.update_conditions(|c| c.faults = Some(profile));
+        Ok(())
+    }
+
+    /// Remove the installed fault profile (subsequent sends are clean).
+    pub fn clear_fault_profile(&self) {
+        self.update_conditions(|c| c.faults = None);
+    }
+
+    /// The currently installed fault profile, if any.
+    pub fn fault_profile(&self) -> Option<FaultProfile> {
+        if !self.dynamic_active.load(Ordering::Relaxed) {
+            return None;
+        }
+        self.conditions().faults
     }
 
     // ----- sampling -----
@@ -259,6 +324,98 @@ impl NetworkModel {
             }
         }
         Some(self.delay_under(&c, leg, from, to, rng))
+    }
+
+    /// [`transmit`](Self::transmit) with the installed buggify
+    /// [`FaultProfile`] applied: the message may be dropped, duplicated,
+    /// reordered (bounded extra jitter), or slowed (slow-node multiplier)
+    /// on top of the usual dynamic conditions. With no profile installed
+    /// this consumes **exactly** the RNG draws of `transmit` and returns
+    /// `Once`/`Dropped` accordingly — the fault layer is invisible to
+    /// fault-free seeded runs. All rolls come from the *sender's* RNG, so
+    /// sharded chaos runs stay bit-reproducible per `(seed, threads)`.
+    pub fn transmit_buggified(
+        &self,
+        leg: Leg,
+        from: usize,
+        to: usize,
+        rng: &mut dyn RngCore,
+    ) -> Delivery {
+        if !self.dynamic_active.load(Ordering::Relaxed) {
+            return Delivery::Once(self.base[leg.index()].sample(rng) + self.penalty(from, to));
+        }
+        let c = self.conditions();
+        if !c.partition.is_empty() {
+            let a = c.partition.get(from).copied().unwrap_or(0);
+            let b = c.partition.get(to).copied().unwrap_or(0);
+            if a != b {
+                return Delivery::Dropped;
+            }
+        }
+        let Some(p) = c.faults else {
+            return Delivery::Once(self.delay_under(&c, leg, from, to, rng));
+        };
+        if p.drop_prob > 0.0 && unit(rng) < p.drop_prob {
+            return Delivery::Dropped;
+        }
+        let first = self.faulty_delay(&c, &p, leg, from, to, rng);
+        if p.duplicate_prob > 0.0 && unit(rng) < p.duplicate_prob {
+            // Independent delay for the duplicate: the two copies race.
+            let second = self.faulty_delay(&c, &p, leg, from, to, rng);
+            Delivery::Twice(first, second)
+        } else {
+            Delivery::Once(first)
+        }
+    }
+
+    /// One delivery's delay under dynamic conditions *plus* the profile's
+    /// reorder jitter and slow-node multiplier. Zero-probability faults
+    /// consume no RNG draws, so a profile with only (say) drops enabled
+    /// perturbs the stream minimally and deterministically.
+    fn faulty_delay(
+        &self,
+        c: &Conditions,
+        p: &FaultProfile,
+        leg: Leg,
+        from: usize,
+        to: usize,
+        rng: &mut dyn RngCore,
+    ) -> f64 {
+        let mut delay = self.delay_under(c, leg, from, to, rng);
+        if p.reorder_prob > 0.0 && unit(rng) < p.reorder_prob {
+            delay += unit(rng) * p.reorder_max_ms;
+        }
+        delay * p.slow_factor(from as u32).max(p.slow_factor(to as u32))
+    }
+
+    /// Disk lag (ms) to impose on a replica apply at `node` under the
+    /// installed fault profile; 0.0 with no profile or when the roll
+    /// misses. Rolls come from the replica's own RNG; slow nodes (whose
+    /// disks are slow too) scale the lag by their latency factor.
+    pub fn disk_lag_ms(&self, node: usize, rng: &mut dyn RngCore) -> f64 {
+        if !self.dynamic_active.load(Ordering::Relaxed) {
+            return 0.0;
+        }
+        let Some(p) = self.conditions().faults else {
+            return 0.0;
+        };
+        if p.disk_lag_prob > 0.0 && unit(rng) < p.disk_lag_prob {
+            unit(rng) * p.disk_lag_max_ms * p.slow_factor(node as u32)
+        } else {
+            0.0
+        }
+    }
+
+    /// The protocol-timer clock for `node` under the installed fault
+    /// profile ([`SkewedClock::IDENTITY`] with no profile).
+    pub fn clock_of(&self, node: usize) -> SkewedClock {
+        if !self.dynamic_active.load(Ordering::Relaxed) {
+            return SkewedClock::IDENTITY;
+        }
+        match self.conditions().faults {
+            Some(p) => p.clock_of(node as u32),
+            None => SkewedClock::IDENTITY,
+        }
     }
 
     /// Sample the one-way delay for a message on `leg` from node `from` to
@@ -336,6 +493,7 @@ impl std::fmt::Debug for NetworkModel {
             .field("leg_scale", &c.leg_scale)
             .field("partition", &c.partition)
             .field("link_faults", &c.link_faults)
+            .field("faults", &c.faults)
             .field("datacenters", &self.dc_of)
             .field("inter_dc_penalty_ms", &self.inter_dc_penalty_ms)
             .finish()
@@ -421,7 +579,7 @@ mod tests {
     fn link_faults_scale_then_add() {
         let net = constant_net();
         let mut rng = StdRng::seed_from_u64(0);
-        net.add_link_fault(LinkFault { from: 0, to: 1, extra_ms: 5.0, scale: 3.0 });
+        net.add_link_fault(LinkFault { from: 0, to: 1, extra_ms: 5.0, scale: 3.0 }).unwrap();
         assert_eq!(net.delay(Leg::W, 0, 1, &mut rng), 4.0 * 3.0 + 5.0);
         assert_eq!(net.delay(Leg::W, 1, 0, &mut rng), 4.0, "directed: reverse unaffected");
         net.clear_link_faults();
@@ -438,6 +596,126 @@ mod tests {
         assert_eq!(net.transmit(Leg::W, 0, 1, &mut rng), Some(4.0), "same group flows");
         net.heal_partition();
         assert_eq!(net.transmit(Leg::W, 0, 2, &mut rng), Some(4.0));
+    }
+
+    #[test]
+    fn try_partition_rejects_short_and_long_groupings() {
+        // Regression: `partition` used to be the only entry point, and it
+        // silently folds unassigned nodes into group 0 — a short vector
+        // reconnects the tail of the cluster. `try_partition` makes the
+        // mismatch an error.
+        let net = constant_net();
+        assert_eq!(
+            net.try_partition(vec![0, 1], 3),
+            Err(FaultConfigError::GroupCountMismatch { groups: 2, nodes: 3 })
+        );
+        assert_eq!(
+            net.try_partition(vec![0, 1, 0, 1], 3),
+            Err(FaultConfigError::GroupCountMismatch { groups: 4, nodes: 3 })
+        );
+        assert!(net.deliverable(0, 1), "rejected grouping is not installed");
+        net.try_partition(vec![0, 1, 0], 3).unwrap();
+        assert!(!net.deliverable(0, 1));
+        // The saturating legacy entry point still documents its contract:
+        // node 2 (beyond the grouping) joins group 0.
+        net.partition(vec![0, 1]);
+        assert!(net.deliverable(0, 2), "unassigned node saturates into group 0");
+        assert!(!net.deliverable(1, 2));
+    }
+
+    #[test]
+    fn add_link_fault_rejects_bad_magnitudes_without_panicking() {
+        let net = constant_net();
+        for bad in [
+            LinkFault { from: 0, to: 1, extra_ms: -1.0, scale: 1.0 },
+            LinkFault { from: 0, to: 1, extra_ms: f64::NAN, scale: 1.0 },
+            LinkFault { from: 0, to: 1, extra_ms: 0.0, scale: -2.0 },
+            LinkFault { from: 0, to: 1, extra_ms: 0.0, scale: f64::INFINITY },
+        ] {
+            assert!(matches!(
+                net.add_link_fault(bad),
+                Err(FaultConfigError::BadMagnitude { .. })
+            ));
+        }
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(net.delay(Leg::W, 0, 1, &mut rng), 4.0, "rejected faults not installed");
+    }
+
+    #[test]
+    fn buggified_transmit_without_profile_matches_transmit() {
+        let net = constant_net();
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        for _ in 0..32 {
+            let plain = net.transmit(Leg::W, 0, 1, &mut a);
+            let buggy = net.transmit_buggified(Leg::W, 0, 1, &mut b);
+            assert_eq!(buggy, Delivery::Once(plain.unwrap()));
+        }
+        // Same with a non-fault dynamic condition active (lock path).
+        net.set_leg_scale(2.0, 1.0, 1.0, 1.0);
+        let plain = net.transmit(Leg::W, 0, 1, &mut a).unwrap();
+        assert_eq!(net.transmit_buggified(Leg::W, 0, 1, &mut b), Delivery::Once(plain));
+        // RNG streams consumed identically throughout.
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn certain_drop_and_certain_duplicate() {
+        let net = constant_net();
+        let mut rng = StdRng::seed_from_u64(1);
+        net.set_fault_profile(FaultProfile::new(0).with_drop(1.0)).unwrap();
+        assert_eq!(net.transmit_buggified(Leg::W, 0, 1, &mut rng), Delivery::Dropped);
+        net.set_fault_profile(FaultProfile::new(0).with_duplicate(1.0)).unwrap();
+        assert_eq!(
+            net.transmit_buggified(Leg::W, 0, 1, &mut rng),
+            Delivery::Twice(4.0, 4.0),
+            "constant legs, certain duplication"
+        );
+        net.clear_fault_profile();
+        assert_eq!(net.fault_profile(), None);
+        assert_eq!(net.transmit_buggified(Leg::W, 0, 1, &mut rng), Delivery::Once(4.0));
+    }
+
+    #[test]
+    fn reorder_jitter_is_bounded_and_slow_nodes_multiply() {
+        let net = constant_net();
+        let mut rng = StdRng::seed_from_u64(2);
+        net.set_fault_profile(FaultProfile::new(0).with_reorder(1.0, 6.0)).unwrap();
+        for _ in 0..64 {
+            let Delivery::Once(d) = net.transmit_buggified(Leg::W, 0, 1, &mut rng) else {
+                panic!("no drops configured");
+            };
+            assert!((4.0..4.0 + 6.0).contains(&d), "jitter within bound: {d}");
+        }
+        // Every node slow at 2×: constant 4ms leg becomes exactly 8ms.
+        net.set_fault_profile(FaultProfile::new(0).with_slow_nodes(1.0, 2.0)).unwrap();
+        assert_eq!(net.transmit_buggified(Leg::W, 0, 1, &mut rng), Delivery::Once(8.0));
+    }
+
+    #[test]
+    fn disk_lag_and_clocks_follow_the_profile() {
+        let net = constant_net();
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(net.disk_lag_ms(0, &mut rng), 0.0, "no profile, no lag, no draws");
+        assert!(net.clock_of(0).is_identity());
+        net.set_fault_profile(FaultProfile::new(5).with_disk_lag(1.0, 2.5)).unwrap();
+        for _ in 0..32 {
+            let lag = net.disk_lag_ms(0, &mut rng);
+            assert!((0.0..2.5).contains(&lag));
+        }
+        net.set_fault_profile(FaultProfile::new(5).with_clock_drift(0.05)).unwrap();
+        let rates: Vec<f64> = (0..8).map(|n| net.clock_of(n).rate()).collect();
+        assert!(rates.iter().all(|r| (0.95..=1.05).contains(r)));
+        assert!(rates.iter().any(|r| *r != 1.0), "drift actually assigned");
+    }
+
+    #[test]
+    fn invalid_profile_rejected_and_not_installed() {
+        let net = constant_net();
+        assert!(net.set_fault_profile(FaultProfile::new(0).with_drop(2.0)).is_err());
+        assert_eq!(net.fault_profile(), None);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(net.transmit_buggified(Leg::W, 0, 1, &mut rng), Delivery::Once(4.0));
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! The Dynamo-style node: every node can coordinate client operations and
 //! store replicas (§2.2, Figure 1).
 
+use crate::buggify::Delivery;
 use crate::fxhash::FxHashMap;
 use crate::merkle;
 use crate::messages::Msg;
@@ -282,6 +283,10 @@ struct Hint {
     target: ActorId,
     key: u64,
     version: Version,
+    /// When this hint was created or last refreshed; the GC sweep expires
+    /// hints whose target has stayed unreachable past the op-timeout
+    /// horizon (anti-entropy takes over from there).
+    since: SimTime,
 }
 
 /// The node actor.
@@ -318,6 +323,9 @@ pub struct Node {
     pub repairs_sent: u64,
     /// Stats: hints successfully delivered.
     pub hints_delivered: u64,
+    /// Stats: hints expired by the GC sweep (target unreachable past the
+    /// op-timeout horizon; anti-entropy is then the only healing path).
+    pub hints_expired: u64,
     /// Stats: anti-entropy rounds initiated.
     pub sync_rounds: u64,
 }
@@ -370,6 +378,7 @@ impl Node {
             leg_samples: LegSamples::default(),
             repairs_sent: 0,
             hints_delivered: 0,
+            hints_expired: 0,
             sync_rounds: 0,
         }
     }
@@ -414,15 +423,32 @@ impl Node {
         }
     }
 
-    /// Send with sampled per-leg latency, subject to message loss and any
-    /// active network partition.
+    /// Send with sampled per-leg latency, subject to message loss, any
+    /// active network partition, and the installed buggify fault profile
+    /// (drop/duplicate/reorder/slow-node). With no profile this consumes
+    /// exactly the same RNG draws as the pre-buggify path.
     fn send(&mut self, ctx: &mut Context<'_, Msg>, leg: Leg, to: ActorId, msg: Msg) {
         if self.opts.drop_prob > 0.0 && self.rng.gen::<f64>() < self.opts.drop_prob {
             return; // lost in transit
         }
-        let Some(delay) = self.net.transmit(leg, self.id, to, &mut self.rng) else {
-            return; // partitioned away
-        };
+        match self.net.transmit_buggified(leg, self.id, to, &mut self.rng) {
+            Delivery::Dropped => {} // partitioned away or buggify drop
+            Delivery::Once(delay) => {
+                self.record_leg(leg, delay);
+                ctx.send(to, delay, msg);
+            }
+            Delivery::Twice(first, second) => {
+                // An at-least-once network delivered the message twice;
+                // both copies are real deliveries with real delays.
+                self.record_leg(leg, first);
+                self.record_leg(leg, second);
+                ctx.send(to, first, msg.clone());
+                ctx.send(to, second, msg);
+            }
+        }
+    }
+
+    fn record_leg(&mut self, leg: Leg, delay: f64) {
         if self.opts.record_leg_samples {
             match leg {
                 Leg::W => self.leg_samples.w.push(delay),
@@ -431,14 +457,46 @@ impl Node {
                 Leg::S => self.leg_samples.s.push(delay),
             }
         }
-        ctx.send(to, delay, msg);
+    }
+
+    /// Convert a node-local protocol interval to the global delay the
+    /// simulator should wait, under the node's buggify clock skew
+    /// (identity without a fault profile). Applied to *protocol* timers —
+    /// hint timeout, hint flush, anti-entropy cadence — but not to the
+    /// recovery and GC timers, which are harness bookkeeping rather than
+    /// clock-driven node behaviour.
+    fn timer_ms(&self, local_ms: f64) -> f64 {
+        self.net.clock_of(self.id).global_delay_ms(local_ms)
     }
 
     fn schedule_hint_flush(&mut self, ctx: &mut Context<'_, Msg>) {
         if !self.hint_flush_scheduled && !self.hints.is_empty() {
             self.hint_flush_scheduled = true;
-            ctx.set_timer(self.opts.hint_flush_interval_ms, tag(KIND_HINT_FLUSH, 0));
+            let delay = self.timer_ms(self.opts.hint_flush_interval_ms);
+            ctx.set_timer(delay, tag(KIND_HINT_FLUSH, 0));
         }
+    }
+
+    /// Stash (or refresh) the hint for `(target, key)`: one hint per
+    /// missed replica per key, carrying the newest missed version. The
+    /// old behaviour pushed a fresh hint per timed-out write, so a
+    /// permanently crashed replica accumulated unbounded hints that the
+    /// flush rebroadcast forever.
+    fn push_hint(&mut self, target: ActorId, key: u64, version: Version, now: SimTime) {
+        match self.hints.iter_mut().find(|h| h.target == target && h.key == key) {
+            Some(h) => {
+                if version > h.version {
+                    h.version = version;
+                }
+                h.since = now;
+            }
+            None => self.hints.push(Hint { target, key, version, since: now }),
+        }
+    }
+
+    /// Number of pending (undelivered, unexpired) hints.
+    pub fn hint_count(&self) -> usize {
+        self.hints.len()
     }
 
     /// Route a completed operation to its issuer: in-sim client actors get
@@ -483,7 +541,8 @@ impl Node {
         }
         self.pending_writes.insert(op_id, state);
         if self.opts.hinted_handoff {
-            ctx.set_timer(self.opts.hint_timeout_ms, tag(KIND_WRITE_TIMEOUT, op_id));
+            let delay = self.timer_ms(self.opts.hint_timeout_ms);
+            ctx.set_timer(delay, tag(KIND_WRITE_TIMEOUT, op_id));
         }
     }
 
@@ -537,10 +596,11 @@ impl Node {
                 },
             );
         }
-        // Hint every replica that never acked.
+        // Hint every replica that never acked (coalesced per target/key).
+        let now = ctx.now();
         for &replica in &state.replicas {
             if !state.acked.contains(&replica) {
-                self.hints.push(Hint { target: replica, key: state.key, version: state.version });
+                self.push_hint(replica, state.key, state.version, now);
             }
         }
         self.write_pool.push(state);
@@ -689,6 +749,14 @@ impl Node {
         };
         self.pending_writes.retain(|_, s| s.start > cutoff);
         self.pending_reads.retain(|_, s| s.start > cutoff);
+        // Hints share the retention horizon: if the target has stayed
+        // unreachable past the op timeout, stop rebroadcasting and let
+        // anti-entropy heal the replica instead. Without this sweep a
+        // permanently crashed replica pinned its hints (and their flush
+        // traffic) forever.
+        let before = self.hints.len();
+        self.hints.retain(|h| h.since > cutoff);
+        self.hints_expired += (before - self.hints.len()) as u64;
     }
 
     // ----- anti-entropy -----
@@ -715,7 +783,7 @@ impl Node {
 
     fn on_sync_timer(&mut self, ctx: &mut Context<'_, Msg>) {
         if let Some(interval) = self.sync_interval_ms {
-            ctx.set_timer(interval, tag(KIND_SYNC, 0));
+            ctx.set_timer(self.timer_ms(interval), tag(KIND_SYNC, 0));
             let n = self.ring.nodes() as usize;
             if n > 1 {
                 let mut peer = self.rng.gen_range(0..n - 1);
@@ -806,6 +874,23 @@ impl Actor for Node {
                     self.on_client_read(ctx, op_id, key, from);
                 }
                 Msg::ReplicaWrite { op_id, key, version, coordinator } => {
+                    let lag = self.net.disk_lag_ms(self.id, &mut self.rng);
+                    if lag > 0.0 {
+                        // Buggify disk lag: defer the apply *and* the ack.
+                        // If this node crashes before the lag elapses, the
+                        // write is lost — like an fsync that never landed.
+                        ctx.send(self.id, lag, Msg::DiskApply { op_id, key, version, coordinator });
+                    } else {
+                        self.apply_version(key, version);
+                        self.send(
+                            ctx,
+                            Leg::A,
+                            coordinator,
+                            Msg::WriteAck { op_id, replica: self.id },
+                        );
+                    }
+                }
+                Msg::DiskApply { op_id, key, version, coordinator } => {
                     self.apply_version(key, version);
                     self.send(ctx, Leg::A, coordinator, Msg::WriteAck { op_id, replica: self.id });
                 }
@@ -833,9 +918,12 @@ impl Actor for Node {
                     );
                 }
                 Msg::HintAck { key, version, replica } => {
+                    // An ack for version v clears any hint at v *or older*
+                    // for that target/key: replicas keep the max, so an
+                    // acked delivery subsumes every older missed version.
                     let before = self.hints.len();
                     self.hints.retain(|h| {
-                        !(h.target == replica && h.key == key && h.version == version)
+                        !(h.target == replica && h.key == key && h.version <= version)
                     });
                     self.hints_delivered += (before - self.hints.len()) as u64;
                 }
@@ -857,7 +945,7 @@ impl Actor for Node {
                     // thundering herds.
                     let stagger = interval_ms * (self.id as f64 + 1.0)
                         / (self.ring.nodes() as f64 + 1.0);
-                    ctx.set_timer(stagger, tag(KIND_SYNC, 0));
+                    ctx.set_timer(self.timer_ms(stagger), tag(KIND_SYNC, 0));
                 }
                 Msg::StartGc { interval_ms } => {
                     self.gc_interval_ms = Some(interval_ms);

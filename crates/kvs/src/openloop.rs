@@ -16,6 +16,7 @@
 //! runner ([`run_open_loop_sharded`]) and stays bit-reproducible per
 //! `(seed, threads)`.
 
+use crate::checker::{self, CheckReport};
 use crate::client::ClientOptions;
 use crate::cluster::{Cluster, ClusterOptions, DetectorStats, WindowDrain, WindowOp};
 use crate::network::NetworkModel;
@@ -203,6 +204,47 @@ where
     run_open_loop_with(opts, network, engine, clients, copts, make_source, prepare, |_| {})
 }
 
+/// [`run_open_loop`] with the offline [`checker`] as a
+/// post-pass: the cluster records its full op history, and after the
+/// final drain the history is replayed against the streaming session
+/// counters and the online staleness labels. With `check_convergence`,
+/// live replicas are also audited for post-quiescence agreement — only
+/// ask for that when `prepare` leaves no fault active past the settle.
+#[allow(clippy::too_many_arguments)] // a deliberate flat harness entry point
+pub fn run_open_loop_checked<F, P>(
+    opts: ClusterOptions,
+    network: &NetworkModel,
+    engine: &OpenLoopOptions,
+    clients: usize,
+    copts: ClientOptions,
+    make_source: F,
+    prepare: P,
+    check_convergence: bool,
+) -> (OpenLoopReport, CheckReport)
+where
+    F: Fn(u32) -> Box<dyn OpSource>,
+    P: FnOnce(&mut Cluster),
+{
+    let mut check = CheckReport::default();
+    let report = run_open_loop_with(
+        opts,
+        network,
+        engine,
+        clients,
+        copts,
+        make_source,
+        |cluster| {
+            cluster.enable_history();
+            prepare(cluster);
+        },
+        |cluster| {
+            let history = cluster.take_history();
+            check = checker::check_run(&history, cluster, check_convergence);
+        },
+    );
+    (report, check)
+}
+
 /// [`run_open_loop`] with a `finish` hook that runs on the settled
 /// cluster after the final drain — for harnesses that report node-level
 /// stats (hints delivered, sync rounds, stored versions) alongside the
@@ -221,7 +263,7 @@ pub fn run_open_loop_with<F, P, Q>(
 where
     F: Fn(u32) -> Box<dyn OpSource>,
     P: FnOnce(&mut Cluster),
-    Q: FnOnce(&Cluster),
+    Q: FnOnce(&mut Cluster),
 {
     assert!(clients >= 1);
     let mut cluster = Cluster::new(opts, network.clone());
@@ -283,7 +325,7 @@ where
     assert_eq!(stats.dropped_results, 0, "driver drained too rarely for the result buffers");
     report.write_latency.seal();
     report.read_latency.seal();
-    finish(&cluster);
+    finish(&mut cluster);
     report
 }
 
@@ -498,6 +540,35 @@ mod tests {
         assert!(
             after_restart >= during_stop + 45,
             "restart should resume at full rate: {during_stop} -> {after_restart}"
+        );
+    }
+
+    #[test]
+    fn checked_fault_free_run_is_clean() {
+        // The history checker must agree with the streaming machinery on
+        // every count and find zero violations on a fault-free run — any
+        // disagreement here is a checker (or engine) bug, not a fault.
+        let engine = OpenLoopOptions::new(2_000.0, 500.0, 2_000.0);
+        let (report, check) = run_open_loop_checked(
+            small_opts(17),
+            &exp_net(0.1, 0.5),
+            &engine,
+            4,
+            ClientOptions { op_timeout_ms: 2_000.0, ..ClientOptions::default() },
+            |_| source(40.0, 4, 0.5),
+            |_| {},
+            false,
+        );
+        assert!(check.is_clean(), "fault-free run failed cross-checks: {check:?}");
+        assert!(check.sessions.agrees());
+        assert_eq!(check.labels.mismatches, 0);
+        assert_eq!(check.labels.labelled_reads, report.reads);
+        assert_eq!(check.sessions.monotonic_violations, report.monotonic_violations);
+        assert_eq!(check.sessions.ryw_violations, report.ryw_violations);
+        assert_eq!(
+            check.labels.stale_reads,
+            report.reads - report.consistent,
+            "offline staleness count must match the online one"
         );
     }
 

@@ -138,6 +138,15 @@ impl GroundTruth {
         self.keys.get(&key).map_or(0, |h| h.commits.len())
     }
 
+    /// Every key with at least one finalised commit, in ascending order
+    /// (sorted so downstream iteration — e.g. the convergence checker —
+    /// is deterministic despite the hash-map storage).
+    pub fn tracked_keys(&self) -> Vec<u64> {
+        let mut keys: Vec<u64> = self.keys.keys().copied().collect();
+        keys.sort_unstable();
+        keys
+    }
+
     /// The newest committed `seq` at or before `t` (None when nothing had
     /// committed yet).
     pub fn latest_committed_at(&self, key: u64, t: SimTime) -> Option<u64> {

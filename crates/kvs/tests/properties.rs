@@ -1,11 +1,32 @@
 //! Property tests for the store's structural components: ring placement,
-//! ground-truth labelling, and Merkle digests.
+//! ground-truth labelling, Merkle digests, and vector-clock causality.
 
 use pbs_kvs::merkle;
 use pbs_kvs::staleness::GroundTruth;
-use pbs_kvs::{Ring, Version};
+use pbs_kvs::{CausalOrder, Ring, VectorClock, Version};
 use pbs_sim::SimTime;
 use proptest::prelude::*;
+
+/// Build a vector clock by replaying per-node increment counts in order.
+fn clock_of(ops: &[(u32, u32)]) -> VectorClock {
+    let mut clock = VectorClock::new();
+    for &(node, n) in ops {
+        for _ in 0..n {
+            clock.increment(node);
+        }
+    }
+    clock
+}
+
+/// Swap the direction of a causal verdict; `Equal`/`Concurrent` are
+/// symmetric and stay put.
+fn dual(order: CausalOrder) -> CausalOrder {
+    match order {
+        CausalOrder::Before => CausalOrder::After,
+        CausalOrder::After => CausalOrder::Before,
+        other => other,
+    }
+}
 
 proptest! {
     #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
@@ -185,5 +206,108 @@ proptest! {
         let m = a.max(b);
         prop_assert!(m >= a && m >= b);
         prop_assert!(m == a || m == b);
+    }
+
+    /// Bucketed digests are a group homomorphism under XOR: the digest of
+    /// a disjoint union is the pointwise XOR of the parts' digests, and a
+    /// doubled store cancels to the empty digest.
+    #[test]
+    fn merkle_digest_xor_composition_and_cancellation(
+        entries in prop::collection::btree_map(any::<u64>(), 1u64..1000, 1..60),
+    ) {
+        let store: Vec<(u64, Version)> =
+            entries.iter().map(|(&k, &s)| (k, Version::new(s, 0))).collect();
+        let (left, right): (Vec<_>, Vec<_>) =
+            store.iter().enumerate().partition(|(i, _)| i % 2 == 0);
+        let left: Vec<(u64, Version)> = left.into_iter().map(|(_, &e)| e).collect();
+        let right: Vec<(u64, Version)> = right.into_iter().map(|(_, &e)| e).collect();
+        let whole = merkle::digest(store.clone());
+        let xored: Vec<u64> = merkle::digest(left)
+            .iter()
+            .zip(&merkle::digest(right))
+            .map(|(x, y)| x ^ y)
+            .collect();
+        prop_assert_eq!(whole, xored, "digest must compose over disjoint key sets");
+        // Pair cancellation: every entry hashed twice XORs itself away.
+        let doubled: Vec<(u64, Version)> =
+            store.iter().chain(store.iter()).copied().collect();
+        prop_assert_eq!(merkle::digest(doubled), merkle::digest(std::iter::empty()));
+    }
+
+    /// Removing keys perturbs only the removed keys' buckets, so an
+    /// anti-entropy exchange never fetches an untouched bucket.
+    #[test]
+    fn merkle_diff_confined_to_touched_buckets(
+        entries in prop::collection::btree_map(any::<u64>(), 1u64..1000, 2..60),
+        removed in 1usize..8,
+    ) {
+        let store: Vec<(u64, Version)> =
+            entries.iter().map(|(&k, &s)| (k, Version::new(s, 0))).collect();
+        let removed = removed.min(store.len());
+        let partial: Vec<(u64, Version)> = store[removed..].to_vec();
+        let diff =
+            merkle::differing_buckets(&merkle::digest(store.clone()), &merkle::digest(partial));
+        let touched: Vec<u32> = store[..removed].iter().map(|&(k, _)| merkle::bucket_of(k)).collect();
+        prop_assert!(
+            diff.iter().all(|b| touched.contains(b)),
+            "diff {:?} must stay within the removed keys' buckets {:?}", diff, touched
+        );
+    }
+
+    /// `compare` behaves like a partial order: reflexive equality, duality
+    /// under argument swap, and agreement with `dominates`.
+    #[test]
+    fn vector_clock_compare_is_a_partial_order(
+        a_ops in prop::collection::vec((0u32..6, 1u32..4), 0..16),
+        b_ops in prop::collection::vec((0u32..6, 1u32..4), 0..16),
+        node in 0u32..6,
+    ) {
+        let a = clock_of(&a_ops);
+        let b = clock_of(&b_ops);
+        prop_assert_eq!(a.compare(&a), CausalOrder::Equal);
+        prop_assert_eq!(a.compare(&b), dual(b.compare(&a)), "swap duality");
+        prop_assert_eq!(
+            a.dominates(&b),
+            matches!(a.compare(&b), CausalOrder::After | CausalOrder::Equal)
+        );
+        // An increment is a strict causal step: the bumped clock is After
+        // everything the old clock was at-or-after.
+        let mut bumped = a.clone();
+        bumped.increment(node);
+        prop_assert_eq!(bumped.compare(&a), CausalOrder::After);
+        prop_assert_eq!(a.compare(&bumped), CausalOrder::Before);
+    }
+
+    /// `merge` is the least upper bound: commutative, associative,
+    /// idempotent, pointwise max, and dominating both inputs — the laws
+    /// that make anti-entropy order-insensitive.
+    #[test]
+    fn vector_clock_merge_is_a_join(
+        a_ops in prop::collection::vec((0u32..6, 1u32..4), 0..16),
+        b_ops in prop::collection::vec((0u32..6, 1u32..4), 0..16),
+        c_ops in prop::collection::vec((0u32..6, 1u32..4), 0..16),
+    ) {
+        let a = clock_of(&a_ops);
+        let b = clock_of(&b_ops);
+        let c = clock_of(&c_ops);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(&ab, &ba, "commutative");
+        let mut ab_c = ab.clone();
+        ab_c.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+        prop_assert_eq!(&ab_c, &a_bc, "associative");
+        let mut aa = a.clone();
+        aa.merge(&a);
+        prop_assert_eq!(&aa, &a, "idempotent");
+        prop_assert!(ab.dominates(&a) && ab.dominates(&b), "upper bound");
+        for node in 0..6 {
+            prop_assert_eq!(ab.get(node), a.get(node).max(b.get(node)), "pointwise max");
+        }
     }
 }

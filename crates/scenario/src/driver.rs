@@ -16,7 +16,7 @@
 use crate::event::apply_event;
 use crate::scenario::Scenario;
 use pbs_core::ReplicaConfig;
-use pbs_kvs::{ClientOptions, Cluster, WindowDrain, WindowOp};
+use pbs_kvs::{checker, CheckReport, ClientOptions, Cluster, WindowDrain, WindowOp};
 use pbs_mc::{Mergeable, Runner, Summary};
 use pbs_predictor::AdaptiveController;
 use pbs_sim::SimTime;
@@ -122,6 +122,12 @@ pub struct ScenarioRun {
     pub windows: Vec<WindowRecord>,
     /// Every reconfiguration across every replica run, in merge order.
     pub reconfigs: Vec<ReconfigRecord>,
+    /// Offline checker verdict (when the scenario sets `check_history`),
+    /// merged across replica runs.
+    pub check: Option<CheckReport>,
+    /// Timeline events the cluster rejected as malformed (bad partition
+    /// grouping, non-finite link fault, invalid fault profile, …).
+    pub event_errors: u64,
     /// Replica runs folded into this result.
     pub runs: u64,
 }
@@ -134,7 +140,14 @@ impl ScenarioRun {
                 WindowRecord::new(start, (start + scenario.window_ms).min(scenario.duration_ms))
             })
             .collect();
-        Self { name: scenario.name.clone(), windows, reconfigs: Vec::new(), runs: 0 }
+        Self {
+            name: scenario.name.clone(),
+            windows,
+            reconfigs: Vec::new(),
+            check: None,
+            event_errors: 0,
+            runs: 0,
+        }
     }
 
     /// Largest `|predicted − measured|` over windows that lie entirely
@@ -169,6 +182,14 @@ impl Mergeable for ScenarioRun {
             a.merge(b);
         }
         self.reconfigs.extend(other.reconfigs);
+        self.check = match (self.check.take(), other.check) {
+            (Some(mut a), Some(b)) => {
+                a.merge(b);
+                Some(a)
+            }
+            (a, b) => a.or(b),
+        };
+        self.event_errors += other.event_errors;
         self.runs += other.runs;
     }
 }
@@ -261,6 +282,15 @@ pub fn run_scenario(scenario: &Scenario, run_seed: u64) -> ScenarioRun {
     opts.seed = run_seed;
     opts.record_leg_samples = true;
     let mut cluster = Cluster::new(opts, scenario.network.clone());
+    if let Some(profile) = scenario.fault_profile {
+        cluster
+            .network()
+            .set_fault_profile(profile)
+            .expect("scenario.validate() vouched for the profile");
+    }
+    if scenario.check_history {
+        cluster.enable_history();
+    }
 
     let control = &scenario.control;
     let mut ctl = AdaptiveController::new(
@@ -313,7 +343,11 @@ pub fn run_scenario(scenario: &Scenario, run_seed: u64) -> ScenarioRun {
         }
         if ev_at <= t {
             advance(&mut cluster, ev_at);
-            apply_event(&mut cluster, &scenario.events[ev_idx].event);
+            // A malformed event is counted, not fatal: the rest of the
+            // timeline (and the checker post-pass) still runs.
+            if apply_event(&mut cluster, &scenario.events[ev_idx].event).is_err() {
+                out.event_errors += 1;
+            }
             ev_idx += 1;
             continue;
         }
@@ -365,6 +399,10 @@ pub fn run_scenario(scenario: &Scenario, run_seed: u64) -> ScenarioRun {
     for w in &mut out.windows {
         w.write_latency.seal();
         w.read_latency.seal();
+    }
+    if scenario.check_history {
+        let history = cluster.take_history();
+        out.check = Some(checker::check_run(&history, &cluster, scenario.check_convergence));
     }
     out
 }

@@ -2,7 +2,7 @@
 //! to a running cluster.
 
 use pbs_dist::DynDistribution;
-use pbs_kvs::{Cluster, LinkFault};
+use pbs_kvs::{Cluster, FaultProfile, LinkFault};
 use pbs_sim::SimTime;
 
 /// One dynamic condition change. Events are interpreted by
@@ -57,6 +57,12 @@ pub enum ScenarioEvent {
     },
     /// Drop any regime swap / leg scaling, returning to the base network.
     RestoreBaseline,
+    /// Install (or replace) a buggify [`FaultProfile`] — seeded message
+    /// drops/duplicates/reordering, slow nodes, disk lag, and clock skew.
+    InjectFaults(FaultProfile),
+    /// Remove the buggify fault profile (messages flow cleanly again; the
+    /// usual precondition for a meaningful convergence check).
+    ClearFaults,
 }
 
 impl ScenarioEvent {
@@ -84,6 +90,16 @@ impl ScenarioEvent {
                 format!("scale legs W×{w} A×{a} R×{r} S×{s}")
             }
             ScenarioEvent::RestoreBaseline => "restore baseline network".into(),
+            ScenarioEvent::InjectFaults(p) => format!(
+                "inject faults (drop {} dup {} reorder {} slow {} disk-lag {} drift {})",
+                p.drop_prob,
+                p.duplicate_prob,
+                p.reorder_prob,
+                p.slow_node_frac,
+                p.disk_lag_prob,
+                p.clock_drift_max
+            ),
+            ScenarioEvent::ClearFaults => "clear fault profile".into(),
         }
     }
 }
@@ -117,15 +133,35 @@ impl TimedEvent {
 /// except when a blocking probe already ran past `at_ms`, in which case it
 /// applies as soon as that probe completes (see
 /// [`run_scenario`](crate::run_scenario)'s clock policy).
-pub fn apply_event(cluster: &mut Cluster, event: &ScenarioEvent) {
+///
+/// Malformed events — a partition whose `groups` doesn't cover the
+/// cluster, a crash of a nonexistent node, a non-finite link fault, an
+/// invalid fault profile — are rejected with a description instead of
+/// panicking mid-run or being silently reshaped (the old `partition`
+/// path folded out-of-range nodes into group 0).
+pub fn apply_event(cluster: &mut Cluster, event: &ScenarioEvent) -> Result<(), String> {
     match event {
         ScenarioEvent::Crash { node, down_ms } => {
+            if *node >= cluster.node_count() {
+                return Err(format!(
+                    "cannot crash node {node}: cluster has {} nodes",
+                    cluster.node_count()
+                ));
+            }
             let now: SimTime = cluster.now();
             cluster.crash_node_at(*node, now, *down_ms);
         }
-        ScenarioEvent::Partition { groups } => cluster.network().partition(groups.clone()),
+        ScenarioEvent::Partition { groups } => {
+            let nodes = cluster.node_count();
+            cluster
+                .network()
+                .try_partition(groups.clone(), nodes)
+                .map_err(|e| e.to_string())?;
+        }
         ScenarioEvent::HealPartition => cluster.network().heal_partition(),
-        ScenarioEvent::DegradeLink(fault) => cluster.network().add_link_fault(*fault),
+        ScenarioEvent::DegradeLink(fault) => {
+            cluster.network().add_link_fault(*fault).map_err(|e| e.to_string())?;
+        }
         ScenarioEvent::ClearLinkFaults => cluster.network().clear_link_faults(),
         ScenarioEvent::SwapRegime { w, a, r, s } => {
             cluster.network().swap_legs(w.clone(), a.clone(), r.clone(), s.clone());
@@ -134,5 +170,10 @@ pub fn apply_event(cluster: &mut Cluster, event: &ScenarioEvent) {
             cluster.network().set_leg_scale(*w, *a, *r, *s);
         }
         ScenarioEvent::RestoreBaseline => cluster.network().restore_base_legs(),
+        ScenarioEvent::InjectFaults(profile) => {
+            cluster.network().set_fault_profile(*profile).map_err(|e| e.to_string())?;
+        }
+        ScenarioEvent::ClearFaults => cluster.network().clear_fault_profile(),
     }
+    Ok(())
 }

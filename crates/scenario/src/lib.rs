@@ -28,10 +28,18 @@
 //! applied reconfigurations — regenerate it from the CLI with
 //! `cargo run --release --bin scenarios -- --scenario latency-spike`.
 //!
-//! Three built-in scenarios ship with the crate: `diurnal-load` (a
+//! Scenarios compose with the buggify layer: a seeded
+//! [`FaultProfile`](pbs_kvs::FaultProfile) can be installed for the whole
+//! run (`Scenario::fault_profile`) or injected/cleared mid-timeline
+//! ([`ScenarioEvent::InjectFaults`]/`ClearFaults`), and `check_history`
+//! runs the offline [`checker`](pbs_kvs::checker) as a post-pass — the
+//! verdict lands in [`ScenarioRun::check`].
+//!
+//! Four built-in scenarios ship with the crate: `diurnal-load` (a
 //! repeating day/night load cycle), `latency-spike` (a write-leg regime
-//! shift and recovery), and `rolling-partition` (each node isolated in
-//! turn). See [`Scenario::by_name`].
+//! shift and recovery), `rolling-partition` (each node isolated in
+//! turn), and `buggify-storm` (every buggify fault at once, with the
+//! checker post-pass). See [`Scenario::by_name`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -3,7 +3,7 @@
 use crate::event::{ScenarioEvent, TimedEvent};
 use pbs_core::ReplicaConfig;
 use pbs_dist::Exponential;
-use pbs_kvs::{ClusterOptions, NetworkModel};
+use pbs_kvs::{ClusterOptions, FaultProfile, NetworkModel};
 use pbs_predictor::SlaSpec;
 use std::sync::Arc;
 
@@ -84,6 +84,16 @@ pub struct Scenario {
     pub stationary: Vec<(f64, f64)>,
     /// Closed-loop controller settings.
     pub control: ControlOptions,
+    /// Buggify fault profile installed from scenario start (timelines can
+    /// also [`ScenarioEvent::InjectFaults`]/`ClearFaults` mid-run).
+    pub fault_profile: Option<FaultProfile>,
+    /// Record the full op history and run the offline checker as a
+    /// post-pass (session replay vs. streaming counters, label recount).
+    pub check_history: bool,
+    /// Also audit post-settle replica convergence. Only meaningful when
+    /// the timeline clears every fault long enough before the end for
+    /// repair traffic to land.
+    pub check_convergence: bool,
 }
 
 impl Scenario {
@@ -114,6 +124,9 @@ impl Scenario {
             keys: 16,
             stationary: Vec::new(),
             control: ControlOptions::default_for(vec![3]),
+            fault_profile: None,
+            check_history: false,
+            check_convergence: false,
         }
     }
 
@@ -194,19 +207,43 @@ impl Scenario {
         s
     }
 
+    /// Built-in: a buggify storm — seeded message drops, duplicates,
+    /// bounded reordering, slow nodes, disk lag, and per-node clock drift
+    /// all at once, cleared at 12 s so the tail shows recovery. The
+    /// offline history checker runs as a post-pass: under faults the
+    /// session guarantees *will* be violated; the acceptance criterion is
+    /// that the streaming counters and the offline replay agree on every
+    /// violation, and that no online staleness label is mismatched.
+    pub fn buggify_storm(seed: u64) -> Self {
+        let mut s = Self::baseline(
+            "buggify-storm",
+            "full fault storm until 12s (drops, dups, reorder, slow nodes, disk lag, clock skew); history checker post-pass",
+            seed,
+        );
+        s.fault_profile = Some(FaultProfile::storm(seed));
+        s.events = vec![TimedEvent::new(12_000.0, ScenarioEvent::ClearFaults)];
+        s.duration_ms = 16_000.0;
+        s.check_history = true;
+        // Predictions are blind to buggify faults (drops aren't latency);
+        // observe only, don't let the optimizer thrash on them.
+        s.control.adaptive = false;
+        s
+    }
+
     /// Look up a built-in scenario by name.
     pub fn by_name(name: &str, seed: u64) -> Option<Self> {
         match name {
             "diurnal-load" => Some(Self::diurnal_load(seed)),
             "latency-spike" => Some(Self::latency_spike(seed)),
             "rolling-partition" => Some(Self::rolling_partition(seed)),
+            "buggify-storm" => Some(Self::buggify_storm(seed)),
             _ => None,
         }
     }
 
     /// Names of the built-in scenarios.
     pub fn builtin_names() -> &'static [&'static str] {
-        &["diurnal-load", "latency-spike", "rolling-partition"]
+        &["diurnal-load", "latency-spike", "rolling-partition", "buggify-storm"]
     }
 
     /// Number of reporting windows.
@@ -239,5 +276,12 @@ impl Scenario {
                 self.cluster.nodes
             );
         }
+        if let Some(profile) = &self.fault_profile {
+            profile.validate().expect("scenario fault profile is invalid");
+        }
+        assert!(
+            !self.check_convergence || self.check_history,
+            "check_convergence requires check_history (the checker post-pass)"
+        );
     }
 }

@@ -25,10 +25,10 @@ fn constant_cluster(replication: ReplicaConfig, seed: u64, timeout_ms: f64) -> C
 #[test]
 fn partition_heal_restores_delivery() {
     let mut cluster = constant_cluster(cfg(3, 1, 3), 1, 300.0);
-    apply_event(&mut cluster, &ScenarioEvent::Partition { groups: vec![0, 0, 1] });
+    apply_event(&mut cluster, &ScenarioEvent::Partition { groups: vec![0, 0, 1] }).unwrap();
     let w = cluster.write_from(0, 7);
     assert!(w.commit.is_none(), "W=3 cannot commit across the partition");
-    apply_event(&mut cluster, &ScenarioEvent::HealPartition);
+    apply_event(&mut cluster, &ScenarioEvent::HealPartition).unwrap();
     let w = cluster.write_from(0, 7);
     assert!(w.commit.is_some(), "healing restores full delivery");
     let r = cluster.read(7);
@@ -41,7 +41,7 @@ fn partition_heal_restores_delivery() {
 fn crash_recover_ordering() {
     let mut cluster = constant_cluster(cfg(3, 1, 3), 2, 300.0);
     cluster.advance_to(SimTime::from_ms(100.0));
-    apply_event(&mut cluster, &ScenarioEvent::Crash { node: 1, down_ms: 500.0 });
+    apply_event(&mut cluster, &ScenarioEvent::Crash { node: 1, down_ms: 500.0 }).unwrap();
     cluster.advance_to(SimTime::from_ms(101.0));
     assert!(cluster.node(1).is_down(), "crash takes effect at its scheduled time");
     let w = cluster.write_from(0, 3);
@@ -72,13 +72,14 @@ fn regime_swap_takes_effect_at_scheduled_simtime() {
             r: Arc::new(Constant::new(5.0)),
             s: Arc::new(Constant::new(5.0)),
         },
-    );
+    )
+    .unwrap();
     assert_eq!(cluster.now(), SimTime::from_ms(100.0), "swap applied at the scheduled instant");
     let w = cluster.write_from(0, 1);
     assert_eq!(w.start, SimTime::from_ms(100.0));
     assert_eq!(w.latency_ms(), Some(10.0), "new regime governs sends after the swap");
 
-    apply_event(&mut cluster, &ScenarioEvent::RestoreBaseline);
+    apply_event(&mut cluster, &ScenarioEvent::RestoreBaseline).unwrap();
     let w = cluster.write_from(0, 1);
     assert_eq!(w.latency_ms(), Some(2.0), "baseline restored");
 }
@@ -86,7 +87,7 @@ fn regime_swap_takes_effect_at_scheduled_simtime() {
 #[test]
 fn scale_legs_multiplies_delays() {
     let mut cluster = constant_cluster(cfg(3, 1, 3), 4, 60_000.0);
-    apply_event(&mut cluster, &ScenarioEvent::ScaleLegs { w: 3.0, a: 1.0, r: 1.0, s: 1.0 });
+    apply_event(&mut cluster, &ScenarioEvent::ScaleLegs { w: 3.0, a: 1.0, r: 1.0, s: 1.0 }).unwrap();
     let w = cluster.write_from(0, 1);
     assert_eq!(w.latency_ms(), Some(4.0), "W leg 3ms + A leg 1ms");
 }
@@ -102,13 +103,45 @@ fn degraded_link_slows_only_that_link() {
             extra_ms: 20.0,
             scale: 1.0,
         }),
-    );
+    )
+    .unwrap();
     // W=3 write from node 0: the straggler is the degraded 0→2 leg.
     let w = cluster.write_from(0, 1);
     assert_eq!(w.latency_ms(), Some(22.0), "commit waits on the degraded link");
-    apply_event(&mut cluster, &ScenarioEvent::ClearLinkFaults);
+    apply_event(&mut cluster, &ScenarioEvent::ClearLinkFaults).unwrap();
     let w = cluster.write_from(0, 1);
     assert_eq!(w.latency_ms(), Some(2.0));
+}
+
+#[test]
+fn malformed_events_are_rejected_not_applied() {
+    let mut cluster = constant_cluster(cfg(3, 1, 1), 6, 300.0);
+    // A partition grouping that doesn't cover the cluster used to be
+    // silently reshaped (missing nodes folded into group 0); now it is
+    // rejected outright.
+    let short = ScenarioEvent::Partition { groups: vec![0, 1] };
+    assert!(apply_event(&mut cluster, &short).is_err());
+    let missing = ScenarioEvent::Crash { node: 9, down_ms: 10.0 };
+    assert!(apply_event(&mut cluster, &missing).is_err());
+    let bad_link = pbs_kvs::LinkFault { from: 0, to: 1, extra_ms: f64::NAN, scale: 1.0 };
+    assert!(apply_event(&mut cluster, &ScenarioEvent::DegradeLink(bad_link)).is_err());
+    let bad_profile = pbs_kvs::FaultProfile::new(1).with_drop(1.5);
+    assert!(apply_event(&mut cluster, &ScenarioEvent::InjectFaults(bad_profile)).is_err());
+    // None of the rejected events took effect: messages still flow.
+    let w = cluster.write_from(0, 1);
+    assert!(w.commit.is_some(), "rejected events must leave the cluster untouched");
+}
+
+#[test]
+fn inject_and_clear_faults_round_trip() {
+    let mut cluster = constant_cluster(cfg(3, 1, 3), 7, 300.0);
+    let drop_all = pbs_kvs::FaultProfile::new(3).with_drop(1.0);
+    apply_event(&mut cluster, &ScenarioEvent::InjectFaults(drop_all)).unwrap();
+    let w = cluster.write_from(0, 2);
+    assert!(w.commit.is_none(), "certain drop starves the write quorum");
+    apply_event(&mut cluster, &ScenarioEvent::ClearFaults).unwrap();
+    let w = cluster.write_from(0, 2);
+    assert!(w.commit.is_some(), "clearing the profile restores delivery");
 }
 
 /// Shrink a scenario for fast deterministic runs.
@@ -132,6 +165,23 @@ fn full_run_bitwise_deterministic_for_fixed_seed_and_threads() {
 
     let c = run_scenario_sharded(&sc, 6, 12, 3);
     assert_ne!(a, c, "different seeds must differ");
+}
+
+#[test]
+fn buggify_storm_runs_checker_and_stays_deterministic() {
+    let sc = quick(Scenario::buggify_storm(0));
+    let a = run_scenario_sharded(&sc, 2, 7, 2);
+    let b = run_scenario_sharded(&sc, 2, 7, 2);
+    assert_eq!(a, b, "chaos mode must stay bit-reproducible");
+    assert_eq!(a.event_errors, 0);
+    let check = a.check.expect("check_history ran the offline post-pass");
+    assert_eq!(check.runs, 2);
+    assert!(
+        check.sessions.agrees(),
+        "streaming and offline session counts diverged: {check:?}"
+    );
+    assert_eq!(check.labels.mismatches, 0, "online labels must survive the recount");
+    assert!(check.labels.labelled_reads > 0, "the storm still completes probes");
 }
 
 #[test]

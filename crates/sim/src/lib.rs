@@ -40,4 +40,4 @@ pub mod time;
 
 pub use engine::{Actor, ActorId, Context, DefaultQueue, Event, Simulation};
 pub use queue::{EventQueue, HeapQueue, SchedulerStats, WheelQueue};
-pub use time::{SimDuration, SimTime};
+pub use time::{SimDuration, SimTime, SkewedClock};

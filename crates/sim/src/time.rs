@@ -103,6 +103,59 @@ impl Sub for SimTime {
     }
 }
 
+/// A per-node clock running at a fixed rate relative to simulated time.
+///
+/// The simulator's clock is the global (true) time axis — the paper's
+/// t-visibility and the staleness ground truth are defined on it. Real
+/// deployments have no such axis: each node schedules its protocol
+/// timers (hinted-handoff flushes, anti-entropy rounds, timeouts) on a
+/// local clock that drifts. `SkewedClock` models that drift as a
+/// constant rate: a clock with `rate > 1` runs fast, so a timer armed
+/// for `local_ms` on it fires after only `local_ms / rate` of global
+/// time.
+///
+/// The conversion is deliberately stateless (a pure rate, no offset):
+/// fault injection derives each node's rate from a seed, keeping skewed
+/// runs bit-reproducible.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SkewedClock {
+    rate: f64,
+}
+
+impl SkewedClock {
+    /// A true clock (rate exactly 1): local and global time agree.
+    pub const IDENTITY: SkewedClock = SkewedClock { rate: 1.0 };
+
+    /// A clock running at `rate` × global time (must be finite and
+    /// positive).
+    pub fn with_rate(rate: f64) -> Self {
+        assert!(rate.is_finite() && rate > 0.0, "clock rate must be finite and positive, got {rate}");
+        SkewedClock { rate }
+    }
+
+    /// The clock's rate relative to global time.
+    pub fn rate(self) -> f64 {
+        self.rate
+    }
+
+    /// Whether this clock is exactly the identity (no skew).
+    pub fn is_identity(self) -> bool {
+        self.rate == 1.0
+    }
+
+    /// Global milliseconds until a timer armed for `local_ms` on this
+    /// clock fires.
+    pub fn global_delay_ms(self, local_ms: f64) -> f64 {
+        local_ms / self.rate
+    }
+
+    /// Local milliseconds this clock shows elapsing over `global_ms` of
+    /// global time.
+    pub fn local_elapsed_ms(self, global_ms: f64) -> f64 {
+        global_ms * self.rate
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -155,5 +208,35 @@ mod tests {
     #[should_panic(expected = "negative duration")]
     fn backwards_subtraction_panics() {
         let _ = SimTime::from_ms(1.0) - SimTime::from_ms(2.0);
+    }
+
+    #[test]
+    fn skewed_clock_round_trips() {
+        let fast = SkewedClock::with_rate(1.25);
+        // A fast clock fires its timers early in global time…
+        assert!((fast.global_delay_ms(100.0) - 80.0).abs() < 1e-12);
+        // …and sees more local time elapse per global millisecond.
+        assert!((fast.local_elapsed_ms(80.0) - 100.0).abs() < 1e-12);
+        let slow = SkewedClock::with_rate(0.5);
+        assert!((slow.global_delay_ms(50.0) - 100.0).abs() < 1e-12);
+        // Round trip: local → global → local is the identity.
+        for rate in [0.9, 1.0, 1.013, 2.0] {
+            let c = SkewedClock::with_rate(rate);
+            let back = c.local_elapsed_ms(c.global_delay_ms(7.5));
+            assert!((back - 7.5).abs() < 1e-12, "rate {rate}");
+        }
+    }
+
+    #[test]
+    fn skewed_clock_identity() {
+        assert!(SkewedClock::IDENTITY.is_identity());
+        assert_eq!(SkewedClock::IDENTITY.global_delay_ms(42.0), 42.0);
+        assert!(!SkewedClock::with_rate(1.001).is_identity());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn zero_rate_clock_rejected() {
+        let _ = SkewedClock::with_rate(0.0);
     }
 }
