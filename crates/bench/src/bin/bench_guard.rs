@@ -10,6 +10,16 @@
 //!     --file BENCH_5.json --bench open_loop/64_clients_10k_ops --min 271591
 //! ```
 //!
+//! `--metric <name>` gates an entry of the summary's `metrics` array (the
+//! `{"name": ..., "value": ...}` objects emitted via `record_metric`)
+//! instead of a benchmark's `elements_per_sec` — CI uses it to floor the
+//! parallel-engine profile figures:
+//!
+//! ```text
+//! cargo run -p pbs-bench --release --bin bench_guard -- \
+//!     --file BENCH_7.json --metric profile_w2_best_ops_per_sec --min 100000
+//! ```
+//!
 //! The parser is deliberately narrow: it understands exactly the
 //! line-oriented JSON the shim writes (one object per line), which keeps
 //! the gate dependency-free.
@@ -27,14 +37,15 @@ fn field_f64(line: &str, field: &str) -> Option<f64> {
 
 fn main() {
     let args = Args::parse();
-    args.reject_unknown(&["file", "bench", "min"]);
+    args.reject_unknown(&["file", "bench", "metric", "min"]);
     let file = args.value_of("file").unwrap_or("BENCH_5.json").to_string();
+    let metric = args.value_of("metric").map(str::to_string);
     let bench = args
         .value_of("bench")
         .unwrap_or("open_loop/64_clients_10k_ops")
         .to_string();
     let min: f64 = args.parsed("min").unwrap_or_else(|| {
-        eprintln!("--min <elements_per_sec floor> is required");
+        eprintln!("--min <floor> is required");
         std::process::exit(2);
     });
 
@@ -45,24 +56,28 @@ fn main() {
             std::process::exit(1);
         }
     };
-    let label_needle = format!("\"label\": \"{bench}\"");
-    let Some(line) = content.lines().find(|l| l.contains(&label_needle)) else {
-        eprintln!("bench_guard: no benchmark labelled {bench:?} in {file}");
+    // `--metric` gates a named scalar from the `metrics` array; the
+    // default gates a benchmark's `elements_per_sec`.
+    let (what, needle, field) = match &metric {
+        Some(name) => (name.clone(), format!("\"name\": \"{name}\""), "value"),
+        None => (bench.clone(), format!("\"label\": \"{bench}\""), "elements_per_sec"),
+    };
+    let Some(line) = content.lines().find(|l| l.contains(&needle)) else {
+        eprintln!("bench_guard: no entry matching {what:?} in {file}");
         std::process::exit(1);
     };
-    let Some(actual) = field_f64(line, "elements_per_sec") else {
-        eprintln!("bench_guard: {bench:?} has no elements_per_sec field: {line}");
+    let Some(actual) = field_f64(line, field) else {
+        eprintln!("bench_guard: {what:?} has no {field} field: {line}");
         std::process::exit(1);
     };
     if actual < min {
         eprintln!(
-            "bench_guard: REGRESSION — {bench} ran at {actual:.0} elements/sec, \
-             below the floor of {min:.0}"
+            "bench_guard: REGRESSION — {what} ran at {actual:.0}, below the floor of {min:.0}"
         );
         std::process::exit(1);
     }
     println!(
-        "bench_guard: OK — {bench} at {actual:.0} elements/sec (floor {min:.0}, {:.2}× headroom)",
+        "bench_guard: OK — {what} at {actual:.0} (floor {min:.0}, {:.2}× headroom)",
         actual / min
     );
 }
@@ -77,5 +92,11 @@ mod tests {
         assert_eq!(field_f64(line, "elements_per_sec"), Some(655348.3));
         assert_eq!(field_f64(line, "iters"), Some(20.0));
         assert_eq!(field_f64(line, "missing"), None);
+    }
+
+    #[test]
+    fn extracts_metric_values() {
+        let line = r#"    {"name": "profile_w2_best_ops_per_sec", "value": 123456.7},"#;
+        assert_eq!(field_f64(line, "value"), Some(123456.7));
     }
 }

@@ -21,19 +21,30 @@
 //! cargo run -p pbs-bench --release --bin profile
 //! cargo run -p pbs-bench --release --features alloc-profile --bin profile
 //! cargo run -p pbs-bench --release --bin profile -- --clients 1024 --rate 20000
+//! cargo run -p pbs-bench --release --bin profile -- --workers 4
 //! ```
 //!
 //! To A/B the scheduler implementations, add
 //! `--features pbs-sim/heap-scheduler` to either invocation: the workload
 //! is bit-identical under both, so any delta is pure scheduler cost.
+//!
+//! `--workers N` (N ≥ 1) profiles the **conservative parallel engine**
+//! instead: the cluster grows to `max(8, N)` nodes, the network swaps to
+//! Pareto legs (the engine needs a positive per-leg support minimum for
+//! its lookahead), and after each iteration the harness prints a
+//! per-worker table — events and events/sec per worker, synchronous
+//! windows, cross-partition traffic, barrier stalls, and the mean
+//! time-window (horizon) width. Metrics land in `BENCH_JSON` under
+//! `pdes_w{N}_*` names so CI can build the scaling table and gate it.
 
 use pbs_bench::cli::Args;
 use pbs_bench::report;
 use pbs_core::ReplicaConfig;
-use pbs_dist::Exponential;
+use pbs_dist::{Exponential, Pareto};
 use pbs_kvs::{
-    run_open_loop_with, ClientOptions, ClusterOptions, NetworkModel, OpenLoopOptions,
+    run_open_loop_on, ClientOptions, ClusterOptions, EngineKind, NetworkModel, OpenLoopOptions,
 };
+use pbs_sim::PdesStats;
 use pbs_workload::{OpMix, OpSource, OpStream, Poisson, UniformKeys};
 use std::sync::Arc;
 use std::time::Instant;
@@ -94,36 +105,58 @@ mod alloc_counter {
 
 fn main() {
     let args = Args::parse();
-    args.reject_unknown(&["clients", "rate", "duration-ms", "seed", "iters", "quick"]);
+    args.reject_unknown(&["clients", "rate", "duration-ms", "seed", "iters", "quick", "workers"]);
     let clients: usize = args.parsed("clients").unwrap_or(64);
     let rate: f64 = args.parsed("rate").unwrap_or(5_000.0);
     let duration_ms: f64 = args.parsed("duration-ms").unwrap_or(2_000.0);
     let seed: u64 = args.parsed("seed").unwrap_or(7);
     let iters: usize = args.parsed("iters").unwrap_or(if args.flag("quick") { 1 } else { 5 });
+    let workers: usize = args.parsed("workers").unwrap_or(0);
 
     let cfg = ReplicaConfig::new(3, 1, 1).unwrap();
     let mut opts = ClusterOptions::validation(cfg, seed);
     opts.op_timeout_ms = 2_000.0;
     let engine = OpenLoopOptions::new(duration_ms, 500.0, opts.op_timeout_ms);
-    let net = NetworkModel::w_ars(
-        Arc::new(Exponential::from_rate(0.1)),
-        Arc::new(Exponential::from_rate(0.5)),
-    );
+    // The parallel engine derives its lookahead from the per-leg support
+    // minimum, so its profile swaps the exponential legs (minimum zero)
+    // for heavy-tailed Pareto legs with comparable means.
+    let (kind, net) = if workers == 0 {
+        let net = NetworkModel::w_ars(
+            Arc::new(Exponential::from_rate(0.1)),
+            Arc::new(Exponential::from_rate(0.5)),
+        );
+        (EngineKind::Serial, net)
+    } else {
+        opts.nodes = (workers as u32).max(8);
+        let net = NetworkModel::w_ars(
+            Arc::new(Pareto::new(1.5, 1.2)),
+            Arc::new(Pareto::new(0.8, 2.0)),
+        );
+        (EngineKind::Parallel { workers }, net)
+    };
     let per_client = rate / clients as f64;
 
+    let mode = match kind {
+        EngineKind::Serial => "serial".to_string(),
+        _ => format!("parallel ×{workers} ({} nodes)", opts.nodes),
+    };
     report::header(&format!(
-        "profile: open loop, {clients} clients × {per_client:.1} ops/s × {duration_ms} ms (seed {seed}, {iters} iters)"
+        "profile: open loop [{mode}], {clients} clients × {per_client:.1} ops/s × {duration_ms} ms (seed {seed}, {iters} iters)"
     ));
 
     let mut best_ops_per_sec = 0.0f64;
     let mut best_events_per_sec = 0.0f64;
+    let mut best_wall = f64::INFINITY;
+    let mut last_pdes: Option<PdesStats> = None;
     let mut rows = Vec::new();
     for iter in 0..iters {
         let (allocs0, bytes0) = alloc_counter::snapshot();
         let start = Instant::now();
         let mut events = 0u64;
         let mut sched = pbs_sim::SchedulerStats::default();
-        let report = run_open_loop_with(
+        let mut pdes = None;
+        let report = run_open_loop_on(
+            kind,
             opts,
             &net,
             &engine,
@@ -141,9 +174,15 @@ fn main() {
             |cluster| {
                 events = cluster.events_processed();
                 sched = cluster.scheduler_stats();
+                pdes = cluster.pdes_stats();
             },
-        );
+        )
+        .expect("profile network models have a positive support minimum");
         let wall = start.elapsed().as_secs_f64();
+        best_wall = best_wall.min(wall);
+        if pdes.is_some() {
+            last_pdes = pdes;
+        }
         let (allocs1, bytes1) = alloc_counter::snapshot();
         let ops = report.commits + report.reads;
         let ops_per_sec = ops as f64 / wall;
@@ -186,14 +225,61 @@ fn main() {
     println!();
     println!("best: {best_ops_per_sec:.0} ops/sec");
 
+    // Per-worker breakdown of the parallel engine's last iteration:
+    // dispatch share, synchronous windows, cross-partition traffic, and
+    // barrier stalls, plus the mean conservative window (horizon) width.
+    if let Some(stats) = &last_pdes {
+        println!();
+        report::header(&format!(
+            "pdes: {} workers, lookahead {:.3} ms, {} windows, mean horizon {:.3} ms",
+            stats.workers.len(),
+            stats.lookahead_ms,
+            stats.windows(),
+            stats.mean_horizon_ms().unwrap_or(0.0),
+        ));
+        let wrows: Vec<Vec<String>> = stats
+            .workers
+            .iter()
+            .enumerate()
+            .map(|(w, s)| {
+                vec![
+                    format!("{w}"),
+                    format!("{}", s.events),
+                    format!("{:.2}M", s.events as f64 / best_wall / 1e6),
+                    format!("{}", s.merged_remote),
+                    format!("{}", s.sent_remote),
+                    format!("{}", s.barrier_yields),
+                ]
+            })
+            .collect();
+        report::table(
+            &["worker", "events", "events/sec", "merged_in", "sent_out", "barrier_yields"],
+            &wrows,
+        );
+    }
+
     // Fold the headline figures into the BENCH_JSON summary (no-op when
-    // the env var is unset).
-    criterion::record_metric("profile_best_ops_per_sec", best_ops_per_sec);
-    criterion::record_metric("profile_best_events_per_sec", best_events_per_sec);
+    // the env var is unset). Parallel runs get worker-tagged names so one
+    // summary file can hold the whole scaling table.
+    let tag = if workers == 0 { String::new() } else { format!("_w{workers}") };
+    criterion::record_metric(format!("profile{tag}_best_ops_per_sec"), best_ops_per_sec);
+    criterion::record_metric(format!("profile{tag}_best_events_per_sec"), best_events_per_sec);
+    if let Some(stats) = &last_pdes {
+        criterion::record_metric(format!("pdes{tag}_lookahead_ms"), stats.lookahead_ms);
+        criterion::record_metric(format!("pdes{tag}_windows"), stats.windows() as f64);
+        criterion::record_metric(
+            format!("pdes{tag}_mean_horizon_ms"),
+            stats.mean_horizon_ms().unwrap_or(0.0),
+        );
+        let sent: u64 = stats.workers.iter().map(|w| w.sent_remote).sum();
+        let yields: u64 = stats.workers.iter().map(|w| w.barrier_yields).sum();
+        criterion::record_metric(format!("pdes{tag}_sent_remote"), sent as f64);
+        criterion::record_metric(format!("pdes{tag}_barrier_yields"), yields as f64);
+    }
     if cfg!(feature = "alloc-profile") {
         if let Some(last) = rows.last() {
             if let Ok(allocs) = last[4].parse::<f64>() {
-                criterion::record_metric("profile_allocs_per_op", allocs);
+                criterion::record_metric(format!("profile{tag}_allocs_per_op"), allocs);
             }
         }
     }

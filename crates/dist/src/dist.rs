@@ -48,6 +48,10 @@ impl LatencyDistribution for Constant {
         self.value
     }
 
+    fn lower_bound(&self) -> f64 {
+        self.value
+    }
+
     fn mean(&self) -> f64 {
         self.value
     }
@@ -99,6 +103,10 @@ impl LatencyDistribution for Exponential {
     fn quantile(&self, p: f64) -> f64 {
         assert!((0.0..1.0).contains(&p), "quantile needs p in [0, 1): {p}");
         -(1.0 - p).ln() / self.rate
+    }
+
+    fn lower_bound(&self) -> f64 {
+        0.0
     }
 
     fn mean(&self) -> f64 {
@@ -156,6 +164,10 @@ impl LatencyDistribution for Pareto {
     fn quantile(&self, p: f64) -> f64 {
         assert!((0.0..1.0).contains(&p), "quantile needs p in [0, 1): {p}");
         self.xm * (1.0 - p).powf(-1.0 / self.alpha)
+    }
+
+    fn lower_bound(&self) -> f64 {
+        self.xm
     }
 
     fn mean(&self) -> f64 {
@@ -231,6 +243,19 @@ impl LatencyDistribution for Mixture {
     fn cdf(&self, x: f64) -> f64 {
         self.pareto_weight * self.pareto.cdf(x)
             + (1.0 - self.pareto_weight) * self.exponential.cdf(x)
+    }
+
+    fn lower_bound(&self) -> f64 {
+        // Only components that can actually be drawn count: a weight-1
+        // mixture (pure_pareto) keeps the Pareto's xm rather than the
+        // unreachable exponential's 0.
+        if self.pareto_weight >= 1.0 {
+            self.pareto.lower_bound()
+        } else if self.pareto_weight <= 0.0 {
+            self.exponential.lower_bound()
+        } else {
+            self.pareto.lower_bound().min(self.exponential.lower_bound())
+        }
     }
 
     fn mean(&self) -> f64 {
@@ -311,6 +336,10 @@ impl LatencyDistribution for Empirical {
         self.samples.percentile(p * 100.0)
     }
 
+    fn lower_bound(&self) -> f64 {
+        self.samples.min()
+    }
+
     fn mean(&self) -> f64 {
         self.samples.mean()
     }
@@ -387,6 +416,28 @@ mod tests {
         let exp = Exponential::from_rate(1.0);
         assert_eq!(Mixture::new(0.0, heavy, exp).mean(), 1.0);
         assert_eq!(Mixture::new(1.0, heavy, exp).mean(), f64::INFINITY);
+    }
+
+    #[test]
+    fn lower_bounds_report_true_support_minimum() {
+        assert_eq!(Constant::new(3.5).lower_bound(), 3.5);
+        assert_eq!(Exponential::from_rate(0.25).lower_bound(), 0.0);
+        assert_eq!(Pareto::new(1.05, 1.51).lower_bound(), 1.05);
+        // A weight-1 mixture must NOT report the unreachable exponential's
+        // 0 — this is the case where `quantile(0.0)` via bisection would
+        // also wrongly collapse to 0 (the cdf is flat on [0, xm]).
+        let pure = Mixture::pure_pareto(Pareto::new(0.235, 10.0));
+        assert_eq!(pure.lower_bound(), 0.235);
+        let mixed =
+            Mixture::new(0.38, Pareto::new(1.05, 1.51), Exponential::from_rate(0.183));
+        assert_eq!(mixed.lower_bound(), 0.0);
+        let emp = Empirical::from_samples(vec![5.0, 1.5, 3.0]);
+        assert_eq!(emp.lower_bound(), 1.5);
+        // Samples can never land below the reported bound.
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..5_000 {
+            assert!(pure.sample(&mut rng) >= pure.lower_bound());
+        }
     }
 
     #[test]

@@ -74,6 +74,19 @@ pub trait LatencyDistribution: Send + Sync {
         0.5 * (lo + hi)
     }
 
+    /// The infimum of the support: the largest `x` such that no sample
+    /// can fall below `x`.
+    ///
+    /// This is **not** `quantile(0.0)` through the bisection default —
+    /// for a cdf that is identically zero on `[0, xm]` (Pareto), the
+    /// bisection bracket collapses to 0 rather than `xm`. Conservative
+    /// consumers (the parallel engine's lookahead computation) need the
+    /// true support minimum, so every family overrides this; the default
+    /// of 0 is always sound but pessimal.
+    fn lower_bound(&self) -> f64 {
+        0.0
+    }
+
     /// The distribution mean (may be `f64::INFINITY`, e.g. Pareto α ≤ 1).
     fn mean(&self) -> f64;
 

@@ -134,7 +134,13 @@ struct Pending {
 /// The open-loop client actor.
 pub struct ClientActor {
     index: u32,
-    nodes: usize,
+    /// First node this client may coordinate through.
+    coord_base: usize,
+    /// Number of eligible coordinators starting at `coord_base`. Under the
+    /// parallel engine a client is pinned to its partition's node range
+    /// (client↔coordinator traffic is zero-delay and must stay on one
+    /// worker); a serial cluster passes the whole node range.
+    coord_count: usize,
     opts: ClientOptions,
     rng: StdRng,
     source: Box<dyn OpSource>,
@@ -179,17 +185,19 @@ impl std::fmt::Debug for ClientActor {
 }
 
 impl ClientActor {
-    /// Build client `index` over a cluster of `nodes` coordinators, with
-    /// its own deterministic RNG stream derived from the cluster seed.
+    /// Build client `index` coordinating through the nodes in `coords`
+    /// (a contiguous node-id range), with its own deterministic RNG
+    /// stream derived from the cluster seed.
     pub fn new(
         index: u32,
-        nodes: usize,
+        coords: std::ops::Range<usize>,
         source: Box<dyn OpSource>,
         opts: ClientOptions,
         down: Arc<DownTracker>,
         cluster_seed: u64,
     ) -> Self {
         assert!(index < MAX_CLIENTS, "at most {MAX_CLIENTS} clients per cluster");
+        assert!(!coords.is_empty(), "client needs at least one coordinator");
         assert!(opts.max_in_flight >= 1 && opts.result_capacity >= 1);
         assert!(opts.op_timeout_ms > 0.0);
         let seed = cluster_seed
@@ -197,7 +205,8 @@ impl ClientActor {
             ^ 0x2545_f491_4f6c_dd1d;
         Self {
             index,
-            nodes,
+            coord_base: coords.start,
+            coord_count: coords.len(),
             opts,
             rng: StdRng::seed_from_u64(seed),
             source,
@@ -270,7 +279,7 @@ impl ClientActor {
         self.in_flight.insert(op_id, Pending { key, kind, start: ctx.now() });
         self.stats.issued += 1;
         self.stats.peak_in_flight = self.stats.peak_in_flight.max(self.in_flight.len() as u64);
-        let coord = self.down.pick_up_node(&mut self.rng, self.nodes);
+        let coord = self.down.pick_up_node_in(&mut self.rng, self.coord_base, self.coord_count);
         let msg = match kind {
             OpKind::Write => Msg::ClientWrite { op_id, key },
             OpKind::Read => Msg::ClientRead { op_id, key },
@@ -413,7 +422,7 @@ mod tests {
         let mk = |i| {
             ClientActor::new(
                 i,
-                3,
+                0..3,
                 Box::new(pbs_workload::OpStream::new(
                     pbs_workload::FixedRate::new(1.0),
                     pbs_workload::UniformKeys::new(4),

@@ -23,11 +23,15 @@ use crate::client::{ClientActor, ClientOptions, ClientStats, CompletedOp};
 use crate::fxhash::FxHashMap;
 use crate::messages::Msg;
 use crate::network::NetworkModel;
-use crate::node::{ClientResult, DetectorEvent, DownTracker, Node, NodeOptions, SeqAllocator};
+use crate::node::{ClientResult, DetectorEvent, DownTracker, Node, NodeOptions};
+use crate::partition::PartitionPlan;
 use crate::ring::Ring;
 use crate::staleness::{GroundTruth, ReadLabel};
 use pbs_core::ReplicaConfig;
-use pbs_sim::{Actor, ActorId, Context, Event, SimTime, Simulation};
+use pbs_sim::{
+    Actor, ActorId, Context, Event, ParallelSimulation, PdesError, PdesStats, SimDuration,
+    SimTime, Simulation,
+};
 use pbs_workload::{OpKind, OpSource};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -98,9 +102,10 @@ pub struct WriteOutcome {
     pub op_id: u64,
     /// Key written.
     pub key: u64,
-    /// Coordinator-assigned dense sequence number (0 when the operation
-    /// produced no result at all — e.g. the op timed out before the
-    /// coordinator reported back).
+    /// Coordinator-assigned sequence number — the write's start instant
+    /// in nanoseconds + 1, so versions order by write-start time (0 when
+    /// the operation produced no result at all — e.g. the op timed out
+    /// before the coordinator reported back).
     pub seq: u64,
     /// Issue time.
     pub start: SimTime,
@@ -313,10 +318,139 @@ impl Actor for ClusterActor {
     }
 }
 
+/// Which event engine a [`Cluster`] runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineKind {
+    /// The ordinary single-threaded engine over one partition — the
+    /// default, and bit-identical to every pre-parallel release.
+    Serial,
+    /// The serial engine, but with clients restricted to the coordinator
+    /// ranges of a `workers`-way [`PartitionPlan`] — issues exactly the
+    /// operations a [`Parallel`](Self::Parallel) run with the same
+    /// `workers` would, on one thread. The reference side of the
+    /// serial-vs-parallel equivalence checks.
+    SerialPartitioned {
+        /// Partition count to plan for.
+        workers: usize,
+    },
+    /// The conservative parallel engine: `workers` threads, each owning a
+    /// contiguous node range plus its affine clients, synchronized by
+    /// lookahead windows derived from the network model's minimum
+    /// cross-partition delay.
+    Parallel {
+        /// Worker-thread count.
+        workers: usize,
+    },
+}
+
+impl EngineKind {
+    fn workers(self) -> usize {
+        match self {
+            EngineKind::Serial => 1,
+            EngineKind::SerialPartitioned { workers } | EngineKind::Parallel { workers } => workers,
+        }
+    }
+}
+
+/// The engine behind a cluster: one serial event loop, or the partitioned
+/// parallel one. All driver-side plumbing (drains, injections, actor
+/// access) dispatches through this, so both paths share every line of the
+/// harness above it.
+enum Engine {
+    Serial(Simulation<ClusterActor>),
+    Parallel(ParallelSimulation<ClusterActor>),
+}
+
+impl Engine {
+    fn now(&self) -> SimTime {
+        match self {
+            Engine::Serial(s) => s.now(),
+            Engine::Parallel(p) => p.now(),
+        }
+    }
+
+    fn add_actor(&mut self, actor: ClusterActor, worker: usize) -> ActorId {
+        match self {
+            Engine::Serial(s) => s.add_actor(actor),
+            Engine::Parallel(p) => p.add_actor(actor, worker),
+        }
+    }
+
+    fn actor(&self, id: ActorId) -> &ClusterActor {
+        match self {
+            Engine::Serial(s) => s.actor(id),
+            Engine::Parallel(p) => p.actor(id),
+        }
+    }
+
+    fn actor_mut(&mut self, id: ActorId) -> &mut ClusterActor {
+        match self {
+            Engine::Serial(s) => s.actor_mut(id),
+            Engine::Parallel(p) => p.actor_mut(id),
+        }
+    }
+
+    fn inject(&mut self, target: ActorId, delay_ms: f64, msg: Msg) {
+        match self {
+            Engine::Serial(s) => s.inject(target, delay_ms, msg),
+            Engine::Parallel(p) => p.inject(target, delay_ms, msg),
+        }
+    }
+
+    fn inject_at(&mut self, target: ActorId, at: SimTime, msg: Msg) {
+        match self {
+            Engine::Serial(s) => s.inject_at(target, at, msg),
+            Engine::Parallel(p) => p.inject_at(target, at, msg),
+        }
+    }
+
+    fn run_until(&mut self, deadline: SimTime) {
+        match self {
+            Engine::Serial(s) => s.run_until(deadline),
+            Engine::Parallel(p) => p.run_until(deadline),
+        }
+    }
+
+    fn pending_events(&self) -> usize {
+        match self {
+            Engine::Serial(s) => s.pending_events(),
+            Engine::Parallel(p) => p.pending_events(),
+        }
+    }
+
+    fn events_processed(&self) -> u64 {
+        match self {
+            Engine::Serial(s) => s.events_processed(),
+            Engine::Parallel(p) => p.events_processed(),
+        }
+    }
+
+    fn scheduler_stats(&self) -> pbs_sim::SchedulerStats {
+        match self {
+            Engine::Serial(s) => s.scheduler_stats(),
+            Engine::Parallel(p) => p.scheduler_stats(),
+        }
+    }
+
+    /// The serial simulation, for the blocking single-step client path.
+    /// The parallel engine executes whole lookahead windows and cannot
+    /// single-step, so blocking operations require a serial cluster.
+    fn serial_mut(&mut self) -> &mut Simulation<ClusterActor> {
+        match self {
+            Engine::Serial(s) => s,
+            Engine::Parallel(_) => panic!(
+                "blocking operations single-step the event loop and require a serial \
+                 cluster; drive a parallel cluster through the open-loop path"
+            ),
+        }
+    }
+}
+
 /// A simulated Dynamo-style cluster hosting storage nodes and (optionally)
 /// open-loop client actors.
 pub struct Cluster {
-    sim: Simulation<ClusterActor>,
+    engine: Engine,
+    plan: PartitionPlan,
     ring: Arc<Ring>,
     net: Arc<NetworkModel>,
     opts: ClusterOptions,
@@ -343,14 +477,31 @@ impl std::fmt::Debug for Cluster {
             .field("nodes", &self.opts.nodes)
             .field("clients", &self.clients.len())
             .field("replication", &self.opts.replication)
-            .field("now", &self.sim.now())
+            .field("workers", &self.plan.workers())
+            .field("now", &self.engine.now())
             .finish()
     }
 }
 
 impl Cluster {
-    /// Build a cluster.
+    /// Build a serial cluster (the default engine).
     pub fn new(opts: ClusterOptions, network: NetworkModel) -> Self {
+        Self::with_engine(opts, network, EngineKind::Serial)
+            .expect("the serial engine has no rejectable configuration")
+    }
+
+    /// Build a cluster on an explicit engine. With
+    /// [`EngineKind::Parallel`], the lookahead is the network model's
+    /// minimum cross-partition delay
+    /// ([`NetworkModel::min_cross_delay_ms`]); a model whose legs can be
+    /// arbitrarily fast (e.g. exponential) has a zero minimum and is
+    /// rejected as [`PdesError::DegenerateLookahead`] here, at partition
+    /// time — conservative windows could never make progress under it.
+    pub fn with_engine(
+        opts: ClusterOptions,
+        network: NetworkModel,
+        kind: EngineKind,
+    ) -> Result<Self, PdesError> {
         assert!(
             opts.nodes >= opts.replication.n(),
             "cluster needs at least N={} nodes, got {}",
@@ -358,9 +509,9 @@ impl Cluster {
             opts.nodes
         );
         assert!(opts.op_timeout_ms > 0.0);
+        let plan = PartitionPlan::contiguous(opts.nodes, kind.workers());
         let ring = Arc::new(Ring::new(opts.nodes, opts.vnodes, opts.replication.n()));
         let net = Arc::new(network);
-        let seq = Arc::new(SeqAllocator::new());
         let down = Arc::new(DownTracker::new(opts.nodes as usize));
         let node_opts = NodeOptions {
             r: opts.replication.r(),
@@ -372,31 +523,39 @@ impl Cluster {
             drop_prob: opts.drop_prob,
             record_leg_samples: opts.record_leg_samples,
         };
-        let mut sim = Simulation::new();
+        let mut engine = match kind {
+            EngineKind::Serial | EngineKind::SerialPartitioned { .. } => {
+                Engine::Serial(Simulation::new())
+            }
+            EngineKind::Parallel { workers } => {
+                let lookahead = SimDuration::from_ms(net.min_cross_delay_ms());
+                Engine::Parallel(ParallelSimulation::new(workers, lookahead)?)
+            }
+        };
         for id in 0..opts.nodes as usize {
             let node = Node::new(
                 id,
                 node_opts,
                 Arc::clone(&net),
                 Arc::clone(&ring),
-                Arc::clone(&seq),
                 Arc::clone(&down),
                 opts.seed,
             );
-            let actor = sim.add_actor(ClusterActor::Node(node));
+            let actor = engine.add_actor(ClusterActor::Node(node), plan.worker_of_node(id as u32));
             debug_assert_eq!(actor, id);
         }
         if let Some(interval) = opts.sync_interval_ms {
             for id in 0..opts.nodes as usize {
-                sim.inject(id, 0.0, Msg::StartSync { interval_ms: interval });
+                engine.inject(id, 0.0, Msg::StartSync { interval_ms: interval });
             }
         }
         // Pending-op GC keeps coordinator state bounded by in-flight work.
         for id in 0..opts.nodes as usize {
-            sim.inject(id, 0.0, Msg::StartGc { interval_ms: opts.op_timeout_ms });
+            engine.inject(id, 0.0, Msg::StartGc { interval_ms: opts.op_timeout_ms });
         }
-        Self {
-            sim,
+        Ok(Self {
+            engine,
+            plan,
             ring,
             net,
             opts,
@@ -410,12 +569,27 @@ impl Cluster {
             history: None,
             drain_scratch: Vec::new(),
             detector_scratch: Vec::new(),
-        }
+        })
     }
 
     /// Current simulated time.
     pub fn now(&self) -> SimTime {
-        self.sim.now()
+        self.engine.now()
+    }
+
+    /// The partition plan in effect (a single all-owning partition on a
+    /// plain serial cluster).
+    pub fn partition_plan(&self) -> &PartitionPlan {
+        &self.plan
+    }
+
+    /// Per-worker execution counters of the parallel engine (`None` on a
+    /// serial cluster).
+    pub fn pdes_stats(&self) -> Option<PdesStats> {
+        match &self.engine {
+            Engine::Serial(_) => None,
+            Engine::Parallel(p) => Some(p.stats()),
+        }
     }
 
     /// The cluster's replication configuration.
@@ -506,29 +680,43 @@ impl Cluster {
     /// Direct access to a node (stats, stored versions, crash state).
     /// Panics if `id` is a client actor.
     pub fn node(&self, id: usize) -> &Node {
-        match self.sim.actor(id) {
+        match self.engine.actor(id) {
             ClusterActor::Node(n) => n,
             ClusterActor::Client(_) => panic!("actor {id} is a client, not a node"),
         }
     }
 
     fn node_mut(&mut self, id: usize) -> &mut Node {
-        match self.sim.actor_mut(id) {
+        match self.engine.actor_mut(id) {
             ClusterActor::Node(n) => n,
             ClusterActor::Client(_) => panic!("actor {id} is a client, not a node"),
         }
     }
 
     fn client_mut(&mut self, id: ActorId) -> &mut ClientActor {
-        match self.sim.actor_mut(id) {
+        match self.engine.actor_mut(id) {
             ClusterActor::Client(c) => c,
             ClusterActor::Node(_) => panic!("actor {id} is a node, not a client"),
         }
     }
 
     /// Advance simulated time, processing all events up to `at`.
+    ///
+    /// On a parallel cluster, the lookahead is re-derived from the
+    /// network model first: scenario events between windows can reshape
+    /// the latency regime, and the conservative horizon must track it.
+    /// Panics if a mid-run regime swap collapses the minimum
+    /// cross-partition delay to zero — parallel clusters require latency
+    /// models with a positive support minimum throughout the run (build
+    /// with [`EngineKind::Serial`] to use such models).
     pub fn advance_to(&mut self, at: SimTime) {
-        self.sim.run_until(at);
+        if let Engine::Parallel(p) = &mut self.engine {
+            let lookahead = SimDuration::from_ms(self.net.min_cross_delay_ms());
+            p.set_lookahead(lookahead).unwrap_or_else(|e| {
+                panic!("a condition change degenerated the parallel lookahead mid-run: {e}")
+            });
+        }
+        self.engine.run_until(at);
     }
 
     /// Schedule a crash of `node` at `at` for `down_ms` (state wiped when
@@ -536,7 +724,7 @@ impl Cluster {
     pub fn crash_node_at(&mut self, node: usize, at: SimTime, down_ms: f64) {
         let wipe = self.opts.wipe_on_crash;
         assert!(node < self.opts.nodes as usize, "cannot crash client actor {node}");
-        self.sim.inject_at(node, at, Msg::Crash { down_ms, wipe });
+        self.engine.inject_at(node, at, Msg::Crash { down_ms, wipe });
     }
 
     /// Choose a coordinator for the next operation: uniform over **up**
@@ -573,9 +761,10 @@ impl Cluster {
             if let Some(res) = self.node_mut(coord).client_results.remove(&op_id) {
                 return Some(res);
             }
-            match self.sim.peek_next_time() {
+            let sim = self.engine.serial_mut();
+            match sim.peek_next_time() {
                 Some(t) if t <= deadline => {
-                    self.sim.step();
+                    sim.step();
                 }
                 _ => return None,
             }
@@ -594,8 +783,8 @@ impl Cluster {
     pub fn write_from(&mut self, coord: usize, key: u64) -> WriteOutcome {
         self.assert_blocking_allowed();
         let op_id = self.alloc_op();
-        let start = self.sim.now();
-        self.sim.inject(coord, 0.0, Msg::ClientWrite { op_id, key });
+        let start = self.engine.now();
+        self.engine.inject(coord, 0.0, Msg::ClientWrite { op_id, key });
         let deadline = start + pbs_sim::SimDuration::from_ms(self.opts.op_timeout_ms);
         let result = self.step_until_result(coord, op_id, deadline);
         let (seq, commit) = match result {
@@ -629,7 +818,7 @@ impl Cluster {
 
     /// Blocking quorum read issued immediately.
     pub fn read(&mut self, key: u64) -> ReadOutcome {
-        let at = self.sim.now();
+        let at = self.engine.now();
         self.read_at(key, at)
     }
 
@@ -644,7 +833,7 @@ impl Cluster {
     pub fn read_at_from(&mut self, coord: usize, key: u64, at: SimTime) -> ReadOutcome {
         self.assert_blocking_allowed();
         let op_id = self.alloc_op();
-        self.sim.inject_at(coord, at, Msg::ClientRead { op_id, key });
+        self.engine.inject_at(coord, at, Msg::ClientRead { op_id, key });
         let deadline = at + pbs_sim::SimDuration::from_ms(self.opts.op_timeout_ms);
         let result = self.step_until_result(coord, op_id, deadline);
         match result {
@@ -673,15 +862,21 @@ impl Cluster {
     pub fn add_client(&mut self, source: Box<dyn OpSource>, copts: ClientOptions) -> ActorId {
         assert!(!self.clients_started, "add clients before starting them");
         let index = self.clients.len() as u32;
+        // Client affinity: a client lives on one worker and coordinates
+        // only through that worker's node range — client↔coordinator
+        // traffic is zero-delay, so it must never cross partitions. On a
+        // one-partition plan the range is every node, reproducing the
+        // unrestricted pick bit-for-bit.
+        let worker = self.plan.worker_of_client(index);
         let client = ClientActor::new(
             index,
-            self.opts.nodes as usize,
+            self.plan.node_range(worker),
             source,
             copts,
             Arc::clone(&self.down),
             self.opts.seed,
         );
-        let id = self.sim.add_actor(ClusterActor::Client(client));
+        let id = self.engine.add_actor(ClusterActor::Client(client), worker);
         self.clients.push(id);
         id
     }
@@ -693,7 +888,7 @@ impl Cluster {
 
     /// Immutable access to a client actor.
     pub fn client(&self, id: ActorId) -> &ClientActor {
-        match self.sim.actor(id) {
+        match self.engine.actor(id) {
             ClusterActor::Client(c) => c,
             ClusterActor::Node(_) => panic!("actor {id} is a node, not a client"),
         }
@@ -705,7 +900,7 @@ impl Cluster {
         self.clients_started = true;
         for i in 0..self.clients.len() {
             let id = self.clients[i];
-            self.sim.inject(id, 0.0, Msg::StartClient);
+            self.engine.inject(id, 0.0, Msg::StartClient);
         }
     }
 
@@ -714,7 +909,7 @@ impl Cluster {
     pub fn stop_clients(&mut self) {
         for i in 0..self.clients.len() {
             let id = self.clients[i];
-            self.sim.inject(id, 0.0, Msg::StopClient);
+            self.engine.inject(id, 0.0, Msg::StopClient);
         }
     }
 
@@ -727,18 +922,19 @@ impl Cluster {
     /// open-loop memory story: this stays O(clients + in-flight), never
     /// O(workload length).
     pub fn pending_events(&self) -> usize {
-        self.sim.pending_events()
+        self.engine.pending_events()
     }
 
     /// Total events the simulation has dispatched.
     pub fn events_processed(&self) -> u64 {
-        self.sim.events_processed()
+        self.engine.events_processed()
     }
 
     /// Scheduler counters (peak queue depth, cascades, slot occupancy) —
-    /// surfaced for the `profile` harness.
+    /// surfaced for the `profile` harness. On a parallel cluster these
+    /// are summed across the worker wheels.
     pub fn scheduler_stats(&self) -> pbs_sim::SchedulerStats {
-        self.sim.scheduler_stats()
+        self.engine.scheduler_stats()
     }
 
     /// Summed per-client counters.
@@ -897,9 +1093,9 @@ mod tests {
         );
         let w = cluster.write(42);
         assert!(w.commit.is_some());
-        assert_eq!(w.seq, 1);
+        assert!(w.seq > 0, "committed writes carry a nonzero version");
         let r = cluster.read(42);
-        assert_eq!(r.returned_seq, Some(1));
+        assert_eq!(r.returned_seq, Some(w.seq));
         assert!(r.consistent());
     }
 
@@ -945,15 +1141,24 @@ mod tests {
     }
 
     #[test]
-    fn versions_are_dense_per_key() {
+    fn versions_order_by_write_start_time() {
         let mut cluster = Cluster::new(
             ClusterOptions::validation(cfg(2, 1, 1), 4),
             exp_net(0.5, 0.5),
         );
-        for expected in 1..=5u64 {
-            assert_eq!(cluster.write(1).seq, expected);
+        let mut last = 0u64;
+        for i in 0..5 {
+            let w = cluster.write(1);
+            assert_eq!(
+                w.seq,
+                w.start.as_nanos() + 1,
+                "seq is the write-start instant (+1 keeps 0 as the absent sentinel)"
+            );
+            assert!(w.seq > last, "write {i} not ordered after its predecessor");
+            last = w.seq;
         }
-        assert_eq!(cluster.write(2).seq, 1, "independent per key");
+        let w2 = cluster.write(2);
+        assert!(w2.seq > last, "timestamps order writes across keys too");
     }
 
     #[test]
@@ -1019,7 +1224,7 @@ mod tests {
         cluster.advance_to(SimTime::from_ms(2_000.0));
         assert_eq!(
             cluster.node(victim).stored_version(key).map(|v| v.seq),
-            Some(1),
+            Some(w.seq),
             "hint delivered after recovery"
         );
     }
@@ -1089,7 +1294,7 @@ mod tests {
         cluster.advance_to(cluster.now() + pbs_sim::SimDuration::from_ms(3_000.0));
         assert_eq!(
             cluster.node(victim).stored_version(key).map(|v| v.seq),
-            Some(1),
+            Some(w.seq),
             "Merkle sync restored the key"
         );
     }
@@ -1109,7 +1314,7 @@ mod tests {
         for &rep in cluster.ring().replicas(key) {
             assert_eq!(
                 cluster.node(rep as usize).stored_version(key).map(|v| v.seq),
-                Some(1),
+                Some(w.seq),
                 "replica {rep} repaired"
             );
         }

@@ -62,6 +62,7 @@ pub mod messages;
 pub mod network;
 pub mod node;
 pub mod openloop;
+pub mod partition;
 pub mod ring;
 pub mod staleness;
 pub mod version;
@@ -70,14 +71,16 @@ pub use buggify::{Delivery, FaultConfigError, FaultProfile};
 pub use checker::{CheckReport, ConvergenceCheck, LabelCheck, OpHistory, SessionCheck};
 pub use client::{ClientActor, ClientOptions, ClientStats, CompletedOp};
 pub use cluster::{
-    Cluster, ClusterOptions, DetectorStats, OpenRead, ReadOutcome, WindowDrain, WindowOp,
-    WriteOutcome,
+    Cluster, ClusterOptions, DetectorStats, EngineKind, OpenRead, ReadOutcome, WindowDrain,
+    WindowOp, WriteOutcome,
 };
 pub use network::{LinkFault, NetworkModel};
-pub use node::{DownTracker, SeqAllocator};
+pub use node::DownTracker;
 pub use openloop::{
-    run_open_loop, run_open_loop_checked, run_open_loop_sharded, run_open_loop_with,
-    OpenLoopOptions, OpenLoopReport, OpenWindow,
+    run_open_loop, run_open_loop_checked, run_open_loop_checked_on, run_open_loop_on,
+    run_open_loop_parallel, run_open_loop_sharded, run_open_loop_with, OpenLoopOptions,
+    OpenLoopReport, OpenWindow,
 };
+pub use partition::PartitionPlan;
 pub use ring::Ring;
 pub use version::{CausalOrder, VectorClock, Version};

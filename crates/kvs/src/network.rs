@@ -474,6 +474,42 @@ impl NetworkModel {
     pub fn datacenter_of(&self, node: usize) -> u32 {
         self.dc_of.get(node).copied().unwrap_or(0)
     }
+
+    /// A conservative lower bound (ms) on the one-way delay of **any**
+    /// node-to-node message under the *current* dynamic conditions — the
+    /// lookahead the conservative parallel engine
+    /// ([`pbs_sim::ParallelSimulation`]) synchronises on.
+    ///
+    /// Soundness over tightness: every term that can only *increase* a
+    /// delay (the inter-DC penalty, link-fault `extra_ms`, buggify reorder
+    /// jitter, slow-node factors ≥ 1) is ignored, while every term that
+    /// can *shrink* one is folded in — per-leg scaling and link-fault
+    /// scales below 1 multiply the bound down. The result is 0 whenever
+    /// any active leg has unbounded-below support (e.g. an exponential
+    /// component), which the parallel engine rejects as degenerate
+    /// lookahead.
+    ///
+    /// Conditions only change at run-driver boundaries, so callers
+    /// re-query this once per `run_until` window, not per message.
+    pub fn min_cross_delay_ms(&self) -> f64 {
+        let c = self.conditions();
+        let legs = match &c.legs {
+            Some(legs) => legs,
+            None => &self.base,
+        };
+        let scale = c.leg_scale.unwrap_or([1.0; 4]);
+        let mut lb = f64::INFINITY;
+        for i in 0..4 {
+            lb = lb.min(legs[i].lower_bound() * scale[i]);
+        }
+        // Link faults rescale a sampled delay (`d * scale + extra`);
+        // `extra ≥ 0` only adds, so dropping it keeps the bound sound,
+        // while a scale below 1 genuinely shrinks delays on that link.
+        for f in &c.link_faults {
+            lb *= f.scale.min(1.0);
+        }
+        lb
+    }
 }
 
 impl std::fmt::Debug for NetworkModel {
@@ -716,6 +752,39 @@ mod tests {
         assert_eq!(net.fault_profile(), None);
         let mut rng = StdRng::seed_from_u64(0);
         assert_eq!(net.transmit_buggified(Leg::W, 0, 1, &mut rng), Delivery::Once(4.0));
+    }
+
+    #[test]
+    fn min_cross_delay_tracks_shrinking_conditions_only() {
+        use pbs_dist::{Exponential, Mixture, Pareto};
+        let net = constant_net();
+        // Base: min over the four constant legs (S = 1 ms).
+        assert_eq!(net.min_cross_delay_ms(), 1.0);
+        // DC penalties only add — the bound must not grow.
+        let net = constant_net().with_datacenters(vec![0, 1], 75.0);
+        assert_eq!(net.min_cross_delay_ms(), 1.0);
+        // Leg scaling shrinks the bound through the cheapest leg.
+        net.set_leg_scale(1.0, 1.0, 1.0, 0.5);
+        assert_eq!(net.min_cross_delay_ms(), 0.5);
+        net.set_leg_scale(1.0, 1.0, 1.0, 4.0);
+        assert_eq!(net.min_cross_delay_ms(), 2.0, "all legs scaled up: R leg now floors");
+        net.restore_base_legs();
+        // A link fault with scale < 1 shrinks; extra_ms alone does not.
+        net.add_link_fault(LinkFault { from: 0, to: 1, extra_ms: 9.0, scale: 1.0 }).unwrap();
+        assert_eq!(net.min_cross_delay_ms(), 1.0, "additive fault cannot raise the floor");
+        net.add_link_fault(LinkFault { from: 1, to: 0, extra_ms: 0.0, scale: 0.25 }).unwrap();
+        assert_eq!(net.min_cross_delay_ms(), 0.25);
+        net.clear_link_faults();
+        // Regime swap to a Pareto-bodied mixture: floor = w · nothing, it's
+        // the true support minimum xm, not quantile(0).
+        let pareto = Arc::new(Mixture::pure_pareto(Pareto::new(0.235, 10.0)));
+        net.swap_legs(pareto.clone(), pareto.clone(), pareto.clone(), pareto.clone());
+        assert_eq!(net.min_cross_delay_ms(), 0.235);
+        // An exponential component drives the bound to zero — the
+        // degenerate-lookahead case the parallel engine rejects.
+        let exp = Arc::new(Exponential::from_mean(2.0));
+        net.swap_legs(exp.clone(), exp.clone(), exp.clone(), exp.clone());
+        assert_eq!(net.min_cross_delay_ms(), 0.0);
     }
 
     #[test]

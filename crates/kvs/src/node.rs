@@ -12,7 +12,7 @@ use pbs_sim::{Actor, ActorId, Context, Event, SimDuration, SimTime};
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 // ---------------------------------------------------------------------------
 // Timer tags: the top byte selects the timer kind, the rest carries an op id.
@@ -23,33 +23,6 @@ const KIND_SYNC: u64 = 2;
 const KIND_HINT_FLUSH: u64 = 3;
 const KIND_WRITE_TIMEOUT: u64 = 4;
 const KIND_GC: u64 = 5;
-
-/// Cluster-wide dense per-key sequence allocation. Coordinators draw from
-/// it when a write **starts** (not when a trace is built), so versions are
-/// ordered by actual write-start order even with thousands of concurrent
-/// in-flight writes from many client actors.
-///
-/// The mutex is uncontended — the simulation is single-threaded; the lock
-/// only makes the allocator shareable behind `Arc` across actors.
-#[derive(Debug, Default)]
-pub struct SeqAllocator {
-    next: Mutex<FxHashMap<u64, u64>>,
-}
-
-impl SeqAllocator {
-    /// Fresh allocator (all keys start at sequence 1).
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Allocate the next dense sequence number for `key` (1-based).
-    pub fn next(&self, key: u64) -> u64 {
-        let mut map = self.next.lock().expect("seq allocator poisoned");
-        let seq = map.entry(key).or_insert(0);
-        *seq += 1;
-        *seq
-    }
-}
 
 /// Shared liveness map: nodes mark themselves down/up on crash/recovery,
 /// and operation issuers (the blocking harness and in-sim client actors
@@ -81,14 +54,24 @@ impl DownTracker {
     /// out, as it must). Consumes exactly one RNG draw regardless of crash
     /// state, so healthy-cluster RNG streams are unchanged by this check.
     pub fn pick_up_node(&self, rng: &mut dyn RngCore, nodes: usize) -> usize {
-        let start = rng.gen_range(0..nodes);
-        for probe in 0..nodes {
-            let candidate = (start + probe) % nodes;
+        self.pick_up_node_in(rng, 0, nodes)
+    }
+
+    /// [`pick_up_node`](Self::pick_up_node) restricted to the `count`
+    /// nodes starting at `base` — the coordinator-affinity pick of the
+    /// parallel engine, where a client may only address nodes of its own
+    /// partition. Same RNG discipline (one draw, then a linear probe), so
+    /// with `base = 0, count = nodes` it is bit-identical to the
+    /// unrestricted pick.
+    pub fn pick_up_node_in(&self, rng: &mut dyn RngCore, base: usize, count: usize) -> usize {
+        let start = rng.gen_range(0..count);
+        for probe in 0..count {
+            let candidate = base + (start + probe) % count;
             if !self.is_down(candidate) {
                 return candidate;
             }
         }
-        start
+        base + start
     }
 }
 
@@ -295,7 +278,6 @@ pub struct Node {
     opts: NodeOptions,
     net: Arc<NetworkModel>,
     ring: Arc<Ring>,
-    seq_alloc: Arc<SeqAllocator>,
     down_map: Arc<DownTracker>,
     rng: StdRng,
     down: bool,
@@ -344,14 +326,13 @@ impl std::fmt::Debug for Node {
 }
 
 impl Node {
-    /// Build node `id` with its own deterministic RNG stream. The sequence
-    /// allocator and down-tracker are shared cluster-wide.
+    /// Build node `id` with its own deterministic RNG stream. The
+    /// down-tracker is shared cluster-wide.
     pub fn new(
         id: ActorId,
         opts: NodeOptions,
         net: Arc<NetworkModel>,
         ring: Arc<Ring>,
-        seq_alloc: Arc<SeqAllocator>,
         down_map: Arc<DownTracker>,
         seed: u64,
     ) -> Self {
@@ -360,7 +341,6 @@ impl Node {
             opts,
             net,
             ring,
-            seq_alloc,
             down_map,
             rng: StdRng::seed_from_u64(seed ^ (id as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)),
             down: false,
@@ -515,10 +495,13 @@ impl Node {
     // ----- coordinator: writes -----
 
     fn on_client_write(&mut self, ctx: &mut Context<'_, Msg>, op_id: u64, key: u64, from: ActorId) {
-        // The sequence number is assigned here — when the write actually
-        // starts at its coordinator — so version order matches write-start
-        // order even under thousands of concurrent in-flight writes.
-        let seq = self.seq_alloc.next(key);
+        // The sequence number is the write's start instant (+1 so 0 stays
+        // the "absent" sentinel): version order matches write-start order
+        // with no cluster-wide shared allocator, so coordinators on
+        // different parallel-engine partitions assign identical versions
+        // to identical schedules. Simultaneous starts at different
+        // coordinators tie on `seq` and resolve by writer id.
+        let seq = ctx.now().as_nanos() + 1;
         let version = Version::new(seq, self.id as u32);
         let reply_to = (from != self.id).then_some(from);
         let mut state = self.write_pool.pop().unwrap_or_default();
@@ -994,7 +977,6 @@ mod tests {
             NodeOptions::default(),
             net,
             ring,
-            Arc::new(SeqAllocator::new()),
             Arc::new(DownTracker::new(3)),
             7,
         );

@@ -18,10 +18,10 @@
 
 use crate::checker::{self, CheckReport};
 use crate::client::ClientOptions;
-use crate::cluster::{Cluster, ClusterOptions, DetectorStats, WindowDrain, WindowOp};
+use crate::cluster::{Cluster, ClusterOptions, DetectorStats, EngineKind, WindowDrain, WindowOp};
 use crate::network::NetworkModel;
 use pbs_mc::{Mergeable, Runner, Summary};
-use pbs_sim::SimTime;
+use pbs_sim::{PdesError, SimTime};
 use pbs_workload::OpSource;
 
 /// Engine-level knobs (per-client knobs live in [`ClientOptions`]).
@@ -225,8 +225,44 @@ where
     F: Fn(u32) -> Box<dyn OpSource>,
     P: FnOnce(&mut Cluster),
 {
+    run_open_loop_checked_on(
+        EngineKind::Serial,
+        opts,
+        network,
+        engine,
+        clients,
+        copts,
+        make_source,
+        prepare,
+        check_convergence,
+    )
+    .expect("the serial engine has no rejectable configuration")
+}
+
+/// [`run_open_loop_checked`] on an explicit [`EngineKind`] — the entry
+/// point of the serial-vs-parallel equivalence harness: run the same
+/// workload on [`EngineKind::Parallel`] and on
+/// [`EngineKind::SerialPartitioned`] with the same `workers`, and the two
+/// recorded histories (and reports) must be identical.
+#[allow(clippy::too_many_arguments)] // a deliberate flat harness entry point
+pub fn run_open_loop_checked_on<F, P>(
+    kind: EngineKind,
+    opts: ClusterOptions,
+    network: &NetworkModel,
+    engine: &OpenLoopOptions,
+    clients: usize,
+    copts: ClientOptions,
+    make_source: F,
+    prepare: P,
+    check_convergence: bool,
+) -> Result<(OpenLoopReport, CheckReport), PdesError>
+where
+    F: Fn(u32) -> Box<dyn OpSource>,
+    P: FnOnce(&mut Cluster),
+{
     let mut check = CheckReport::default();
-    let report = run_open_loop_with(
+    let report = run_open_loop_on(
+        kind,
         opts,
         network,
         engine,
@@ -241,8 +277,42 @@ where
             let history = cluster.take_history();
             check = checker::check_run(&history, cluster, check_convergence);
         },
-    );
-    (report, check)
+    )?;
+    Ok((report, check))
+}
+
+/// [`run_open_loop`] on the conservative parallel engine: the cluster's
+/// nodes and clients are partitioned across `workers` threads (see
+/// [`crate::partition`]), synchronized by lookahead windows derived from
+/// the network model's minimum cross-partition delay. Bit-reproducible
+/// per `(seed, workers)`; returns [`PdesError::DegenerateLookahead`] when
+/// the latency model's support minimum is zero (e.g. exponential legs).
+#[allow(clippy::too_many_arguments)] // a deliberate flat harness entry point
+pub fn run_open_loop_parallel<F, P>(
+    opts: ClusterOptions,
+    network: &NetworkModel,
+    engine: &OpenLoopOptions,
+    clients: usize,
+    copts: ClientOptions,
+    workers: usize,
+    make_source: F,
+    prepare: P,
+) -> Result<OpenLoopReport, PdesError>
+where
+    F: Fn(u32) -> Box<dyn OpSource>,
+    P: FnOnce(&mut Cluster),
+{
+    run_open_loop_on(
+        EngineKind::Parallel { workers },
+        opts,
+        network,
+        engine,
+        clients,
+        copts,
+        make_source,
+        prepare,
+        |_| {},
+    )
 }
 
 /// [`run_open_loop`] with a `finish` hook that runs on the settled
@@ -265,8 +335,45 @@ where
     P: FnOnce(&mut Cluster),
     Q: FnOnce(&mut Cluster),
 {
+    run_open_loop_on(
+        EngineKind::Serial,
+        opts,
+        network,
+        engine,
+        clients,
+        copts,
+        make_source,
+        prepare,
+        finish,
+    )
+    .expect("the serial engine has no rejectable configuration")
+}
+
+/// The engine-generic open-loop driver every entry point above lands on:
+/// build a cluster on `kind`, run the windowed drain loop, fold the
+/// report. The driver itself is engine-agnostic — drains happen at
+/// `run_until` boundaries, which on the parallel engine are global
+/// barriers, so the labelling, history, and detector plumbing is shared
+/// verbatim between the serial and parallel paths.
+#[allow(clippy::too_many_arguments)] // a deliberate flat harness entry point
+pub fn run_open_loop_on<F, P, Q>(
+    kind: EngineKind,
+    opts: ClusterOptions,
+    network: &NetworkModel,
+    engine: &OpenLoopOptions,
+    clients: usize,
+    copts: ClientOptions,
+    make_source: F,
+    prepare: P,
+    finish: Q,
+) -> Result<OpenLoopReport, PdesError>
+where
+    F: Fn(u32) -> Box<dyn OpSource>,
+    P: FnOnce(&mut Cluster),
+    Q: FnOnce(&mut Cluster),
+{
     assert!(clients >= 1);
-    let mut cluster = Cluster::new(opts, network.clone());
+    let mut cluster = Cluster::with_engine(opts, network.clone(), kind)?;
     prepare(&mut cluster);
     for i in 0..clients {
         cluster.add_client(make_source(i as u32), copts);
@@ -326,7 +433,7 @@ where
     report.write_latency.seal();
     report.read_latency.seal();
     finish(&mut cluster);
-    report
+    Ok(report)
 }
 
 impl Cluster {

@@ -1,0 +1,134 @@
+//! Partitioning a cluster's actors across parallel-engine workers.
+//!
+//! The conservative parallel engine (`pbs_sim::pdes`) requires every
+//! cross-partition message to respect the lookahead: client↔coordinator
+//! traffic is zero-delay, so a client **must** live on the same worker as
+//! every coordinator it can pick. A [`PartitionPlan`] therefore assigns
+//! each worker a contiguous range of node ids plus the clients affined to
+//! it (round-robin by client index), and clients restrict their
+//! coordinator picks to their partition's node range.
+//!
+//! Replica *sets* are free to span partitions — replica traffic flows
+//! through the network model, whose per-leg support minimum
+//! ([`NetworkModel::min_cross_delay_ms`](crate::NetworkModel::min_cross_delay_ms))
+//! is exactly the engine's lookahead.
+//!
+//! The plan is a pure function of `(nodes, workers)`, so a serial run
+//! handed the same plan (see
+//! [`EngineKind::SerialPartitioned`](crate::cluster::EngineKind)) issues
+//! bit-identical operations — the reference for equivalence checks.
+
+use std::ops::Range;
+
+/// A static assignment of node ids (and, by affinity, client indices) to
+/// parallel-engine workers: worker `w` owns the contiguous node range
+/// `[w·N/W, (w+1)·N/W)` and every client whose index ≡ `w (mod W)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionPlan {
+    /// Partition boundaries: worker `w` owns nodes
+    /// `bounds[w] .. bounds[w + 1]`. `bounds.len() == workers + 1`,
+    /// `bounds[0] == 0`, `bounds[workers] == nodes`.
+    bounds: Vec<u32>,
+}
+
+impl PartitionPlan {
+    /// Split `nodes` node ids into `workers` contiguous, near-equal,
+    /// nonempty ranges. Every worker must own at least one node (a
+    /// nodeless worker could host no clients), so `workers ≤ nodes`.
+    pub fn contiguous(nodes: u32, workers: usize) -> Self {
+        assert!(workers >= 1, "a plan needs at least one worker");
+        assert!(
+            workers as u32 <= nodes,
+            "cannot split {nodes} nodes across {workers} workers: every worker needs \
+             at least one node to host clients"
+        );
+        let bounds = (0..=workers as u64)
+            .map(|w| (w * nodes as u64 / workers as u64) as u32)
+            .collect();
+        Self { bounds }
+    }
+
+    /// Number of workers.
+    pub fn workers(&self) -> usize {
+        self.bounds.len() - 1
+    }
+
+    /// Total nodes covered.
+    pub fn nodes(&self) -> u32 {
+        *self.bounds.last().expect("bounds nonempty")
+    }
+
+    /// The contiguous node-id range owned by `worker`.
+    pub fn node_range(&self, worker: usize) -> Range<usize> {
+        self.bounds[worker] as usize..self.bounds[worker + 1] as usize
+    }
+
+    /// The worker owning `node`.
+    pub fn worker_of_node(&self, node: u32) -> usize {
+        debug_assert!(node < self.nodes(), "node {node} outside the plan");
+        // bounds is sorted; the owner is the last boundary ≤ node.
+        self.bounds.partition_point(|&b| b <= node) - 1
+    }
+
+    /// The worker hosting client `index` (round-robin, so client load
+    /// spreads evenly regardless of the client count).
+    pub fn worker_of_client(&self, index: u32) -> usize {
+        index as usize % self.workers()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every node belongs to exactly one partition, ranges are contiguous
+    /// and nonempty, and `worker_of_node` agrees with the ranges.
+    #[test]
+    fn plan_covers_every_node_exactly_once() {
+        for nodes in 1..=12u32 {
+            for workers in 1..=nodes as usize {
+                let plan = PartitionPlan::contiguous(nodes, workers);
+                assert_eq!(plan.workers(), workers);
+                assert_eq!(plan.nodes(), nodes);
+                let mut seen = vec![0u32; nodes as usize];
+                for w in 0..workers {
+                    let range = plan.node_range(w);
+                    assert!(!range.is_empty(), "{nodes} nodes / {workers} workers: empty worker {w}");
+                    for node in range {
+                        seen[node] += 1;
+                        assert_eq!(plan.worker_of_node(node as u32), w);
+                    }
+                }
+                assert!(seen.iter().all(|&c| c == 1), "{nodes}/{workers}: {seen:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn split_is_near_equal() {
+        let plan = PartitionPlan::contiguous(10, 4);
+        let sizes: Vec<usize> = (0..4).map(|w| plan.node_range(w).len()).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 10);
+        assert!(sizes.iter().all(|&s| s == 2 || s == 3), "near-equal split: {sizes:?}");
+    }
+
+    #[test]
+    fn one_worker_owns_everything() {
+        let plan = PartitionPlan::contiguous(5, 1);
+        assert_eq!(plan.node_range(0), 0..5);
+        assert_eq!(plan.worker_of_client(7), 0);
+    }
+
+    #[test]
+    fn clients_round_robin_across_workers() {
+        let plan = PartitionPlan::contiguous(8, 3);
+        let owners: Vec<usize> = (0..7).map(|i| plan.worker_of_client(i)).collect();
+        assert_eq!(owners, vec![0, 1, 2, 0, 1, 2, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn more_workers_than_nodes_is_rejected() {
+        let _ = PartitionPlan::contiguous(3, 4);
+    }
+}

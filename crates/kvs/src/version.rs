@@ -2,19 +2,26 @@
 //!
 //! The paper assumes a total order over versions (§2.1, footnote 2:
 //! globally synchronized clocks *or* a causal order with commutative
-//! merge). The experiments use dense per-key sequence numbers assigned by
-//! the workload harness — the equivalent of the paper's "insert increasing
-//! versions of a key" methodology (§5.2). [`VectorClock`] provides the
-//! causal alternative for applications embedding the store.
+//! merge). The experiments use write-start timestamps as sequence numbers
+//! (the simulator's global clock is exact, so this *is* the paper's
+//! "globally synchronized clocks" assumption), with the coordinator id
+//! breaking ties between simultaneous writes — the equivalent of the
+//! paper's "insert increasing versions of a key" methodology (§5.2) and of
+//! Cassandra's last-writer-wins timestamps. A timestamp needs no shared
+//! allocator, so coordinators on different partitions of the parallel
+//! engine assign identical versions to identical schedules. [`VectorClock`]
+//! provides the causal alternative for applications embedding the store.
 
 use std::collections::BTreeMap;
 
 /// A totally ordered version of a key: `(seq, writer)` with lexicographic
-/// order. `seq` is dense per key; `writer` breaks ties between concurrent
-/// coordinators (mirroring last-writer-wins timestamps in Cassandra).
+/// order. `seq` is the write's start instant in nanoseconds + 1; `writer`
+/// breaks ties between simultaneous coordinators (mirroring
+/// last-writer-wins timestamps in Cassandra).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Version {
-    /// Dense per-key sequence number (1-based; 0 is reserved for "absent").
+    /// Write-start timestamp in nanoseconds + 1 (0 is reserved for
+    /// "absent"), monotone in write-start order per key.
     pub seq: u64,
     /// Coordinator that assigned the version (tiebreak).
     pub writer: u32,

@@ -2,18 +2,44 @@
 //!
 //! # Ordering contract
 //!
-//! Events are delivered in ascending `(time, sequence)` order: the
-//! sequence number is assigned when an event is scheduled, so events with
-//! equal timestamps fire in schedule order (FIFO within equal time), and
-//! an event scheduled mid-drain at the current instant fires after every
-//! earlier-scheduled equal-time event. The contract is a total order,
-//! which is why swapping the scheduler implementation (see [`queue`])
-//! cannot change any seeded run's behaviour.
+//! Events are delivered in ascending `(time, lane)` order. The lane is a
+//! `u64` packed from the event's **origin**: an event scheduled by actor
+//! `a` carries lane `(a + 1) << 40 | c` where `c` is `a`'s private
+//! monotone counter, and an externally injected event carries lane `c`
+//! drawn from the simulation's injection counter (so injections at time
+//! `t` sort before actor-scheduled events at `t`). Two consequences:
+//!
+//! * **Per-origin FIFO.** Equal-time events from the same origin fire in
+//!   the order they were scheduled; equal-time events from different
+//!   origins fire in origin-id order. The key is a total order (counters
+//!   never repeat), so swapping the scheduler implementation (see
+//!   [`queue`]) cannot change any seeded run's behaviour.
+//! * **Locally computable keys.** The key depends only on the scheduling
+//!   actor's own state, never on a global counter — which is what lets
+//!   the parallel engine ([`crate::pdes`]) partition actors across
+//!   worker wheels and still deliver the exact event sequence the serial
+//!   engine delivers.
 //!
 //! [`queue`]: crate::queue
 
 use crate::queue::{EventQueue, SchedulerStats};
 use crate::time::{SimDuration, SimTime};
+
+/// Bits reserved for the per-origin counter in a lane key. Actor `a`'s
+/// lanes are `(a + 1) << LANE_SHIFT | counter`; injections use the bare
+/// counter (origin 0).
+pub(crate) const LANE_SHIFT: u32 = 40;
+
+/// Pack a scheduling actor's id and private counter into a lane key,
+/// bumping the counter.
+#[inline]
+pub(crate) fn next_actor_lane(id: ActorId, counter: &mut u64) -> u64 {
+    debug_assert!(*counter < (1 << LANE_SHIFT), "lane counter overflow for actor {id}");
+    debug_assert!(((id as u64) + 1) < (1 << (64 - LANE_SHIFT)), "actor id {id} too large for lane");
+    let lane = ((id as u64) + 1) << LANE_SHIFT | *counter;
+    *counter += 1;
+    lane
+}
 
 /// Index of an actor within a [`Simulation`].
 pub type ActorId = usize;
@@ -52,10 +78,11 @@ pub trait Actor {
 /// erased sink, so `Context` stays non-generic over the scheduler): no
 /// intermediate outbox buffer, no second copy per message.
 pub struct Context<'a, M> {
-    now: SimTime,
-    self_id: ActorId,
-    actors: usize,
-    queue: &'a mut dyn ScheduleSink<M>,
+    pub(crate) now: SimTime,
+    pub(crate) self_id: ActorId,
+    pub(crate) actors: usize,
+    pub(crate) lane_counter: &'a mut u64,
+    pub(crate) queue: &'a mut dyn ScheduleSink<M>,
 }
 
 impl<M> std::fmt::Debug for Context<'_, M> {
@@ -79,32 +106,36 @@ impl<M> Context<'_, M> {
     }
 
     /// Send `msg` to `to`, arriving after `delay_ms` (≥ 0) of simulated
-    /// time. Messages are never reordered relative to equal-time events
-    /// scheduled earlier.
+    /// time. Equal-time sends from this actor are never reordered
+    /// relative to each other.
     pub fn send(&mut self, to: ActorId, delay_ms: f64, msg: M) {
         assert!(to < self.actors, "message to unknown actor {to}");
         let at = self.now + SimDuration::from_ms(delay_ms);
-        self.queue.schedule_event(at, to, Event::Message { from: self.self_id, msg });
+        let lane = next_actor_lane(self.self_id, self.lane_counter);
+        self.queue.schedule_event(at, lane, to, Event::Message { from: self.self_id, msg });
     }
 
     /// Arrange for a [`Event::Timer`] with `tag` to fire on this actor after
     /// `delay_ms`.
     pub fn set_timer(&mut self, delay_ms: f64, tag: u64) {
         let at = self.now + SimDuration::from_ms(delay_ms);
-        self.queue.schedule_event(at, self.self_id, Event::Timer { tag });
+        let lane = next_actor_lane(self.self_id, self.lane_counter);
+        self.queue.schedule_event(at, lane, self.self_id, Event::Timer { tag });
     }
 }
 
 /// Object-safe adapter that lets the non-generic [`Context`] schedule into
-/// whichever [`EventQueue`] the simulation runs on.
-trait ScheduleSink<M> {
-    fn schedule_event(&mut self, at: SimTime, to: ActorId, event: Event<M>);
+/// whichever [`EventQueue`] the simulation runs on — or, in the parallel
+/// engine, into a router that forwards cross-partition events to their
+/// owning worker.
+pub(crate) trait ScheduleSink<M> {
+    fn schedule_event(&mut self, at: SimTime, lane: u64, to: ActorId, event: Event<M>);
 }
 
 impl<M, Q: EventQueue<(ActorId, Event<M>)>> ScheduleSink<M> for Q {
     #[inline]
-    fn schedule_event(&mut self, at: SimTime, to: ActorId, event: Event<M>) {
-        self.schedule(at, (to, event));
+    fn schedule_event(&mut self, at: SimTime, lane: u64, to: ActorId, event: Event<M>) {
+        self.schedule(at, lane, (to, event));
     }
 }
 
@@ -148,6 +179,10 @@ pub type DefaultQueue<M> = crate::queue::HeapQueue<(ActorId, Event<M>)>;
 /// ```
 pub struct Simulation<A: Actor, Q = DefaultQueue<<A as Actor>::Msg>> {
     actors: Vec<A>,
+    /// Per-actor lane counters, parallel to `actors`.
+    lane_counters: Vec<u64>,
+    /// Lane counter for externally injected events (origin 0).
+    injections: u64,
     queue: Q,
     now: SimTime,
     events_processed: u64,
@@ -172,12 +207,20 @@ impl<A: Actor, Q: EventQueue<(ActorId, Event<A::Msg>)>> Simulation<A, Q> {
     /// (e.g. comparing [`HeapQueue`](crate::queue::HeapQueue) against
     /// [`WheelQueue`](crate::queue::WheelQueue) on one workload).
     pub fn with_queue(queue: Q) -> Self {
-        Self { actors: Vec::new(), queue, now: SimTime::ZERO, events_processed: 0 }
+        Self {
+            actors: Vec::new(),
+            lane_counters: Vec::new(),
+            injections: 0,
+            queue,
+            now: SimTime::ZERO,
+            events_processed: 0,
+        }
     }
 
     /// Register an actor; returns its id.
     pub fn add_actor(&mut self, actor: A) -> ActorId {
         self.actors.push(actor);
+        self.lane_counters.push(0);
         self.actors.len() - 1
     }
 
@@ -227,6 +270,7 @@ impl<A: Actor, Q: EventQueue<(ActorId, Event<A::Msg>)>> Simulation<A, Q> {
 
     /// Inject an external message to `target`, `delay_ms` after the current
     /// simulated time. The `from` field is set to `target` itself.
+    /// Injections sort before actor-scheduled events at the same instant.
     pub fn inject(&mut self, target: ActorId, delay_ms: f64, msg: A::Msg) {
         assert!(target < self.actors.len(), "unknown actor {target}");
         let at = self.now + SimDuration::from_ms(delay_ms);
@@ -243,7 +287,10 @@ impl<A: Actor, Q: EventQueue<(ActorId, Event<A::Msg>)>> Simulation<A, Q> {
     }
 
     fn push(&mut self, time: SimTime, target: ActorId, event: Event<A::Msg>) {
-        self.queue.schedule(time, (target, event));
+        debug_assert!(self.injections < (1 << LANE_SHIFT), "injection lane counter overflow");
+        let lane = self.injections;
+        self.injections += 1;
+        self.queue.schedule(time, lane, (target, event));
     }
 
     /// Process a single event; returns `false` when the queue is empty.
@@ -261,6 +308,7 @@ impl<A: Actor, Q: EventQueue<(ActorId, Event<A::Msg>)>> Simulation<A, Q> {
             now: self.now,
             self_id: target,
             actors: self.actors.len(),
+            lane_counter: &mut self.lane_counters[target],
             queue: &mut self.queue,
         };
         self.actors[target].on_event(&mut ctx, event);

@@ -10,11 +10,14 @@
 //! Design goals, in priority order:
 //!
 //! 1. **Determinism** — identical seeds and inputs yield identical event
-//!    orders. Events are ordered by `(time, sequence-number)`; simultaneous
-//!    events fire in schedule order (the full contract is spelled out in
-//!    [`queue::EventQueue`]). The kernel owns no RNG: actors sample
-//!    latencies themselves from RNGs they own, so the kernel never
-//!    perturbs randomness.
+//!    orders. Events are ordered by `(time, lane)`, where the lane packs
+//!    the scheduling actor's id with its private monotone counter (the
+//!    full contract is spelled out in [`queue::EventQueue`] and
+//!    [`engine`]); the key is locally computable, which is what lets the
+//!    conservative parallel engine ([`pdes`]) partition actors across
+//!    worker threads and still match the serial engine event for event.
+//!    The kernel owns no RNG: actors sample latencies themselves from
+//!    RNGs they own, so the kernel never perturbs randomness.
 //! 2. **Zero `unsafe`, no dependencies** — a timer wheel and a virtual
 //!    clock.
 //! 3. **Speed** — the open-loop engine dispatches millions of events per
@@ -35,9 +38,11 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod pdes;
 pub mod queue;
 pub mod time;
 
 pub use engine::{Actor, ActorId, Context, DefaultQueue, Event, Simulation};
+pub use pdes::{ParallelSimulation, PdesError, PdesStats, PdesWorkerStats};
 pub use queue::{EventQueue, HeapQueue, SchedulerStats, WheelQueue};
 pub use time::{SimDuration, SimTime, SkewedClock};

@@ -1,16 +1,18 @@
 //! Event-queue implementations behind the simulation scheduler.
 //!
 //! Both queues implement the same **ordering contract** (see
-//! [`EventQueue`]): events are delivered in ascending `(time, sequence)`
-//! order, where the sequence number is assigned at [`schedule`] time. Two
-//! events with equal timestamps therefore fire in the order they were
-//! scheduled (FIFO within equal time), and an event scheduled *while* an
-//! equal-time batch is being drained fires after every member of that
-//! batch that was scheduled earlier. Because the contract is a total
-//! order (sequence numbers are unique), any two correct implementations
-//! deliver bit-identical event sequences — which is what lets the
-//! calendar queue replace the binary heap without perturbing a single
-//! seeded run.
+//! [`EventQueue`]): events are delivered in ascending `(time, lane)`
+//! order, where the **lane** is a caller-supplied `u64` tie-break that
+//! must be unique among equal-time events. The engine derives lanes from
+//! `(scheduling actor, per-actor counter)` (see [`crate::engine`]), which
+//! makes the key *locally computable*: a partitioned simulation can
+//! reproduce the exact same total order without a global counter, which
+//! is what lets the parallel PDES engine ([`crate::pdes`]) merge
+//! cross-partition events into per-worker wheels and still match the
+//! serial engine event for event. Because the contract is a total order,
+//! any two correct implementations deliver bit-identical event sequences
+//! — which is what lets the calendar queue replace the binary heap
+//! without perturbing a single seeded run.
 //!
 //! * [`HeapQueue`] — the reference implementation: a `BinaryHeap` ordered
 //!   by `(time, seq)`. `O(log n)` per operation with large constant
@@ -37,7 +39,7 @@ pub struct SchedulerStats {
     pub pending: usize,
     /// High-water mark of `pending`.
     pub peak_pending: usize,
-    /// Total events ever scheduled (equals the next sequence number).
+    /// Total events ever scheduled.
     pub scheduled: u64,
     /// Events redistributed from a higher wheel level to a lower one
     /// (0 for the heap; each event cascades at most `LEVELS − 1` times).
@@ -48,19 +50,22 @@ pub struct SchedulerStats {
     pub ready: usize,
 }
 
-/// A priority queue of timestamped events with FIFO tie-breaking.
+/// A priority queue of timestamped events with caller-supplied lane
+/// tie-breaking.
 ///
 /// The contract every implementation must honour: [`pop`] returns events
-/// in ascending `(time, seq)` order, where `seq` is the number of
-/// [`schedule`] calls that preceded the event's own. Scheduling is only
+/// in ascending `(time, lane)` order, where the lane is supplied by the
+/// caller at [`schedule`] time and must be unique among events sharing a
+/// timestamp (the engine guarantees this by packing the scheduling
+/// actor's id with a per-actor monotone counter). Scheduling is only
 /// ever *forward*: callers never schedule below the time of the last
 /// popped event (the simulation clock is monotone).
 ///
 /// [`pop`]: EventQueue::pop
 /// [`schedule`]: EventQueue::schedule
 pub trait EventQueue<T>: Default {
-    /// Enqueue `item` to fire at `at`.
-    fn schedule(&mut self, at: SimTime, item: T);
+    /// Enqueue `item` to fire at `at`, tie-broken by `lane`.
+    fn schedule(&mut self, at: SimTime, lane: u64, item: T);
 
     /// Remove and return the earliest event, or `None` when empty.
     fn pop(&mut self) -> Option<(SimTime, T)>;
@@ -83,14 +88,14 @@ pub trait EventQueue<T>: Default {
 
 struct Entry<T> {
     time: SimTime,
-    seq: u64,
+    lane: u64,
     item: T,
 }
 
 impl<T> Entry<T> {
     #[inline]
     fn key(&self) -> (SimTime, u64) {
-        (self.time, self.seq)
+        (self.time, self.lane)
     }
 }
 
@@ -118,19 +123,19 @@ impl<T> Ord for HeapEntry<T> {
     }
 }
 
-/// The reference scheduler: a binary heap ordered by `(time, seq)`.
+/// The reference scheduler: a binary heap ordered by `(time, lane)`.
 ///
 /// Kept (a) as the semantic oracle for the wheel's property tests and
 /// (b) selectable via the `heap-scheduler` feature for A/B benchmarks.
 pub struct HeapQueue<T> {
     heap: BinaryHeap<HeapEntry<T>>,
-    seq: u64,
+    scheduled: u64,
     peak: usize,
 }
 
 impl<T> Default for HeapQueue<T> {
     fn default() -> Self {
-        Self { heap: BinaryHeap::new(), seq: 0, peak: 0 }
+        Self { heap: BinaryHeap::new(), scheduled: 0, peak: 0 }
     }
 }
 
@@ -142,10 +147,9 @@ impl<T> HeapQueue<T> {
 }
 
 impl<T> EventQueue<T> for HeapQueue<T> {
-    fn schedule(&mut self, at: SimTime, item: T) {
-        let seq = self.seq;
-        self.seq += 1;
-        self.heap.push(HeapEntry(Entry { time: at, seq, item }));
+    fn schedule(&mut self, at: SimTime, lane: u64, item: T) {
+        self.scheduled += 1;
+        self.heap.push(HeapEntry(Entry { time: at, lane, item }));
         self.peak = self.peak.max(self.heap.len());
     }
 
@@ -165,7 +169,7 @@ impl<T> EventQueue<T> for HeapQueue<T> {
         SchedulerStats {
             pending: self.heap.len(),
             peak_pending: self.peak,
-            scheduled: self.seq,
+            scheduled: self.scheduled,
             ..SchedulerStats::default()
         }
     }
@@ -204,12 +208,12 @@ const LEVELS: usize = 8;
 /// The wheel clock does not tick through empty slots: per-level occupancy
 /// bitmaps let [`next_time`](EventQueue::next_time) jump straight to the
 /// next occupied slot. When a level-0 slot (one tick) expires, its events
-/// are sorted by `(time, seq)` — restoring exact sub-tick order — into a
+/// are sorted by `(time, lane)` — restoring exact sub-tick order — into a
 /// sorted **ready batch**. Events scheduled at or below the ready batch's
 /// tick (zero-delay sends are the common case) are merged into the batch
-/// by binary insertion, which preserves the global delivery order because
-/// monotone sequence numbers place them after every equal-time event
-/// scheduled earlier. Pops are `O(1)` pops off the front of the batch.
+/// by binary insertion, which preserves the global delivery order for any
+/// insertion sequence because `(time, lane)` keys are unique. Pops are
+/// `O(1)` pops off the front of the batch.
 ///
 /// Slot vectors and the sort scratch buffer are recycled, so steady-state
 /// scheduling performs no allocation.
@@ -222,12 +226,12 @@ pub struct WheelQueue<T> {
     /// queued events in the wheel have ticks strictly greater; events at
     /// or below it live in `ready`.
     now_tick: u64,
-    /// Sorted front batch in ascending `(time, seq)` order.
+    /// Sorted front batch in ascending `(time, lane)` order.
     ready: VecDeque<Entry<T>>,
     /// Reusable buffer for slot drains.
     scratch: Vec<Entry<T>>,
     len: usize,
-    seq: u64,
+    scheduled: u64,
     peak: usize,
     cascaded: u64,
 }
@@ -241,7 +245,7 @@ impl<T> Default for WheelQueue<T> {
             ready: VecDeque::new(),
             scratch: Vec::new(),
             len: 0,
-            seq: 0,
+            scheduled: 0,
             peak: 0,
             cascaded: 0,
         }
@@ -260,9 +264,9 @@ impl<T> WheelQueue<T> {
     fn place(&mut self, e: Entry<T>) {
         let t_tick = e.time.as_nanos() >> TICK_SHIFT;
         if t_tick <= self.now_tick {
-            // Fast path: a fresh event carries the largest sequence number,
-            // so it belongs at the back unless later-*time* events are
-            // already waiting there.
+            // Fast path: a fresh zero-delay send usually carries the
+            // largest key in the batch, so it belongs at the back unless
+            // larger-keyed events are already waiting there.
             match self.ready.back() {
                 Some(b) if b.key() > e.key() => {
                     let i = self.ready.partition_point(|x| x.key() < e.key());
@@ -304,8 +308,9 @@ impl<T> WheelQueue<T> {
             let mut batch =
                 std::mem::replace(&mut self.slots[idx], std::mem::take(&mut self.scratch));
             if level == 0 {
-                // One tick's events: restore exact sub-tick order.
-                batch.sort_unstable_by_key(|e| (e.time, e.seq));
+                // One tick's events: restore exact sub-tick order. Keys
+                // are unique, so the unstable sort is deterministic.
+                batch.sort_unstable_by_key(|e| (e.time, e.lane));
                 debug_assert!(self.ready.is_empty());
                 self.ready.extend(batch.drain(..));
             } else {
@@ -331,12 +336,11 @@ impl<T> WheelQueue<T> {
 }
 
 impl<T> EventQueue<T> for WheelQueue<T> {
-    fn schedule(&mut self, at: SimTime, item: T) {
-        let seq = self.seq;
-        self.seq += 1;
+    fn schedule(&mut self, at: SimTime, lane: u64, item: T) {
+        self.scheduled += 1;
         self.len += 1;
         self.peak = self.peak.max(self.len);
-        self.place(Entry { time: at, seq, item });
+        self.place(Entry { time: at, lane, item });
     }
 
     fn pop(&mut self) -> Option<(SimTime, T)> {
@@ -359,7 +363,7 @@ impl<T> EventQueue<T> for WheelQueue<T> {
         SchedulerStats {
             pending: self.len,
             peak_pending: self.peak,
-            scheduled: self.seq,
+            scheduled: self.scheduled,
             cascaded: self.cascaded,
             occupied_slots: self.occupancy.iter().map(|o| o.count_ones() as usize).sum(),
             ready: self.ready.len(),
@@ -384,14 +388,20 @@ mod tests {
     }
 
     #[test]
-    fn wheel_orders_by_time_then_fifo() {
+    fn wheel_orders_by_time_then_lane() {
         let mut q = WheelQueue::new();
-        q.schedule(t(5.0), 0);
-        q.schedule(t(1.0), 1);
-        q.schedule(t(5.0), 2);
-        q.schedule(t(0.0), 3);
+        q.schedule(t(5.0), 0, 0);
+        q.schedule(t(1.0), 1, 1);
+        q.schedule(t(5.0), 2, 2);
+        q.schedule(t(0.0), 3, 3);
         let order: Vec<u32> = drain(&mut q).into_iter().map(|(_, v)| v).collect();
-        assert_eq!(order, [3, 1, 0, 2], "time order, FIFO on ties");
+        assert_eq!(order, [3, 1, 0, 2], "time order, lane order on ties");
+        // Lanes invert the tie-break independently of schedule order.
+        let mut q = WheelQueue::new();
+        q.schedule(t(5.0), 9, 0);
+        q.schedule(t(5.0), 2, 1);
+        let order: Vec<u32> = drain(&mut q).into_iter().map(|(_, v)| v).collect();
+        assert_eq!(order, [1, 0], "smaller lane fires first at equal time");
     }
 
     #[test]
@@ -407,8 +417,8 @@ mod tests {
         let mut w_out = Vec::new();
         let mut h_out = Vec::new();
         for (i, &ms) in times_ms.iter().enumerate() {
-            wheel.schedule(t(ms), i as u32);
-            heap.schedule(t(ms), i as u32);
+            wheel.schedule(t(ms), i as u64, i as u32);
+            heap.schedule(t(ms), i as u64, i as u32);
             if i % 3 == 2 {
                 w_out.extend(wheel.pop());
                 h_out.extend(heap.pop());
@@ -423,26 +433,42 @@ mod tests {
     fn zero_delay_insert_lands_after_equal_time_batch() {
         let mut q = WheelQueue::new();
         for i in 0..4 {
-            q.schedule(t(2.0), i);
+            q.schedule(t(2.0), u64::from(i), i);
         }
         assert_eq!(q.pop().map(|(_, v)| v), Some(0));
-        // Scheduled mid-drain at the same instant: fires after 1, 2, 3.
-        q.schedule(t(2.0), 99);
+        // Scheduled mid-drain at the same instant with a larger lane:
+        // fires after 1, 2, 3.
+        q.schedule(t(2.0), 4, 99);
         let rest: Vec<u32> = drain(&mut q).into_iter().map(|(_, v)| v).collect();
         assert_eq!(rest, [1, 2, 3, 99]);
     }
 
     #[test]
+    fn mid_drain_insert_with_smaller_lane_preempts_batch() {
+        // A remote merge (or an actor with a smaller id) may insert an
+        // equal-time event whose lane sorts *before* the rest of the
+        // materialised batch; binary insertion must honour the key.
+        let mut q = WheelQueue::new();
+        for i in 0..3 {
+            q.schedule(t(2.0), 10 + u64::from(i), i);
+        }
+        assert_eq!(q.pop().map(|(_, v)| v), Some(0));
+        q.schedule(t(2.0), 5, 99);
+        let rest: Vec<u32> = drain(&mut q).into_iter().map(|(_, v)| v).collect();
+        assert_eq!(rest, [99, 1, 2]);
+    }
+
+    #[test]
     fn between_batch_insert_preempts_ready() {
         let mut q = WheelQueue::new();
-        q.schedule(t(0.0), 0);
-        q.schedule(t(100.0), 1);
+        q.schedule(t(0.0), 0, 0);
+        q.schedule(t(100.0), 1, 1);
         assert_eq!(q.pop().map(|(_, v)| v), Some(0));
         // next_time materialises the t=100 batch; an insert *between* the
         // popped time and the batch must still fire first.
         assert_eq!(q.next_time(), Some(t(100.0)));
-        q.schedule(t(50.0), 2);
-        q.schedule(t(100.0), 3);
+        q.schedule(t(50.0), 2, 2);
+        q.schedule(t(100.0), 3, 3);
         let rest: Vec<u32> = drain(&mut q).into_iter().map(|(_, v)| v).collect();
         assert_eq!(rest, [2, 1, 3]);
     }
@@ -451,8 +477,8 @@ mod tests {
     fn far_future_spans_all_levels() {
         // ~3.2 simulated years exercises the top wheel levels.
         let mut q = WheelQueue::new();
-        q.schedule(SimTime::from_ms(1e11), 0);
-        q.schedule(t(0.5), 1);
+        q.schedule(SimTime::from_ms(1e11), 0, 0);
+        q.schedule(t(0.5), 1, 1);
         let out = drain(&mut q);
         assert_eq!(out[0], (t(0.5), 1));
         assert_eq!(out[1], (SimTime::from_ms(1e11), 0));
@@ -462,8 +488,8 @@ mod tests {
     #[test]
     fn max_time_is_representable() {
         let mut q = WheelQueue::new();
-        q.schedule(SimTime::MAX, 7);
-        q.schedule(SimTime::ZERO, 8);
+        q.schedule(SimTime::MAX, 0, 7);
+        q.schedule(SimTime::ZERO, 1, 8);
         assert_eq!(q.next_time(), Some(SimTime::ZERO));
         let out = drain(&mut q);
         assert_eq!(out.last(), Some(&(SimTime::MAX, 7)));
@@ -473,7 +499,7 @@ mod tests {
     fn stats_track_pending_and_cascades() {
         let mut q: WheelQueue<u32> = WheelQueue::new();
         for i in 0..10 {
-            q.schedule(t(1_000.0 + i as f64), i); // beyond level 0 → cascades
+            q.schedule(t(1_000.0 + f64::from(i)), u64::from(i), i); // beyond level 0 → cascades
         }
         assert_eq!(q.stats().pending, 10);
         assert_eq!(q.stats().scheduled, 10);

@@ -1,8 +1,8 @@
 //! Scheduler-equivalence tests: the timer wheel must deliver **exactly**
 //! the event order of the reference binary heap on any workload.
 //!
-//! The ordering contract (ascending `(time, seq)`, FIFO within equal
-//! times) is a total order, so the two queues have one correct answer —
+//! The ordering contract (ascending `(time, lane)` with unique lanes) is
+//! a total order, so the two queues have one correct answer —
 //! these tests drive randomized workloads through both and assert
 //! bit-identical delivery, both at the queue level (random schedule/pop
 //! interleavings, clustered and far-flung timestamps) and at the
@@ -40,8 +40,8 @@ fn run_script(actions: &[Action]) {
         match *action {
             Action::Schedule { delta_ns } => {
                 let at = SimTime::from_ms(now.as_ms() + delta_ns as f64 / 1e6);
-                wheel.schedule(at, id);
-                heap.schedule(at, id);
+                wheel.schedule(at, u64::from(id), id);
+                heap.schedule(at, u64::from(id), id);
                 id += 1;
             }
             Action::Pop => {
@@ -184,15 +184,15 @@ fn simulation_histories_identical_across_schedulers() {
 }
 
 /// Equal-time storms: thousands of events at the same instant must drain
-/// in schedule order on both queues.
+/// in lane order on both queues.
 #[test]
 fn equal_time_storm_preserves_fifo() {
     let mut wheel: WheelQueue<u32> = WheelQueue::new();
     let mut heap: HeapQueue<u32> = HeapQueue::new();
     let t = SimTime::from_ms(1.5);
     for i in 0..5_000 {
-        wheel.schedule(t, i);
-        heap.schedule(t, i);
+        wheel.schedule(t, u64::from(i), i);
+        heap.schedule(t, u64::from(i), i);
     }
     for expect in 0..5_000 {
         assert_eq!(wheel.pop(), Some((t, expect)));

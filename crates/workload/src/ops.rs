@@ -77,7 +77,9 @@ impl OpMix {
 /// This is the interface the open-loop client actors in `pbs-kvs` pull
 /// from: one operation at a time, deterministic given the RNG, with no
 /// buffering — memory stays O(1) regardless of how long the workload runs.
-pub trait OpSource {
+/// Sources must be `Send`: a client actor (and the source inside it) may
+/// execute on any worker thread of the parallel engine.
+pub trait OpSource: Send {
     /// Produce the next operation. `at_ms` values are nondecreasing and
     /// relative to the stream's own clock (its first call starts at 0 plus
     /// the first inter-arrival gap).

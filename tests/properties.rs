@@ -69,8 +69,9 @@ proptest! {
         }
     }
 
-    /// Dense versioning: sequential writes to one key return strictly
-    /// increasing sequence numbers, and a full-quorum read sees the last.
+    /// Timestamp versioning: sequential writes to one key return strictly
+    /// increasing sequence numbers (the write-start instant + 1), and a
+    /// full-quorum read sees the last.
     #[test]
     fn kvs_versions_monotone(seed in 0u64..1000) {
         let cfg = ReplicaConfig::new(3, 3, 1).unwrap();
@@ -84,7 +85,8 @@ proptest! {
         let mut prev = 0;
         for _ in 0..8 {
             let w = cluster.write(5);
-            prop_assert_eq!(w.seq, prev + 1);
+            prop_assert_eq!(w.seq, w.start.as_nanos() + 1);
+            prop_assert!(w.seq > prev, "write-start timestamps strictly increase");
             prev = w.seq;
         }
         // R = N read after settling sees the newest version.
