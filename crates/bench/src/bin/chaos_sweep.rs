@@ -1,0 +1,233 @@
+//! CI seed-sweep chaos gate: many seeded adversarial runs — scheduled
+//! fault storms plus per-seed crash timelines, on the serial **and** the
+//! parallel engine — each audited by the full offline checker (session
+//! replay, label recount, per-key order oracle). Any unclean report, or
+//! any serial/parallel divergence, dumps the offending op history as an
+//! artifact and fails the process.
+//!
+//! ```text
+//! chaos_sweep [--seeds N] [--seed BASE] [--workers W] [--out DIR] [--quick]
+//! ```
+//!
+//! Defaults: 32 seeds from base 1, 2 PDES workers, artifacts under
+//! `target/chaos-artifacts`. `--quick` trims to 8 seeds for local smoke.
+
+use pbs_bench::cli;
+use pbs_dist::Pareto;
+use pbs_kvs::checker::{check_run, CheckReport, OpHistory, OrderViolation};
+use pbs_kvs::cluster::EngineKind;
+use pbs_kvs::{
+    run_open_loop_on, ClientOptions, ClusterOptions, FaultProfile, FaultSchedule, NetworkModel,
+    OpenLoopOptions,
+};
+use pbs_core::ReplicaConfig;
+use pbs_sim::SimTime;
+use pbs_workload::{OpMix, OpSource, OpStream, Poisson, UniformKeys};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+const KNOWN: &[&str] = &["seeds", "seed", "workers", "out", "quick"];
+
+const NODES: u32 = 8;
+
+fn pareto_net() -> NetworkModel {
+    NetworkModel::w_ars(Arc::new(Pareto::new(1.5, 1.2)), Arc::new(Pareto::new(0.8, 2.0)))
+}
+
+fn opts(seed: u64) -> ClusterOptions {
+    let mut o = ClusterOptions::validation(ReplicaConfig::new(3, 1, 1).unwrap(), seed);
+    o.nodes = NODES;
+    o.op_timeout_ms = 2_000.0;
+    o
+}
+
+fn source() -> Box<dyn OpSource> {
+    Box::new(OpStream::new(Poisson::per_second(30.0), UniformKeys::new(8), OpMix::new(0.5), 1))
+}
+
+/// Per-seed crash timeline: which node goes down, when, for how long, and
+/// whether mid-storm or mid-calm — so the sweep covers crash-during-storm
+/// and crash-after-storm interleavings without per-seed hand-tuning.
+fn crash_plan(seed: u64) -> (usize, f64, f64) {
+    let node = (seed % NODES as u64) as usize;
+    let at = 300.0 + (seed % 5) as f64 * 150.0; // 300..900: inside or after the storm
+    let down = 200.0 + (seed % 3) as f64 * 100.0;
+    (node, at, down)
+}
+
+/// One audited run. The storm schedule ramps in at 300 ms and clears at
+/// 900 ms; the crash comes from [`crash_plan`].
+fn run(kind: EngineKind, seed: u64) -> (OpHistory, CheckReport) {
+    let engine = OpenLoopOptions::new(1_200.0, 300.0, 1_500.0);
+    let (node, at, down) = crash_plan(seed);
+    let mut history = OpHistory::new();
+    let mut check = CheckReport::default();
+    run_open_loop_on(
+        kind,
+        opts(seed),
+        &pareto_net(),
+        &engine,
+        6,
+        ClientOptions { op_timeout_ms: 2_000.0, ..ClientOptions::default() },
+        |_| source(),
+        |cluster| {
+            cluster.enable_history();
+            cluster
+                .network()
+                .set_fault_schedule(FaultSchedule::calm_storm_calm(
+                    FaultProfile::storm(seed),
+                    300.0,
+                    900.0,
+                ))
+                .unwrap();
+            cluster.crash_node_at(node, SimTime::from_ms(at), down);
+        },
+        |cluster| {
+            history = cluster.take_history();
+            check = check_run(&history, cluster, false);
+        },
+    )
+    .expect("positive-minimum model partitions cleanly");
+    (history, check)
+}
+
+fn violation_key(v: &OrderViolation) -> u64 {
+    match v {
+        OrderViolation::LostUpdate { key, .. }
+        | OrderViolation::NonMonotoneExposure { key, .. }
+        | OrderViolation::PhantomVersion { key, .. } => *key,
+    }
+}
+
+/// Dump the history for offline replay — minimized to the keys named by
+/// the order-oracle violations when there are any, full otherwise (a
+/// session/label disagreement has no single offending key).
+fn dump_history(
+    dir: &Path,
+    tag: &str,
+    seed: u64,
+    history: &OpHistory,
+    check: &CheckReport,
+) -> PathBuf {
+    std::fs::create_dir_all(dir).expect("create artifact dir");
+    let path = dir.join(format!("seed-{seed}-{tag}.history.txt"));
+    let mut f = std::fs::File::create(&path).expect("create artifact");
+    writeln!(f, "# chaos_sweep failing run: seed={seed} engine={tag}").unwrap();
+    writeln!(f, "# verdict: {check:?}").unwrap();
+    for c in history.crashes() {
+        writeln!(
+            f,
+            "crash node={} at_ms={} down_ms={} wipe={}",
+            c.node,
+            c.at.as_ms(),
+            c.down_ms,
+            c.wipe
+        )
+        .unwrap();
+    }
+    let bad_keys: Vec<u64> = [
+        check.order.first_lost_update,
+        check.order.first_non_monotone,
+        check.order.first_phantom,
+    ]
+    .iter()
+    .flatten()
+    .map(violation_key)
+    .collect();
+    let mut dumped = 0usize;
+    for hop in history.ops() {
+        let op = &hop.op;
+        if !bad_keys.is_empty() && !bad_keys.contains(&op.key) {
+            continue;
+        }
+        dumped += 1;
+        writeln!(
+            f,
+            "op id={} client={} kind={:?} key={} start_ms={:.6} finish_ms={:?} seq={:?} \
+             writer={:?} source={:?} mask={:#x} commit_ms={:?} label={:?}",
+            op.op_id,
+            op.client,
+            op.kind,
+            op.key,
+            op.start.as_ms(),
+            op.finish.map(|t| t.as_ms()),
+            op.seq,
+            op.writer,
+            op.source,
+            op.quorum_mask,
+            op.commit.map(|t| t.as_ms()),
+            hop.label,
+        )
+        .unwrap();
+    }
+    writeln!(f, "# {} ops dumped ({} total in run)", dumped, history.ops().len()).unwrap();
+    path
+}
+
+fn main() {
+    let args = cli::Args::parse();
+    args.reject_unknown(KNOWN);
+
+    let seeds: u64 = args.parsed("seeds").unwrap_or(if args.flag("quick") { 8 } else { 32 });
+    let base: u64 = args.parsed("seed").unwrap_or(1);
+    let workers: usize = args.parsed("workers").unwrap_or(2);
+    let out = PathBuf::from(args.value_of("out").unwrap_or("target/chaos-artifacts"));
+
+    println!(
+        "chaos sweep: {seeds} seeds from {base}, scheduled storm 300-900ms + per-seed crash, \
+         serial vs {workers}-worker PDES, full checker audit per run"
+    );
+
+    let mut failures = 0usize;
+    let mut reads_audited = 0u64;
+    for i in 0..seeds {
+        let seed = base + i;
+        let (node, at, down) = crash_plan(seed);
+        let (serial_hist, serial_check) =
+            run(EngineKind::SerialPartitioned { workers }, seed);
+        let (par_hist, par_check) = run(EngineKind::Parallel { workers }, seed);
+        reads_audited += serial_check.order.reads_checked;
+
+        let mut bad = false;
+        if !serial_check.is_clean() {
+            eprintln!("FAIL seed {seed}: serial checker unclean: {serial_check:?}");
+            let p = dump_history(&out, "serial", seed, &serial_hist, &serial_check);
+            eprintln!("  history dumped to {}", p.display());
+            bad = true;
+        }
+        if !par_check.is_clean() {
+            eprintln!("FAIL seed {seed}: parallel checker unclean: {par_check:?}");
+            let p = dump_history(&out, "parallel", seed, &par_hist, &par_check);
+            eprintln!("  history dumped to {}", p.display());
+            bad = true;
+        }
+        if serial_hist != par_hist || serial_check != par_check {
+            eprintln!("FAIL seed {seed}: serial vs parallel divergence");
+            let p = dump_history(&out, "serial", seed, &serial_hist, &serial_check);
+            let q = dump_history(&out, "parallel", seed, &par_hist, &par_check);
+            eprintln!("  histories dumped to {} and {}", p.display(), q.display());
+            bad = true;
+        }
+        if bad {
+            failures += 1;
+        } else {
+            println!(
+                "  seed {seed:>4}: clean ({} reads, {} writes audited; crash node {node} \
+                 at {at}ms for {down}ms)",
+                serial_check.order.reads_checked, serial_check.order.writes_tracked
+            );
+        }
+    }
+
+    println!(
+        "sweep done: {}/{} seeds clean, {} reads order-audited",
+        seeds as usize - failures,
+        seeds,
+        reads_audited
+    );
+    if failures > 0 {
+        eprintln!("{failures} seed(s) FAILED — artifacts in {}", out.display());
+        std::process::exit(1);
+    }
+}

@@ -167,7 +167,8 @@ fn print_json(scenario: &Scenario, run: &ScenarioRun) {
     let check = match &run.check {
         Some(c) => format!(
             "{{\"clean\":{},\"reads_checked\":{},\"monotonic\":{},\"ryw\":{},\
-             \"labelled_reads\":{},\"stale_reads\":{},\"mismatches\":{}}}",
+             \"labelled_reads\":{},\"stale_reads\":{},\"mismatches\":{},\
+             \"lost_updates\":{},\"non_monotone\":{},\"phantoms\":{}}}",
             c.is_clean(),
             c.sessions.reads_checked,
             c.sessions.monotonic_violations,
@@ -175,6 +176,9 @@ fn print_json(scenario: &Scenario, run: &ScenarioRun) {
             c.labels.labelled_reads,
             c.labels.stale_reads,
             c.labels.mismatches,
+            c.order.lost_updates,
+            c.order.non_monotone,
+            c.order.phantoms,
         ),
         None => "null".into(),
     };
@@ -228,7 +232,7 @@ fn main() {
     }
     let chaos = args.flag("chaos");
     if chaos {
-        if scenario.fault_profile.is_none() {
+        if scenario.fault_profile.is_none() && scenario.fault_schedule.is_none() {
             scenario.fault_profile = Some(pbs_kvs::FaultProfile::storm(seed));
         }
         scenario.check_history = true;
@@ -291,6 +295,12 @@ fn main() {
             println!(
                 "  label recount  : {} labelled reads, {} stale, {} mismatches",
                 l.labelled_reads, l.stale_reads, l.mismatches
+            );
+            let o = check.order;
+            println!(
+                "  order oracle   : {} reads vs {} writes — {} lost updates, \
+                 {} non-monotone, {} phantoms",
+                o.reads_checked, o.writes_tracked, o.lost_updates, o.non_monotone, o.phantoms
             );
             if let Some(c) = check.convergence {
                 println!(

@@ -83,6 +83,17 @@ pub enum FaultConfigError {
         /// Number of nodes in the cluster.
         nodes: usize,
     },
+    /// A [`FaultSchedule`] with no segments.
+    EmptySchedule,
+    /// A [`FaultSchedule`] segment start that is not finite, or not
+    /// strictly after the previous segment's start (the first segment
+    /// must start at exactly 0 ms so every instant has a profile).
+    BadScheduleSegment {
+        /// Index of the offending segment.
+        index: usize,
+        /// Its `from_ms`.
+        from_ms: f64,
+    },
 }
 
 impl fmt::Display for FaultConfigError {
@@ -96,6 +107,16 @@ impl fmt::Display for FaultConfigError {
             }
             FaultConfigError::GroupCountMismatch { groups, nodes } => {
                 write!(f, "partition supplies {groups} group assignments for {nodes} nodes")
+            }
+            FaultConfigError::EmptySchedule => {
+                write!(f, "fault schedule has no segments")
+            }
+            FaultConfigError::BadScheduleSegment { index, from_ms } => {
+                write!(
+                    f,
+                    "fault schedule segment {index} starts at {from_ms} ms; starts must be \
+                     finite, strictly increasing, and begin at 0"
+                )
             }
         }
     }
@@ -225,6 +246,22 @@ impl FaultProfile {
         self
     }
 
+    /// This profile with every *probability* (and the drift bound) scaled
+    /// by `factor`, clamped back into range. Magnitudes (jitter and lag
+    /// bounds, the slow multiplier) and the seed are kept, so a ramp
+    /// built from one peak profile varies intensity, not character.
+    /// `factor = 0` yields a fully inert profile.
+    pub fn scaled(mut self, factor: f64) -> Self {
+        let p = |v: f64| (v * factor).clamp(0.0, 1.0);
+        self.drop_prob = p(self.drop_prob);
+        self.duplicate_prob = p(self.duplicate_prob);
+        self.reorder_prob = p(self.reorder_prob);
+        self.slow_node_frac = p(self.slow_node_frac);
+        self.disk_lag_prob = p(self.disk_lag_prob);
+        self.clock_drift_max = (self.clock_drift_max * factor).clamp(0.0, 0.499);
+        self
+    }
+
     /// Check every field against its documented range.
     pub fn validate(&self) -> Result<(), FaultConfigError> {
         let probs = [
@@ -306,6 +343,191 @@ impl FaultProfile {
         } else {
             SkewedClock::with_rate(1.0 + drift)
         }
+    }
+}
+
+/// One segment of a [`FaultSchedule`]: `profile` is in force from
+/// `from_ms` (inclusive) until the next segment's start.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScheduleSegment {
+    /// Simulated instant (ms) at which this segment takes effect.
+    pub from_ms: f64,
+    /// The fault profile in force during the segment.
+    pub profile: FaultProfile,
+}
+
+impl ScheduleSegment {
+    /// Construct a segment.
+    pub fn new(from_ms: f64, profile: FaultProfile) -> Self {
+        Self { from_ms, profile }
+    }
+}
+
+/// A piecewise time-varying fault profile: scheduled storms.
+///
+/// A schedule is a sorted list of [`ScheduleSegment`]s; the profile in
+/// force at simulated time `t` is the last segment with `from_ms ≤ t`,
+/// and the final segment persists forever. The first segment must start
+/// at 0 ms, so every instant has a well-defined profile.
+///
+/// Schedules preserve both buggify invariants. Fault decisions are still
+/// sender-local functions of `(sender RNG, send time)` — the active
+/// profile is looked up at the instant the message is sent, never at
+/// delivery — so scheduled storms stay bit-reproducible per
+/// `(seed, threads)` and identical between the serial and PDES engines.
+/// And the strict RNG-draw discipline holds *per segment*: during a
+/// segment whose probabilities are all zero the message path consumes
+/// exactly the draws a profile-free run consumes, so a calm segment is
+/// indistinguishable from no profile at all.
+///
+/// Scheduled profiles never *shrink* delivery delays (slow factors are
+/// ≥ 1, reorder only adds jitter), so the PDES lookahead derived from
+/// the base latency model remains a valid lower bound throughout.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSchedule {
+    segments: Vec<ScheduleSegment>,
+}
+
+impl FaultSchedule {
+    /// A schedule with a single profile in force forever — how a plain
+    /// [`FaultProfile`] installs internally.
+    pub fn constant(profile: FaultProfile) -> Self {
+        Self { segments: vec![ScheduleSegment::new(0.0, profile)] }
+    }
+
+    /// An arbitrary piecewise schedule. Validate with
+    /// [`validate`](FaultSchedule::validate) before installing.
+    pub fn piecewise(segments: Vec<ScheduleSegment>) -> Self {
+        Self { segments }
+    }
+
+    /// Preset: ramp from inert to `peak` in `steps` equal intensity
+    /// increments over `ramp_ms`, then hold the full peak forever.
+    pub fn ramp(peak: FaultProfile, steps: usize, ramp_ms: f64) -> Self {
+        assert!(steps >= 1 && ramp_ms > 0.0);
+        let segments = (0..=steps)
+            .map(|i| {
+                let frac = i as f64 / steps as f64;
+                ScheduleSegment::new(frac * ramp_ms, peak.scaled(frac))
+            })
+            .collect();
+        Self { segments }
+    }
+
+    /// Preset: `bursts` storms of `burst_ms` each, one per `period_ms`,
+    /// starting at `first_at_ms`; calm (inert) in between and after.
+    pub fn burst(
+        peak: FaultProfile,
+        first_at_ms: f64,
+        burst_ms: f64,
+        period_ms: f64,
+        bursts: usize,
+    ) -> Self {
+        assert!(first_at_ms > 0.0 && burst_ms > 0.0 && bursts >= 1);
+        assert!(period_ms > burst_ms, "bursts must not overlap");
+        let calm = FaultProfile::new(peak.seed);
+        let mut segments = vec![ScheduleSegment::new(0.0, calm)];
+        for k in 0..bursts {
+            let at = first_at_ms + k as f64 * period_ms;
+            segments.push(ScheduleSegment::new(at, peak));
+            segments.push(ScheduleSegment::new(at + burst_ms, calm));
+        }
+        Self { segments }
+    }
+
+    /// Preset: calm until `storm_from_ms`, `storm` until
+    /// `storm_until_ms`, calm again afterwards — the canonical
+    /// crash-during-storm audit timeline.
+    pub fn calm_storm_calm(storm: FaultProfile, storm_from_ms: f64, storm_until_ms: f64) -> Self {
+        assert!(0.0 < storm_from_ms && storm_from_ms < storm_until_ms);
+        let calm = FaultProfile::new(storm.seed);
+        Self {
+            segments: vec![
+                ScheduleSegment::new(0.0, calm),
+                ScheduleSegment::new(storm_from_ms, storm),
+                ScheduleSegment::new(storm_until_ms, calm),
+            ],
+        }
+    }
+
+    /// Check segment ordering and every segment's profile.
+    pub fn validate(&self) -> Result<(), FaultConfigError> {
+        if self.segments.is_empty() {
+            return Err(FaultConfigError::EmptySchedule);
+        }
+        let mut prev = f64::NEG_INFINITY;
+        for (index, seg) in self.segments.iter().enumerate() {
+            let bad_first_start = index == 0 && seg.from_ms != 0.0;
+            if !seg.from_ms.is_finite() || seg.from_ms <= prev || bad_first_start {
+                return Err(FaultConfigError::BadScheduleSegment {
+                    index,
+                    from_ms: seg.from_ms,
+                });
+            }
+            seg.profile.validate()?;
+            prev = seg.from_ms;
+        }
+        Ok(())
+    }
+
+    /// The profile in force at simulated time `now_ms`: the last segment
+    /// with `from_ms ≤ now_ms` (the final segment persists forever).
+    pub fn active_at(&self, now_ms: f64) -> &FaultProfile {
+        let idx = self.segments.partition_point(|s| s.from_ms <= now_ms);
+        &self.segments[idx.saturating_sub(1)].profile
+    }
+
+    /// `Some(profile)` when the schedule is a single constant segment.
+    pub fn as_constant(&self) -> Option<FaultProfile> {
+        (self.segments.len() == 1).then(|| self.segments[0].profile)
+    }
+
+    /// The segments, sorted by start time.
+    pub fn segments(&self) -> &[ScheduleSegment] {
+        &self.segments
+    }
+
+    /// Whether *any* segment injects message-path faults. Used for the
+    /// network's fast-path gate; per-instant zero-draw discipline comes
+    /// from the per-field guards on the active profile.
+    pub fn any_message_faults(&self) -> bool {
+        self.segments.iter().any(|s| s.profile.any_message_faults())
+    }
+}
+
+/// Deliberate, test-only protocol breakages for **mutation testing** the
+/// checker's order oracle: each flag disables or corrupts one healing /
+/// merge mechanism in [`Node`](crate::node::Node), and
+/// `tests/oracle_mutations.rs` proves the oracle catches each one with
+/// the expected [`OrderViolation`](crate::checker::OrderViolation) type.
+/// All flags default to `false`; production code never sets them — they
+/// exist so a silent future regression in the *checker* (an oracle that
+/// stops detecting real bugs) fails CI instead of rotting quietly.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProtocolMutations {
+    /// Read repair observes stale replicas but never sends the repair
+    /// write (healing silently stops; replicas stay divergent).
+    pub skip_read_repair: bool,
+    /// Read repair sends a *corrupted* version: a fabricated sequence
+    /// number far in the future that no write ever committed.
+    pub corrupt_read_repair: bool,
+    /// Replica apply overwrites unconditionally instead of keeping the
+    /// per-key max — a hinted or duplicated old write rolls the replica
+    /// back to a superseded version.
+    pub drop_version_merge: bool,
+    /// The hint-flush timer fires but delivers nothing: hints accumulate
+    /// until they expire and recovered replicas never hear the writes
+    /// they missed.
+    pub swallow_hints: bool,
+}
+
+impl ProtocolMutations {
+    /// Whether any mutation is active.
+    pub fn any(&self) -> bool {
+        self.skip_read_repair
+            || self.corrupt_read_repair
+            || self.drop_version_merge
+            || self.swallow_hints
     }
 }
 
@@ -401,6 +623,116 @@ mod tests {
             assert!(all.is_slow(node), "frac=1.0 marks every node slow");
             assert_eq!(all.slow_factor(node), 3.0);
         }
+    }
+
+    #[test]
+    fn schedule_lookup_is_boundary_inclusive_and_last_persists() {
+        let storm = FaultProfile::storm(5);
+        let s = FaultSchedule::calm_storm_calm(storm, 100.0, 300.0);
+        assert!(s.validate().is_ok());
+        let calm = FaultProfile::new(5);
+        assert_eq!(*s.active_at(0.0), calm);
+        assert_eq!(*s.active_at(99.999), calm, "strictly before the boundary: calm");
+        assert_eq!(*s.active_at(100.0), storm, "segment starts are inclusive");
+        assert_eq!(*s.active_at(299.999), storm);
+        assert_eq!(*s.active_at(300.0), calm, "storm ends exactly at its bound");
+        assert_eq!(*s.active_at(1.0e12), calm, "the final segment persists forever");
+        assert!(s.as_constant().is_none());
+        assert!(s.any_message_faults());
+    }
+
+    #[test]
+    fn schedule_validation_rejects_malformed_segment_lists() {
+        assert_eq!(
+            FaultSchedule::piecewise(vec![]).validate(),
+            Err(FaultConfigError::EmptySchedule)
+        );
+        let late_start =
+            FaultSchedule::piecewise(vec![ScheduleSegment::new(5.0, FaultProfile::new(0))]);
+        assert_eq!(
+            late_start.validate(),
+            Err(FaultConfigError::BadScheduleSegment { index: 0, from_ms: 5.0 })
+        );
+        let unsorted = FaultSchedule::piecewise(vec![
+            ScheduleSegment::new(0.0, FaultProfile::new(0)),
+            ScheduleSegment::new(10.0, FaultProfile::storm(0)),
+            ScheduleSegment::new(10.0, FaultProfile::new(0)),
+        ]);
+        assert_eq!(
+            unsorted.validate(),
+            Err(FaultConfigError::BadScheduleSegment { index: 2, from_ms: 10.0 })
+        );
+        let bad_profile = FaultSchedule::piecewise(vec![ScheduleSegment::new(
+            0.0,
+            FaultProfile::new(0).with_drop(2.0),
+        )]);
+        assert!(matches!(
+            bad_profile.validate(),
+            Err(FaultConfigError::BadProbability { field: "drop_prob", .. })
+        ));
+    }
+
+    #[test]
+    fn constant_schedule_round_trips_the_profile() {
+        let p = FaultProfile::storm(9);
+        let s = FaultSchedule::constant(p);
+        assert!(s.validate().is_ok());
+        assert_eq!(s.as_constant(), Some(p));
+        assert_eq!(*s.active_at(0.0), p);
+        assert_eq!(*s.active_at(1.0e9), p);
+    }
+
+    #[test]
+    fn ramp_preset_scales_intensity_monotonically() {
+        let peak = FaultProfile::storm(3);
+        let s = FaultSchedule::ramp(peak, 4, 400.0);
+        assert!(s.validate().is_ok());
+        assert_eq!(s.segments().len(), 5);
+        assert!(!s.active_at(0.0).any_message_faults(), "ramp starts inert");
+        let mut prev = -1.0;
+        for i in 0..=4 {
+            let p = s.active_at(i as f64 * 100.0);
+            assert!(p.drop_prob >= prev, "intensity must not decrease along the ramp");
+            prev = p.drop_prob;
+        }
+        assert_eq!(*s.active_at(400.0), peak, "ramp tops out at the full peak");
+        // Magnitudes are preserved at every step — only rates scale.
+        assert_eq!(s.active_at(100.0).reorder_max_ms, peak.reorder_max_ms);
+        assert!(s.active_at(100.0).slow_node_factor >= 1.0);
+    }
+
+    #[test]
+    fn burst_preset_alternates_storm_and_calm() {
+        let peak = FaultProfile::storm(7);
+        let s = FaultSchedule::burst(peak, 200.0, 50.0, 300.0, 3);
+        assert!(s.validate().is_ok());
+        for k in 0..3 {
+            let at = 200.0 + k as f64 * 300.0;
+            assert!(!s.active_at(at - 1.0).any_message_faults(), "calm before burst {k}");
+            assert_eq!(*s.active_at(at + 1.0), peak, "burst {k} active");
+            assert!(!s.active_at(at + 51.0).any_message_faults(), "calm after burst {k}");
+        }
+        assert!(!s.active_at(1.0e6).any_message_faults(), "calm forever after");
+    }
+
+    #[test]
+    fn scaled_profile_clamps_and_zero_is_inert() {
+        let p = FaultProfile::storm(1).with_drop(0.8);
+        let double = p.scaled(2.0);
+        assert!(double.validate().is_ok(), "scaling clamps back into range");
+        assert_eq!(double.drop_prob, 1.0);
+        let zero = p.scaled(0.0);
+        assert!(!zero.any_message_faults());
+        assert_eq!(zero.disk_lag_prob, 0.0);
+        assert_eq!(zero.clock_drift_max, 0.0);
+        assert_eq!(zero.reorder_max_ms, p.reorder_max_ms, "magnitudes survive scaling");
+    }
+
+    #[test]
+    fn mutations_default_inert() {
+        let m = ProtocolMutations::default();
+        assert!(!m.any());
+        assert!(ProtocolMutations { swallow_hints: true, ..Default::default() }.any());
     }
 
     #[test]

@@ -44,12 +44,29 @@ pub struct HistoryOp {
     pub label: Option<ReadLabel>,
 }
 
+/// One crash scheduled on the cluster during the recorded run. The order
+/// oracle uses these to discount evidence from wiped replicas: a wiped
+/// store legitimately forgets acknowledged writes, so nothing read from
+/// (or acked by) such a node can anchor a violation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CrashRecord {
+    /// The crashed node.
+    pub node: u32,
+    /// When the crash fired.
+    pub at: SimTime,
+    /// How long the node stayed down.
+    pub down_ms: f64,
+    /// Whether the crash wiped the node's store.
+    pub wipe: bool,
+}
+
 /// The full recorded op history of a run, in drain order (which preserves
 /// each client's completion order — the order session guarantees are
 /// defined over).
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct OpHistory {
     ops: Vec<HistoryOp>,
+    crashes: Vec<CrashRecord>,
 }
 
 impl OpHistory {
@@ -66,6 +83,17 @@ impl OpHistory {
     /// The recorded operations, in drain order.
     pub fn ops(&self) -> &[HistoryOp] {
         &self.ops
+    }
+
+    /// Attach the run's crash timeline (done by
+    /// [`Cluster::take_history`](crate::Cluster::take_history)).
+    pub fn set_crashes(&mut self, crashes: Vec<CrashRecord>) {
+        self.crashes = crashes;
+    }
+
+    /// Every crash scheduled during the recorded run.
+    pub fn crashes(&self) -> &[CrashRecord] {
+        &self.crashes
     }
 
     /// Number of recorded operations.
@@ -137,6 +165,88 @@ impl ConvergenceCheck {
     }
 }
 
+/// One per-key ordering violation found by the order oracle, identifying
+/// the offending operation and the evidence that convicts it. Sequence
+/// numbers use 0 for "empty" (no version).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OrderViolation {
+    /// An acknowledged (or committed-and-settled) write disappeared: a
+    /// later read overlapping the write's ack set — or, after quiescence,
+    /// a live replica — returned something older.
+    LostUpdate {
+        /// Key involved.
+        key: u64,
+        /// The offending read (or, for the final-state rule, the newest
+        /// committed write the replica should hold).
+        op_id: u64,
+        /// The replica whose evidence convicts the violation.
+        replica: u32,
+        /// Sequence observed (0 = empty).
+        seen_seq: u64,
+        /// The acknowledged sequence that should have been visible.
+        expected_seq: u64,
+    },
+    /// A replica's exposed version went backwards: two non-overlapping
+    /// reads served by the same replica returned a newer then an older
+    /// version, impossible for a store that only merges forward.
+    NonMonotoneExposure {
+        /// Key involved.
+        key: u64,
+        /// The offending (second) read.
+        op_id: u64,
+        /// The replica that served both reads.
+        replica: u32,
+        /// Sequence the second read observed (0 = empty).
+        seen_seq: u64,
+        /// Sequence the first read had already exposed from that replica.
+        expected_seq: u64,
+    },
+    /// A read returned a version no recorded write ever produced — an
+    /// invalid writer id, a sequence from the future, or (when the key's
+    /// write set is fully known) a `(seq, writer)` pair matching no write.
+    PhantomVersion {
+        /// Key involved.
+        key: u64,
+        /// The offending read.
+        op_id: u64,
+        /// The sequence the read returned.
+        seen_seq: u64,
+        /// The writer id the read returned.
+        writer: u32,
+    },
+}
+
+/// Per-key order-oracle verdict: counts per violation class plus the
+/// first example of each (deterministic given a deterministic history, so
+/// serial and parallel runs of the same schedule produce identical
+/// reports).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OrderCheck {
+    /// Completed reads the oracle examined.
+    pub reads_checked: u64,
+    /// Committed writes anchoring visibility floors.
+    pub writes_tracked: u64,
+    /// Acknowledged writes that later vanished from view.
+    pub lost_updates: u64,
+    /// Replica exposures that went backwards.
+    pub non_monotone: u64,
+    /// Versions no recorded write produced.
+    pub phantoms: u64,
+    /// First [`OrderViolation::LostUpdate`] found, if any.
+    pub first_lost_update: Option<OrderViolation>,
+    /// First [`OrderViolation::NonMonotoneExposure`] found, if any.
+    pub first_non_monotone: Option<OrderViolation>,
+    /// First [`OrderViolation::PhantomVersion`] found, if any.
+    pub first_phantom: Option<OrderViolation>,
+}
+
+impl OrderCheck {
+    /// Total violations across the three classes.
+    pub fn violations(&self) -> u64 {
+        self.lost_updates + self.non_monotone + self.phantoms
+    }
+}
+
 /// The combined verdict of one checked run (mergeable across shards).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CheckReport {
@@ -144,6 +254,8 @@ pub struct CheckReport {
     pub sessions: SessionCheck,
     /// Staleness-label recount.
     pub labels: LabelCheck,
+    /// Per-key order-oracle verdict.
+    pub order: OrderCheck,
     /// Replica convergence (when requested — only meaningful after the
     /// run has quiesced with faults cleared).
     pub convergence: Option<ConvergenceCheck>,
@@ -153,13 +265,18 @@ pub struct CheckReport {
 
 impl CheckReport {
     /// Whether every cross-check passed: streaming and offline session
-    /// counts agree, no label mismatches, and (when checked) replicas
-    /// converged. Violations themselves do **not** make a report unclean
-    /// — under injected faults violations are expected; the checker's job
-    /// is that both derivations agree on them.
+    /// counts agree, no label mismatches, zero order violations, and
+    /// (when checked) replicas converged. Session violations themselves
+    /// do **not** make a report unclean — under injected faults staleness
+    /// is expected; the checker's job is that both derivations agree on
+    /// it. Order violations are different: an acknowledged write must
+    /// survive drops, duplicates, reorders, and non-wiping crashes, so
+    /// any [`OrderCheck`] violation is a real safety bug (or an injected
+    /// protocol mutation doing its job).
     pub fn is_clean(&self) -> bool {
         self.sessions.agrees()
             && self.labels.mismatches == 0
+            && self.order.violations() == 0
             && self.convergence.is_none_or(|c| c.converged())
     }
 }
@@ -176,6 +293,15 @@ impl Mergeable for CheckReport {
         self.labels.labelled_reads += other.labels.labelled_reads;
         self.labels.mismatches += other.labels.mismatches;
         self.labels.stale_reads += other.labels.stale_reads;
+        let o = &mut self.order;
+        o.reads_checked += other.order.reads_checked;
+        o.writes_tracked += other.order.writes_tracked;
+        o.lost_updates += other.order.lost_updates;
+        o.non_monotone += other.order.non_monotone;
+        o.phantoms += other.order.phantoms;
+        o.first_lost_update = o.first_lost_update.or(other.order.first_lost_update);
+        o.first_non_monotone = o.first_non_monotone.or(other.order.first_non_monotone);
+        o.first_phantom = o.first_phantom.or(other.order.first_phantom);
         self.convergence = match (self.convergence, other.convergence) {
             (Some(mut a), Some(b)) => {
                 a.keys_checked += b.keys_checked;
@@ -210,6 +336,12 @@ pub fn replay_sessions(history: &OpHistory, streaming: &ClientStats) -> SessionC
         let op = &h.op;
         if op.finish.is_none() {
             continue; // timed out: the client never saw a result
+        }
+        if op.client == u32::MAX {
+            // Blocking-harness ops: recorded for the order oracle and the
+            // relabelling pass, but not part of any client session (the
+            // streaming counters never saw them).
+            continue;
         }
         let session = (op.client, op.key);
         match op.kind {
@@ -309,13 +441,284 @@ pub fn check_convergence(cluster: &Cluster) -> ConvergenceCheck {
     check
 }
 
+/// One committed write, as the order oracle tracks it.
+#[derive(Debug, Clone, Copy)]
+struct TrackedWrite {
+    op_id: u64,
+    seq: u64,
+    writer: u32,
+    commit_nanos: u64,
+    acked: u64,
+}
+
+/// One completed read, as the order oracle examines it.
+#[derive(Debug, Clone, Copy)]
+struct TrackedRead {
+    op_id: u64,
+    start_nanos: u64,
+    finish_nanos: u64,
+    /// Returned version as `(seq, writer)`; `(0, 0)` = empty read, which
+    /// orders below every real version (seqs start at 1).
+    seen: (u64, u32),
+    source: Option<u32>,
+    responders: u64,
+}
+
+#[derive(Debug, Default)]
+struct KeyAudit {
+    /// `(seq, writer)` of every write whose version the history knows.
+    known: Vec<(u64, u32)>,
+    /// A write on this key timed out client-side, so its version is
+    /// unknown — the phantom set-membership rule must stand down.
+    incomplete: bool,
+    committed: Vec<TrackedWrite>,
+    reads: Vec<TrackedRead>,
+}
+
+/// The per-key order oracle (tentpole of the adversarial audit): rebuild
+/// each key's committed version order from the recorded history and
+/// verify every read is consistent with a register that never loses or
+/// reorders acknowledged writes.
+///
+/// Three rules, each sound under arbitrary drops, duplicates, reorders,
+/// slow nodes, disk lag, clock drift, and non-wiping crashes — a
+/// violation is a protocol bug, never a fault artefact:
+///
+/// * **Acked visibility** (`LostUpdate`): a committed write's ack mask
+///   certifies which replicas applied its version before the commit
+///   instant (acks are sent only after the apply). A read issued after
+///   the commit whose first-`R` responder set intersects that mask must
+///   return at least that version — replica stores only merge forward.
+/// * **Monotone exposure** (`NonMonotoneExposure`): once a read sources a
+///   version from replica `X`, any later (non-overlapping) read whose
+///   responder set includes `X` must return at least that version.
+/// * **Version provenance** (`PhantomVersion`): a returned version must
+///   carry a valid writer id, a sequence no later than the read's finish
+///   (sequences are write-start instants), and — when every write on the
+///   key completed client-side — match some recorded write exactly.
+///
+/// Evidence from wiped replicas is discounted wholesale: a wiped store
+/// legitimately forgets acknowledged writes. Reads from nodes at id ≥ 64
+/// carry no mask bits and simply contribute no evidence.
+pub fn check_order(history: &OpHistory, nodes: u32) -> OrderCheck {
+    let wiped: u64 = history
+        .crashes()
+        .iter()
+        .filter(|c| c.wipe && c.node < 64)
+        .fold(0, |m, c| m | (1u64 << c.node));
+    let mut keys: FxHashMap<u64, KeyAudit> = FxHashMap::default();
+    let mut order: Vec<u64> = Vec::new(); // deterministic key iteration
+    let mut check = OrderCheck::default();
+    for h in history.ops() {
+        let op = &h.op;
+        if !keys.contains_key(&op.key) {
+            order.push(op.key);
+        }
+        let audit = keys.entry(op.key).or_default();
+        match op.kind {
+            OpKind::Write => match op.seq {
+                None => audit.incomplete = true,
+                Some(seq) => {
+                    let writer = op.writer.expect("writes with a sequence carry their writer");
+                    audit.known.push((seq, writer));
+                    if let Some(ct) = op.commit {
+                        check.writes_tracked += 1;
+                        audit.committed.push(TrackedWrite {
+                            op_id: op.op_id,
+                            seq,
+                            writer,
+                            commit_nanos: ct.as_nanos(),
+                            acked: op.quorum_mask & !wiped,
+                        });
+                    }
+                }
+            },
+            OpKind::Read => {
+                let Some(finish) = op.finish else {
+                    continue; // timed out: nothing was exposed
+                };
+                check.reads_checked += 1;
+                audit.reads.push(TrackedRead {
+                    op_id: op.op_id,
+                    start_nanos: op.start.as_nanos(),
+                    finish_nanos: finish.as_nanos(),
+                    seen: match op.seq {
+                        Some(seq) => (seq, op.writer.expect("non-empty reads carry a writer")),
+                        None => (0, 0),
+                    },
+                    source: op.source,
+                    responders: op.quorum_mask & !wiped,
+                });
+            }
+        }
+    }
+
+    for key in order {
+        let audit = keys.get_mut(&key).expect("key was just inserted");
+        // Examine reads in issue order (deterministic tie-break by op id):
+        // exposures accumulate forward in time, so each read is checked
+        // against every exposure that provably precedes it.
+        audit.reads.sort_by_key(|r| (r.start_nanos, r.op_id));
+        // Exposures: (replica, version, finish-of-exposing-read).
+        let mut exposures: Vec<(u32, (u64, u32), u64)> = Vec::new();
+        for r in &audit.reads {
+            let (seen_seq, seen_writer) = r.seen;
+            if seen_seq > 0 {
+                // Phantom rules first: a corrupt version must not poison
+                // the visibility floors below.
+                let impossible_writer = seen_writer >= nodes;
+                let from_the_future = seen_seq > r.finish_nanos + 1;
+                let unknown_version =
+                    !audit.incomplete && !audit.known.contains(&(seen_seq, seen_writer));
+                if impossible_writer || from_the_future || unknown_version {
+                    check.phantoms += 1;
+                    check.first_phantom = check.first_phantom.or(Some(
+                        OrderViolation::PhantomVersion {
+                            key,
+                            op_id: r.op_id,
+                            seen_seq,
+                            writer: seen_writer,
+                        },
+                    ));
+                    continue;
+                }
+            }
+            // Acked visibility: the strongest committed write whose ack
+            // set intersects this read's responders and whose commit
+            // precedes the read's start.
+            let mut lu_floor: Option<(u64, u32, u32, u64)> = None; // (seq, writer, replica, op)
+            for w in &audit.committed {
+                if w.commit_nanos < r.start_nanos
+                    && w.acked & r.responders != 0
+                    && lu_floor.is_none_or(|(s, wr, _, _)| (w.seq, w.writer) > (s, wr))
+                {
+                    let replica = (w.acked & r.responders).trailing_zeros();
+                    lu_floor = Some((w.seq, w.writer, replica, w.op_id));
+                }
+            }
+            if let Some((floor_seq, floor_writer, replica, _)) = lu_floor {
+                if r.seen < (floor_seq, floor_writer) {
+                    check.lost_updates += 1;
+                    check.first_lost_update =
+                        check.first_lost_update.or(Some(OrderViolation::LostUpdate {
+                            key,
+                            op_id: r.op_id,
+                            replica,
+                            seen_seq,
+                            expected_seq: floor_seq,
+                        }));
+                    continue; // one violation per read, strongest class
+                }
+            }
+            // Monotone exposure: the strongest version any of this read's
+            // responders is known (via an earlier read) to have held.
+            let mut nm_floor: Option<((u64, u32), u32)> = None;
+            for &(replica, version, exposed_finish) in &exposures {
+                if exposed_finish <= r.start_nanos
+                    && r.responders & (1u64 << replica) != 0
+                    && nm_floor.is_none_or(|(v, _)| version > v)
+                {
+                    nm_floor = Some((version, replica));
+                }
+            }
+            if let Some((floor, replica)) = nm_floor {
+                if r.seen < floor {
+                    check.non_monotone += 1;
+                    check.first_non_monotone =
+                        check.first_non_monotone.or(Some(OrderViolation::NonMonotoneExposure {
+                            key,
+                            op_id: r.op_id,
+                            replica,
+                            seen_seq,
+                            expected_seq: floor.0,
+                        }));
+                    continue;
+                }
+            }
+            // This read becomes evidence: its source replica held `seen`
+            // at some instant before the read finished.
+            if let Some(source) = r.source {
+                if seen_seq > 0 && source < 64 && wiped & (1u64 << source) == 0 {
+                    exposures.push((source, r.seen, r.finish_nanos));
+                }
+            }
+        }
+    }
+    check
+}
+
+/// The order oracle's final-state rule, gated like [`check_convergence`]
+/// (quiesced run, faults cleared, healing mechanisms enabled): every
+/// live, never-wiped current replica of a key must store at least the
+/// newest committed version — anything older is an acknowledged write
+/// that the healing paths (read repair, hint replay, anti-entropy) lost.
+fn check_final_state(history: &OpHistory, cluster: &Cluster, check: &mut OrderCheck) {
+    let wiped: u64 = history
+        .crashes()
+        .iter()
+        .filter(|c| c.wipe && c.node < 64)
+        .fold(0, |m, c| m | (1u64 << c.node));
+    let mut latest: FxHashMap<u64, (u64, u32, u64)> = FxHashMap::default(); // key → (seq, writer, op)
+    let mut order: Vec<u64> = Vec::new();
+    for h in history.ops() {
+        let op = &h.op;
+        if !matches!(op.kind, OpKind::Write) || op.commit.is_none() {
+            continue;
+        }
+        let seq = op.seq.expect("committed writes carry their sequence");
+        let writer = op.writer.expect("committed writes carry their writer");
+        match latest.entry(op.key) {
+            std::collections::hash_map::Entry::Vacant(e) => {
+                order.push(op.key);
+                e.insert((seq, writer, op.op_id));
+            }
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                if (seq, writer) > (e.get().0, e.get().1) {
+                    e.insert((seq, writer, op.op_id));
+                }
+            }
+        }
+    }
+    for key in order {
+        let (seq, writer, op_id) = latest[&key];
+        for replica in cluster.replicas_of(key) {
+            if cluster.node(replica).is_down()
+                || (replica < 64 && wiped & (1u64 << replica) != 0)
+            {
+                continue;
+            }
+            let stored = cluster
+                .node(replica)
+                .stored_version(key)
+                .map_or((0, 0), |v| (v.seq, v.writer));
+            if stored < (seq, writer) {
+                check.lost_updates += 1;
+                check.first_lost_update =
+                    check.first_lost_update.or(Some(OrderViolation::LostUpdate {
+                        key,
+                        op_id,
+                        replica: replica as u32,
+                        seen_seq: stored.0,
+                        expected_seq: seq,
+                    }));
+            }
+        }
+    }
+}
+
 /// Run every offline check against a finished cluster: session replay vs.
-/// the streaming counters, label recount, and (optionally) convergence.
+/// the streaming counters, label recount, the per-key order oracle, and
+/// (optionally) convergence plus the oracle's final-state rule.
 pub fn check_run(history: &OpHistory, cluster: &Cluster, convergence: bool) -> CheckReport {
     let streaming = cluster.client_stats();
+    let mut order = check_order(history, cluster.node_count() as u32);
+    if convergence {
+        check_final_state(history, cluster, &mut order);
+    }
     CheckReport {
         sessions: replay_sessions(history, &streaming),
         labels: relabel_reads(history),
+        order,
         convergence: convergence.then(|| check_convergence(cluster)),
         runs: 1,
     }
@@ -339,6 +742,9 @@ mod tests {
             finish: commit.map(t),
             seq: Some(seq),
             commit: commit.map(t),
+            writer: Some(0),
+            source: None,
+            quorum_mask: 0,
         }
     }
 
@@ -352,7 +758,44 @@ mod tests {
             finish: Some(t(finish)),
             seq,
             commit: None,
+            writer: seq.map(|_| 0),
+            source: None,
+            quorum_mask: 0,
         }
+    }
+
+    /// A committed write with explicit provenance: `writer` assigned the
+    /// version, the replicas in `acked` applied it before the commit.
+    fn write_acked(
+        key: u64,
+        seq: u64,
+        writer: u32,
+        start: f64,
+        commit: f64,
+        acked: u64,
+    ) -> CompletedOp {
+        let mut op = write(0, key, seq, start, Some(commit));
+        op.writer = Some(writer);
+        op.quorum_mask = acked;
+        op
+    }
+
+    /// A completed read with explicit provenance: served the version
+    /// `(seq, writer)` sourced at `source`, with `responders` answering.
+    fn read_from(
+        key: u64,
+        seq: Option<u64>,
+        writer: u32,
+        start: f64,
+        finish: f64,
+        source: Option<u32>,
+        responders: u64,
+    ) -> CompletedOp {
+        let mut op = read(0, key, seq, start, finish);
+        op.writer = seq.map(|_| writer);
+        op.source = source;
+        op.quorum_mask = responders;
+        op
     }
 
     #[test]
@@ -419,6 +862,7 @@ mod tests {
         let mut a = CheckReport {
             sessions: SessionCheck { reads_checked: 2, streaming_reads_checked: 2, ..Default::default() },
             labels: LabelCheck { labelled_reads: 2, ..Default::default() },
+            order: OrderCheck { reads_checked: 2, writes_tracked: 1, ..Default::default() },
             convergence: Some(ConvergenceCheck { keys_checked: 3, ..Default::default() }),
             runs: 1,
         };
@@ -427,7 +871,137 @@ mod tests {
         assert_eq!(a.runs, 2);
         assert_eq!(a.sessions.reads_checked, 4);
         assert_eq!(a.labels.labelled_reads, 4);
+        assert_eq!(a.order.reads_checked, 4);
+        assert_eq!(a.order.writes_tracked, 2);
         assert_eq!(a.convergence.unwrap().keys_checked, 6);
         assert!(a.is_clean());
+    }
+
+    #[test]
+    fn session_replay_skips_blocking_harness_ops() {
+        let mut h = OpHistory::new();
+        h.push(write(u32::MAX, 1, 1, 0.0, Some(1.0)), None);
+        h.push(read(u32::MAX, 1, None, 2.0, 3.0), None); // would be MR+RYW if counted
+        let check = replay_sessions(&h, &ClientStats::default());
+        assert_eq!(check.reads_checked, 0);
+        assert!(check.agrees(), "sentinel-client ops never touch session state");
+    }
+
+    // ----- the order oracle -----
+
+    #[test]
+    fn order_oracle_accepts_a_clean_register_history() {
+        let mut h = OpHistory::new();
+        h.push(write_acked(1, 10, 0, 0.0, 1.0, 0b011), None);
+        h.push(read_from(1, Some(10), 0, 2.0, 3.0, Some(1), 0b010), None);
+        h.push(write_acked(1, 20, 2, 4.0, 5.0, 0b110), None);
+        h.push(read_from(1, Some(20), 2, 6.0, 7.0, Some(2), 0b100), None);
+        // A read overlapping nothing acked may be empty (different key).
+        h.push(read_from(2, None, 0, 6.0, 7.0, None, 0b001), None);
+        let check = check_order(&h, 3);
+        assert_eq!(check.violations(), 0);
+        assert_eq!(check.reads_checked, 3);
+        assert_eq!(check.writes_tracked, 2);
+    }
+
+    #[test]
+    fn order_oracle_flags_a_lost_update() {
+        let mut h = OpHistory::new();
+        // Write acked by replicas {0, 1}, committed at 5 ms.
+        h.push(write_acked(1, 10, 0, 0.0, 5.0, 0b011), None);
+        // A later read answered by replica 1 returns empty: the
+        // acknowledged write vanished.
+        h.push(read_from(1, None, 0, 6.0, 7.0, None, 0b010), None);
+        let check = check_order(&h, 3);
+        assert_eq!(check.lost_updates, 1);
+        assert_eq!(check.non_monotone, 0);
+        assert_eq!(check.phantoms, 0);
+        match check.first_lost_update {
+            Some(OrderViolation::LostUpdate { key: 1, replica: 1, seen_seq: 0, expected_seq: 10, .. }) => {}
+            other => panic!("wrong violation: {other:?}"),
+        }
+        // The same read answered by the non-acking replica 2 is fine.
+        let mut h = OpHistory::new();
+        h.push(write_acked(1, 10, 0, 0.0, 5.0, 0b011), None);
+        h.push(read_from(1, None, 0, 6.0, 7.0, None, 0b100), None);
+        assert_eq!(check_order(&h, 3).violations(), 0);
+        // And a read that *started* before the commit is unconstrained.
+        let mut h = OpHistory::new();
+        h.push(write_acked(1, 10, 0, 0.0, 5.0, 0b011), None);
+        h.push(read_from(1, None, 0, 4.0, 7.0, None, 0b010), None);
+        assert_eq!(check_order(&h, 3).violations(), 0);
+    }
+
+    #[test]
+    fn order_oracle_flags_non_monotone_exposure() {
+        let mut h = OpHistory::new();
+        h.push(write_acked(1, 10, 0, 0.0, 1.0, 0b001), None);
+        // Replica 2 exposed seq 10 (uncommitted elsewhere — say repair
+        // landed it there), then a later read from replica 2 sees empty.
+        h.push(read_from(1, Some(10), 0, 2.0, 3.0, Some(2), 0b100), None);
+        h.push(read_from(1, None, 0, 4.0, 5.0, None, 0b100), None);
+        let check = check_order(&h, 3);
+        assert_eq!(check.non_monotone, 1);
+        assert_eq!(check.lost_updates, 0);
+        match check.first_non_monotone {
+            Some(OrderViolation::NonMonotoneExposure { replica: 2, seen_seq: 0, expected_seq: 10, .. }) => {}
+            other => panic!("wrong violation: {other:?}"),
+        }
+        // Overlapping reads constrain nothing.
+        let mut h = OpHistory::new();
+        h.push(write_acked(1, 10, 0, 0.0, 1.0, 0b001), None);
+        h.push(read_from(1, Some(10), 0, 2.0, 6.0, Some(2), 0b100), None);
+        h.push(read_from(1, None, 0, 4.0, 5.0, None, 0b100), None);
+        assert_eq!(check_order(&h, 3).violations(), 0);
+    }
+
+    #[test]
+    fn order_oracle_flags_phantom_versions() {
+        // Invalid writer id.
+        let mut h = OpHistory::new();
+        h.push(write_acked(1, 10, 0, 0.0, 1.0, 0b001), None);
+        h.push(read_from(1, Some(10), 7, 2.0, 3.0, Some(0), 0b001), None);
+        let check = check_order(&h, 3);
+        assert_eq!(check.phantoms, 1, "writer 7 in a 3-node cluster");
+        // Sequence from the future (far beyond the read's finish).
+        let mut h = OpHistory::new();
+        h.push(write_acked(1, 10, 0, 0.0, 1.0, 0b001), None);
+        h.push(read_from(1, Some(1 << 46), 0, 2.0, 3.0, Some(0), 0b001), None);
+        assert_eq!(check_order(&h, 3).phantoms, 1);
+        // A version matching no known write, on a complete key.
+        let mut h = OpHistory::new();
+        h.push(write_acked(1, 10, 0, 0.0, 1.0, 0b001), None);
+        h.push(read_from(1, Some(12), 0, 2.0, 3.0, Some(0), 0b001), None);
+        let check = check_order(&h, 3);
+        assert_eq!(check.phantoms, 1);
+        match check.first_phantom {
+            Some(OrderViolation::PhantomVersion { key: 1, seen_seq: 12, writer: 0, .. }) => {}
+            other => panic!("wrong violation: {other:?}"),
+        }
+        // The same unknown version is tolerated once a write on the key
+        // timed out (its version may be exactly this one).
+        let mut h = OpHistory::new();
+        h.push(write_acked(1, 10, 0, 0.0, 1.0, 0b001), None);
+        let mut timed_out = write(0, 1, 0, 1.5, None);
+        timed_out.seq = None;
+        timed_out.writer = None;
+        timed_out.finish = None;
+        h.push(timed_out, None);
+        h.push(read_from(1, Some(12), 0, 2.0, 3.0, Some(0), 0b001), None);
+        assert_eq!(check_order(&h, 3).phantoms, 0);
+    }
+
+    #[test]
+    fn order_oracle_discounts_wiped_replicas() {
+        let mut h = OpHistory::new();
+        h.push(write_acked(1, 10, 0, 0.0, 5.0, 0b011), None);
+        h.push(read_from(1, None, 0, 20.0, 21.0, None, 0b010), None);
+        // Without the crash this is a lost update (previous test); a wipe
+        // of replica 1 between commit and read legitimises it.
+        h.set_crashes(vec![CrashRecord { node: 1, at: t(10.0), down_ms: 1.0, wipe: true }]);
+        assert_eq!(check_order(&h, 3).violations(), 0);
+        // A non-wiping crash keeps the store, so the claim stands.
+        h.set_crashes(vec![CrashRecord { node: 1, at: t(10.0), down_ms: 1.0, wipe: false }]);
+        assert_eq!(check_order(&h, 3).lost_updates, 1);
     }
 }

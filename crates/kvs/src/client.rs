@@ -122,6 +122,21 @@ pub struct CompletedOp {
     pub seq: Option<u64>,
     /// Commit time (writes only; `None` = failed or timed out).
     pub commit: Option<SimTime>,
+    /// The writer id of the version involved: the coordinator that
+    /// assigned a write's version, or the writer component of a read's
+    /// returned version (`None` = empty read or timeout). Together with
+    /// `seq` this identifies the exact [`crate::version::Version`], which
+    /// the order oracle matches reads against known writes.
+    pub writer: Option<u32>,
+    /// Reads: the replica whose response supplied the returned version
+    /// (`None` for empty reads, timeouts, and all writes).
+    pub source: Option<u32>,
+    /// Quorum provenance as a bitmask over node ids below 64. Writes: the
+    /// replicas that had acked (and therefore applied) the version when
+    /// the result was produced. Reads: the first `R` responders. Zero for
+    /// timeouts; bits for nodes ≥ 64 are omitted (the oracle treats a
+    /// missing bit as absence of evidence, never as a violation).
+    pub quorum_mask: u64,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -300,7 +315,7 @@ impl ClientActor {
 
     fn on_result(&mut self, ctx: &mut Context<'_, Msg>, result: ClientResult) {
         match result {
-            ClientResult::Write { op_id, key, version, start, commit } => {
+            ClientResult::Write { op_id, key, version, start, commit, acked } => {
                 if self.in_flight.remove(&op_id).is_none() {
                     return; // already timed out client-side
                 }
@@ -327,9 +342,12 @@ impl ClientActor {
                     finish: Some(ctx.now()),
                     seq: Some(version.seq),
                     commit,
+                    writer: Some(version.writer),
+                    source: None,
+                    quorum_mask: acked,
                 });
             }
-            ClientResult::Read { op_id, key, start, finish, version } => {
+            ClientResult::Read { op_id, key, start, finish, version, source, responders } => {
                 if self.in_flight.remove(&op_id).is_none() {
                     return;
                 }
@@ -353,6 +371,9 @@ impl ClientActor {
                     finish: Some(finish),
                     seq: returned,
                     commit: None,
+                    writer: version.map(|v| v.writer),
+                    source,
+                    quorum_mask: responders,
                 });
             }
         }
@@ -371,6 +392,9 @@ impl ClientActor {
             finish: None,
             seq: None,
             commit: None,
+            writer: None,
+            source: None,
+            quorum_mask: 0,
         });
     }
 

@@ -18,7 +18,8 @@
 //!   incrementally. Memory is bounded by in-flight work, never by
 //!   workload length.
 
-use crate::checker::OpHistory;
+use crate::buggify::ProtocolMutations;
+use crate::checker::{CrashRecord, OpHistory};
 use crate::client::{ClientActor, ClientOptions, ClientStats, CompletedOp};
 use crate::fxhash::FxHashMap;
 use crate::messages::Msg;
@@ -69,6 +70,11 @@ pub struct ClusterOptions {
     /// Record per-message one-way W/A/R/S delays for online prediction
     /// (§5.5/§6); drain with [`Cluster::drain_leg_samples`].
     pub record_leg_samples: bool,
+    /// Test-only protocol mutations for oracle validation — each flag
+    /// deliberately breaks one anti-entropy mechanism so the checker's
+    /// order oracle can prove it would catch the regression. All off in
+    /// any real run.
+    pub mutations: ProtocolMutations,
     /// Master seed (node and client RNGs derive from it).
     pub seed: u64,
 }
@@ -90,6 +96,7 @@ impl ClusterOptions {
             wipe_on_crash: false,
             op_timeout_ms: 60_000.0,
             record_leg_samples: false,
+            mutations: ProtocolMutations::default(),
             seed,
         }
     }
@@ -469,6 +476,9 @@ pub struct Cluster {
     /// the per-window plumbing performs no steady-state allocation.
     drain_scratch: Vec<CompletedOp>,
     detector_scratch: Vec<DetectorEvent>,
+    /// Every crash scheduled on this cluster, attached to taken histories
+    /// so the order oracle can discount evidence from wiped replicas.
+    crash_log: Vec<CrashRecord>,
 }
 
 impl std::fmt::Debug for Cluster {
@@ -522,6 +532,7 @@ impl Cluster {
             hint_flush_interval_ms: opts.hint_flush_interval_ms,
             drop_prob: opts.drop_prob,
             record_leg_samples: opts.record_leg_samples,
+            mutations: opts.mutations,
         };
         let mut engine = match kind {
             EngineKind::Serial | EngineKind::SerialPartitioned { .. } => {
@@ -569,6 +580,7 @@ impl Cluster {
             history: None,
             drain_scratch: Vec::new(),
             detector_scratch: Vec::new(),
+            crash_log: Vec::new(),
         })
     }
 
@@ -631,13 +643,16 @@ impl Cluster {
     }
 
     /// Take the recorded history (recording continues into a fresh one if
-    /// it was enabled). Returns an empty history when recording was never
-    /// enabled.
+    /// it was enabled), stamped with every crash scheduled so far so the
+    /// order oracle can discount evidence from wiped replicas. Returns an
+    /// empty history when recording was never enabled.
     pub fn take_history(&mut self) -> OpHistory {
-        match self.history.as_mut() {
+        let mut h = match self.history.as_mut() {
             Some(h) => std::mem::take(h),
             None => OpHistory::new(),
-        }
+        };
+        h.set_crashes(self.crash_log.clone());
+        h
     }
 
     /// Apply a new `(N, R, W)` configuration to the **running** cluster
@@ -724,6 +739,7 @@ impl Cluster {
     pub fn crash_node_at(&mut self, node: usize, at: SimTime, down_ms: f64) {
         let wipe = self.opts.wipe_on_crash;
         assert!(node < self.opts.nodes as usize, "cannot crash client actor {node}");
+        self.crash_log.push(CrashRecord { node: node as u32, at, down_ms, wipe });
         self.engine.inject_at(node, at, Msg::Crash { down_ms, wipe });
     }
 
@@ -787,31 +803,44 @@ impl Cluster {
         self.engine.inject(coord, 0.0, Msg::ClientWrite { op_id, key });
         let deadline = start + pbs_sim::SimDuration::from_ms(self.opts.op_timeout_ms);
         let result = self.step_until_result(coord, op_id, deadline);
-        let (seq, commit) = match result {
-            Some(ClientResult::Write { version, commit, .. }) => (version.seq, commit),
+        let (seq, writer, commit, acked) = match result {
+            Some(ClientResult::Write { version, commit, acked, .. }) => {
+                (version.seq, Some(version.writer), commit, acked)
+            }
             Some(other) => unreachable!("write op returned {other:?}"),
-            None => (0, None),
+            None => (0, None, None, 0),
         };
         if let Some(ct) = commit {
             self.ground_truth.record_commit(key, seq, ct);
-            // A recorded history must contain every commit the online
-            // ground truth saw, or the offline relabelling would diverge
-            // on reads racing seed data. Blocking ops carry the client
-            // sentinel `u32::MAX`, which never collides with an open-loop
-            // client index.
-            if let Some(history) = self.history.as_mut() {
-                let op = CompletedOp {
-                    op_id,
-                    client: u32::MAX,
-                    kind: OpKind::Write,
-                    key,
-                    start,
-                    finish: Some(ct),
-                    seq: Some(seq),
-                    commit: Some(ct),
-                };
-                history.push(op, None);
-            }
+        }
+        // A recorded history must contain every write the cluster saw —
+        // commits so the offline relabelling agrees with the online ground
+        // truth, and failures/timeouts so the order oracle knows which
+        // versions may legitimately surface on replicas (a failed write
+        // still installed its version somewhere; a timed-out one marks the
+        // key's write set incomplete). Blocking ops carry the client
+        // sentinel `u32::MAX`, which never collides with an open-loop
+        // client index and is skipped by the session replay.
+        if let Some(history) = self.history.as_mut() {
+            let finish = match (commit, result.is_some()) {
+                (Some(ct), _) => Some(ct),
+                (None, true) => Some(self.engine.now()),
+                (None, false) => None,
+            };
+            let op = CompletedOp {
+                op_id,
+                client: u32::MAX,
+                kind: OpKind::Write,
+                key,
+                start,
+                finish,
+                seq: result.is_some().then_some(seq),
+                commit,
+                writer,
+                source: None,
+                quorum_mask: acked,
+            };
+            history.push(op, None);
         }
         WriteOutcome { op_id, key, seq, start, commit }
     }
@@ -836,22 +865,50 @@ impl Cluster {
         self.engine.inject_at(coord, at, Msg::ClientRead { op_id, key });
         let deadline = at + pbs_sim::SimDuration::from_ms(self.opts.op_timeout_ms);
         let result = self.step_until_result(coord, op_id, deadline);
-        match result {
-            Some(ClientResult::Read { start, finish, version, .. }) => {
+        let outcome = match result {
+            Some(ClientResult::Read { start, finish, version, source, responders, .. }) => {
                 let returned_seq = version.map(|v| v.seq);
                 let label = self.ground_truth.label_read(key, start, returned_seq);
+                if let Some(history) = self.history.as_mut() {
+                    let op = CompletedOp {
+                        op_id,
+                        client: u32::MAX,
+                        kind: OpKind::Read,
+                        key,
+                        start,
+                        finish: Some(finish),
+                        seq: returned_seq,
+                        commit: None,
+                        writer: version.map(|v| v.writer),
+                        source,
+                        quorum_mask: responders,
+                    };
+                    history.push(op, Some(label));
+                }
                 ReadOutcome { op_id, key, start, finish: Some(finish), returned_seq, label: Some(label) }
             }
             Some(other) => unreachable!("read op returned {other:?}"),
-            None => ReadOutcome {
-                op_id,
-                key,
-                start: at,
-                finish: None,
-                returned_seq: None,
-                label: None,
-            },
-        }
+            None => {
+                if let Some(history) = self.history.as_mut() {
+                    let op = CompletedOp {
+                        op_id,
+                        client: u32::MAX,
+                        kind: OpKind::Read,
+                        key,
+                        start: at,
+                        finish: None,
+                        seq: None,
+                        commit: None,
+                        writer: None,
+                        source: None,
+                        quorum_mask: 0,
+                    };
+                    history.push(op, None);
+                }
+                ReadOutcome { op_id, key, start: at, finish: None, returned_seq: None, label: None }
+            }
+        };
+        outcome
     }
 
     // ----- the open-loop client path -----

@@ -67,8 +67,13 @@ pub mod ring;
 pub mod staleness;
 pub mod version;
 
-pub use buggify::{Delivery, FaultConfigError, FaultProfile};
-pub use checker::{CheckReport, ConvergenceCheck, LabelCheck, OpHistory, SessionCheck};
+pub use buggify::{
+    Delivery, FaultConfigError, FaultProfile, FaultSchedule, ProtocolMutations, ScheduleSegment,
+};
+pub use checker::{
+    check_order, CheckReport, ConvergenceCheck, CrashRecord, LabelCheck, OpHistory, OrderCheck,
+    OrderViolation, SessionCheck,
+};
 pub use client::{ClientActor, ClientOptions, ClientStats, CompletedOp};
 pub use cluster::{
     Cluster, ClusterOptions, DetectorStats, EngineKind, OpenRead, ReadOutcome, WindowDrain,

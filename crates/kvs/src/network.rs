@@ -4,7 +4,7 @@
 //! be altered while a cluster is running — the substrate for
 //! `pbs-scenario`'s fault/load timelines.
 
-use crate::buggify::{Delivery, FaultConfigError, FaultProfile};
+use crate::buggify::{Delivery, FaultConfigError, FaultProfile, FaultSchedule};
 use pbs_dist::DynDistribution;
 use pbs_sim::SkewedClock;
 use rand::RngCore;
@@ -71,8 +71,9 @@ struct Conditions {
     partition: Vec<u32>,
     /// Active per-link faults (checked in order; all matches apply).
     link_faults: Vec<LinkFault>,
-    /// Installed buggify fault profile; `None` = no injected faults.
-    faults: Option<FaultProfile>,
+    /// Installed buggify fault schedule (a plain profile installs as a
+    /// single-segment constant schedule); `None` = no injected faults.
+    faults: Option<FaultSchedule>,
 }
 
 /// One-way message delays for the simulated cluster.
@@ -280,24 +281,49 @@ impl NetworkModel {
 
     /// Install a buggify [`FaultProfile`], validating it first. Takes
     /// effect for messages sent (and replica applies performed) after the
-    /// call; replaces any previously installed profile.
+    /// call; replaces any previously installed profile or schedule.
+    /// Internally this installs a single-segment constant
+    /// [`FaultSchedule`].
     pub fn set_fault_profile(&self, profile: FaultProfile) -> Result<(), FaultConfigError> {
         profile.validate()?;
-        self.update_conditions(|c| c.faults = Some(profile));
+        self.update_conditions(|c| c.faults = Some(FaultSchedule::constant(profile)));
         Ok(())
     }
 
-    /// Remove the installed fault profile (subsequent sends are clean).
+    /// Install a piecewise time-varying [`FaultSchedule`], validating it
+    /// first. The profile consulted for each message (and replica apply,
+    /// and protocol timer) is the segment active at the sender's current
+    /// simulated time, so storms ramp, burst, and clear on the schedule's
+    /// clock. Replaces any previously installed profile or schedule.
+    pub fn set_fault_schedule(&self, schedule: FaultSchedule) -> Result<(), FaultConfigError> {
+        schedule.validate()?;
+        self.update_conditions(|c| c.faults = Some(schedule));
+        Ok(())
+    }
+
+    /// Remove the installed fault profile or schedule (subsequent sends
+    /// are clean).
     pub fn clear_fault_profile(&self) {
         self.update_conditions(|c| c.faults = None);
     }
 
-    /// The currently installed fault profile, if any.
+    /// The currently installed *constant* fault profile, if any. A
+    /// multi-segment schedule returns `None` here — use
+    /// [`fault_schedule`](Self::fault_schedule) for the full timeline.
     pub fn fault_profile(&self) -> Option<FaultProfile> {
         if !self.dynamic_active.load(Ordering::Relaxed) {
             return None;
         }
-        self.conditions().faults
+        self.conditions().faults.as_ref().and_then(FaultSchedule::as_constant)
+    }
+
+    /// The currently installed fault schedule, if any (a plain profile
+    /// reads back as a single-segment constant schedule).
+    pub fn fault_schedule(&self) -> Option<FaultSchedule> {
+        if !self.dynamic_active.load(Ordering::Relaxed) {
+            return None;
+        }
+        self.conditions().faults.clone()
     }
 
     // ----- sampling -----
@@ -327,18 +353,23 @@ impl NetworkModel {
     }
 
     /// [`transmit`](Self::transmit) with the installed buggify
-    /// [`FaultProfile`] applied: the message may be dropped, duplicated,
+    /// [`FaultSchedule`] applied: the message may be dropped, duplicated,
     /// reordered (bounded extra jitter), or slowed (slow-node multiplier)
-    /// on top of the usual dynamic conditions. With no profile installed
-    /// this consumes **exactly** the RNG draws of `transmit` and returns
-    /// `Once`/`Dropped` accordingly — the fault layer is invisible to
-    /// fault-free seeded runs. All rolls come from the *sender's* RNG, so
+    /// on top of the usual dynamic conditions. The profile consulted is
+    /// the schedule segment active at `now_ms`, the sender's current
+    /// simulated time. With no schedule installed — or when the active
+    /// segment's probabilities are all zero — this consumes **exactly**
+    /// the RNG draws of `transmit` and returns `Once`/`Dropped`
+    /// accordingly: the fault layer is invisible to fault-free seeded
+    /// runs and to calm segments of a scheduled storm. All rolls come
+    /// from the *sender's* RNG and `now_ms` is sender-local state, so
     /// sharded chaos runs stay bit-reproducible per `(seed, threads)`.
     pub fn transmit_buggified(
         &self,
         leg: Leg,
         from: usize,
         to: usize,
+        now_ms: f64,
         rng: &mut dyn RngCore,
     ) -> Delivery {
         if !self.dynamic_active.load(Ordering::Relaxed) {
@@ -352,7 +383,7 @@ impl NetworkModel {
                 return Delivery::Dropped;
             }
         }
-        let Some(p) = c.faults else {
+        let Some(p) = c.faults.as_ref().map(|s| *s.active_at(now_ms)) else {
             return Delivery::Once(self.delay_under(&c, leg, from, to, rng));
         };
         if p.drop_prob > 0.0 && unit(rng) < p.drop_prob {
@@ -389,14 +420,15 @@ impl NetworkModel {
     }
 
     /// Disk lag (ms) to impose on a replica apply at `node` under the
-    /// installed fault profile; 0.0 with no profile or when the roll
-    /// misses. Rolls come from the replica's own RNG; slow nodes (whose
-    /// disks are slow too) scale the lag by their latency factor.
-    pub fn disk_lag_ms(&self, node: usize, rng: &mut dyn RngCore) -> f64 {
+    /// schedule segment active at `now_ms`; 0.0 with no schedule, a
+    /// zero-probability segment (no RNG draws), or a missed roll. Rolls
+    /// come from the replica's own RNG; slow nodes (whose disks are slow
+    /// too) scale the lag by their latency factor.
+    pub fn disk_lag_ms(&self, node: usize, now_ms: f64, rng: &mut dyn RngCore) -> f64 {
         if !self.dynamic_active.load(Ordering::Relaxed) {
             return 0.0;
         }
-        let Some(p) = self.conditions().faults else {
+        let Some(p) = self.conditions().faults.as_ref().map(|s| *s.active_at(now_ms)) else {
             return 0.0;
         };
         if p.disk_lag_prob > 0.0 && unit(rng) < p.disk_lag_prob {
@@ -406,14 +438,15 @@ impl NetworkModel {
         }
     }
 
-    /// The protocol-timer clock for `node` under the installed fault
-    /// profile ([`SkewedClock::IDENTITY`] with no profile).
-    pub fn clock_of(&self, node: usize) -> SkewedClock {
+    /// The protocol-timer clock for `node` under the schedule segment
+    /// active at `now_ms` ([`SkewedClock::IDENTITY`] with no schedule).
+    /// Pure per-(node, segment) trait — no RNG draws.
+    pub fn clock_of(&self, node: usize, now_ms: f64) -> SkewedClock {
         if !self.dynamic_active.load(Ordering::Relaxed) {
             return SkewedClock::IDENTITY;
         }
-        match self.conditions().faults {
-            Some(p) => p.clock_of(node as u32),
+        match self.conditions().faults.as_ref() {
+            Some(s) => s.active_at(now_ms).clock_of(node as u32),
             None => SkewedClock::IDENTITY,
         }
     }
@@ -684,13 +717,13 @@ mod tests {
         let mut b = StdRng::seed_from_u64(9);
         for _ in 0..32 {
             let plain = net.transmit(Leg::W, 0, 1, &mut a);
-            let buggy = net.transmit_buggified(Leg::W, 0, 1, &mut b);
+            let buggy = net.transmit_buggified(Leg::W, 0, 1, 0.0, &mut b);
             assert_eq!(buggy, Delivery::Once(plain.unwrap()));
         }
         // Same with a non-fault dynamic condition active (lock path).
         net.set_leg_scale(2.0, 1.0, 1.0, 1.0);
         let plain = net.transmit(Leg::W, 0, 1, &mut a).unwrap();
-        assert_eq!(net.transmit_buggified(Leg::W, 0, 1, &mut b), Delivery::Once(plain));
+        assert_eq!(net.transmit_buggified(Leg::W, 0, 1, 0.0, &mut b), Delivery::Once(plain));
         // RNG streams consumed identically throughout.
         assert_eq!(a.next_u64(), b.next_u64());
     }
@@ -700,16 +733,16 @@ mod tests {
         let net = constant_net();
         let mut rng = StdRng::seed_from_u64(1);
         net.set_fault_profile(FaultProfile::new(0).with_drop(1.0)).unwrap();
-        assert_eq!(net.transmit_buggified(Leg::W, 0, 1, &mut rng), Delivery::Dropped);
+        assert_eq!(net.transmit_buggified(Leg::W, 0, 1, 0.0, &mut rng), Delivery::Dropped);
         net.set_fault_profile(FaultProfile::new(0).with_duplicate(1.0)).unwrap();
         assert_eq!(
-            net.transmit_buggified(Leg::W, 0, 1, &mut rng),
+            net.transmit_buggified(Leg::W, 0, 1, 0.0, &mut rng),
             Delivery::Twice(4.0, 4.0),
             "constant legs, certain duplication"
         );
         net.clear_fault_profile();
         assert_eq!(net.fault_profile(), None);
-        assert_eq!(net.transmit_buggified(Leg::W, 0, 1, &mut rng), Delivery::Once(4.0));
+        assert_eq!(net.transmit_buggified(Leg::W, 0, 1, 0.0, &mut rng), Delivery::Once(4.0));
     }
 
     #[test]
@@ -718,29 +751,29 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         net.set_fault_profile(FaultProfile::new(0).with_reorder(1.0, 6.0)).unwrap();
         for _ in 0..64 {
-            let Delivery::Once(d) = net.transmit_buggified(Leg::W, 0, 1, &mut rng) else {
+            let Delivery::Once(d) = net.transmit_buggified(Leg::W, 0, 1, 0.0, &mut rng) else {
                 panic!("no drops configured");
             };
             assert!((4.0..4.0 + 6.0).contains(&d), "jitter within bound: {d}");
         }
         // Every node slow at 2×: constant 4ms leg becomes exactly 8ms.
         net.set_fault_profile(FaultProfile::new(0).with_slow_nodes(1.0, 2.0)).unwrap();
-        assert_eq!(net.transmit_buggified(Leg::W, 0, 1, &mut rng), Delivery::Once(8.0));
+        assert_eq!(net.transmit_buggified(Leg::W, 0, 1, 0.0, &mut rng), Delivery::Once(8.0));
     }
 
     #[test]
     fn disk_lag_and_clocks_follow_the_profile() {
         let net = constant_net();
         let mut rng = StdRng::seed_from_u64(3);
-        assert_eq!(net.disk_lag_ms(0, &mut rng), 0.0, "no profile, no lag, no draws");
-        assert!(net.clock_of(0).is_identity());
+        assert_eq!(net.disk_lag_ms(0, 0.0, &mut rng), 0.0, "no profile, no lag, no draws");
+        assert!(net.clock_of(0, 0.0).is_identity());
         net.set_fault_profile(FaultProfile::new(5).with_disk_lag(1.0, 2.5)).unwrap();
         for _ in 0..32 {
-            let lag = net.disk_lag_ms(0, &mut rng);
+            let lag = net.disk_lag_ms(0, 0.0, &mut rng);
             assert!((0.0..2.5).contains(&lag));
         }
         net.set_fault_profile(FaultProfile::new(5).with_clock_drift(0.05)).unwrap();
-        let rates: Vec<f64> = (0..8).map(|n| net.clock_of(n).rate()).collect();
+        let rates: Vec<f64> = (0..8).map(|n| net.clock_of(n, 0.0).rate()).collect();
         assert!(rates.iter().all(|r| (0.95..=1.05).contains(r)));
         assert!(rates.iter().any(|r| *r != 1.0), "drift actually assigned");
     }
@@ -751,7 +784,71 @@ mod tests {
         assert!(net.set_fault_profile(FaultProfile::new(0).with_drop(2.0)).is_err());
         assert_eq!(net.fault_profile(), None);
         let mut rng = StdRng::seed_from_u64(0);
-        assert_eq!(net.transmit_buggified(Leg::W, 0, 1, &mut rng), Delivery::Once(4.0));
+        assert_eq!(net.transmit_buggified(Leg::W, 0, 1, 0.0, &mut rng), Delivery::Once(4.0));
+    }
+
+    #[test]
+    fn schedule_switches_profiles_at_segment_boundaries() {
+        use crate::buggify::{FaultSchedule, ScheduleSegment};
+        let net = constant_net();
+        let mut rng = StdRng::seed_from_u64(4);
+        net.set_fault_schedule(FaultSchedule::piecewise(vec![
+            ScheduleSegment::new(0.0, FaultProfile::new(7)),
+            ScheduleSegment::new(10.0, FaultProfile::new(7).with_drop(1.0)),
+            ScheduleSegment::new(20.0, FaultProfile::new(7)),
+        ]))
+        .unwrap();
+        // Multi-segment schedules read back as a schedule, not a profile.
+        assert_eq!(net.fault_profile(), None);
+        assert_eq!(net.fault_schedule().unwrap().segments().len(), 3);
+        // Calm before, certain drop inside [10, 20), calm again after —
+        // and the boundary itself belongs to the new segment.
+        assert_eq!(net.transmit_buggified(Leg::W, 0, 1, 9.999, &mut rng), Delivery::Once(4.0));
+        assert_eq!(net.transmit_buggified(Leg::W, 0, 1, 10.0, &mut rng), Delivery::Dropped);
+        assert_eq!(net.transmit_buggified(Leg::W, 0, 1, 19.999, &mut rng), Delivery::Dropped);
+        assert_eq!(net.transmit_buggified(Leg::W, 0, 1, 20.0, &mut rng), Delivery::Once(4.0));
+        assert_eq!(net.transmit_buggified(Leg::W, 0, 1, 1e9, &mut rng), Delivery::Once(4.0));
+    }
+
+    #[test]
+    fn calm_schedule_segment_draws_exactly_like_plain_transmit() {
+        use crate::buggify::FaultSchedule;
+        // A scheduled storm whose active segment is inert must consume
+        // exactly the RNG draws of an unfaulted transmit — zero-probability
+        // segments are invisible to the stream.
+        let net = constant_net();
+        net.set_fault_schedule(FaultSchedule::calm_storm_calm(
+            FaultProfile::storm(7),
+            50.0,
+            100.0,
+        ))
+        .unwrap();
+        let plain = constant_net();
+        let mut a = StdRng::seed_from_u64(11);
+        let mut b = StdRng::seed_from_u64(11);
+        for now in [0.0, 10.0, 49.999, 100.0, 5000.0] {
+            let expect = plain.transmit(Leg::W, 0, 1, &mut a).unwrap();
+            assert_eq!(net.transmit_buggified(Leg::W, 0, 1, now, &mut b), Delivery::Once(expect));
+            assert_eq!(net.disk_lag_ms(0, now, &mut b), 0.0, "calm segment: no disk draws");
+            assert!(net.clock_of(0, now).is_identity());
+        }
+        assert_eq!(a.next_u64(), b.next_u64(), "RNG streams stayed in lockstep");
+        // Inside the storm window the drift trait switches on.
+        assert!((0..8).any(|n| !net.clock_of(n, 75.0).is_identity()));
+    }
+
+    #[test]
+    fn invalid_schedule_rejected_and_not_installed() {
+        use crate::buggify::{FaultSchedule, ScheduleSegment};
+        let net = constant_net();
+        let bad = FaultSchedule::piecewise(vec![ScheduleSegment::new(
+            5.0,
+            FaultProfile::new(0),
+        )]);
+        assert!(net.set_fault_schedule(bad).is_err());
+        assert_eq!(net.fault_schedule(), None);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(net.transmit_buggified(Leg::W, 0, 1, 0.0, &mut rng), Delivery::Once(4.0));
     }
 
     #[test]

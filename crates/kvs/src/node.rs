@@ -1,7 +1,7 @@
 //! The Dynamo-style node: every node can coordinate client operations and
 //! store replicas (§2.2, Figure 1).
 
-use crate::buggify::Delivery;
+use crate::buggify::{Delivery, ProtocolMutations};
 use crate::fxhash::FxHashMap;
 use crate::merkle;
 use crate::messages::Msg;
@@ -110,6 +110,10 @@ pub struct NodeOptions {
     /// Record every sampled one-way W/A/R/S delay (the WARS profiling the
     /// paper added to Cassandra, §5.2/§5.5). Off by default — it allocates.
     pub record_leg_samples: bool,
+    /// Test-only protocol mutations (see [`ProtocolMutations`]); each flag
+    /// breaks one convergence mechanism so the order oracle can be shown
+    /// to catch it. All off by default.
+    pub mutations: ProtocolMutations,
 }
 
 impl Default for NodeOptions {
@@ -123,6 +127,7 @@ impl Default for NodeOptions {
             hint_flush_interval_ms: 500.0,
             drop_prob: 0.0,
             record_leg_samples: false,
+            mutations: ProtocolMutations::default(),
         }
     }
 }
@@ -160,6 +165,13 @@ impl LegSamples {
     }
 }
 
+/// Bitmask over replica node ids (`1 << id` for ids below 64). Nodes at
+/// or above 64 are silently omitted — the order oracle treats a missing
+/// bit as "no evidence", which only weakens (never falsifies) a check.
+fn replica_mask(ids: &[ActorId]) -> u64 {
+    ids.iter().filter(|&&id| id < 64).fold(0u64, |m, &id| m | (1u64 << id))
+}
+
 /// A completed client operation, drained by the harness.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ClientResult {
@@ -176,6 +188,12 @@ pub enum ClientResult {
         start: SimTime,
         /// Commit time (W-th ack), or None on failure.
         commit: Option<SimTime>,
+        /// Replicas that had acked when the result was produced (at commit
+        /// for committed writes, at the hint timeout for failed ones), as
+        /// a bitmask over node ids below 64. Acks arrive *after* the
+        /// replica applied the version, so a set bit certifies durability
+        /// on that replica at the commit instant.
+        acked: u64,
     },
     /// A read: `version` is the newest version among the first `R`
     /// responses (None when no responder had the key).
@@ -190,6 +208,11 @@ pub enum ClientResult {
         finish: SimTime,
         /// Returned version.
         version: Option<Version>,
+        /// The replica whose response supplied the returned version
+        /// (`None` for an empty read).
+        source: Option<u32>,
+        /// The first `R` responders, as a bitmask over node ids below 64.
+        responders: u64,
     },
 }
 
@@ -397,6 +420,12 @@ impl Node {
     }
 
     fn apply_version(&mut self, key: u64, version: Version) {
+        if self.opts.mutations.drop_version_merge {
+            // Mutation: blind last-writer-in overwrite — a stale repair or
+            // hint can roll an already-applied version back.
+            self.store.insert(key, version);
+            return;
+        }
         let entry = self.store.entry(key).or_insert(version);
         if version > *entry {
             *entry = version;
@@ -404,14 +433,16 @@ impl Node {
     }
 
     /// Send with sampled per-leg latency, subject to message loss, any
-    /// active network partition, and the installed buggify fault profile
-    /// (drop/duplicate/reorder/slow-node). With no profile this consumes
+    /// active network partition, and the buggify fault-schedule segment
+    /// active at the sender's current time (drop/duplicate/reorder/
+    /// slow-node). With no schedule — or a calm segment — this consumes
     /// exactly the same RNG draws as the pre-buggify path.
     fn send(&mut self, ctx: &mut Context<'_, Msg>, leg: Leg, to: ActorId, msg: Msg) {
         if self.opts.drop_prob > 0.0 && self.rng.gen::<f64>() < self.opts.drop_prob {
             return; // lost in transit
         }
-        match self.net.transmit_buggified(leg, self.id, to, &mut self.rng) {
+        let now_ms = ctx.now().as_ms();
+        match self.net.transmit_buggified(leg, self.id, to, now_ms, &mut self.rng) {
             Delivery::Dropped => {} // partitioned away or buggify drop
             Delivery::Once(delay) => {
                 self.record_leg(leg, delay);
@@ -445,14 +476,14 @@ impl Node {
     /// hint timeout, hint flush, anti-entropy cadence — but not to the
     /// recovery and GC timers, which are harness bookkeeping rather than
     /// clock-driven node behaviour.
-    fn timer_ms(&self, local_ms: f64) -> f64 {
-        self.net.clock_of(self.id).global_delay_ms(local_ms)
+    fn timer_ms(&self, now_ms: f64, local_ms: f64) -> f64 {
+        self.net.clock_of(self.id, now_ms).global_delay_ms(local_ms)
     }
 
     fn schedule_hint_flush(&mut self, ctx: &mut Context<'_, Msg>) {
         if !self.hint_flush_scheduled && !self.hints.is_empty() {
             self.hint_flush_scheduled = true;
-            let delay = self.timer_ms(self.opts.hint_flush_interval_ms);
+            let delay = self.timer_ms(ctx.now().as_ms(), self.opts.hint_flush_interval_ms);
             ctx.set_timer(delay, tag(KIND_HINT_FLUSH, 0));
         }
     }
@@ -524,7 +555,7 @@ impl Node {
         }
         self.pending_writes.insert(op_id, state);
         if self.opts.hinted_handoff {
-            let delay = self.timer_ms(self.opts.hint_timeout_ms);
+            let delay = self.timer_ms(ctx.now().as_ms(), self.opts.hint_timeout_ms);
             ctx.set_timer(delay, tag(KIND_WRITE_TIMEOUT, op_id));
         }
     }
@@ -548,6 +579,7 @@ impl Node {
                     version: state.version,
                     start: state.start,
                     commit: Some(ctx.now()),
+                    acked: replica_mask(&state.acked),
                 },
             ));
         }
@@ -576,6 +608,7 @@ impl Node {
                     version: state.version,
                     start: state.start,
                     commit: None,
+                    acked: replica_mask(&state.acked),
                 },
             );
         }
@@ -592,6 +625,11 @@ impl Node {
 
     fn on_hint_flush(&mut self, ctx: &mut Context<'_, Msg>) {
         self.hint_flush_scheduled = false;
+        if self.opts.mutations.swallow_hints {
+            // Mutation: hints are stashed but never redelivered.
+            self.schedule_hint_flush(ctx);
+            return;
+        }
         let hints = self.hints.clone();
         for h in hints {
             self.send(
@@ -641,6 +679,21 @@ impl Node {
             // Return the newest of the first R responses (None < Some).
             let best = state.responses.iter().map(|(_, v)| *v).max().flatten();
             state.returned = Some(best);
+            // Provenance for the order oracle: which replica supplied the
+            // returned version (first responder holding it, in arrival
+            // order), and the full first-R responder set.
+            let source = best.and_then(|b| {
+                state
+                    .responses
+                    .iter()
+                    .find(|(_, v)| *v == Some(b))
+                    .map(|(replica, _)| *replica as u32)
+            });
+            let responders = state
+                .responses
+                .iter()
+                .filter(|(r, _)| *r < 64)
+                .fold(0u64, |m, (r, _)| m | (1u64 << *r));
             completed = Some((
                 state.reply_to,
                 ClientResult::Read {
@@ -649,6 +702,8 @@ impl Node {
                     start: state.start,
                     finish: now,
                     version: best,
+                    source,
+                    responders,
                 },
             ));
         } else if let Some(returned) = state.returned {
@@ -671,7 +726,10 @@ impl Node {
         // under message loss — a dropped `S` leg would gate every repair on
         // this key forever.
         let mut repairs: Option<(u64, Version, Vec<ActorId>)> = None;
-        if self.opts.read_repair && state.responses.len() >= self.opts.r as usize {
+        if self.opts.read_repair
+            && !self.opts.mutations.skip_read_repair
+            && state.responses.len() >= self.opts.r as usize
+        {
             if let Some(freshest) = state.responses.iter().map(|(_, v)| *v).max().flatten() {
                 let repaired = &state.repaired;
                 let stale: Vec<ActorId> = state
@@ -703,9 +761,16 @@ impl Node {
             self.deliver(ctx, reply_to, result);
         }
         if let Some((key, freshest, stale)) = repairs {
+            // Mutation: repair with a fabricated version no client ever
+            // wrote — ~70k seconds ahead of any real write-start seq.
+            let version = if self.opts.mutations.corrupt_read_repair {
+                Version::new(freshest.seq + (1 << 46), freshest.writer)
+            } else {
+                freshest
+            };
             for replica in stale {
                 self.repairs_sent += 1;
-                self.send(ctx, Leg::W, replica, Msg::RepairWrite { key, version: freshest });
+                self.send(ctx, Leg::W, replica, Msg::RepairWrite { key, version });
             }
         }
     }
@@ -766,7 +831,7 @@ impl Node {
 
     fn on_sync_timer(&mut self, ctx: &mut Context<'_, Msg>) {
         if let Some(interval) = self.sync_interval_ms {
-            ctx.set_timer(self.timer_ms(interval), tag(KIND_SYNC, 0));
+            ctx.set_timer(self.timer_ms(ctx.now().as_ms(), interval), tag(KIND_SYNC, 0));
             let n = self.ring.nodes() as usize;
             if n > 1 {
                 let mut peer = self.rng.gen_range(0..n - 1);
@@ -857,7 +922,7 @@ impl Actor for Node {
                     self.on_client_read(ctx, op_id, key, from);
                 }
                 Msg::ReplicaWrite { op_id, key, version, coordinator } => {
-                    let lag = self.net.disk_lag_ms(self.id, &mut self.rng);
+                    let lag = self.net.disk_lag_ms(self.id, ctx.now().as_ms(), &mut self.rng);
                     if lag > 0.0 {
                         // Buggify disk lag: defer the apply *and* the ack.
                         // If this node crashes before the lag elapses, the
@@ -928,7 +993,7 @@ impl Actor for Node {
                     // thundering herds.
                     let stagger = interval_ms * (self.id as f64 + 1.0)
                         / (self.ring.nodes() as f64 + 1.0);
-                    ctx.set_timer(self.timer_ms(stagger), tag(KIND_SYNC, 0));
+                    ctx.set_timer(self.timer_ms(ctx.now().as_ms(), stagger), tag(KIND_SYNC, 0));
                 }
                 Msg::StartGc { interval_ms } => {
                     self.gc_interval_ms = Some(interval_ms);

@@ -288,6 +288,12 @@ pub fn run_scenario(scenario: &Scenario, run_seed: u64) -> ScenarioRun {
             .set_fault_profile(profile)
             .expect("scenario.validate() vouched for the profile");
     }
+    if let Some(schedule) = &scenario.fault_schedule {
+        cluster
+            .network()
+            .set_fault_schedule(schedule.clone())
+            .expect("scenario.validate() vouched for the schedule");
+    }
     if scenario.check_history {
         cluster.enable_history();
     }

@@ -2,7 +2,7 @@
 //! to a running cluster.
 
 use pbs_dist::DynDistribution;
-use pbs_kvs::{Cluster, FaultProfile, LinkFault};
+use pbs_kvs::{Cluster, FaultProfile, FaultSchedule, LinkFault};
 use pbs_sim::SimTime;
 
 /// One dynamic condition change. Events are interpreted by
@@ -60,6 +60,11 @@ pub enum ScenarioEvent {
     /// Install (or replace) a buggify [`FaultProfile`] — seeded message
     /// drops/duplicates/reordering, slow nodes, disk lag, and clock skew.
     InjectFaults(FaultProfile),
+    /// Install (or replace) a time-varying [`FaultSchedule`] — piecewise
+    /// fault intensity (ramps, bursts, calm→storm→calm) evaluated at each
+    /// message's send time. Segment times are absolute simulated ms, not
+    /// relative to this event.
+    InjectSchedule(FaultSchedule),
     /// Remove the buggify fault profile (messages flow cleanly again; the
     /// usual precondition for a meaningful convergence check).
     ClearFaults,
@@ -99,6 +104,9 @@ impl ScenarioEvent {
                 p.disk_lag_prob,
                 p.clock_drift_max
             ),
+            ScenarioEvent::InjectSchedule(s) => {
+                format!("inject fault schedule ({} segments)", s.segments().len())
+            }
             ScenarioEvent::ClearFaults => "clear fault profile".into(),
         }
     }
@@ -172,6 +180,9 @@ pub fn apply_event(cluster: &mut Cluster, event: &ScenarioEvent) -> Result<(), S
         ScenarioEvent::RestoreBaseline => cluster.network().restore_base_legs(),
         ScenarioEvent::InjectFaults(profile) => {
             cluster.network().set_fault_profile(*profile).map_err(|e| e.to_string())?;
+        }
+        ScenarioEvent::InjectSchedule(schedule) => {
+            cluster.network().set_fault_schedule(schedule.clone()).map_err(|e| e.to_string())?;
         }
         ScenarioEvent::ClearFaults => cluster.network().clear_fault_profile(),
     }

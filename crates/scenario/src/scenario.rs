@@ -3,7 +3,7 @@
 use crate::event::{ScenarioEvent, TimedEvent};
 use pbs_core::ReplicaConfig;
 use pbs_dist::Exponential;
-use pbs_kvs::{ClusterOptions, FaultProfile, NetworkModel};
+use pbs_kvs::{ClusterOptions, FaultProfile, FaultSchedule, NetworkModel};
 use pbs_predictor::SlaSpec;
 use std::sync::Arc;
 
@@ -87,6 +87,11 @@ pub struct Scenario {
     /// Buggify fault profile installed from scenario start (timelines can
     /// also [`ScenarioEvent::InjectFaults`]/`ClearFaults` mid-run).
     pub fault_profile: Option<FaultProfile>,
+    /// Time-varying buggify schedule installed from scenario start
+    /// (ramps, bursts, calm→storm→calm). Mutually exclusive with
+    /// `fault_profile` — a constant profile is just a one-segment
+    /// schedule.
+    pub fault_schedule: Option<FaultSchedule>,
     /// Record the full op history and run the offline checker as a
     /// post-pass (session replay vs. streaming counters, label recount).
     pub check_history: bool,
@@ -125,6 +130,7 @@ impl Scenario {
             stationary: Vec::new(),
             control: ControlOptions::default_for(vec![3]),
             fault_profile: None,
+            fault_schedule: None,
             check_history: false,
             check_convergence: false,
         }
@@ -230,6 +236,44 @@ impl Scenario {
         s
     }
 
+    /// Built-in: a scheduled calm→storm→calm message-fault window (3–9 s)
+    /// with two node crashes inside it — the adversarial audit shape. The
+    /// cluster runs every healing mechanism (hinted handoff, read repair,
+    /// merkle anti-entropy), so the post-storm tail must fully converge;
+    /// the history checker post-pass audits sessions, labels, per-key
+    /// order, and final-state convergence.
+    pub fn crash_storm(seed: u64) -> Self {
+        let mut s = Self::baseline(
+            "crash-storm",
+            "scheduled fault storm 3-9s with two crashes inside; hints/repair/anti-entropy must reconverge the tail",
+            seed,
+        );
+        // Message faults only: drops, duplicates, bounded reordering. Disk
+        // lag / slow nodes / clock drift are exercised by buggify-storm;
+        // here the calm tail must be genuinely calm so the convergence
+        // audit is meaningful.
+        let storm = FaultProfile::new(seed)
+            .with_drop(0.12)
+            .with_duplicate(0.08)
+            .with_reorder(0.1, 4.0);
+        s.fault_schedule = Some(FaultSchedule::calm_storm_calm(storm, 3_000.0, 9_000.0));
+        s.cluster.read_repair = true;
+        s.cluster.hinted_handoff = true;
+        s.cluster.hint_timeout_ms = 100.0;
+        s.cluster.hint_flush_interval_ms = 250.0;
+        s.cluster.sync_interval_ms = Some(2_000.0);
+        s.events = vec![
+            TimedEvent::new(4_000.0, ScenarioEvent::Crash { node: 1, down_ms: 1_500.0 }),
+            TimedEvent::new(6_500.0, ScenarioEvent::Crash { node: 2, down_ms: 1_500.0 }),
+        ];
+        s.duration_ms = 16_000.0;
+        s.check_history = true;
+        s.check_convergence = true;
+        // Predictions are blind to drops; observe only.
+        s.control.adaptive = false;
+        s
+    }
+
     /// Look up a built-in scenario by name.
     pub fn by_name(name: &str, seed: u64) -> Option<Self> {
         match name {
@@ -237,13 +281,14 @@ impl Scenario {
             "latency-spike" => Some(Self::latency_spike(seed)),
             "rolling-partition" => Some(Self::rolling_partition(seed)),
             "buggify-storm" => Some(Self::buggify_storm(seed)),
+            "crash-storm" => Some(Self::crash_storm(seed)),
             _ => None,
         }
     }
 
     /// Names of the built-in scenarios.
     pub fn builtin_names() -> &'static [&'static str] {
-        &["diurnal-load", "latency-spike", "rolling-partition", "buggify-storm"]
+        &["diurnal-load", "latency-spike", "rolling-partition", "buggify-storm", "crash-storm"]
     }
 
     /// Number of reporting windows.
@@ -278,6 +323,14 @@ impl Scenario {
         }
         if let Some(profile) = &self.fault_profile {
             profile.validate().expect("scenario fault profile is invalid");
+        }
+        if let Some(schedule) = &self.fault_schedule {
+            schedule.validate().expect("scenario fault schedule is invalid");
+            assert!(
+                self.fault_profile.is_none(),
+                "set either fault_profile or fault_schedule, not both (a constant \
+                 profile is a one-segment schedule)"
+            );
         }
         assert!(
             !self.check_convergence || self.check_history,

@@ -8,7 +8,7 @@ use pbs::dist::Exponential;
 use pbs::kvs::checker::check_run;
 use pbs::kvs::{
     run_open_loop_checked, run_open_loop_sharded, ClientOptions, Cluster, ClusterOptions,
-    FaultProfile, NetworkModel, OpenLoopOptions, OpenLoopReport,
+    FaultProfile, FaultSchedule, NetworkModel, OpenLoopOptions, OpenLoopReport, ScheduleSegment,
 };
 use pbs::math::ReplicaConfig;
 use pbs::sim::SimTime;
@@ -58,6 +58,38 @@ fn storm_sharded(seed: u64, threads: usize) -> OpenLoopReport {
     )
 }
 
+fn scheduled_sharded(seed: u64, threads: usize, schedule: FaultSchedule) -> OpenLoopReport {
+    let engine = OpenLoopOptions::new(2_000.0, 500.0, 1_000.0);
+    run_open_loop_sharded(
+        opts(seed),
+        &net(),
+        &engine,
+        4,
+        ClientOptions { op_timeout_ms: 1_000.0, ..ClientOptions::default() },
+        6,
+        threads,
+        |_, _| source(40.0, 8, 0.5),
+        move |cluster: &mut Cluster| {
+            cluster.network().set_fault_schedule(schedule.clone()).unwrap();
+        },
+    )
+}
+
+fn plain_sharded(seed: u64, threads: usize) -> OpenLoopReport {
+    let engine = OpenLoopOptions::new(2_000.0, 500.0, 1_000.0);
+    run_open_loop_sharded(
+        opts(seed),
+        &net(),
+        &engine,
+        4,
+        ClientOptions { op_timeout_ms: 1_000.0, ..ClientOptions::default() },
+        6,
+        threads,
+        |_, _| source(40.0, 8, 0.5),
+        |_| {},
+    )
+}
+
 /// The full storm is bit-reproducible per `(seed, threads)` — the
 /// FoundationDB-style contract that makes a chaos failure replayable
 /// from its seed alone.
@@ -73,6 +105,58 @@ fn storm_runs_are_bitwise_deterministic_per_seed_and_threads() {
     assert_ne!(a1, other, "different seeds must differ");
     // The storm visibly bites: some staleness, fewer than all reads clean.
     assert!(a1.reads > 0 && a1.consistent < a1.reads);
+}
+
+/// Zero-draw discipline, end to end: a schedule whose active segments
+/// are all calm must consume **no** RNG draws beyond the plain transmit
+/// path, so the whole run is bit-identical to one with no schedule
+/// installed — even when a storm segment exists beyond the run horizon.
+#[test]
+fn calm_schedule_segments_draw_exactly_like_no_schedule() {
+    let plain = plain_sharded(61, 2);
+    let calm = scheduled_sharded(61, 2, FaultSchedule::constant(FaultProfile::new(61)));
+    assert_eq!(plain, calm, "an all-calm schedule must not perturb a single draw");
+    let distant_storm = FaultSchedule::calm_storm_calm(
+        FaultProfile::storm(61),
+        1.0e9, // far past the run horizon: never active, never drawn from
+        2.0e9,
+    );
+    let distant = scheduled_sharded(61, 2, distant_storm);
+    assert_eq!(plain, distant, "inactive storm segments must not perturb a single draw");
+}
+
+/// Segment-boundary determinism at the run level: two schedules that
+/// agree on every instant the run can reach are interchangeable — extra
+/// segments past the horizon are inert — while moving the storm window
+/// inside the run visibly changes the outcome.
+#[test]
+fn schedule_segments_beyond_the_horizon_are_inert() {
+    let storm = FaultProfile::storm(67);
+    let in_run = FaultSchedule::calm_storm_calm(storm, 500.0, 1_500.0);
+    let mut with_tail = in_run.segments().to_vec();
+    with_tail.push(ScheduleSegment::new(1.0e7, FaultProfile::storm(999)));
+    let a = scheduled_sharded(67, 2, in_run.clone());
+    let b = scheduled_sharded(67, 2, FaultSchedule::piecewise(with_tail));
+    assert_eq!(a, b, "segments the run never reaches must not change any draw");
+    let calm_run = plain_sharded(67, 2);
+    assert_ne!(a, calm_run, "the in-run storm window must actually bite");
+    assert!(a.reads > 0 && a.consistent < a.reads);
+}
+
+/// A scheduled storm keeps the bitwise-reproducibility contract per
+/// `(seed, threads)`, exactly like a constant profile.
+#[test]
+fn scheduled_storm_runs_are_bitwise_deterministic_per_seed_and_threads() {
+    let schedule = |seed: u64| FaultSchedule::calm_storm_calm(FaultProfile::storm(seed), 400.0, 1_600.0);
+    let a1 = scheduled_sharded(71, 1, schedule(71));
+    let b1 = scheduled_sharded(71, 1, schedule(71));
+    assert_eq!(a1, b1, "threads=1 scheduled storm must be bit-identical");
+    let a4 = scheduled_sharded(71, 4, schedule(71));
+    let b4 = scheduled_sharded(71, 4, schedule(71));
+    assert_eq!(a4, b4, "threads=4 scheduled storm must be bit-identical");
+    let other = scheduled_sharded(72, 1, schedule(72));
+    assert_ne!(a1, other, "different seeds must differ");
+    assert!(a1.reads > 0 && a1.consistent < a1.reads, "the storm window must bite");
 }
 
 /// Injected faults at R=W=1 produce genuine session-guarantee violations,

@@ -1,0 +1,266 @@
+//! Mutation testing for the order oracle: each test flips one
+//! [`ProtocolMutations`] flag that deliberately breaks a convergence
+//! mechanism (read repair, version merge, hint replay) and asserts the
+//! checker catches it with **exactly** the expected violation type, while
+//! the identical scenario with the mutation off stays fully clean.
+//!
+//! Scenarios are engineered deterministic: with constant leg delays every
+//! replica's response arrives at the same instant, and the engine breaks
+//! equal-time ties in origin-id order — so an `R = 1` read always sources
+//! the lowest-id replica, the "victim" each scenario arranges to be
+//! stale.
+
+use pbs::dist::Constant;
+use pbs::kvs::checker::{check_run, OrderViolation};
+use pbs::kvs::cluster::{Cluster, ClusterOptions};
+use pbs::kvs::{CheckReport, NetworkModel, ProtocolMutations};
+use pbs::math::ReplicaConfig;
+use pbs::sim::SimTime;
+use std::sync::Arc;
+
+fn net_const(ms: f64) -> NetworkModel {
+    NetworkModel::w_ars(Arc::new(Constant::new(ms)), Arc::new(Constant::new(ms)))
+}
+
+fn ms(t: f64) -> SimTime {
+    SimTime::from_ms(t)
+}
+
+/// Base config: N=3 nodes, R=W=1, reliable constant-latency network.
+fn opts(seed: u64, mutations: ProtocolMutations) -> ClusterOptions {
+    let cfg = ReplicaConfig::new(3, 1, 1).unwrap();
+    let mut o = ClusterOptions::validation(cfg, seed);
+    o.mutations = mutations;
+    o
+}
+
+/// Crash the first-responding replica of `key` through a write, recover
+/// it, then read twice. With read repair on, the second read must see the
+/// repaired (healed) value; the mutations break that healing in two
+/// distinct ways.
+///
+/// Returns `(report, write seq, read2 seq, victim's stored seq)`.
+fn read_repair_scenario(
+    mutations: ProtocolMutations,
+    convergence: bool,
+) -> (CheckReport, u64, Option<u64>, u64) {
+    let mut o = opts(41, mutations);
+    o.read_repair = true;
+    let mut cluster = Cluster::new(o, net_const(1.0));
+    cluster.enable_history();
+    let key = 7u64;
+    let victim = *cluster.replicas_of(key).iter().min().unwrap();
+    let coord = (0..3).find(|&n| n != victim).unwrap();
+
+    // The victim misses the write outright (down, store kept on recovery).
+    cluster.crash_node_at(victim, ms(0.0), 300.0);
+    cluster.advance_to(ms(10.0));
+    let w = cluster.write_from(coord, key);
+    assert!(w.commit.is_some(), "two healthy replicas commit W=1");
+
+    // r1 sources the recovered (empty) victim and triggers read repair
+    // once the fresher responses arrive; r2 then re-reads the victim.
+    let r1 = cluster.read_at_from(coord, key, ms(350.0));
+    assert_eq!(r1.returned_seq, None, "victim responds first and is empty");
+    let r2 = cluster.read_at_from(coord, key, ms(500.0));
+    cluster.advance_to(ms(1_000.0));
+
+    let history = cluster.take_history();
+    let check = check_run(&history, &cluster, convergence);
+    let stored = cluster.node(victim).stored_version(key).map(|v| v.seq).unwrap_or(0);
+    (check, w.seq, r2.returned_seq, stored)
+}
+
+/// `skip_read_repair`: the stale replica is never healed, and with no
+/// other anti-entropy path the run ends divergent — the final-state audit
+/// reports it as a lost update on the victim.
+#[test]
+fn skip_read_repair_is_caught_as_lost_update() {
+    let mutations = ProtocolMutations { skip_read_repair: true, ..Default::default() };
+    let (check, w_seq, r2_seq, stored) = read_repair_scenario(mutations, true);
+    assert_eq!(r2_seq, None, "victim still empty: repair never ran");
+    assert_eq!(stored, 0, "mutation held: victim never received the write");
+    assert!(check.order.lost_updates >= 1, "oracle missed the regression: {check:?}");
+    assert_eq!(check.order.non_monotone, 0);
+    assert_eq!(check.order.phantoms, 0);
+    match check.order.first_lost_update {
+        Some(OrderViolation::LostUpdate { expected_seq, .. }) => assert_eq!(expected_seq, w_seq),
+        other => panic!("expected a LostUpdate example, got {other:?}"),
+    }
+}
+
+/// `corrupt_read_repair`: repair installs a fabricated version far in the
+/// future of any real write; the next read exposes it and the oracle must
+/// flag a phantom — a version no client ever wrote.
+#[test]
+fn corrupt_read_repair_is_caught_as_phantom_version() {
+    let mutations = ProtocolMutations { corrupt_read_repair: true, ..Default::default() };
+    let (check, w_seq, r2_seq, stored) = read_repair_scenario(mutations, true);
+    assert_eq!(r2_seq, Some(stored), "r2 sources the corrupt victim");
+    assert!(stored > w_seq, "repair installed a fabricated future version");
+    assert!(check.order.phantoms >= 1, "oracle missed the phantom: {check:?}");
+    assert_eq!(check.order.lost_updates, 0);
+    assert_eq!(check.order.non_monotone, 0);
+    match check.order.first_phantom {
+        Some(OrderViolation::PhantomVersion { seen_seq, .. }) => assert_eq!(seen_seq, stored),
+        other => panic!("expected a PhantomVersion example, got {other:?}"),
+    }
+}
+
+/// Control: the identical scenario with all mutations off heals the
+/// victim and passes every audit, convergence included.
+#[test]
+fn read_repair_scenario_is_clean_without_mutations() {
+    let (check, w_seq, r2_seq, stored) = read_repair_scenario(ProtocolMutations::default(), true);
+    assert_eq!(r2_seq, Some(w_seq), "repair healed the victim before r2");
+    assert_eq!(stored, w_seq);
+    assert!(check.is_clean(), "clean build must stay clean: {check:?}");
+}
+
+/// Two writes from two coordinators while the victim is down, so each
+/// stashes a hint; the flush phases (stash time + interval) deliver the
+/// *newer* version first and the *older* one second. A sound store
+/// max-merges the late old hint into a no-op; `drop_version_merge`
+/// overwrites and rolls the victim back between two reads that source it.
+///
+/// Returns `(report, seq1, seq2, r1 seq, r2 seq)`.
+fn hint_rollback_scenario(
+    mutations: ProtocolMutations,
+    convergence: bool,
+) -> (CheckReport, u64, u64, Option<u64>, Option<u64>) {
+    let mut o = opts(43, mutations);
+    o.hinted_handoff = true;
+    o.hint_timeout_ms = 50.0;
+    o.hint_flush_interval_ms = 200.0;
+    let mut cluster = Cluster::new(o, net_const(1.0));
+    cluster.enable_history();
+    let key = 9u64;
+    let victim = *cluster.replicas_of(key).iter().min().unwrap();
+    let coords: Vec<usize> = (0..3).filter(|&n| n != victim).collect();
+
+    cluster.crash_node_at(victim, ms(0.0), 350.0);
+    // w1 at t=10: hint stashed at ~60, flush ticks at ~260, ~460, ...
+    cluster.advance_to(ms(10.0));
+    let w1 = cluster.write_from(coords[0], key);
+    assert!(w1.commit.is_some());
+    // w2 at t=150: hint stashed at ~200, flush ticks at ~400, ...
+    cluster.advance_to(ms(150.0));
+    let w2 = cluster.write_from(coords[1], key);
+    assert!(w2.commit.is_some());
+    assert!(w2.seq > w1.seq);
+
+    // Victim recovers at 350. The ~400 flush delivers v2; r1 exposes it.
+    // The ~460 flush then delivers the *older* v1; r2 re-reads the victim.
+    let r1 = cluster.read_at_from(coords[1], key, ms(410.0));
+    let r2 = cluster.read_at_from(coords[1], key, ms(470.0));
+    cluster.advance_to(ms(1_000.0));
+
+    let history = cluster.take_history();
+    let check = check_run(&history, &cluster, convergence);
+    (check, w1.seq, w2.seq, r1.returned_seq, r2.returned_seq)
+}
+
+/// `drop_version_merge`: the late old hint rolls the victim back, and the
+/// second read goes backwards in time relative to the first — a
+/// non-monotone exposure, with no phantoms (both versions are real).
+#[test]
+fn drop_version_merge_is_caught_as_non_monotone_exposure() {
+    let mutations = ProtocolMutations { drop_version_merge: true, ..Default::default() };
+    let (check, seq1, seq2, r1, r2) = hint_rollback_scenario(mutations, false);
+    assert_eq!(r1, Some(seq2), "r1 sees the newer version the early flush delivered");
+    assert_eq!(r2, Some(seq1), "mutation held: the late old hint rolled the victim back");
+    assert!(check.order.non_monotone >= 1, "oracle missed the rollback: {check:?}");
+    assert_eq!(check.order.phantoms, 0, "both exposed versions were really written");
+    assert_eq!(check.order.lost_updates, 0, "neither write was acked by the victim");
+    match check.order.first_non_monotone {
+        Some(OrderViolation::NonMonotoneExposure { seen_seq, expected_seq, .. }) => {
+            assert_eq!(seen_seq, seq1);
+            assert_eq!(expected_seq, seq2);
+        }
+        other => panic!("expected a NonMonotoneExposure example, got {other:?}"),
+    }
+}
+
+/// Control: with max-merge intact the late old hint is a no-op, both
+/// reads see v2, and the full audit (convergence included) is clean.
+#[test]
+fn hint_rollback_scenario_is_clean_without_mutations() {
+    let (check, _seq1, seq2, r1, r2) = hint_rollback_scenario(ProtocolMutations::default(), true);
+    assert_eq!(r1, Some(seq2));
+    assert_eq!(r2, Some(seq2), "max-merge ignores the stale hint");
+    assert!(check.is_clean(), "clean build must stay clean: {check:?}");
+}
+
+/// A hint is stashed for the crashed victim; replay should heal it after
+/// recovery. Returns `(report, coordinator hint count, victim stored seq,
+/// write seq)`.
+fn hint_replay_scenario(
+    mutations: ProtocolMutations,
+    convergence: bool,
+) -> (CheckReport, usize, u64, u64) {
+    let mut o = opts(47, mutations);
+    o.hinted_handoff = true;
+    o.hint_timeout_ms = 50.0;
+    o.hint_flush_interval_ms = 100.0;
+    let mut cluster = Cluster::new(o, net_const(1.0));
+    cluster.enable_history();
+    let key = 5u64;
+    let victim = *cluster.replicas_of(key).iter().min().unwrap();
+    let coord = (0..3).find(|&n| n != victim).unwrap();
+
+    cluster.crash_node_at(victim, ms(0.0), 300.0);
+    cluster.advance_to(ms(10.0));
+    let w = cluster.write_from(coord, key);
+    assert!(w.commit.is_some());
+    // Recovery at 300; flush ticks every 100 ms redeliver until acked.
+    cluster.advance_to(ms(1_000.0));
+
+    let history = cluster.take_history();
+    let check = check_run(&history, &cluster, convergence);
+    let hints = cluster.node(coord).hint_count();
+    let stored = cluster.node(victim).stored_version(key).map(|v| v.seq).unwrap_or(0);
+    (check, hints, stored, w.seq)
+}
+
+/// `swallow_hints`: the flush timer fires but delivers nothing, so the
+/// victim never converges — a final-state lost update, with the undying
+/// hint still queued as the smoking gun.
+#[test]
+fn swallow_hints_is_caught_as_lost_update() {
+    let mutations = ProtocolMutations { swallow_hints: true, ..Default::default() };
+    let (check, hints, stored, w_seq) = hint_replay_scenario(mutations, true);
+    assert_eq!(stored, 0, "mutation held: hint never replayed");
+    assert_eq!(hints, 1, "the swallowed hint is never acked and never cleared");
+    assert!(check.order.lost_updates >= 1, "oracle missed the regression: {check:?}");
+    assert_eq!(check.order.non_monotone, 0);
+    assert_eq!(check.order.phantoms, 0);
+    match check.order.first_lost_update {
+        Some(OrderViolation::LostUpdate { expected_seq, seen_seq, .. }) => {
+            assert_eq!(expected_seq, w_seq);
+            assert_eq!(seen_seq, 0);
+        }
+        other => panic!("expected a LostUpdate example, got {other:?}"),
+    }
+}
+
+/// Control: hint replay heals the victim and clears the hint; the full
+/// audit is clean.
+#[test]
+fn hint_replay_scenario_is_clean_without_mutations() {
+    let (check, hints, stored, w_seq) = hint_replay_scenario(ProtocolMutations::default(), true);
+    assert_eq!(stored, w_seq, "hint replay healed the victim");
+    assert_eq!(hints, 0, "delivered hint was acked and cleared");
+    assert!(check.is_clean(), "clean build must stay clean: {check:?}");
+}
+
+/// The mutation struct itself: defaults are all-off and `any()` reflects
+/// each flag, so a production config can assert it carries no mutations.
+#[test]
+fn default_mutations_are_inert() {
+    let m = ProtocolMutations::default();
+    assert!(!m.any());
+    assert!(ProtocolMutations { skip_read_repair: true, ..Default::default() }.any());
+    assert!(ProtocolMutations { corrupt_read_repair: true, ..Default::default() }.any());
+    assert!(ProtocolMutations { drop_version_merge: true, ..Default::default() }.any());
+    assert!(ProtocolMutations { swallow_hints: true, ..Default::default() }.any());
+}

@@ -8,11 +8,11 @@
 //! reproducible.
 
 use pbs::dist::{Exponential, Pareto};
-use pbs::kvs::checker::{check_run, OpHistory};
+use pbs::kvs::checker::{check_run, CheckReport, OpHistory};
 use pbs::kvs::cluster::{Cluster, ClusterOptions, EngineKind};
 use pbs::kvs::{
-    run_open_loop_on, run_open_loop_parallel, ClientOptions, FaultProfile, NetworkModel,
-    OpenLoopOptions, OpenLoopReport,
+    run_open_loop_on, run_open_loop_parallel, ClientOptions, FaultProfile, FaultSchedule,
+    NetworkModel, OpenLoopOptions, OpenLoopReport,
 };
 use pbs::math::ReplicaConfig;
 use pbs::sim::PdesError;
@@ -118,6 +118,77 @@ fn parallel_history_matches_serial_under_buggify_storm() {
             par_report.failed_writes + par_report.incomplete_reads > 0
                 || par_report.consistency_rate() < 1.0,
             "storm run suspiciously clean: {par_report:?}"
+        );
+    }
+}
+
+/// One open-loop run under a **scheduled** storm (calm 0–300 ms, full
+/// storm 300–900 ms, calm tail) plus a mid-storm crash, returning the
+/// report, the history, and the complete checker verdict — order oracle
+/// included.
+fn run_scheduled(kind: EngineKind, seed: u64) -> (OpenLoopReport, OpHistory, CheckReport) {
+    let engine = OpenLoopOptions::new(1_200.0, 300.0, 1_500.0);
+    let mut history = OpHistory::new();
+    let mut check = CheckReport::default();
+    let report = run_open_loop_on(
+        kind,
+        opts(seed),
+        &pareto_net(),
+        &engine,
+        6,
+        ClientOptions { op_timeout_ms: 2_000.0, ..ClientOptions::default() },
+        |_| source(30.0),
+        |cluster| {
+            cluster.enable_history();
+            cluster
+                .network()
+                .set_fault_schedule(FaultSchedule::calm_storm_calm(
+                    FaultProfile::storm(seed),
+                    300.0,
+                    900.0,
+                ))
+                .unwrap();
+            cluster.crash_node_at(2, pbs::sim::SimTime::from_ms(400.0), 300.0);
+        },
+        |cluster| {
+            history = cluster.take_history();
+            check = check_run(&history, cluster, false);
+        },
+    )
+    .expect("positive-minimum model partitions cleanly");
+    (report, history, check)
+}
+
+/// The adversarial audit across engines: under a scheduled storm with a
+/// mid-storm crash, every worker count must produce the identical op
+/// history **and the identical full `CheckReport`** — session counters,
+/// label recount, and the per-key order oracle — and that report must be
+/// clean (the oracle never false-positives on fault-induced staleness).
+#[test]
+fn scheduled_storm_order_oracle_agrees_across_engines() {
+    for workers in [1usize, 2, 4] {
+        let (serial_report, serial_hist, serial_check) =
+            run_scheduled(EngineKind::SerialPartitioned { workers }, 41);
+        let (par_report, par_hist, par_check) =
+            run_scheduled(EngineKind::Parallel { workers }, 41);
+        assert_eq!(serial_hist, par_hist, "{workers}-worker scheduled-storm history diverged");
+        assert_eq!(serial_report, par_report, "{workers}-worker counters diverged");
+        assert_eq!(
+            serial_check, par_check,
+            "{workers}-worker CheckReport diverged from serial"
+        );
+        assert!(
+            par_check.is_clean(),
+            "order oracle false-positived under the scheduled storm: {par_check:?}"
+        );
+        assert!(par_check.order.reads_checked > 100, "audit too small to be meaningful");
+        assert!(par_check.order.writes_tracked > 50);
+        // The storm window must actually bite for the cleanliness claim
+        // to carry weight.
+        assert!(
+            par_report.failed_writes + par_report.incomplete_reads > 0
+                || par_report.consistency_rate() < 1.0,
+            "scheduled storm suspiciously clean: {par_report:?}"
         );
     }
 }
