@@ -20,6 +20,15 @@
 //!     --file BENCH_7.json --metric profile_w2_best_ops_per_sec --min 100000
 //! ```
 //!
+//! `--max <ceiling>` gates from above instead of (or as well as) below —
+//! CI uses it to cap memory metrics like the client tables'
+//! bytes-per-client budget:
+//!
+//! ```text
+//! cargo run -p pbs-bench --release --bin bench_guard -- \
+//!     --file BENCH_9.json --metric mem_c100000_table_bytes_per_client --max 128
+//! ```
+//!
 //! The parser is deliberately narrow: it understands exactly the
 //! line-oriented JSON the shim writes (one object per line), which keeps
 //! the gate dependency-free.
@@ -37,17 +46,19 @@ fn field_f64(line: &str, field: &str) -> Option<f64> {
 
 fn main() {
     let args = Args::parse();
-    args.reject_unknown(&["file", "bench", "metric", "min"]);
+    args.reject_unknown(&["file", "bench", "metric", "min", "max"]);
     let file = args.value_of("file").unwrap_or("BENCH_5.json").to_string();
     let metric = args.value_of("metric").map(str::to_string);
     let bench = args
         .value_of("bench")
         .unwrap_or("open_loop/64_clients_10k_ops")
         .to_string();
-    let min: f64 = args.parsed("min").unwrap_or_else(|| {
-        eprintln!("--min <floor> is required");
+    let min: Option<f64> = args.parsed("min");
+    let max: Option<f64> = args.parsed("max");
+    if min.is_none() && max.is_none() {
+        eprintln!("--min <floor> and/or --max <ceiling> is required");
         std::process::exit(2);
-    });
+    }
 
     let content = match std::fs::read_to_string(&file) {
         Ok(c) => c,
@@ -70,16 +81,46 @@ fn main() {
         eprintln!("bench_guard: {what:?} has no {field} field: {line}");
         std::process::exit(1);
     };
-    if actual < min {
-        eprintln!(
-            "bench_guard: REGRESSION — {what} ran at {actual:.0}, below the floor of {min:.0}"
-        );
-        std::process::exit(1);
+    match check(&what, actual, min, max) {
+        Ok(lines) => {
+            for l in lines {
+                println!("{l}");
+            }
+        }
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(1);
+        }
     }
-    println!(
-        "bench_guard: OK — {what} at {actual:.0} (floor {min:.0}, {:.2}× headroom)",
-        actual / min
-    );
+}
+
+/// Check `actual` against an optional floor and ceiling; returns the OK
+/// report lines, or the regression message for the first violated bound.
+fn check(what: &str, actual: f64, min: Option<f64>, max: Option<f64>) -> Result<Vec<String>, String> {
+    let mut lines = Vec::new();
+    if let Some(min) = min {
+        if actual < min {
+            return Err(format!(
+                "bench_guard: REGRESSION — {what} ran at {actual:.1}, below the floor of {min:.1}"
+            ));
+        }
+        lines.push(format!(
+            "bench_guard: OK — {what} at {actual:.1} (floor {min:.1}, {:.2}× headroom)",
+            actual / min
+        ));
+    }
+    if let Some(max) = max {
+        if actual > max {
+            return Err(format!(
+                "bench_guard: REGRESSION — {what} ran at {actual:.1}, above the ceiling of {max:.1}"
+            ));
+        }
+        lines.push(format!(
+            "bench_guard: OK — {what} at {actual:.1} (ceiling {max:.1}, {:.2}× headroom)",
+            max / actual.max(f64::MIN_POSITIVE)
+        ));
+    }
+    Ok(lines)
 }
 
 #[cfg(test)]
@@ -98,5 +139,19 @@ mod tests {
     fn extracts_metric_values() {
         let line = r#"    {"name": "profile_w2_best_ops_per_sec", "value": 123456.7},"#;
         assert_eq!(field_f64(line, "value"), Some(123456.7));
+    }
+
+    #[test]
+    fn floor_and_ceiling_bounds() {
+        use super::check;
+        // Floor only: pass above, fail below.
+        assert!(check("m", 100.0, Some(90.0), None).is_ok());
+        assert!(check("m", 80.0, Some(90.0), None).is_err());
+        // Ceiling only: the memory-budget shape.
+        assert!(check("m", 106.0, None, Some(128.0)).is_ok());
+        assert!(check("m", 140.0, None, Some(128.0)).is_err());
+        // Band: both bounds at once, exact bounds inclusive.
+        assert_eq!(check("m", 128.0, Some(128.0), Some(128.0)).map(|l| l.len()), Ok(2));
+        assert!(check("m", 127.9, Some(128.0), Some(128.0)).is_err());
     }
 }

@@ -22,7 +22,14 @@
 //! cargo run -p pbs-bench --release --features alloc-profile --bin profile
 //! cargo run -p pbs-bench --release --bin profile -- --clients 1024 --rate 20000
 //! cargo run -p pbs-bench --release --bin profile -- --workers 4
+//! cargo run -p pbs-bench --release --features alloc-profile --bin profile -- \
+//!     --mem --clients 100000 --keys 1000000 --rate 20000
 //! ```
+//!
+//! `--mem` runs the memory-scaling profile instead (see `mem_profile`):
+//! shared-source clients over a `--keys`-wide Zipf universe, live-byte
+//! deltas from the counting allocator reported as bytes-per-client and
+//! bytes-per-key `mem_c{N}_*` metrics. Requires `alloc-profile`.
 //!
 //! To A/B the scheduler implementations, add
 //! `--features pbs-sim/heap-scheduler` to either invocation: the workload
@@ -42,10 +49,11 @@ use pbs_bench::report;
 use pbs_core::ReplicaConfig;
 use pbs_dist::{Exponential, Pareto};
 use pbs_kvs::{
-    run_open_loop_on, ClientOptions, ClusterOptions, EngineKind, NetworkModel, OpenLoopOptions,
+    run_open_loop_on, ClientOptions, Cluster, ClusterOptions, EngineKind, NetworkModel,
+    OpenLoopOptions, WindowDrain,
 };
-use pbs_sim::PdesStats;
-use pbs_workload::{OpMix, OpSource, OpStream, Poisson, UniformKeys};
+use pbs_sim::{PdesStats, SimTime};
+use pbs_workload::{OpMix, OpSource, OpStream, Poisson, SharedStream, UniformKeys, Zipf};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -59,32 +67,49 @@ mod alloc_counter {
 
     pub static ALLOCS: AtomicU64 = AtomicU64::new(0);
     pub static BYTES: AtomicU64 = AtomicU64::new(0);
+    pub static LIVE: AtomicU64 = AtomicU64::new(0);
+    pub static PEAK: AtomicU64 = AtomicU64::new(0);
 
     struct Counting;
+
+    fn count(size: usize) {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(size as u64, Ordering::Relaxed);
+        let live = LIVE.fetch_add(size as u64, Ordering::Relaxed) + size as u64;
+        PEAK.fetch_max(live, Ordering::Relaxed);
+    }
 
     // SAFETY: pure delegation to `System`; the counters are relaxed
     // atomics with no effect on allocation behaviour.
     unsafe impl GlobalAlloc for Counting {
         unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-            ALLOCS.fetch_add(1, Ordering::Relaxed);
-            BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
-            unsafe { System.alloc(layout) }
+            let p = unsafe { System.alloc(layout) };
+            if !p.is_null() {
+                count(layout.size());
+            }
+            p
         }
 
         unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            LIVE.fetch_sub(layout.size() as u64, Ordering::Relaxed);
             unsafe { System.dealloc(ptr, layout) }
         }
 
         unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-            ALLOCS.fetch_add(1, Ordering::Relaxed);
-            BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
-            unsafe { System.realloc(ptr, layout, new_size) }
+            let p = unsafe { System.realloc(ptr, layout, new_size) };
+            if !p.is_null() {
+                LIVE.fetch_sub(layout.size() as u64, Ordering::Relaxed);
+                count(new_size);
+            }
+            p
         }
 
         unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
-            ALLOCS.fetch_add(1, Ordering::Relaxed);
-            BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
-            unsafe { System.alloc_zeroed(layout) }
+            let p = unsafe { System.alloc_zeroed(layout) };
+            if !p.is_null() {
+                count(layout.size());
+            }
+            p
         }
     }
 
@@ -94,6 +119,16 @@ mod alloc_counter {
     pub fn snapshot() -> (u64, u64) {
         (ALLOCS.load(Ordering::Relaxed), BYTES.load(Ordering::Relaxed))
     }
+
+    /// Live (allocated − freed) bytes right now.
+    pub fn live() -> u64 {
+        LIVE.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of live bytes since process start.
+    pub fn peak() -> u64 {
+        PEAK.load(Ordering::Relaxed)
+    }
 }
 
 #[cfg(not(feature = "alloc-profile"))]
@@ -101,17 +136,131 @@ mod alloc_counter {
     pub fn snapshot() -> (u64, u64) {
         (0, 0)
     }
+
+    pub fn live() -> u64 {
+        0
+    }
+
+    pub fn peak() -> u64 {
+        0
+    }
+}
+
+/// `--mem` mode: the memory-scaling profile. Stands up `clients`
+/// shared-source clients over a `keys`-wide Zipf(0.99) universe on the
+/// serial engine, then reports live-byte deltas from the counting
+/// allocator at three quiescent points:
+///
+/// * **table bytes/client** — cost of the client tables themselves
+///   (struct-of-arrays rows + one armed arrival per client), measured
+///   right after `start_clients` and before any op is issued;
+/// * **steady bytes/client** — everything the run accretes per client
+///   after draining `duration_ms` of simulated load (session entries,
+///   watermark-GC'd ground truth, reusable drain buffers);
+/// * **bytes/key touched** — the steady-state growth beyond the tables,
+///   divided over the keys the ground truth actually tracks.
+///
+/// Metrics land in `BENCH_JSON` as `mem_c{clients}_*` so one summary can
+/// hold several scales and `bench_guard --max` can gate the budget.
+fn mem_profile(clients: u32, keys: u64, per_client: f64, duration_ms: f64, seed: u64) {
+    let cfg = ReplicaConfig::new(3, 1, 1).unwrap();
+    let mut opts = ClusterOptions::validation(cfg, seed);
+    opts.nodes = 8;
+    opts.op_timeout_ms = 2_000.0;
+    let net = NetworkModel::w_ars(
+        Arc::new(Exponential::from_rate(0.1)),
+        Arc::new(Exponential::from_rate(0.5)),
+    );
+    report::header(&format!(
+        "profile --mem: {clients} clients × {per_client:.2} ops/s over {keys} Zipf keys, {duration_ms} ms (seed {seed})"
+    ));
+    if !cfg!(feature = "alloc-profile") {
+        println!("live-byte counters need `--features alloc-profile`; nothing measured");
+        return;
+    }
+
+    let copts = ClientOptions { op_timeout_ms: 2_000.0, ..ClientOptions::default() };
+    let mut cluster = Cluster::new(opts, net);
+    let base = alloc_counter::live();
+    cluster.add_clients_shared(
+        clients,
+        Arc::new(SharedStream::new(
+            Poisson::per_second(per_client),
+            Zipf::new(keys, 0.99),
+            OpMix::linkedin(),
+        )),
+        copts,
+    );
+    cluster.start_clients();
+    // Process the StartClient events — each client's first arrival lands
+    // in its table and the scheduler — without issuing any operation yet.
+    cluster.drain_window(SimTime::from_ms(1e-3));
+    let after_tables = alloc_counter::live();
+
+    let window_ms = 500.0;
+    let windows = (duration_ms / window_ms).ceil().max(1.0) as u32;
+    let mut drain = WindowDrain::default();
+    let mut ops = 0u64;
+    let start = Instant::now();
+    for w in 1..=windows {
+        cluster.drain_window_into(SimTime::from_ms(1e-3 + w as f64 * window_ms), &mut drain);
+        ops += (drain.writes.len() + drain.reads.len()) as u64;
+    }
+    let wall = start.elapsed().as_secs_f64();
+    let steady = alloc_counter::live();
+    let peak = alloc_counter::peak();
+    drop(drain);
+    let tracked = cluster.ground_truth().tracked_keys().len().max(1) as u64;
+
+    let table_bpc = after_tables.saturating_sub(base) as f64 / clients as f64;
+    let steady_bpc = steady.saturating_sub(base) as f64 / clients as f64;
+    let bytes_per_key = steady.saturating_sub(after_tables) as f64 / tracked as f64;
+    report::table(
+        &["ops", "ops/sec", "table B/client", "steady B/client", "B/key", "keys", "peak MiB"],
+        &[vec![
+            format!("{ops}"),
+            format!("{:.0}", ops as f64 / wall),
+            format!("{table_bpc:.1}"),
+            format!("{steady_bpc:.1}"),
+            format!("{bytes_per_key:.1}"),
+            format!("{tracked}"),
+            format!("{:.1}", peak as f64 / (1 << 20) as f64),
+        ]],
+    );
+    criterion::record_metric(format!("mem_c{clients}_table_bytes_per_client"), table_bpc);
+    criterion::record_metric(format!("mem_c{clients}_steady_bytes_per_client"), steady_bpc);
+    criterion::record_metric(format!("mem_c{clients}_bytes_per_key"), bytes_per_key);
+    criterion::record_metric(
+        format!("mem_c{clients}_peak_live_mb"),
+        peak as f64 / (1 << 20) as f64,
+    );
+    criterion::write_json_summary();
 }
 
 fn main() {
     let args = Args::parse();
-    args.reject_unknown(&["clients", "rate", "duration-ms", "seed", "iters", "quick", "workers"]);
+    args.reject_unknown(&[
+        "clients",
+        "rate",
+        "duration-ms",
+        "seed",
+        "iters",
+        "quick",
+        "workers",
+        "mem",
+        "keys",
+    ]);
     let clients: usize = args.parsed("clients").unwrap_or(64);
     let rate: f64 = args.parsed("rate").unwrap_or(5_000.0);
     let duration_ms: f64 = args.parsed("duration-ms").unwrap_or(2_000.0);
     let seed: u64 = args.parsed("seed").unwrap_or(7);
     let iters: usize = args.parsed("iters").unwrap_or(if args.flag("quick") { 1 } else { 5 });
     let workers: usize = args.parsed("workers").unwrap_or(0);
+    if args.flag("mem") {
+        let keys: u64 = args.parsed("keys").unwrap_or(1_000_000);
+        mem_profile(clients as u32, keys, rate / clients as f64, duration_ms, seed);
+        return;
+    }
 
     let cfg = ReplicaConfig::new(3, 1, 1).unwrap();
     let mut opts = ClusterOptions::validation(cfg, seed);

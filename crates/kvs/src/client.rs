@@ -1,26 +1,52 @@
-//! In-sim client actors: the open-loop traffic source.
+//! In-sim open-loop clients: a struct-of-arrays table, one actor per worker.
 //!
-//! A [`ClientActor`] lives *inside* the simulation alongside the nodes. It
-//! pulls operations lazily from a streaming [`OpSource`] (arrival process ×
-//! key popularity × read/write mix from `pbs-workload`), issues them to
-//! coordinator nodes without waiting for completion, and keeps per-session
-//! state so monotonic-reads and read-your-writes violations (§3.2) are
-//! measured *empirically* on the live cluster rather than only modelled
-//! analytically.
+//! Earlier revisions gave every client its own actor with four boxed hash
+//! maps; at a million clients that is hundreds of bytes of map headers and
+//! one pending timer event *each* before any work happens. This module
+//! replaces that with a [`ClientTable`]: **one actor per PDES worker** that
+//! owns all of that worker's clients as parallel column vectors, so the
+//! marginal cost of a client is roughly one cache line:
 //!
-//! Memory discipline: a client holds one pre-pulled arrival, its in-flight
-//! operation table (capped — arrivals beyond the cap are shed, as an
-//! overloaded open-loop system must), and a bounded buffer of completed
-//! operations that the driver drains every window. Nothing scales with the
-//! length of the workload.
+//! | column                               | bytes/client |
+//! |--------------------------------------|--------------|
+//! | RNG state (xoshiro256++)             | 32           |
+//! | stream clock + restart offset        | 16           |
+//! | pre-pulled arrival (key + flags)     | 9            |
+//! | local op counter + arrival gen       | 5            |
+//! | in-flight count + peak               | 8            |
+//! | inline in-flight slot (id/key/start) | 20           |
+//! | arrival-heap entry                   | 16           |
+//!
+//! ≈ 106 bytes/client of table state. Everything else is shared per table:
+//! an in-flight **overflow** map for the rare client holding more than one
+//! concurrent op, a single open-addressing session arena for
+//! `last_read_seq`/`last_write_seq` (two map headers per client before),
+//! one bounded completed-op buffer the driver drains each window, and one
+//! arrival heap so the whole table keeps **one armed timer** in the event
+//! queue instead of one per client.
+//!
+//! Determinism rules (the PDES equivalence tests pin these):
+//!
+//! * Per-client RNG streams are seeded from `(cluster_seed, client index)`
+//!   exactly as before — draw sequences per client are unchanged.
+//! * Per client, draws happen in the fixed order *coordinator pick* (on
+//!   issue), then *gap, kind, key* (on the next stream pull) — identical
+//!   for boxed and shared sources.
+//! * The arrival heap pops by `(time, row, generation)`, so simultaneous
+//!   arrivals within a table fire in client-index order; cross-table order
+//!   at equal instants follows actor-lane order like any other actor pair.
+//! * Clients are pinned to their partition's node range, so client↔node
+//!   traffic never crosses a PDES worker boundary.
 
 use crate::fxhash::FxHashMap;
 use crate::messages::Msg;
 use crate::node::{ClientResult, DownTracker};
 use pbs_sim::{Actor, Context, Event, SimDuration, SimTime};
-use pbs_workload::{OpKind, OpSource};
+use pbs_workload::{OpKind, OpSource, SharedOpSource};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::sync::Arc;
 
 // Client-side timer tags (same top-byte scheme as the node's).
@@ -45,14 +71,30 @@ fn ctag_op(t: u64) -> u64 {
 /// Bits reserved for a client's local operation counter; the client index
 /// occupies the bits above, keeping op ids globally unique across clients
 /// *and* disjoint from the blocking harness's low id space.
-const CLIENT_OP_SHIFT: u64 = 40;
+const CLIENT_OP_SHIFT: u64 = 32;
 
-/// Maximum number of client actors per cluster (op ids must fit in the
-/// 56-bit timer-tag op space alongside the counter).
+/// Maximum number of clients per cluster: op ids must fit the 56-bit
+/// timer-tag op space, leaving 24 bits of client index above the 32-bit
+/// local counter — ~16.7M clients.
 pub const MAX_CLIENTS: u32 = (1 << (TAG_KIND_SHIFT - CLIENT_OP_SHIFT)) as u32 - 1;
 
+/// Pack a `(client index, local counter)` pair into a global op id.
+fn pack_op(index: u32, local: u32) -> u64 {
+    ((index as u64 + 1) << CLIENT_OP_SHIFT) | local as u64
+}
+
+/// The client index encoded in an op id (or probe token).
+fn client_of(op_id: u64) -> u32 {
+    (op_id >> CLIENT_OP_SHIFT) as u32 - 1
+}
+
+/// The low local counter of an op id.
+fn local_of(op_id: u64) -> u32 {
+    (op_id & ((1 << CLIENT_OP_SHIFT) - 1)) as u32
+}
+
 /// Per-client knobs.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ClientOptions {
     /// Client-side operation timeout: an op with no result by then is
     /// recorded as timed out (late results are ignored).
@@ -64,8 +106,9 @@ pub struct ClientOptions {
     /// key this many ms after its commit (the §5.2 write→read probe pair),
     /// in addition to any reads the op source emits.
     pub probe_read_offset_ms: Option<f64>,
-    /// Capacity of the completed-op buffer the driver drains each window;
-    /// overflow is counted in [`ClientStats::dropped_results`].
+    /// Capacity of the completed-op buffer the driver drains each window
+    /// (per worker table); overflow is counted in
+    /// [`ClientStats::dropped_results`].
     pub result_capacity: usize,
 }
 
@@ -80,7 +123,7 @@ impl Default for ClientOptions {
     }
 }
 
-/// Cumulative per-client counters.
+/// Cumulative client counters (summed over a table's clients).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ClientStats {
     /// Operations issued to a coordinator.
@@ -98,7 +141,7 @@ pub struct ClientStats {
     pub ryw_violations: u64,
     /// Completed reads checked against the session state.
     pub reads_checked: u64,
-    /// High-water mark of the in-flight table.
+    /// Sum of per-client in-flight high-water marks.
     pub peak_in_flight: u64,
 }
 
@@ -146,123 +189,355 @@ struct Pending {
     start: SimTime,
 }
 
-/// The open-loop client actor.
-pub struct ClientActor {
-    index: u32,
-    /// First node this client may coordinate through.
+// Per-row flag bits.
+const F_STOPPED: u8 = 1;
+const F_HAS_NEXT: u8 = 2;
+const F_NEXT_READ: u8 = 4;
+const F_SLOT_READ: u8 = 8;
+
+/// Inline in-flight slot sentinel: no op occupies the slot.
+const SLOT_EMPTY: u32 = u32::MAX;
+
+/// Arena slot sentinel: `u32::MAX` never collides with a table client
+/// (indices are bounded by [`MAX_CLIENTS`] < 2²⁴).
+const ARENA_EMPTY: u32 = u32::MAX;
+
+/// One `(client, key)` session record.
+#[derive(Clone, Copy)]
+struct SessionSlot {
+    key: u64,
+    client: u32,
+    /// Highest sequence seen by this client's reads of the key.
+    last_read_seq: u64,
+    /// Highest sequence committed by this client's writes of the key.
+    last_write_seq: u64,
+}
+
+const EMPTY_SESSION: SessionSlot =
+    SessionSlot { key: 0, client: ARENA_EMPTY, last_read_seq: 0, last_write_seq: 0 };
+
+/// Open-addressing arena for per-`(client, key)` session state, shared by
+/// every client of a worker table: 32 bytes per *touched* pair at ≤ 75%
+/// load, versus two heap maps per client before.
+struct SessionArena {
+    slots: Vec<SessionSlot>,
+    len: usize,
+}
+
+impl SessionArena {
+    fn new() -> Self {
+        Self { slots: Vec::new(), len: 0 }
+    }
+
+    fn hash(client: u32, key: u64) -> u64 {
+        // splitmix-style finalizer over the packed pair.
+        let mut h = key ^ (client as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        h ^= h >> 30;
+        h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        h ^= h >> 27;
+        h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+        h ^ (h >> 31)
+    }
+
+    fn grow(&mut self) {
+        let new_cap = (self.slots.len() * 2).max(16);
+        let old = std::mem::replace(&mut self.slots, vec![EMPTY_SESSION; new_cap]);
+        for slot in old {
+            if slot.client != ARENA_EMPTY {
+                let mask = new_cap - 1;
+                let mut i = Self::hash(slot.client, slot.key) as usize & mask;
+                while self.slots[i].client != ARENA_EMPTY {
+                    i = (i + 1) & mask;
+                }
+                self.slots[i] = slot;
+            }
+        }
+    }
+
+    /// Find or insert the slot for `(client, key)`; new slots start zeroed.
+    fn entry(&mut self, client: u32, key: u64) -> &mut SessionSlot {
+        debug_assert!(client != ARENA_EMPTY);
+        if self.len * 4 >= self.slots.len() * 3 {
+            self.grow();
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = Self::hash(client, key) as usize & mask;
+        loop {
+            let s = &self.slots[i];
+            if s.client == ARENA_EMPTY {
+                self.slots[i] = SessionSlot { key, client, ..EMPTY_SESSION };
+                self.len += 1;
+                return &mut self.slots[i];
+            }
+            if s.client == client && s.key == key {
+                return &mut self.slots[i];
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Touched `(client, key)` pairs.
+    fn len(&self) -> usize {
+        self.len
+    }
+}
+
+/// Pack an arrival-heap payload: row index above, generation below, so
+/// equal-time arrivals pop in client-index order.
+fn pack_arrival(row: usize, gen: u8) -> u64 {
+    ((row as u64) << 8) | gen as u64
+}
+
+/// The open-loop client table: every client of one PDES worker, as
+/// struct-of-arrays columns inside a single actor. See the module docs for
+/// the layout and the determinism rules.
+pub struct ClientTable {
+    /// This table's worker index (clients with `index % stride == worker`).
+    worker: usize,
+    /// Client-affinity stride: the partition plan's worker count.
+    stride: usize,
+    /// First node this table's clients may coordinate through.
     coord_base: usize,
     /// Number of eligible coordinators starting at `coord_base`. Under the
-    /// parallel engine a client is pinned to its partition's node range
+    /// parallel engine clients are pinned to their partition's node range
     /// (client↔coordinator traffic is zero-delay and must stay on one
     /// worker); a serial cluster passes the whole node range.
     coord_count: usize,
     opts: ClientOptions,
-    rng: StdRng,
-    source: Box<dyn OpSource>,
     down: Arc<DownTracker>,
+    cluster_seed: u64,
     /// Stream epoch: the simulated instant of the (most recent)
     /// `StartClient`.
     base: SimTime,
-    /// Stream-clock offset at the epoch: `at_ms` values already consumed
-    /// from the source before the (re)start. An arrival maps to
-    /// `base + (op.at_ms − offset_ms)`, so a stop→start cycle resumes
-    /// immediately instead of replaying the consumed stream time as dead
-    /// air.
-    offset_ms: f64,
+
+    // --- per-client columns (indexed by row) ---
+    rng: Vec<StdRng>,
     /// Stream-clock value of the last op pulled from the source.
-    consumed_ms: f64,
-    /// The pre-pulled next arrival (exactly one is buffered).
-    next: Option<pbs_workload::Op>,
-    next_local: u64,
-    stopped: bool,
-    in_flight: FxHashMap<u64, Pending>,
+    consumed_ms: Vec<f64>,
+    /// Stream-clock offset at the epoch: `at_ms` values already consumed
+    /// before the (re)start, so a stop→start cycle resumes immediately.
+    offset_ms: Vec<f64>,
+    /// Key of the pre-pulled next arrival (valid when `F_HAS_NEXT`).
+    next_key: Vec<u64>,
+    /// Local op-id counter (also consumed by probe tokens).
+    next_local: Vec<u32>,
+    flags: Vec<u8>,
+    /// Arrival generation: bumped on start/stop so stale heap entries from
+    /// before the transition are skipped instead of double-firing.
+    arrival_gen: Vec<u8>,
+    in_flight_count: Vec<u32>,
+    peak_in_flight: Vec<u32>,
+    /// Inline in-flight slot: local op id (`SLOT_EMPTY` = vacant), key,
+    /// start. Open-loop clients hold ≤ 1 op almost always; more spills to
+    /// the shared `overflow` map.
+    slot_local: Vec<u32>,
+    slot_key: Vec<u64>,
+    slot_start: Vec<SimTime>,
+
+    // --- shared per table ---
+    /// Boxed mode: one streaming source per row.
+    sources: Vec<Box<dyn OpSource>>,
+    /// Shared mode: one immutable source for every row (million-client
+    /// scale); per-row state is just `consumed_ms`.
+    shared: Option<Arc<dyn SharedOpSource>>,
+    /// Pending arrivals as `(time, row·gen)`; the table arms **one** timer
+    /// for the earliest entry instead of one event per client.
+    arrivals: BinaryHeap<Reverse<(SimTime, u64)>>,
+    /// Earliest outstanding armed arrival timer (`SimTime::MAX` = none).
+    next_armed: SimTime,
+    /// In-flight ops beyond a client's inline slot.
+    overflow: FxHashMap<u64, Pending>,
     /// Probe tokens → key, for reads scheduled at commit + offset.
     probe_pending: FxHashMap<u64, u64>,
-    /// Completed ops awaiting the driver's window drain (bounded).
-    pub completed: Vec<CompletedOp>,
-    /// Highest sequence seen by this client's reads, per key.
-    last_read_seq: FxHashMap<u64, u64>,
-    /// Highest sequence committed by this client's writes, per key.
-    last_write_seq: FxHashMap<u64, u64>,
-    /// Cumulative counters.
-    pub stats: ClientStats,
+    /// Session state per touched `(client, key)`.
+    sessions: SessionArena,
+    /// Completed ops awaiting the driver's window drain (bounded by
+    /// `opts.result_capacity`).
+    completed: Vec<CompletedOp>,
+    /// Live in-flight ops across all rows.
+    in_flight_live: u64,
+    /// Aggregate counters (`peak_in_flight` is computed from the per-row
+    /// column on read).
+    stats: ClientStats,
 }
 
-impl std::fmt::Debug for ClientActor {
+impl std::fmt::Debug for ClientTable {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ClientActor")
-            .field("index", &self.index)
-            .field("in_flight", &self.in_flight.len())
+        f.debug_struct("ClientTable")
+            .field("worker", &self.worker)
+            .field("rows", &self.rows())
+            .field("in_flight", &self.in_flight_live)
             .field("completed", &self.completed.len())
-            .field("stopped", &self.stopped)
-            .finish()
+            .finish_non_exhaustive()
     }
 }
 
-impl ClientActor {
-    /// Build client `index` coordinating through the nodes in `coords`
-    /// (a contiguous node-id range), with its own deterministic RNG
-    /// stream derived from the cluster seed.
+impl ClientTable {
+    /// Build the (empty) client table for `worker` of a `stride`-worker
+    /// plan, coordinating through the nodes in `coords` (a contiguous
+    /// node-id range).
     pub fn new(
-        index: u32,
+        worker: usize,
+        stride: usize,
         coords: std::ops::Range<usize>,
-        source: Box<dyn OpSource>,
         opts: ClientOptions,
         down: Arc<DownTracker>,
         cluster_seed: u64,
     ) -> Self {
-        assert!(index < MAX_CLIENTS, "at most {MAX_CLIENTS} clients per cluster");
-        assert!(!coords.is_empty(), "client needs at least one coordinator");
+        assert!(stride >= 1 && worker < stride);
+        assert!(!coords.is_empty(), "clients need at least one coordinator");
         assert!(opts.max_in_flight >= 1 && opts.result_capacity >= 1);
         assert!(opts.op_timeout_ms > 0.0);
-        let seed = cluster_seed
-            ^ (index as u64 + 1).wrapping_mul(0xa076_1d64_78bd_642f)
-            ^ 0x2545_f491_4f6c_dd1d;
         Self {
-            index,
+            worker,
+            stride,
             coord_base: coords.start,
             coord_count: coords.len(),
             opts,
-            rng: StdRng::seed_from_u64(seed),
-            source,
             down,
+            cluster_seed,
             base: SimTime::ZERO,
-            offset_ms: 0.0,
-            consumed_ms: 0.0,
-            next: None,
-            next_local: 0,
-            stopped: false,
-            in_flight: FxHashMap::default(),
+            rng: Vec::new(),
+            consumed_ms: Vec::new(),
+            offset_ms: Vec::new(),
+            next_key: Vec::new(),
+            next_local: Vec::new(),
+            flags: Vec::new(),
+            arrival_gen: Vec::new(),
+            in_flight_count: Vec::new(),
+            peak_in_flight: Vec::new(),
+            slot_local: Vec::new(),
+            slot_key: Vec::new(),
+            slot_start: Vec::new(),
+            sources: Vec::new(),
+            shared: None,
+            arrivals: BinaryHeap::new(),
+            next_armed: SimTime::MAX,
+            overflow: FxHashMap::default(),
             probe_pending: FxHashMap::default(),
+            sessions: SessionArena::new(),
             completed: Vec::new(),
-            last_read_seq: FxHashMap::default(),
-            last_write_seq: FxHashMap::default(),
+            in_flight_live: 0,
             stats: ClientStats::default(),
         }
     }
 
-    /// The client's logical index.
-    pub fn index(&self) -> u32 {
-        self.index
+    /// The per-client knobs every row of this table shares.
+    pub fn options(&self) -> &ClientOptions {
+        &self.opts
     }
 
-    /// Operations currently awaiting a result or timeout.
-    pub fn in_flight(&self) -> usize {
-        self.in_flight.len()
+    /// Number of clients in this table.
+    pub fn rows(&self) -> usize {
+        self.rng.len()
+    }
+
+    /// Reserve exact capacity for `n` *additional* clients (keeps the
+    /// bytes-per-client accounting free of doubling slack).
+    pub fn reserve_rows(&mut self, n: usize) {
+        self.rng.reserve_exact(n);
+        self.consumed_ms.reserve_exact(n);
+        self.offset_ms.reserve_exact(n);
+        self.next_key.reserve_exact(n);
+        self.next_local.reserve_exact(n);
+        self.flags.reserve_exact(n);
+        self.arrival_gen.reserve_exact(n);
+        self.in_flight_count.reserve_exact(n);
+        self.peak_in_flight.reserve_exact(n);
+        self.slot_local.reserve_exact(n);
+        self.slot_key.reserve_exact(n);
+        self.slot_start.reserve_exact(n);
+        self.arrivals.reserve(n);
+        if self.shared.is_none() {
+            self.sources.reserve_exact(n);
+        }
+    }
+
+    /// Install the table's shared operation source (million-client mode).
+    /// Must precede any row; mutually exclusive with boxed rows.
+    pub fn set_shared_source(&mut self, source: Arc<dyn SharedOpSource>) {
+        assert!(self.rows() == 0, "install the shared source before adding clients");
+        assert!(self.shared.is_none(), "shared source already installed");
+        self.shared = Some(source);
+    }
+
+    fn push_row(&mut self, index: u32) {
+        assert!(index < MAX_CLIENTS, "at most {MAX_CLIENTS} clients per cluster");
+        assert_eq!(
+            index as usize % self.stride,
+            self.worker,
+            "client {index} routed to the wrong worker table"
+        );
+        assert_eq!(
+            index as usize / self.stride,
+            self.rows(),
+            "clients must be added in index order"
+        );
+        // The per-client RNG stream: unchanged from the per-actor layout,
+        // so seeds reproduce histories across the refactor boundary.
+        let seed = self.cluster_seed
+            ^ (index as u64 + 1).wrapping_mul(0xa076_1d64_78bd_642f)
+            ^ 0x2545_f491_4f6c_dd1d;
+        self.rng.push(StdRng::seed_from_u64(seed));
+        self.consumed_ms.push(0.0);
+        self.offset_ms.push(0.0);
+        self.next_key.push(0);
+        self.next_local.push(0);
+        self.flags.push(0);
+        self.arrival_gen.push(0);
+        self.in_flight_count.push(0);
+        self.peak_in_flight.push(0);
+        self.slot_local.push(SLOT_EMPTY);
+        self.slot_key.push(0);
+        self.slot_start.push(SimTime::ZERO);
+    }
+
+    /// Add client `index` with its own boxed streaming source.
+    pub fn push_client(&mut self, index: u32, source: Box<dyn OpSource>) {
+        assert!(self.shared.is_none(), "cannot mix boxed and shared clients in one table");
+        self.push_row(index);
+        self.sources.push(source);
+    }
+
+    /// Add client `index` drawing from the table's shared source.
+    pub fn push_shared_client(&mut self, index: u32) {
+        assert!(self.shared.is_some(), "install a shared source first");
+        self.push_row(index);
+    }
+
+    /// The global client index of a row.
+    fn index_of(&self, row: usize) -> u32 {
+        (row * self.stride + self.worker) as u32
+    }
+
+    /// The row of a global client index (must belong to this table).
+    fn row_of(&self, index: u32) -> usize {
+        debug_assert_eq!(index as usize % self.stride, self.worker);
+        index as usize / self.stride
+    }
+
+    /// Operations currently awaiting a result or timeout, table-wide.
+    pub fn in_flight(&self) -> u64 {
+        self.in_flight_live
+    }
+
+    /// Touched `(client, key)` session pairs (memory observability).
+    pub fn session_entries(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Aggregate counters over every client of this table.
+    pub fn stats(&self) -> ClientStats {
+        let mut s = self.stats;
+        s.peak_in_flight = self.peak_in_flight.iter().map(|&p| p as u64).sum();
+        s
     }
 
     /// Drain the completed-op buffer into `out` (driver-side, between
-    /// events). Appends; the client's buffer keeps its capacity, so the
+    /// events). Appends; the table's buffer keeps its capacity, so the
     /// window-by-window plumbing allocates nothing in steady state.
     pub fn drain_completed_into(&mut self, out: &mut Vec<CompletedOp>) {
         out.append(&mut self.completed);
-    }
-
-    fn alloc_local(&mut self) -> u64 {
-        let local = self.next_local;
-        self.next_local += 1;
-        debug_assert!(local < (1 << CLIENT_OP_SHIFT));
-        ((self.index as u64 + 1) << CLIENT_OP_SHIFT) | local
     }
 
     fn push_completed(&mut self, op: CompletedOp) {
@@ -273,28 +548,74 @@ impl ClientActor {
         }
     }
 
-    fn schedule_next_arrival(&mut self, ctx: &mut Context<'_, Msg>) {
-        if self.stopped {
-            return;
+    /// Pull the next op for `row` from its source (boxed or shared); the
+    /// RNG draw order is identical in both modes.
+    fn pull_next(&mut self, row: usize) -> pbs_workload::Op {
+        match &self.shared {
+            Some(src) => src.next_op_after(self.consumed_ms[row], &mut self.rng[row]),
+            None => self.sources[row].next_op(&mut self.rng[row]),
         }
-        let op = self.source.next_op(&mut self.rng);
-        self.consumed_ms = op.at_ms;
-        let at = self.base + SimDuration::from_ms((op.at_ms - self.offset_ms).max(0.0));
-        let delay = at.duration_since(ctx.now()).as_ms();
-        self.next = Some(op);
-        ctx.set_timer(delay, ctag(CKIND_ARRIVAL, 0));
     }
 
-    fn issue(&mut self, ctx: &mut Context<'_, Msg>, kind: OpKind, key: u64) {
-        if self.in_flight.len() >= self.opts.max_in_flight {
+    /// Pre-pull `row`'s next arrival and queue it on the table heap. The
+    /// caller is responsible for re-arming the table timer afterwards
+    /// (`ensure_armed`), so batch starts arm once, not per client.
+    fn schedule_next_arrival(&mut self, row: usize) {
+        if self.flags[row] & F_STOPPED != 0 {
+            return;
+        }
+        let op = self.pull_next(row);
+        self.consumed_ms[row] = op.at_ms;
+        let at = self.base + SimDuration::from_ms((op.at_ms - self.offset_ms[row]).max(0.0));
+        self.next_key[row] = op.key;
+        let mut f = self.flags[row] | F_HAS_NEXT;
+        if op.kind == OpKind::Read {
+            f |= F_NEXT_READ;
+        } else {
+            f &= !F_NEXT_READ;
+        }
+        self.flags[row] = f;
+        self.arrivals.push(Reverse((at, pack_arrival(row, self.arrival_gen[row]))));
+    }
+
+    /// Arm the table's arrival timer for the heap minimum if no earlier
+    /// timer is already outstanding.
+    fn ensure_armed(&mut self, ctx: &mut Context<'_, Msg>) {
+        if let Some(&Reverse((at, _))) = self.arrivals.peek() {
+            if at < self.next_armed {
+                self.next_armed = at;
+                let delay = at.duration_since(ctx.now()).as_ms();
+                ctx.set_timer(delay, ctag(CKIND_ARRIVAL, 0));
+            }
+        }
+    }
+
+    fn issue(&mut self, ctx: &mut Context<'_, Msg>, row: usize, kind: OpKind, key: u64) {
+        if self.in_flight_count[row] as usize >= self.opts.max_in_flight {
             self.stats.shed += 1;
             return;
         }
-        let op_id = self.alloc_local();
-        self.in_flight.insert(op_id, Pending { key, kind, start: ctx.now() });
+        let local = self.next_local[row];
+        self.next_local[row] += 1;
+        let op_id = pack_op(self.index_of(row), local);
+        if self.slot_local[row] == SLOT_EMPTY {
+            self.slot_local[row] = local;
+            self.slot_key[row] = key;
+            self.slot_start[row] = ctx.now();
+            if kind == OpKind::Read {
+                self.flags[row] |= F_SLOT_READ;
+            } else {
+                self.flags[row] &= !F_SLOT_READ;
+            }
+        } else {
+            self.overflow.insert(op_id, Pending { key, kind, start: ctx.now() });
+        }
+        self.in_flight_count[row] += 1;
+        self.in_flight_live += 1;
         self.stats.issued += 1;
-        self.stats.peak_in_flight = self.stats.peak_in_flight.max(self.in_flight.len() as u64);
-        let coord = self.down.pick_up_node_in(&mut self.rng, self.coord_base, self.coord_count);
+        self.peak_in_flight[row] = self.peak_in_flight[row].max(self.in_flight_count[row]);
+        let coord =
+            self.down.pick_up_node_in(&mut self.rng[row], self.coord_base, self.coord_count);
         let msg = match kind {
             OpKind::Write => Msg::ClientWrite { op_id, key },
             OpKind::Read => Msg::ClientRead { op_id, key },
@@ -303,39 +624,101 @@ impl ClientActor {
         ctx.set_timer(self.opts.op_timeout_ms, ctag(CKIND_OP_TIMEOUT, op_id));
     }
 
-    fn on_arrival(&mut self, ctx: &mut Context<'_, Msg>) {
-        if self.stopped {
+    /// Remove `op_id` from the in-flight structures (inline slot first,
+    /// then the overflow map). `None` = already completed or timed out.
+    fn remove_in_flight(&mut self, op_id: u64) -> Option<Pending> {
+        let row = self.row_of(client_of(op_id));
+        if self.slot_local[row] == local_of(op_id) {
+            self.slot_local[row] = SLOT_EMPTY;
+            self.in_flight_count[row] -= 1;
+            self.in_flight_live -= 1;
+            let kind =
+                if self.flags[row] & F_SLOT_READ != 0 { OpKind::Read } else { OpKind::Write };
+            return Some(Pending { key: self.slot_key[row], kind, start: self.slot_start[row] });
+        }
+        let p = self.overflow.remove(&op_id)?;
+        self.in_flight_count[row] -= 1;
+        self.in_flight_live -= 1;
+        Some(p)
+    }
+
+    /// Fire every due arrival (heap entries at or before `now`), in
+    /// `(time, row)` order, then re-arm for the new minimum.
+    fn on_arrival_timer(&mut self, ctx: &mut Context<'_, Msg>) {
+        self.next_armed = SimTime::MAX;
+        while let Some(&Reverse((at, packed))) = self.arrivals.peek() {
+            if at > ctx.now() {
+                break;
+            }
+            self.arrivals.pop();
+            let row = (packed >> 8) as usize;
+            if (packed & 0xff) as u8 != self.arrival_gen[row] {
+                continue; // stale: the row stopped/restarted since this was queued
+            }
+            self.on_arrival_row(ctx, row);
+        }
+        self.ensure_armed(ctx);
+    }
+
+    fn on_arrival_row(&mut self, ctx: &mut Context<'_, Msg>, row: usize) {
+        if self.flags[row] & F_STOPPED != 0 {
             return;
         }
-        if let Some(op) = self.next.take() {
-            self.issue(ctx, op.kind, op.key);
+        if self.flags[row] & F_HAS_NEXT != 0 {
+            self.flags[row] &= !F_HAS_NEXT;
+            let kind =
+                if self.flags[row] & F_NEXT_READ != 0 { OpKind::Read } else { OpKind::Write };
+            let key = self.next_key[row];
+            self.issue(ctx, row, kind, key);
         }
-        self.schedule_next_arrival(ctx);
+        self.schedule_next_arrival(row);
+    }
+
+    fn start_all(&mut self, ctx: &mut Context<'_, Msg>) {
+        self.base = ctx.now();
+        for row in 0..self.rows() {
+            // Re-base onto the stream time already consumed, so a restarted
+            // client resumes generating immediately.
+            self.offset_ms[row] = self.consumed_ms[row];
+            self.flags[row] &= !F_STOPPED;
+            self.arrival_gen[row] = self.arrival_gen[row].wrapping_add(1);
+            self.schedule_next_arrival(row);
+        }
+        self.ensure_armed(ctx);
+    }
+
+    fn stop_all(&mut self) {
+        for row in 0..self.rows() {
+            self.flags[row] = (self.flags[row] | F_STOPPED) & !F_HAS_NEXT;
+            self.arrival_gen[row] = self.arrival_gen[row].wrapping_add(1);
+        }
     }
 
     fn on_result(&mut self, ctx: &mut Context<'_, Msg>, result: ClientResult) {
         match result {
             ClientResult::Write { op_id, key, version, start, commit, acked } => {
-                if self.in_flight.remove(&op_id).is_none() {
+                if self.remove_in_flight(op_id).is_none() {
                     return; // already timed out client-side
                 }
+                let index = client_of(op_id);
                 if let Some(ct) = commit {
-                    let entry = self.last_write_seq.entry(key).or_insert(0);
-                    *entry = (*entry).max(version.seq);
+                    let slot = self.sessions.entry(index, key);
+                    slot.last_write_seq = slot.last_write_seq.max(version.seq);
                     if let Some(offset) = self.opts.probe_read_offset_ms {
                         // The commit result arrives at the commit instant
                         // (zero-delay delivery), so the probe read fires at
                         // commit + offset.
                         debug_assert_eq!(ctx.now(), ct);
-                        let token = self.next_local;
-                        self.next_local += 1;
+                        let row = self.row_of(index);
+                        let token = pack_op(index, self.next_local[row]);
+                        self.next_local[row] += 1;
                         self.probe_pending.insert(token, key);
                         ctx.set_timer(offset, ctag(CKIND_PROBE_READ, token));
                     }
                 }
                 self.push_completed(CompletedOp {
                     op_id,
-                    client: self.index,
+                    client: index,
                     kind: OpKind::Write,
                     key,
                     start,
@@ -348,23 +731,24 @@ impl ClientActor {
                 });
             }
             ClientResult::Read { op_id, key, start, finish, version, source, responders } => {
-                if self.in_flight.remove(&op_id).is_none() {
+                if self.remove_in_flight(op_id).is_none() {
                     return;
                 }
+                let index = client_of(op_id);
                 let returned = version.map(|v| v.seq);
                 let seen = returned.unwrap_or(0);
                 self.stats.reads_checked += 1;
-                if seen < self.last_read_seq.get(&key).copied().unwrap_or(0) {
+                let slot = self.sessions.entry(index, key);
+                if seen < slot.last_read_seq {
                     self.stats.monotonic_violations += 1;
                 }
-                if seen < self.last_write_seq.get(&key).copied().unwrap_or(0) {
+                if seen < slot.last_write_seq {
                     self.stats.ryw_violations += 1;
                 }
-                let entry = self.last_read_seq.entry(key).or_insert(0);
-                *entry = (*entry).max(seen);
+                slot.last_read_seq = slot.last_read_seq.max(seen);
                 self.push_completed(CompletedOp {
                     op_id,
-                    client: self.index,
+                    client: index,
                     kind: OpKind::Read,
                     key,
                     start,
@@ -380,12 +764,12 @@ impl ClientActor {
     }
 
     fn on_op_timeout(&mut self, op_id: u64) {
-        let Some(p) = self.in_flight.remove(&op_id) else {
+        let Some(p) = self.remove_in_flight(op_id) else {
             return; // completed in time
         };
         self.push_completed(CompletedOp {
             op_id,
-            client: self.index,
+            client: client_of(op_id),
             kind: p.kind,
             key: p.key,
             start: p.start,
@@ -400,34 +784,25 @@ impl ClientActor {
 
     fn on_probe_read(&mut self, ctx: &mut Context<'_, Msg>, token: u64) {
         if let Some(key) = self.probe_pending.remove(&token) {
-            self.issue(ctx, OpKind::Read, key);
+            let row = self.row_of(client_of(token));
+            self.issue(ctx, row, OpKind::Read, key);
         }
     }
 }
 
-impl Actor for ClientActor {
+impl Actor for ClientTable {
     type Msg = Msg;
 
     fn on_event(&mut self, ctx: &mut Context<'_, Msg>, event: Event<Msg>) {
         match event {
             Event::Message { msg, .. } => match msg {
-                Msg::StartClient => {
-                    self.base = ctx.now();
-                    // Re-base onto the stream time already consumed, so a
-                    // restarted client resumes generating immediately.
-                    self.offset_ms = self.consumed_ms;
-                    self.stopped = false;
-                    self.schedule_next_arrival(ctx);
-                }
-                Msg::StopClient => {
-                    self.stopped = true;
-                    self.next = None;
-                }
+                Msg::StartClient => self.start_all(ctx),
+                Msg::StopClient => self.stop_all(),
                 Msg::OpResult { result } => self.on_result(ctx, result),
-                other => unreachable!("client actor received {other:?}"),
+                other => unreachable!("client table received {other:?}"),
             },
             Event::Timer { tag } => match ctag_kind(tag) {
-                CKIND_ARRIVAL => self.on_arrival(ctx),
+                CKIND_ARRIVAL => self.on_arrival_timer(ctx),
                 CKIND_OP_TIMEOUT => self.on_op_timeout(ctag_op(tag)),
                 CKIND_PROBE_READ => self.on_probe_read(ctx, ctag_op(tag)),
                 other => unreachable!("unknown client timer kind {other}"),
@@ -440,31 +815,29 @@ impl Actor for ClientActor {
 mod tests {
     use super::*;
 
+    fn table(worker: usize, stride: usize) -> ClientTable {
+        ClientTable::new(
+            worker,
+            stride,
+            0..3,
+            ClientOptions::default(),
+            Arc::new(DownTracker::new(3)),
+            9,
+        )
+    }
+
     #[test]
     fn op_ids_are_disjoint_across_clients_and_harness() {
-        let down = Arc::new(DownTracker::new(3));
-        let mk = |i| {
-            ClientActor::new(
-                i,
-                0..3,
-                Box::new(pbs_workload::OpStream::new(
-                    pbs_workload::FixedRate::new(1.0),
-                    pbs_workload::UniformKeys::new(4),
-                    pbs_workload::OpMix::linkedin(),
-                    1,
-                )),
-                ClientOptions::default(),
-                Arc::clone(&down),
-                9,
-            )
-        };
-        let mut a = mk(0);
-        let mut b = mk(1);
-        let ida = a.alloc_local();
-        let idb = b.alloc_local();
+        let ida = pack_op(0, 0);
+        let idb = pack_op(1, 0);
         assert_ne!(ida, idb);
         assert!(ida >= (1 << CLIENT_OP_SHIFT), "client ids sit above harness ids");
         assert_eq!(ctag_op(ctag(CKIND_OP_TIMEOUT, ida)), ida, "ids survive timer tags");
+        // The largest admissible id still fits the 56-bit timer-tag space.
+        let top = pack_op(MAX_CLIENTS - 1, u32::MAX);
+        assert!(top < (1 << TAG_KIND_SHIFT));
+        assert_eq!(client_of(top), MAX_CLIENTS - 1);
+        assert_eq!(local_of(top), u32::MAX);
     }
 
     #[test]
@@ -472,5 +845,60 @@ mod tests {
         let t = ctag(CKIND_PROBE_READ, 0xDEAD_BEEF);
         assert_eq!(ctag_kind(t), CKIND_PROBE_READ);
         assert_eq!(ctag_op(t), 0xDEAD_BEEF);
+    }
+
+    #[test]
+    fn rows_map_to_strided_client_indices() {
+        let mut t = table(1, 4);
+        let src = || {
+            Box::new(pbs_workload::OpStream::new(
+                pbs_workload::FixedRate::new(1.0),
+                pbs_workload::UniformKeys::new(4),
+                pbs_workload::OpMix::linkedin(),
+                1,
+            ))
+        };
+        t.push_client(1, src());
+        t.push_client(5, src());
+        t.push_client(9, src());
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t.index_of(2), 9);
+        assert_eq!(t.row_of(5), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong worker table")]
+    fn misrouted_client_is_rejected() {
+        let mut t = table(1, 4);
+        t.push_client(
+            2,
+            Box::new(pbs_workload::OpStream::new(
+                pbs_workload::FixedRate::new(1.0),
+                pbs_workload::UniformKeys::new(4),
+                pbs_workload::OpMix::linkedin(),
+                1,
+            )),
+        );
+    }
+
+    #[test]
+    fn session_arena_isolates_clients_and_keys() {
+        let mut a = SessionArena::new();
+        a.entry(3, 7).last_read_seq = 10;
+        a.entry(3, 8).last_write_seq = 20;
+        a.entry(4, 7).last_read_seq = 30;
+        assert_eq!(a.entry(3, 7).last_read_seq, 10);
+        assert_eq!(a.entry(3, 7).last_write_seq, 0);
+        assert_eq!(a.entry(3, 8).last_write_seq, 20);
+        assert_eq!(a.entry(4, 7).last_read_seq, 30);
+        assert_eq!(a.len(), 3);
+        // Survives growth: insert enough pairs to force several rehashes.
+        for k in 0..1000u64 {
+            a.entry(9, k).last_read_seq = k;
+        }
+        for k in 0..1000u64 {
+            assert_eq!(a.entry(9, k).last_read_seq, k);
+        }
+        assert_eq!(a.entry(3, 7).last_read_seq, 10, "old entries survive rehash");
     }
 }

@@ -10,17 +10,19 @@
 //!   injects one operation, steps the simulation until its result appears,
 //!   and labels it immediately. One op at a time; the §5.2 probe shape.
 //! * **Open loop** ([`Cluster::add_client`] + [`Cluster::drain_window`]) —
-//!   [`ClientActor`]s live *inside* the simulation, generate arrivals
-//!   lazily from streaming `pbs-workload` sources, and keep thousands of
-//!   operations in flight. Completed ops stream out through each client's
-//!   bounded buffer; the driver drains them every window, folds commits
-//!   into the online [`GroundTruth`] watermark, and labels reads
-//!   incrementally. Memory is bounded by in-flight work, never by
-//!   workload length.
+//!   clients live *inside* the simulation as one [`ClientTable`] per PDES
+//!   worker, generate arrivals lazily from streaming `pbs-workload`
+//!   sources, and keep thousands of operations in flight. Completed ops
+//!   stream out through each table's bounded buffer; the driver drains
+//!   them every window, folds commits into the online [`GroundTruth`]
+//!   watermark, and labels reads incrementally. Memory is bounded by
+//!   client count + in-flight work, never by workload length — and with
+//!   [`Cluster::add_clients_shared`] the per-client footprint is roughly
+//!   one cache line, so a single process sustains millions of clients.
 
 use crate::buggify::ProtocolMutations;
 use crate::checker::{CrashRecord, OpHistory};
-use crate::client::{ClientActor, ClientOptions, ClientStats, CompletedOp};
+use crate::client::{ClientOptions, ClientStats, ClientTable, CompletedOp};
 use crate::fxhash::FxHashMap;
 use crate::messages::Msg;
 use crate::network::NetworkModel;
@@ -33,7 +35,7 @@ use pbs_sim::{
     Actor, ActorId, Context, Event, ParallelSimulation, PdesError, PdesStats, SimDuration,
     SimTime, Simulation,
 };
-use pbs_workload::{OpKind, OpSource};
+use pbs_workload::{OpKind, OpSource, SharedOpSource};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::VecDeque;
@@ -70,6 +72,12 @@ pub struct ClusterOptions {
     /// Record per-message one-way W/A/R/S delays for online prediction
     /// (§5.5/§6); drain with [`Cluster::drain_leg_samples`].
     pub record_leg_samples: bool,
+    /// Garbage-collect the online ground truth behind the watermark
+    /// (lagged by `op_timeout_ms`, the oldest start any still-unlabelled
+    /// read can have). Labels are bit-identical with it on or off — see
+    /// the [`staleness`](crate::staleness) module docs — while per-key
+    /// history memory becomes independent of run length. Default on.
+    pub gc_ground_truth: bool,
     /// Test-only protocol mutations for oracle validation — each flag
     /// deliberately breaks one anti-entropy mechanism so the checker's
     /// order oracle can prove it would catch the regression. All off in
@@ -96,6 +104,7 @@ impl ClusterOptions {
             wipe_on_crash: false,
             op_timeout_ms: 60_000.0,
             record_leg_samples: false,
+            gc_ground_truth: true,
             mutations: ProtocolMutations::default(),
             seed,
         }
@@ -304,14 +313,15 @@ impl WindowDrain {
     }
 }
 
-/// Either a storage node or an in-sim client — the two inhabitants of the
-/// cluster's simulation.
+/// Either a storage node or a worker's client table — the two inhabitants
+/// of the cluster's simulation.
 #[allow(clippy::large_enum_variant)]
 pub enum ClusterActor {
     /// A Dynamo-style storage node (coordinator + replica).
     Node(Node),
-    /// An open-loop client actor.
-    Client(ClientActor),
+    /// All open-loop clients of one PDES worker, as a single
+    /// struct-of-arrays actor.
+    Clients(ClientTable),
 }
 
 impl Actor for ClusterActor {
@@ -320,7 +330,7 @@ impl Actor for ClusterActor {
     fn on_event(&mut self, ctx: &mut Context<'_, Msg>, event: Event<Msg>) {
         match self {
             ClusterActor::Node(n) => n.on_event(ctx, event),
-            ClusterActor::Client(c) => c.on_event(ctx, event),
+            ClusterActor::Clients(t) => t.on_event(ctx, event),
         }
     }
 }
@@ -464,7 +474,10 @@ pub struct Cluster {
     rng: StdRng,
     next_op: u64,
     down: Arc<DownTracker>,
-    clients: Vec<ActorId>,
+    /// The client table of each worker (created lazily on the first client
+    /// routed there).
+    tables: Vec<Option<ActorId>>,
+    client_count: u32,
     clients_started: bool,
     ground_truth: GroundTruth,
     detector: DetectorTracker,
@@ -485,7 +498,7 @@ impl std::fmt::Debug for Cluster {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Cluster")
             .field("nodes", &self.opts.nodes)
-            .field("clients", &self.clients.len())
+            .field("clients", &self.client_count)
             .field("replication", &self.opts.replication)
             .field("workers", &self.plan.workers())
             .field("now", &self.engine.now())
@@ -564,6 +577,7 @@ impl Cluster {
         for id in 0..opts.nodes as usize {
             engine.inject(id, 0.0, Msg::StartGc { interval_ms: opts.op_timeout_ms });
         }
+        let workers = plan.workers();
         Ok(Self {
             engine,
             plan,
@@ -573,7 +587,8 @@ impl Cluster {
             rng: StdRng::seed_from_u64(opts.seed.wrapping_mul(0xd134_2543_de82_ef95)),
             next_op: 1,
             down,
-            clients: Vec::new(),
+            tables: vec![None; workers],
+            client_count: 0,
             clients_started: false,
             ground_truth: GroundTruth::new(),
             detector: DetectorTracker::default(),
@@ -697,22 +712,52 @@ impl Cluster {
     pub fn node(&self, id: usize) -> &Node {
         match self.engine.actor(id) {
             ClusterActor::Node(n) => n,
-            ClusterActor::Client(_) => panic!("actor {id} is a client, not a node"),
+            ClusterActor::Clients(_) => panic!("actor {id} is a client table, not a node"),
         }
     }
 
     fn node_mut(&mut self, id: usize) -> &mut Node {
         match self.engine.actor_mut(id) {
             ClusterActor::Node(n) => n,
-            ClusterActor::Client(_) => panic!("actor {id} is a client, not a node"),
+            ClusterActor::Clients(_) => panic!("actor {id} is a client table, not a node"),
         }
     }
 
-    fn client_mut(&mut self, id: ActorId) -> &mut ClientActor {
-        match self.engine.actor_mut(id) {
-            ClusterActor::Client(c) => c,
-            ClusterActor::Node(_) => panic!("actor {id} is a node, not a client"),
+    fn table(&self, id: ActorId) -> &ClientTable {
+        match self.engine.actor(id) {
+            ClusterActor::Clients(t) => t,
+            ClusterActor::Node(_) => panic!("actor {id} is a node, not a client table"),
         }
+    }
+
+    fn table_mut(&mut self, id: ActorId) -> &mut ClientTable {
+        match self.engine.actor_mut(id) {
+            ClusterActor::Clients(t) => t,
+            ClusterActor::Node(_) => panic!("actor {id} is a node, not a client table"),
+        }
+    }
+
+    /// The client-table actor of `worker`, created on first use.
+    fn table_id(&mut self, worker: usize, copts: ClientOptions) -> ActorId {
+        if let Some(id) = self.tables[worker] {
+            return id;
+        }
+        let table = ClientTable::new(
+            worker,
+            self.plan.workers(),
+            // Client affinity: a client lives on one worker and coordinates
+            // only through that worker's node range — client↔coordinator
+            // traffic is zero-delay, so it must never cross partitions. On
+            // a one-partition plan the range is every node, reproducing the
+            // unrestricted pick bit-for-bit.
+            self.plan.node_range(worker),
+            copts,
+            Arc::clone(&self.down),
+            self.opts.seed,
+        );
+        let id = self.engine.add_actor(ClusterActor::Clients(table), worker);
+        self.tables[worker] = Some(id);
+        id
     }
 
     /// Advance simulated time, processing all events up to `at`.
@@ -913,66 +958,94 @@ impl Cluster {
 
     // ----- the open-loop client path -----
 
-    /// Add an in-sim client actor that will pull operations from `source`
-    /// once [`start_clients`](Self::start_clients) runs. Returns the
-    /// client's actor id.
-    pub fn add_client(&mut self, source: Box<dyn OpSource>, copts: ClientOptions) -> ActorId {
+    /// Add an in-sim client that will pull operations from its own boxed
+    /// `source` once [`start_clients`](Self::start_clients) runs. Returns
+    /// the client's index. All clients routed to one worker share that
+    /// table's [`ClientOptions`] (asserted on every add).
+    pub fn add_client(&mut self, source: Box<dyn OpSource>, copts: ClientOptions) -> u32 {
         assert!(!self.clients_started, "add clients before starting them");
-        let index = self.clients.len() as u32;
-        // Client affinity: a client lives on one worker and coordinates
-        // only through that worker's node range — client↔coordinator
-        // traffic is zero-delay, so it must never cross partitions. On a
-        // one-partition plan the range is every node, reproducing the
-        // unrestricted pick bit-for-bit.
+        let index = self.client_count;
         let worker = self.plan.worker_of_client(index);
-        let client = ClientActor::new(
-            index,
-            self.plan.node_range(worker),
-            source,
-            copts,
-            Arc::clone(&self.down),
-            self.opts.seed,
-        );
-        let id = self.engine.add_actor(ClusterActor::Client(client), worker);
-        self.clients.push(id);
-        id
+        let id = self.table_id(worker, copts);
+        let table = self.table_mut(id);
+        assert_eq!(table.options(), &copts, "clients of one worker share one option set");
+        table.push_client(index, source);
+        self.client_count += 1;
+        index
     }
 
-    /// Number of client actors.
-    pub fn client_count(&self) -> usize {
-        self.clients.len()
-    }
-
-    /// Immutable access to a client actor.
-    pub fn client(&self, id: ActorId) -> &ClientActor {
-        match self.engine.actor(id) {
-            ClusterActor::Client(c) => c,
-            ClusterActor::Node(_) => panic!("actor {id} is a node, not a client"),
+    /// Add `count` clients drawing from one **shared** stateless source —
+    /// the million-client path: no per-client box, no per-client map, no
+    /// per-client pending timer; marginal cost ≈ one cache line per
+    /// client. The per-client RNG streams (and therefore histories) are
+    /// identical to `count` boxed [`add_client`](Self::add_client) calls
+    /// with per-client copies of the same stationary source.
+    ///
+    /// Shared-source clients cannot be mixed with boxed clients on the
+    /// same cluster.
+    pub fn add_clients_shared(
+        &mut self,
+        count: u32,
+        source: Arc<dyn SharedOpSource>,
+        copts: ClientOptions,
+    ) {
+        assert!(!self.clients_started, "add clients before starting them");
+        assert_eq!(self.client_count, 0, "shared-source clients must be added first and once");
+        let workers = self.plan.workers();
+        for worker in 0..workers.min(count as usize) {
+            let id = self.table_id(worker, copts);
+            let rows = (count as usize - worker).div_ceil(workers);
+            let table = self.table_mut(id);
+            table.set_shared_source(Arc::clone(&source));
+            table.reserve_rows(rows);
         }
+        for index in 0..count {
+            let worker = self.plan.worker_of_client(index);
+            let id = self.tables[worker].expect("table created above");
+            self.table_mut(id).push_shared_client(index);
+        }
+        self.client_count = count;
     }
 
-    /// Start every client actor's arrival stream at the current simulated
-    /// time.
+    /// Number of open-loop clients.
+    pub fn client_count(&self) -> usize {
+        self.client_count as usize
+    }
+
+    /// Worker client-table actor ids, in worker order.
+    fn table_ids(&self) -> impl Iterator<Item = ActorId> + '_ {
+        self.tables.iter().filter_map(|t| *t)
+    }
+
+    /// Start every client's arrival stream at the current simulated time.
     pub fn start_clients(&mut self) {
         self.clients_started = true;
-        for i in 0..self.clients.len() {
-            let id = self.clients[i];
+        let ids: Vec<ActorId> = self.table_ids().collect();
+        for id in ids {
             self.engine.inject(id, 0.0, Msg::StartClient);
         }
     }
 
-    /// Stop every client actor's arrival stream (in-flight operations
-    /// still complete or time out).
+    /// Stop every client's arrival stream (in-flight operations still
+    /// complete or time out).
     pub fn stop_clients(&mut self) {
-        for i in 0..self.clients.len() {
-            let id = self.clients[i];
+        let ids: Vec<ActorId> = self.table_ids().collect();
+        for id in ids {
             self.engine.inject(id, 0.0, Msg::StopClient);
         }
     }
 
-    /// Total in-flight operations across all client actors.
+    /// Total in-flight operations across all clients.
     pub fn in_flight_total(&self) -> usize {
-        self.clients.iter().map(|&id| self.client(id).in_flight()).sum()
+        self.table_ids().map(|id| self.table(id).in_flight() as usize).sum()
+    }
+
+    /// Touched `(client, key)` session-state entries across all client
+    /// tables — the component of client memory that scales with the key
+    /// universe rather than the client count (memory observability for the
+    /// `profile` harness).
+    pub fn session_entries_total(&self) -> usize {
+        self.table_ids().map(|id| self.table(id).session_entries()).sum()
     }
 
     /// Events currently pending in the simulation's scheduler — the
@@ -997,8 +1070,8 @@ impl Cluster {
     /// Summed per-client counters.
     pub fn client_stats(&self) -> ClientStats {
         let mut total = ClientStats::default();
-        for &id in &self.clients {
-            let s = self.client(id).stats;
+        for id in self.table_ids() {
+            let s = self.table(id).stats();
             total.issued += s.issued;
             total.shed += s.shed;
             total.dropped_results += s.dropped_results;
@@ -1029,15 +1102,29 @@ impl Cluster {
     /// `drain` is cleared and refilled, keeping its capacity, so a driver
     /// looping over many windows allocates nothing in steady state.
     pub fn drain_window_into(&mut self, until: SimTime, drain: &mut WindowDrain) {
+        if self.opts.gc_ground_truth && !self.ground_truth.gc_enabled() {
+            // The GC horizon lags the watermark by the oldest start any
+            // still-unlabelled read can have: a read drained in a later
+            // window must have finished after this one, and it started at
+            // most one client op-timeout before finishing. The cluster-side
+            // timeout is folded in as a floor for good measure (it bounds
+            // the coordinator's own retention).
+            let lag = self
+                .table_ids()
+                .map(|id| self.table(id).options().op_timeout_ms)
+                .fold(self.opts.op_timeout_ms, f64::max);
+            self.ground_truth.enable_gc(lag);
+        }
         self.advance_to(until);
         drain.until_ms = until.as_ms();
         drain.writes.clear();
         drain.reads.clear();
         let mut ops = std::mem::take(&mut self.drain_scratch);
         debug_assert!(ops.is_empty());
-        for i in 0..self.clients.len() {
-            let id = self.clients[i];
-            self.client_mut(id).drain_completed_into(&mut ops);
+        for worker in 0..self.tables.len() {
+            if let Some(id) = self.tables[worker] {
+                self.table_mut(id).drain_completed_into(&mut ops);
+            }
         }
         // Pass 1: commits feed the ground-truth watermark.
         for op in &ops {

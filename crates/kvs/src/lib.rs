@@ -42,11 +42,13 @@
 //! * **Blocking** — [`Cluster::write`]/[`Cluster::read`] serialise one
 //!   operation at a time (the §5.2 probe shape used by
 //!   [`experiments`]).
-//! * **Open loop** — in-sim [`client::ClientActor`]s generate arrivals
-//!   lazily from streaming `pbs-workload` sources and keep thousands of
-//!   operations in flight; [`openloop::run_open_loop`] drives them window
-//!   by window with online (watermark-based) staleness labelling and
-//!   O(in-flight) memory. See [`openloop`].
+//! * **Open loop** — in-sim clients (one [`client::ClientTable`] per PDES
+//!   worker) generate arrivals lazily from streaming `pbs-workload`
+//!   sources and keep thousands of operations in flight;
+//!   [`openloop::run_open_loop`] drives them window by window with online
+//!   (watermark-based) staleness labelling and O(clients + in-flight)
+//!   memory — about a cache line per client, so a single process sustains
+//!   millions of them. See [`openloop`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -74,7 +76,7 @@ pub use checker::{
     check_order, CheckReport, ConvergenceCheck, CrashRecord, LabelCheck, OpHistory, OrderCheck,
     OrderViolation, SessionCheck,
 };
-pub use client::{ClientActor, ClientOptions, ClientStats, CompletedOp};
+pub use client::{ClientOptions, ClientStats, ClientTable, CompletedOp, MAX_CLIENTS};
 pub use cluster::{
     Cluster, ClusterOptions, DetectorStats, EngineKind, OpenRead, ReadOutcome, WindowDrain,
     WindowOp, WriteOutcome,

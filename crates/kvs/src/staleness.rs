@@ -20,9 +20,37 @@
 //!   every commit ≤ `t` has been drained). Reads with `start ≤ watermark`
 //!   then label identically to the batch path — labels depend only on the
 //!   committed history at or before the read's start.
+//!
+//! # Watermark GC
+//!
+//! Without garbage collection a per-key history grows one entry per
+//! committed write forever — O(workload length), the one unbounded
+//! structure in the open-loop engine. [`GroundTruth::enable_gc`] bounds it
+//! **without changing a single label**. The insight: once the watermark
+//! has passed `t`, the only reads still awaiting labels started *after*
+//! `t − lag` (with `lag` = the client op-timeout, a read completing in a
+//! later window cannot have started earlier than that). For such reads,
+//! every commit at or before the horizon `t − lag` contributes only
+//! through two order statistics:
+//!
+//! * the **maximum** sequence below the horizon (drives the consistent /
+//!   stale verdict), and
+//! * whether at least [`MAX_TRACKED_STALENESS`] below-horizon commits
+//!   exceed the returned sequence (the `versions_behind` count is capped
+//!   there anyway).
+//!
+//! So each advance drops all but the `MAX_TRACKED_STALENESS` largest-seq
+//! commits at or below the horizon, remembering per key how many were
+//! dropped and their maximum sequence. Because every retained
+//! below-horizon sequence is ≥ every dropped one, a read that any dropped
+//! commit could have made stale already finds `MAX_TRACKED_STALENESS`
+//! retained commits newer than its returned version — the capped count is
+//! bit-identical to the un-GC'd label, and the prefix maxima are rebuilt
+//! on the dropped maximum so the verdict is too. Per-key memory becomes
+//! O(commits within one op-timeout + the cap), independent of run length.
 
 use crate::fxhash::FxHashMap;
-use pbs_sim::SimTime;
+use pbs_sim::{SimDuration, SimTime};
 
 /// Cap on the reported versions-behind count; deeper staleness is reported
 /// as this value. Keeps labelling O(staleness) per read instead of
@@ -33,9 +61,56 @@ pub const MAX_TRACKED_STALENESS: u64 = 64;
 struct KeyHistory {
     /// `(commit_time, seq)` in commit order.
     commits: Vec<(SimTime, u64)>,
-    /// Running maximum of `seq` along `commits` (monotone, enabling binary
-    /// search by time + O(1) max lookup).
+    /// Running maximum of `seq` along `commits` — seeded with
+    /// `dropped_max_seq`, so it is the true all-time maximum (monotone,
+    /// enabling binary search by time + O(1) max lookup).
     prefix_max_seq: Vec<u64>,
+    /// Commits garbage-collected below the horizon.
+    dropped: u64,
+    /// Maximum sequence among dropped commits. Invariant: ≤ every retained
+    /// below-horizon sequence (top-`MAX_TRACKED_STALENESS` retention).
+    dropped_max_seq: u64,
+}
+
+impl KeyHistory {
+    fn push(&mut self, commit: SimTime, seq: u64) {
+        debug_assert!(self.commits.last().is_none_or(|&(last, _)| commit >= last));
+        let max = self.prefix_max_seq.last().copied().unwrap_or(self.dropped_max_seq).max(seq);
+        self.commits.push((commit, seq));
+        self.prefix_max_seq.push(max);
+    }
+
+    /// Drop all but the `MAX_TRACKED_STALENESS` largest-seq commits at or
+    /// below the horizon (`time + lag ≤ anchor`), preserving time order
+    /// and rebuilding the prefix maxima on the new dropped maximum.
+    fn trim(&mut self, anchor: SimTime, lag: SimDuration) {
+        let cap = MAX_TRACKED_STALENESS as usize;
+        let below = self.commits.partition_point(|&(t, _)| t + lag <= anchor);
+        if below <= cap {
+            return;
+        }
+        // Threshold = the cap-th largest sequence below the horizon; keep
+        // everything at or above it (sequence ties keep a few extra, which
+        // is harmless — the invariant only needs dropped ≤ kept).
+        let mut seqs: Vec<u64> = self.commits[..below].iter().map(|&(_, s)| s).collect();
+        let (_, &mut threshold, _) = seqs.select_nth_unstable_by(cap - 1, |a, b| b.cmp(a));
+        let mut kept = Vec::with_capacity(self.commits.len() - below + cap);
+        for (i, &(t, s)) in self.commits.iter().enumerate() {
+            if i >= below || s >= threshold {
+                kept.push((t, s));
+            } else {
+                self.dropped += 1;
+                self.dropped_max_seq = self.dropped_max_seq.max(s);
+            }
+        }
+        self.commits = kept;
+        self.prefix_max_seq.clear();
+        let mut max = self.dropped_max_seq;
+        for &(_, s) in &self.commits {
+            max = max.max(s);
+            self.prefix_max_seq.push(max);
+        }
+    }
 }
 
 /// The verdict for one read.
@@ -60,12 +135,49 @@ pub struct GroundTruth {
     /// Everything at or before this instant is final (folded into the
     /// histories); labels for reads starting at or before it are exact.
     watermark: SimTime,
+    /// Watermark GC (see the module docs): commits older than `watermark −
+    /// gc_lag` are compacted to order statistics. `None` = keep everything.
+    gc_lag: Option<SimDuration>,
+    /// Scratch: keys touched by the current watermark advance (only they
+    /// can have grown, so only they are trim candidates).
+    touched: Vec<u64>,
 }
 
 impl GroundTruth {
     /// Empty history.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Enable watermark GC: on every
+    /// [`advance_watermark`](Self::advance_watermark), per-key histories
+    /// are compacted below the horizon `previous watermark − lag_ms`.
+    /// Labels for reads starting after the horizon — every read the
+    /// open-loop engine can still deliver, when `lag_ms` is the client
+    /// op-timeout — are **bit-identical** to the un-GC'd history's.
+    /// Queries below the horizon ([`label_read`](Self::label_read) with an
+    /// old `start`) become approximate;
+    /// [`latest_committed_at`](Self::latest_committed_at) stays exact at
+    /// or above the horizon.
+    pub fn enable_gc(&mut self, lag_ms: f64) {
+        assert!(lag_ms > 0.0, "GC lag must be positive");
+        self.gc_lag = Some(SimDuration::from_ms(lag_ms));
+    }
+
+    /// Whether watermark GC is enabled.
+    pub fn gc_enabled(&self) -> bool {
+        self.gc_lag.is_some()
+    }
+
+    /// Finalised commits currently retained across all keys (the GC'd
+    /// memory footprint).
+    pub fn retained_commits(&self) -> usize {
+        self.keys.values().map(|h| h.commits.len()).sum()
+    }
+
+    /// Commits garbage-collected so far across all keys.
+    pub fn dropped_commits(&self) -> u64 {
+        self.keys.values().map(|h| h.dropped).sum()
     }
 
     /// The commit watermark: reads starting at or before it can be
@@ -97,6 +209,10 @@ impl GroundTruth {
         if to <= self.watermark {
             return;
         }
+        // GC horizon: anchored at the watermark *before* this advance —
+        // reads labelled after it started within `lag` of the previous
+        // drain, never below this horizon.
+        let anchor = self.watermark;
         self.watermark = to;
         if self.pending.is_empty() {
             return;
@@ -105,11 +221,18 @@ impl GroundTruth {
         self.pending.sort_by_key(|&(t, _, _)| t);
         let split = self.pending.partition_point(|&(t, _, _)| t <= to);
         for (commit, key, seq) in self.pending.drain(..split) {
-            let h = self.keys.entry(key).or_default();
-            debug_assert!(h.commits.last().is_none_or(|&(last, _)| commit >= last));
-            let max = h.prefix_max_seq.last().copied().unwrap_or(0).max(seq);
-            h.commits.push((commit, seq));
-            h.prefix_max_seq.push(max);
+            self.keys.entry(key).or_default().push(commit, seq);
+            if self.gc_lag.is_some() {
+                self.touched.push(key);
+            }
+        }
+        // Only keys that just grew can newly exceed the retention cap.
+        if let Some(lag) = self.gc_lag {
+            self.touched.sort_unstable();
+            self.touched.dedup();
+            for key in self.touched.drain(..) {
+                self.keys.get_mut(&key).expect("pushed above").trim(anchor, lag);
+            }
         }
     }
 
@@ -127,13 +250,13 @@ impl GroundTruth {
         if let Some(&(last, _)) = h.commits.last() {
             assert!(commit >= last, "commits must be recorded in time order");
         }
-        let max = h.prefix_max_seq.last().copied().unwrap_or(0).max(seq);
-        h.commits.push((commit, seq));
-        h.prefix_max_seq.push(max);
+        h.push(commit, seq);
         self.watermark = self.watermark.max(commit);
     }
 
-    /// Number of commits recorded for `key`.
+    /// Number of commits currently retained for `key` (with GC enabled,
+    /// compacted history below the horizon is excluded — see
+    /// [`dropped_commits`](Self::dropped_commits)).
     pub fn commits_for(&self, key: u64) -> usize {
         self.keys.get(&key).map_or(0, |h| h.commits.len())
     }
@@ -148,12 +271,13 @@ impl GroundTruth {
     }
 
     /// The newest committed `seq` at or before `t` (None when nothing had
-    /// committed yet).
+    /// committed yet). Exact for `t` at or above the GC horizon; below it,
+    /// compacted commits are summarised by their maximum.
     pub fn latest_committed_at(&self, key: u64, t: SimTime) -> Option<u64> {
         let h = self.keys.get(&key)?;
         let idx = h.commits.partition_point(|&(ct, _)| ct <= t);
         if idx == 0 {
-            None
+            (h.dropped > 0).then_some(h.dropped_max_seq)
         } else {
             Some(h.prefix_max_seq[idx - 1])
         }
@@ -167,7 +291,8 @@ impl GroundTruth {
             return ReadLabel { consistent: true, versions_behind: 0 };
         };
         let prefix = h.commits.partition_point(|&(ct, _)| ct <= start);
-        if prefix == 0 || h.prefix_max_seq[prefix - 1] <= returned {
+        let newest = if prefix == 0 { h.dropped_max_seq } else { h.prefix_max_seq[prefix - 1] };
+        if newest <= returned {
             return ReadLabel { consistent: true, versions_behind: 0 };
         }
         // Count committed versions newer than the returned one, scanning
@@ -180,6 +305,14 @@ impl GroundTruth {
                     break;
                 }
             }
+        }
+        // Reads starting below the GC horizon only (the open-loop engine
+        // never produces one): compacted commits are invisible to the scan
+        // above; account for them up to the cap. At or above the horizon
+        // this never fires — `dropped_max_seq > returned` implies the
+        // retained below-horizon commits alone already reach the cap.
+        if behind < MAX_TRACKED_STALENESS && h.dropped_max_seq > returned {
+            behind = (behind + h.dropped).min(MAX_TRACKED_STALENESS);
         }
         ReadLabel { consistent: false, versions_behind: behind }
     }
@@ -320,5 +453,97 @@ mod tests {
         let mut gt = GroundTruth::new();
         gt.advance_watermark(t(100.0));
         gt.ingest_commit(1, 1, t(99.0));
+    }
+
+    #[test]
+    fn gc_labels_are_bit_identical_to_the_unbounded_history() {
+        use rand::{Rng, SeedableRng};
+        // Feed two histories the same long out-of-order commit stream —
+        // one GC'd at a 50 ms lag, one unbounded — and label the reads the
+        // open-loop engine can actually produce (start after the previous
+        // watermark minus the lag). Every label must match exactly, even
+        // though the GC'd history drops almost everything.
+        let lag_ms = 50.0;
+        let window_ms = 20.0;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0xB1A5);
+        let mut gc = GroundTruth::new();
+        gc.enable_gc(lag_ms);
+        let mut full = GroundTruth::new();
+        let mut seq = 1u64;
+        let mut prev_until = 0.0f64;
+        for w in 1..=400usize {
+            let until = w as f64 * window_ms;
+            // A hot key (0) plus a handful of cool ones, commits scattered
+            // through the window out of order.
+            for _ in 0..40 {
+                let key = if rng.gen::<f64>() < 0.8 { 0 } else { rng.gen_range(1..5u64) };
+                let commit = prev_until + rng.gen::<f64>() * window_ms;
+                // Sequences are write-start times: commit-lagged, shuffled.
+                let s = seq + rng.gen_range(0..7u64);
+                seq += 3;
+                gc.ingest_commit(key, s, t(commit));
+                full.ingest_commit(key, s, t(commit));
+            }
+            gc.advance_watermark(t(until));
+            full.advance_watermark(t(until));
+            // Label reads across the whole reachable zone, with returned
+            // sequences old enough to probe deep staleness (the cap path).
+            for _ in 0..30 {
+                let key = if rng.gen::<f64>() < 0.8 { 0 } else { rng.gen_range(1..5u64) };
+                let lo = (prev_until - lag_ms * 0.999).max(0.0);
+                let start = lo + rng.gen::<f64>() * (until - lo);
+                let returned = match rng.gen_range(0..4u32) {
+                    0 => None,
+                    1 => Some(seq),
+                    2 => Some(seq.saturating_sub(rng.gen_range(0..40u64))),
+                    _ => Some(rng.gen_range(0..seq)),
+                };
+                assert_eq!(
+                    gc.label_read(key, t(start), returned),
+                    full.label_read(key, t(start), returned),
+                    "window {w}, key {key}, start {start}, returned {returned:?}"
+                );
+            }
+            prev_until = until;
+        }
+        assert!(
+            gc.dropped_commits() > 10_000,
+            "GC must actually compact ({} dropped)",
+            gc.dropped_commits()
+        );
+        assert_eq!(gc.dropped_commits() + gc.retained_commits() as u64, 400 * 40);
+        // The convergence oracle's query stays exact too.
+        for key in full.tracked_keys() {
+            assert_eq!(
+                gc.latest_committed_at(key, SimTime::MAX),
+                full.latest_committed_at(key, SimTime::MAX),
+            );
+        }
+    }
+
+    #[test]
+    fn gc_keeps_hot_key_memory_flat() {
+        // One key written every ms forever: the un-GC'd history grows one
+        // entry per write; the GC'd one stays bounded by the lag window
+        // plus the staleness cap.
+        let lag_ms = 100.0;
+        let mut gc = GroundTruth::new();
+        gc.enable_gc(lag_ms);
+        let mut peak = 0usize;
+        for i in 0..50_000u64 {
+            let commit = (i + 1) as f64;
+            gc.ingest_commit(7, i + 1, t(commit));
+            if (i + 1) % 20 == 0 {
+                gc.advance_watermark(t(commit));
+                peak = peak.max(gc.retained_commits());
+            }
+        }
+        // Bound: one commit/ms × (lag + one 20 ms fold granule) + the cap,
+        // with slack for the trim threshold.
+        assert!(
+            peak <= (lag_ms as usize + 20 + MAX_TRACKED_STALENESS as usize) * 2,
+            "retained history should stay flat, peaked at {peak}"
+        );
+        assert_eq!(gc.latest_committed_at(7, SimTime::MAX), Some(50_000));
     }
 }

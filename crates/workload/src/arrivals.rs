@@ -24,6 +24,21 @@ pub trait ArrivalProcess: Send + Sync {
     }
 }
 
+/// Marker for arrival processes that are **memoryless across calls**: a
+/// copy of the process produces the same gap distribution as the original,
+/// because `next_gap` keeps no state between draws.
+///
+/// Only such processes may back a [`SharedOpSource`], where one immutable
+/// value serves millions of clients concurrently. [`Bursty`] and
+/// [`PiecewisePoisson`] carry per-stream state (burst phase, stream clock)
+/// and deliberately do not qualify.
+///
+/// [`SharedOpSource`]: crate::ops::SharedOpSource
+pub trait StationaryArrivals: ArrivalProcess + Copy {}
+
+impl StationaryArrivals for FixedRate {}
+impl StationaryArrivals for Poisson {}
+
 /// Deterministic fixed-interval arrivals.
 #[derive(Debug, Clone, Copy)]
 pub struct FixedRate {

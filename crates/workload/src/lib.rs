@@ -27,7 +27,9 @@ pub mod keys;
 pub mod ops;
 pub mod session;
 
-pub use arrivals::{ArrivalProcess, Bursty, FixedRate, PiecewisePoisson, Poisson};
-pub use keys::{HotSet, KeyChooser, UniformKeys, Zipf};
-pub use ops::{Op, OpKind, OpMix, OpSource, OpStream, TraceBuilder};
+pub use arrivals::{
+    ArrivalProcess, Bursty, FixedRate, PiecewisePoisson, Poisson, StationaryArrivals,
+};
+pub use keys::{HotSet, KeyChooser, UniformKeys, Zipf, ZipfCdf};
+pub use ops::{Op, OpKind, OpMix, OpSource, OpStream, SharedOpSource, SharedStream, TraceBuilder};
 pub use session::SessionModel;

@@ -6,7 +6,7 @@
 //! pre-materialising a `Vec<Op>`. [`TraceBuilder::build`] is now a thin
 //! collector over the same stream.
 
-use crate::arrivals::ArrivalProcess;
+use crate::arrivals::{ArrivalProcess, StationaryArrivals};
 use crate::keys::KeyChooser;
 use rand::Rng;
 use rand::RngCore;
@@ -139,6 +139,53 @@ impl<A: ArrivalProcess, K: KeyChooser> OpSource for OpStream<A, K> {
     }
 }
 
+/// A thread-shareable operation source: one immutable value serves any
+/// number of clients, each of which carries only its own stream clock and
+/// RNG.
+///
+/// This is the million-client face of [`OpSource`]: where a boxed
+/// `OpStream` costs a heap allocation plus ~64 bytes *per client*, a
+/// `SharedOpSource` is one `Arc` per worker — per-client marginal cost is
+/// the 8-byte clock the caller already stores. Implementations must be
+/// pure functions of `(now_ms, rng)` so that draws stay bit-reproducible
+/// and clients cannot observe each other.
+pub trait SharedOpSource: Send + Sync {
+    /// Produce the next operation for a client whose stream clock (the
+    /// `at_ms` of its previous operation, 0 initially) is `now_ms`.
+    ///
+    /// Must consume RNG draws in the exact order `gap, kind, key` so a
+    /// shared stream replays bit-identically to a per-client
+    /// [`OpStream`] over the same RNG. The returned `client` field is 0;
+    /// the caller owns client identity.
+    fn next_op_after(&self, now_ms: f64, rng: &mut dyn RngCore) -> Op;
+}
+
+/// The canonical [`SharedOpSource`]: arrivals × key popularity × read/write
+/// mix, like [`OpStream`] but immutable. Requires [`StationaryArrivals`]
+/// (Poisson / fixed-rate) because the arrival process is copied per draw.
+#[derive(Debug, Clone, Copy)]
+pub struct SharedStream<A, K> {
+    arrivals: A,
+    keys: K,
+    mix: OpMix,
+}
+
+impl<A: StationaryArrivals, K: KeyChooser> SharedStream<A, K> {
+    /// Assemble a shared stream from its three ingredients.
+    pub fn new(arrivals: A, keys: K, mix: OpMix) -> Self {
+        Self { arrivals, keys, mix }
+    }
+}
+
+impl<A: StationaryArrivals, K: KeyChooser> SharedOpSource for SharedStream<A, K> {
+    fn next_op_after(&self, now_ms: f64, rng: &mut dyn RngCore) -> Op {
+        // Identical draw order to `OpStream::next_op`: gap, kind, key.
+        let mut arrivals = self.arrivals;
+        let at_ms = now_ms + arrivals.next_gap(rng);
+        Op { at_ms, kind: self.mix.sample(rng), key: self.keys.choose(rng), client: 0 }
+    }
+}
+
 /// Builds operation traces from an arrival process, a key chooser, and an
 /// op mix, spread round-robin across `clients` — a thin collector over
 /// [`OpStream`].
@@ -262,6 +309,33 @@ mod tests {
         assert!((stream.now_ms() - last).abs() < 1e-12);
         stream.rewind();
         assert_eq!(stream.now_ms(), 0.0);
+    }
+
+    /// The shared stream is a drop-in for a 1-client `OpStream`: same RNG,
+    /// same clock, bit-identical ops — the contract the compact client
+    /// table's shared-source mode rests on.
+    #[test]
+    fn shared_stream_replays_op_stream_bit_identically() {
+        let mut boxed = OpStream::new(
+            Poisson::per_second(750.0),
+            UniformKeys::new(32),
+            OpMix::linkedin(),
+            1,
+        );
+        let shared = SharedStream::new(
+            Poisson::per_second(750.0),
+            UniformKeys::new(32),
+            OpMix::linkedin(),
+        );
+        let mut rng_a = StdRng::seed_from_u64(6);
+        let mut rng_b = StdRng::seed_from_u64(6);
+        let mut clock = 0.0;
+        for _ in 0..512 {
+            let a = boxed.next_op(&mut rng_a);
+            let b = shared.next_op_after(clock, &mut rng_b);
+            clock = b.at_ms;
+            assert_eq!(a, b);
+        }
     }
 
     #[test]

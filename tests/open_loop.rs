@@ -3,13 +3,14 @@
 
 use pbs::dist::Exponential;
 use pbs::kvs::{
-    run_open_loop, run_open_loop_sharded, ClientOptions, ClusterOptions, NetworkModel,
-    OpenLoopOptions, OpenLoopReport,
+    run_open_loop, run_open_loop_sharded, ClientOptions, Cluster, ClusterOptions, EngineKind,
+    NetworkModel, OpenLoopOptions, OpenLoopReport,
 };
 use pbs::math::ReplicaConfig;
 use pbs::predictor::Predictor;
+use pbs::sim::SimTime;
 use pbs::wars::IidModel;
-use pbs::workload::{OpMix, OpSource, OpStream, Poisson, UniformKeys};
+use pbs::workload::{OpMix, OpSource, OpStream, Poisson, SharedStream, UniformKeys};
 use std::sync::Arc;
 
 const W_MEAN_MS: f64 = 10.0;
@@ -132,6 +133,41 @@ fn sharded_replication_bitwise_deterministic_and_thread_equivalent() {
     let rate1 = a1.achieved_ops_per_sec();
     let rate4 = a4.achieved_ops_per_sec();
     assert!((rate1 - rate4).abs() / rate1 < 0.2, "{rate1} vs {rate4}");
+}
+
+/// One shared stateless source must reproduce per-client boxed copies of
+/// the same stationary source **bit for bit**: identical per-client RNG
+/// streams, identical drained windows, identical stats — on the plain
+/// serial engine and across a partitioned (multi-table) plan. This is the
+/// contract that lets million-client runs drop the per-client box.
+#[test]
+fn shared_source_reproduces_boxed_clients_bit_for_bit() {
+    for kind in [EngineKind::Serial, EngineKind::SerialPartitioned { workers: 2 }] {
+        let copts = ClientOptions { op_timeout_ms: 1_000.0, ..ClientOptions::default() };
+        let arrivals = Poisson::per_second(20.0);
+        let keys = UniformKeys::new(64);
+        let mix = OpMix::new(0.6);
+        let clients = 24u32;
+
+        let mut boxed = Cluster::with_engine(opts(61, 1_000.0), net(), kind).unwrap();
+        for _ in 0..clients {
+            boxed.add_client(Box::new(OpStream::new(arrivals, keys, mix, 1)), copts);
+        }
+        let mut shared = Cluster::with_engine(opts(61, 1_000.0), net(), kind).unwrap();
+        shared.add_clients_shared(clients, Arc::new(SharedStream::new(arrivals, keys, mix)), copts);
+
+        boxed.start_clients();
+        shared.start_clients();
+        for w in 1..=6u32 {
+            let until = SimTime::from_ms(w as f64 * 250.0);
+            let da = boxed.drain_window(until);
+            let db = shared.drain_window(until);
+            assert_eq!(da.writes, db.writes, "window {w} writes diverged ({kind:?})");
+            assert_eq!(da.reads, db.reads, "window {w} reads diverged ({kind:?})");
+        }
+        assert_eq!(boxed.client_stats(), shared.client_stats(), "stats diverged ({kind:?})");
+        assert!(boxed.client_stats().issued > 50, "the run must actually do work");
+    }
 }
 
 /// On a stationary low-load segment, measured open-loop consistency tracks
