@@ -6,11 +6,28 @@
 //! artifact and fails the process.
 //!
 //! ```text
-//! chaos_sweep [--seeds N] [--seed BASE] [--workers W] [--out DIR] [--quick]
+//! chaos_sweep [--seeds N] [--seed BASE] [--workers W] [--out DIR] [--quick] [--lin]
 //! ```
 //!
 //! Defaults: 32 seeds from base 1, 2 PDES workers, artifacts under
 //! `target/chaos-artifacts`. `--quick` trims to 8 seeds for local smoke.
+//!
+//! `--lin` adds the WGL linearizability gate: each seed also runs a
+//! **fault-free** strict-quorum (N=3, R=W=2) pair, which must verify
+//! `Linearizable` on every key on both engines (`Exhausted` keys are
+//! reported but never fail the gate — an exhausted search is an unproven
+//! key, not a violation); and the base R=W=1 chaos runs' violation
+//! windows are aggregated across the sweep, asserted nonzero (the checker
+//! must have teeth under partial quorums), summarized as p50/p90, and
+//! exported as bench metrics for `bench_guard`.
+//!
+//! The strict runs are deliberately *not* run under the storm: a write
+//! that times out or loses its coordinator mid-flight is applied on some
+//! replicas but never reaches a full `W` quorum, and its version can
+//! legally appear to one read and vanish from the next — Dynamo-style
+//! quorums are regular, not linearizable, the moment writes go partial.
+//! The checker flagging that is correct behaviour, not a regression, so
+//! gating it would only teach people to ignore the gate.
 
 use pbs_bench::cli;
 use pbs_dist::Pareto;
@@ -27,7 +44,7 @@ use std::io::Write as _;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
-const KNOWN: &[&str] = &["seeds", "seed", "workers", "out", "quick"];
+const KNOWN: &[&str] = &["seeds", "seed", "workers", "out", "quick", "lin"];
 
 const NODES: u32 = 8;
 
@@ -35,8 +52,8 @@ fn pareto_net() -> NetworkModel {
     NetworkModel::w_ars(Arc::new(Pareto::new(1.5, 1.2)), Arc::new(Pareto::new(0.8, 2.0)))
 }
 
-fn opts(seed: u64) -> ClusterOptions {
-    let mut o = ClusterOptions::validation(ReplicaConfig::new(3, 1, 1).unwrap(), seed);
+fn opts(cfg: ReplicaConfig, seed: u64) -> ClusterOptions {
+    let mut o = ClusterOptions::validation(cfg, seed);
     o.nodes = NODES;
     o.op_timeout_ms = 2_000.0;
     o
@@ -56,16 +73,17 @@ fn crash_plan(seed: u64) -> (usize, f64, f64) {
     (node, at, down)
 }
 
-/// One audited run. The storm schedule ramps in at 300 ms and clears at
-/// 900 ms; the crash comes from [`crash_plan`].
-fn run(kind: EngineKind, seed: u64) -> (OpHistory, CheckReport) {
+/// One audited run. With `faults` on, the storm schedule ramps in at
+/// 300 ms and clears at 900 ms and the crash comes from [`crash_plan`];
+/// with it off (the strict-quorum WGL gate) the workload runs unfaulted.
+fn run(kind: EngineKind, cfg: ReplicaConfig, seed: u64, faults: bool) -> (OpHistory, CheckReport) {
     let engine = OpenLoopOptions::new(1_200.0, 300.0, 1_500.0);
     let (node, at, down) = crash_plan(seed);
     let mut history = OpHistory::new();
     let mut check = CheckReport::default();
     run_open_loop_on(
         kind,
-        opts(seed),
+        opts(cfg, seed),
         &pareto_net(),
         &engine,
         6,
@@ -73,15 +91,17 @@ fn run(kind: EngineKind, seed: u64) -> (OpHistory, CheckReport) {
         |_| source(),
         |cluster| {
             cluster.enable_history();
-            cluster
-                .network()
-                .set_fault_schedule(FaultSchedule::calm_storm_calm(
-                    FaultProfile::storm(seed),
-                    300.0,
-                    900.0,
-                ))
-                .unwrap();
-            cluster.crash_node_at(node, SimTime::from_ms(at), down);
+            if faults {
+                cluster
+                    .network()
+                    .set_fault_schedule(FaultSchedule::calm_storm_calm(
+                        FaultProfile::storm(seed),
+                        300.0,
+                        900.0,
+                    ))
+                    .unwrap();
+                cluster.crash_node_at(node, SimTime::from_ms(at), down);
+            }
         },
         |cluster| {
             history = cluster.take_history();
@@ -101,14 +121,18 @@ fn violation_key(v: &OrderViolation) -> u64 {
 }
 
 /// Dump the history for offline replay — minimized to the keys named by
-/// the order-oracle violations when there are any, full otherwise (a
-/// session/label disagreement has no single offending key).
+/// the order-oracle violations (plus, when `lin_keys` is set, the keys of
+/// the WGL violations) when there are any, full otherwise (a
+/// session/label disagreement has no single offending key). `lin_keys`
+/// stays off for base partial-quorum dumps, where WGL violations are
+/// expected behaviour and would minimize away the real offender.
 fn dump_history(
     dir: &Path,
     tag: &str,
     seed: u64,
     history: &OpHistory,
     check: &CheckReport,
+    lin_keys: bool,
 ) -> PathBuf {
     std::fs::create_dir_all(dir).expect("create artifact dir");
     let path = dir.join(format!("seed-{seed}-{tag}.history.txt"));
@@ -126,7 +150,7 @@ fn dump_history(
         )
         .unwrap();
     }
-    let bad_keys: Vec<u64> = [
+    let mut bad_keys: Vec<u64> = [
         check.order.first_lost_update,
         check.order.first_non_monotone,
         check.order.first_phantom,
@@ -135,6 +159,11 @@ fn dump_history(
     .flatten()
     .map(violation_key)
     .collect();
+    if lin_keys {
+        bad_keys.extend(check.lin.violations.iter().map(|v| v.key));
+        bad_keys.sort_unstable();
+        bad_keys.dedup();
+    }
     let mut dumped = 0usize;
     for hop in history.ops() {
         let op = &hop.op;
@@ -172,49 +201,84 @@ fn main() {
     let seeds: u64 = args.parsed("seeds").unwrap_or(if args.flag("quick") { 8 } else { 32 });
     let base: u64 = args.parsed("seed").unwrap_or(1);
     let workers: usize = args.parsed("workers").unwrap_or(2);
+    let lin_gate = args.flag("lin");
     let out = PathBuf::from(args.value_of("out").unwrap_or("target/chaos-artifacts"));
 
     println!(
         "chaos sweep: {seeds} seeds from {base}, scheduled storm 300-900ms + per-seed crash, \
-         serial vs {workers}-worker PDES, full checker audit per run"
+         serial vs {workers}-worker PDES, full checker audit per run{}",
+        if lin_gate { ", strict-quorum WGL gate on" } else { "" }
     );
 
+    let partial = ReplicaConfig::new(3, 1, 1).unwrap();
+    let strict = ReplicaConfig::new(3, 2, 2).unwrap();
     let mut failures = 0usize;
     let mut reads_audited = 0u64;
+    let mut windows_ns: Vec<u64> = Vec::new();
+    let mut exhausted_keys = 0u64;
     for i in 0..seeds {
         let seed = base + i;
         let (node, at, down) = crash_plan(seed);
         let (serial_hist, serial_check) =
-            run(EngineKind::SerialPartitioned { workers }, seed);
-        let (par_hist, par_check) = run(EngineKind::Parallel { workers }, seed);
+            run(EngineKind::SerialPartitioned { workers }, partial, seed, true);
+        let (par_hist, par_check) = run(EngineKind::Parallel { workers }, partial, seed, true);
         reads_audited += serial_check.order.reads_checked;
+        windows_ns.extend(serial_check.lin.violations.iter().map(|v| v.window_ns()));
 
         let mut bad = false;
         if !serial_check.is_clean() {
             eprintln!("FAIL seed {seed}: serial checker unclean: {serial_check:?}");
-            let p = dump_history(&out, "serial", seed, &serial_hist, &serial_check);
+            let p = dump_history(&out, "serial", seed, &serial_hist, &serial_check, false);
             eprintln!("  history dumped to {}", p.display());
             bad = true;
         }
         if !par_check.is_clean() {
             eprintln!("FAIL seed {seed}: parallel checker unclean: {par_check:?}");
-            let p = dump_history(&out, "parallel", seed, &par_hist, &par_check);
+            let p = dump_history(&out, "parallel", seed, &par_hist, &par_check, false);
             eprintln!("  history dumped to {}", p.display());
             bad = true;
         }
         if serial_hist != par_hist || serial_check != par_check {
             eprintln!("FAIL seed {seed}: serial vs parallel divergence");
-            let p = dump_history(&out, "serial", seed, &serial_hist, &serial_check);
-            let q = dump_history(&out, "parallel", seed, &par_hist, &par_check);
+            let p = dump_history(&out, "serial", seed, &serial_hist, &serial_check, false);
+            let q = dump_history(&out, "parallel", seed, &par_hist, &par_check, false);
             eprintln!("  histories dumped to {} and {}", p.display(), q.display());
             bad = true;
+        }
+        let mut lin_note = String::new();
+        if lin_gate {
+            // Fault-free strict R+W>N quorums: every key must verify
+            // Linearizable on both engines (see the module docs for why
+            // the storm stays off here).
+            for (tag, kind) in [
+                ("serial-lin", EngineKind::SerialPartitioned { workers }),
+                ("parallel-lin", EngineKind::Parallel { workers }),
+            ] {
+                let (hist, check) = run(kind, strict, seed, false);
+                exhausted_keys += check.lin.exhausted_keys;
+                if check.lin.violated_keys > 0 {
+                    eprintln!(
+                        "FAIL seed {seed}: strict-quorum {tag} not linearizable: {:?} \
+                         (first violation key {:?})",
+                        check.lin,
+                        check.lin.first_violation().map(|v| v.key),
+                    );
+                    let p = dump_history(&out, tag, seed, &hist, &check, true);
+                    eprintln!("  history dumped to {}", p.display());
+                    bad = true;
+                }
+            }
+            lin_note = format!(
+                "; {} partial-quorum windows so far",
+                windows_ns.len()
+            );
         }
         if bad {
             failures += 1;
         } else {
             println!(
                 "  seed {seed:>4}: clean ({} reads, {} writes audited; crash node {node} \
-                 at {at}ms for {down}ms)",
+                 at {at}ms for {down}ms{lin_note})",
                 serial_check.order.reads_checked, serial_check.order.writes_tracked
             );
         }
@@ -226,6 +290,34 @@ fn main() {
         seeds,
         reads_audited
     );
+    if lin_gate {
+        if exhausted_keys > 0 {
+            println!(
+                "note: {exhausted_keys} strict-quorum key(s) exhausted the WGL budget \
+                 (unproven, not failing)"
+            );
+        }
+        // The base R=W=1 runs must surface violation windows — a sweep
+        // with zero windows means the checker lost its teeth, not that
+        // partial quorums became linearizable.
+        if windows_ns.is_empty() {
+            eprintln!("FAIL: no WGL violation windows across {seeds} partial-quorum seeds");
+            std::process::exit(1);
+        }
+        windows_ns.sort_unstable();
+        let pct = |p: f64| {
+            let rank = ((p / 100.0) * windows_ns.len() as f64).ceil() as usize;
+            windows_ns[rank.clamp(1, windows_ns.len()) - 1] as f64 / 1e6
+        };
+        let (p50, p90) = (pct(50.0), pct(90.0));
+        println!(
+            "partial-quorum WGL windows: {} total, p50 {p50:.2}ms, p90 {p90:.2}ms",
+            windows_ns.len()
+        );
+        criterion::record_metric("chaos_lin_windows", windows_ns.len() as f64);
+        criterion::record_metric("chaos_lin_window_p50_ms", p50);
+        criterion::record_metric("chaos_lin_window_p90_ms", p90);
+    }
     if failures > 0 {
         eprintln!("{failures} seed(s) FAILED — artifacts in {}", out.display());
         std::process::exit(1);

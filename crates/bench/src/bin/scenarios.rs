@@ -168,7 +168,9 @@ fn print_json(scenario: &Scenario, run: &ScenarioRun) {
         Some(c) => format!(
             "{{\"clean\":{},\"reads_checked\":{},\"monotonic\":{},\"ryw\":{},\
              \"labelled_reads\":{},\"stale_reads\":{},\"mismatches\":{},\
-             \"lost_updates\":{},\"non_monotone\":{},\"phantoms\":{}}}",
+             \"lost_updates\":{},\"non_monotone\":{},\"phantoms\":{},\
+             \"lin_keys_checked\":{},\"lin_violated_keys\":{},\"lin_violations\":{},\
+             \"lin_exhausted_keys\":{},\"lin_window_p50_ms\":{},\"lin_window_p90_ms\":{}}}",
             c.is_clean(),
             c.sessions.reads_checked,
             c.sessions.monotonic_violations,
@@ -179,6 +181,12 @@ fn print_json(scenario: &Scenario, run: &ScenarioRun) {
             c.order.lost_updates,
             c.order.non_monotone,
             c.order.phantoms,
+            c.lin.keys_checked,
+            c.lin.violated_keys,
+            c.lin.violation_count(),
+            c.lin.exhausted_keys,
+            json_f64(c.lin.window_percentile_ms(50.0)),
+            json_f64(c.lin.window_percentile_ms(90.0)),
         ),
         None => "null".into(),
     };
@@ -296,11 +304,26 @@ fn main() {
                 "  label recount  : {} labelled reads, {} stale, {} mismatches",
                 l.labelled_reads, l.stale_reads, l.mismatches
             );
-            let o = check.order;
+            let o = &check.order;
             println!(
                 "  order oracle   : {} reads vs {} writes — {} lost updates, \
                  {} non-monotone, {} phantoms",
                 o.reads_checked, o.writes_tracked, o.lost_updates, o.non_monotone, o.phantoms
+            );
+            let lin = &check.lin;
+            println!(
+                "  linearizability: {} keys / {} ops — {} ok, {} violated \
+                 ({} windows, p90 {}), {} exhausted",
+                lin.keys_checked,
+                lin.ops_checked,
+                lin.linearizable_keys,
+                lin.violated_keys,
+                lin.violation_count(),
+                match lin.window_percentile_ms(90.0) {
+                    Some(ms) => format!("{ms:.2}ms"),
+                    None => "-".into(),
+                },
+                lin.exhausted_keys,
             );
             if let Some(c) = check.convergence {
                 println!(

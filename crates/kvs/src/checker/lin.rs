@@ -1,0 +1,655 @@
+//! Per-key linearizability checking (Wing–Gong / WGL, Porcupine-style).
+//!
+//! The order oracle ([`check_order`](super::check_order)) audits
+//! *per-replica exposure order* — sound under faults, but blind to global
+//! real-time anomalies that never involve the same replica twice. This
+//! module closes ROADMAP item 5's remaining gap with a true real-time
+//! checker: partition the [`OpHistory`] by key, model
+//! each key as a register of `(seq, writer)` versions, and search for a
+//! linearization — a total order of the completed operations that
+//! respects real time (an op whose response precedes another's invocation
+//! must order before it) and register semantics (every read returns the
+//! version of the latest write ordered before it; `(0, 0)` is the empty
+//! register).
+//!
+//! # Interval model
+//!
+//! Intervals come from the recorded [`CompletedOp`](crate::client::CompletedOp) fields:
+//!
+//! * **Committed write** (`commit: Some`) — required, interval
+//!   `[start, commit]`. The commit instant is when the `W`-th ack landed;
+//!   the write's linearization point lies somewhere in between. Using
+//!   `commit` (not the client-side `finish`) keeps WGL verdicts on the
+//!   same clock as the staleness labels and the paper's t-visibility.
+//! * **Failed or timed-out write** (`commit: None`) — *possibly
+//!   committed*: replicas may have applied (or may yet apply) its version
+//!   even though the client saw a failure or nothing at all. Such writes
+//!   are optional (a linearization may drop them) with an **open
+//!   interval** `[start, ∞)`. This mirrors `relabel_reads`, which never
+//!   feeds uncommitted writes into the ground truth: neither checker
+//!   treats a timed-out write as having definitely happened — and neither
+//!   treats it as having definitely *not* happened.
+//! * **Completed read** (`finish: Some`) — required, `[start, finish]`,
+//!   observed value from `(seq, writer)` (empty read = `(0, 0)`).
+//! * **Timed-out read** (`finish: None`) — dropped: the client observed
+//!   nothing, so an aborted read constrains nothing.
+//!
+//! A timed-out write on the open-loop path also loses its *version*
+//! (`seq: None`). Any read that later returns a version no recorded write
+//! produced is matched against such unknown writes: if the key has any,
+//! each orphan version becomes a synthetic optional open-interval write
+//! starting at the earliest unknown write's start (the same stand-down
+//! the order oracle's `incomplete` flag performs). With no unknown write
+//! to attribute it to, the orphan is a genuine phantom and the search
+//! will convict the read.
+//!
+//! # Search
+//!
+//! Memoized DFS over the linearized-set frontier. A candidate op may be
+//! linearized next iff every un-linearized op whose response precedes its
+//! invocation is already linearized; reads whose value matches the
+//! current register are linearized eagerly (they never change state, so
+//! taking them early never loses solutions); branching happens only on
+//! writes, and optional writes are tried only while some pending read
+//! still needs their version. Visited `(linearized-set, register)`
+//! configurations are cached — full keys, never hashes, so a collision
+//! can't prune a real solution. The search is budget-bounded: crossing
+//! [`LinOptions::max_nodes_per_key`] yields the distinct, non-failing
+//! [`KeyLinVerdict::Exhausted`] instead of a verdict.
+//!
+//! # Violation windows
+//!
+//! When a key is not linearizable the checker localises each anomaly to a
+//! **minimal infeasible prefix**: response events are replayed in order
+//! (ties broken by op id), where the prefix at event `k` contains events
+//! `0..=k` as completed ops and every op already started as an optional
+//! open write (pending reads are dropped). Prefix feasibility is monotone
+//! in `k` — dropping later responses only removes constraints — so the
+//! first infeasible `k` (found by binary search) names the op whose
+//! response made the history un-linearizable. For a stale read the
+//! reported window spans from the newest committed write it missed to the
+//! read's own start: exactly the paper's `t` in t-visibility, which is
+//! what the headline experiment compares against the predictor. The
+//! offending op is then removed (reads dropped, writes demoted to
+//! optional) and the scan continues, so one key can contribute many
+//! windows.
+
+use super::OpHistory;
+use crate::fxhash::{FxHashMap, FxHashSet};
+use pbs_mc::Mergeable;
+use pbs_workload::OpKind;
+
+/// Budgets for the per-key WGL search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinOptions {
+    /// Keys with more participating ops than this are reported
+    /// [`Exhausted`](KeyLinVerdict::Exhausted) without searching.
+    pub max_ops_per_key: usize,
+    /// Total DFS nodes (write-linearization attempts) allowed per key,
+    /// shared across every prefix check the key needs.
+    pub max_nodes_per_key: u64,
+}
+
+impl Default for LinOptions {
+    fn default() -> Self {
+        Self { max_ops_per_key: 4096, max_nodes_per_key: 100_000 }
+    }
+}
+
+/// One localized linearizability violation: the op whose response closed
+/// the first infeasible prefix, plus the staleness window it implies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinViolation {
+    /// Key involved.
+    pub key: u64,
+    /// The offending operation (usually a stale read).
+    pub op_id: u64,
+    /// Window start in sim-nanoseconds: the commit of the newest write
+    /// the op missed (falling back to the op's own start when the
+    /// violation is not a missed-write staleness).
+    pub window_start_ns: u64,
+    /// Window end in sim-nanoseconds: the offending op's start (fallback:
+    /// its response).
+    pub window_end_ns: u64,
+}
+
+impl LinViolation {
+    /// Window duration in sim-nanoseconds (the paper's `t` for a stale
+    /// read: how long after the missed write's commit the read began).
+    pub fn window_ns(&self) -> u64 {
+        self.window_end_ns.saturating_sub(self.window_start_ns)
+    }
+}
+
+/// Per-key search verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KeyLinVerdict {
+    /// A linearization exists for the whole per-key history.
+    Linearizable,
+    /// No linearization exists; see the violations list.
+    Violation,
+    /// The node budget ran out before a verdict — explicitly *not* a
+    /// failure: the gate treats it as "unknown", never "violated".
+    Exhausted,
+}
+
+/// One key's full result, for tests and minimized artifact dumps.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeyLinResult {
+    /// The key.
+    pub key: u64,
+    /// Participating ops (closed + possibly-committed; synthetic orphan
+    /// writes excluded).
+    pub ops: u64,
+    /// The verdict.
+    pub verdict: KeyLinVerdict,
+    /// Every localized violation, in response order.
+    pub violations: Vec<LinViolation>,
+    /// DFS nodes spent on this key.
+    pub nodes: u64,
+}
+
+/// Aggregated linearizability verdict over a run (mergeable across
+/// shards). Lives in [`CheckReport`](super::CheckReport) next to
+/// [`OrderCheck`](super::OrderCheck).
+///
+/// Deliberately **not** part of
+/// [`CheckReport::is_clean`](super::CheckReport::is_clean): partial
+/// quorums (R+W ≤ N) violate linearizability by design — quantifying
+/// that is the paper's whole point — so violations here are a
+/// measurement, not automatically a bug. Gate strict-quorum runs with
+/// [`all_linearizable`](LinCheck::all_linearizable) instead.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LinCheck {
+    /// Keys examined.
+    pub keys_checked: u64,
+    /// Participating ops across all keys.
+    pub ops_checked: u64,
+    /// Keys with a full linearization.
+    pub linearizable_keys: u64,
+    /// Keys with at least one violation.
+    pub violated_keys: u64,
+    /// Keys whose search ran out of budget (unknown, not failed).
+    pub exhausted_keys: u64,
+    /// DFS nodes spent across all keys.
+    pub nodes_explored: u64,
+    /// Every localized violation, keys in first-appearance order.
+    pub violations: Vec<LinViolation>,
+}
+
+impl LinCheck {
+    /// Strict-quorum gate: every key searched to completion and found
+    /// linearizable (`Exhausted` keys fail this — use it only where the
+    /// budget is known to suffice).
+    pub fn all_linearizable(&self) -> bool {
+        self.violated_keys == 0 && self.exhausted_keys == 0
+    }
+
+    /// Total violations found.
+    pub fn violation_count(&self) -> u64 {
+        self.violations.len() as u64
+    }
+
+    /// First violation found (deterministic: keys in first-appearance
+    /// order, violations in response order).
+    pub fn first_violation(&self) -> Option<&LinViolation> {
+        self.violations.first()
+    }
+
+    /// The `pct`-th percentile (0–100, nearest-rank) of the violation
+    /// window durations, in milliseconds. `None` when there are none.
+    pub fn window_percentile_ms(&self, pct: f64) -> Option<f64> {
+        if self.violations.is_empty() {
+            return None;
+        }
+        let mut windows: Vec<u64> = self.violations.iter().map(|v| v.window_ns()).collect();
+        windows.sort_unstable();
+        let rank = ((pct / 100.0) * windows.len() as f64).ceil() as usize;
+        let idx = rank.clamp(1, windows.len()) - 1;
+        Some(windows[idx] as f64 / 1e6)
+    }
+}
+
+impl Mergeable for LinCheck {
+    fn merge(&mut self, other: Self) {
+        self.keys_checked += other.keys_checked;
+        self.ops_checked += other.ops_checked;
+        self.linearizable_keys += other.linearizable_keys;
+        self.violated_keys += other.violated_keys;
+        self.exhausted_keys += other.exhausted_keys;
+        self.nodes_explored += other.nodes_explored;
+        self.violations.extend(other.violations);
+    }
+}
+
+/// One op as the per-key search sees it.
+#[derive(Debug, Clone, Copy)]
+struct LinOp {
+    op_id: u64,
+    is_write: bool,
+    /// Write: version written. Read: version observed (`(0, 0)` empty).
+    version: (u64, u32),
+    start_ns: u64,
+    /// Response instant; `u64::MAX` = open (possibly committed).
+    resp_ns: u64,
+    /// Closed committed write or completed read (participates in prefix
+    /// events). Open writes are never required.
+    closed: bool,
+    /// Synthetic orphan-version write (excluded from op counts).
+    synthetic: bool,
+}
+
+/// Prefix-check feasibility outcome.
+enum Feasibility {
+    Feasible,
+    Infeasible,
+    Exhausted,
+}
+
+/// Check every key of the history. Equivalent to [`check_lin`] but keeps
+/// the per-key results (tests, artifact minimization).
+pub fn check_lin_keys(history: &OpHistory, opts: &LinOptions) -> Vec<KeyLinResult> {
+    let mut keys: FxHashMap<u64, Vec<LinOp>> = FxHashMap::default();
+    let mut unknown_starts: FxHashMap<u64, u64> = FxHashMap::default();
+    let mut order: Vec<u64> = Vec::new();
+    for h in history.ops() {
+        let op = &h.op;
+        let ops = keys.entry(op.key).or_insert_with(|| {
+            order.push(op.key);
+            Vec::new()
+        });
+        match op.kind {
+            OpKind::Write => match (op.seq, op.commit) {
+                (Some(seq), commit) => {
+                    let writer = op.writer.expect("writes with a sequence carry their writer");
+                    ops.push(LinOp {
+                        op_id: op.op_id,
+                        is_write: true,
+                        version: (seq, writer),
+                        start_ns: op.start.as_nanos(),
+                        resp_ns: commit.map_or(u64::MAX, |c| c.as_nanos()),
+                        closed: commit.is_some(),
+                        synthetic: false,
+                    });
+                }
+                (None, _) => {
+                    // Version unknown (open-loop client timeout): the
+                    // write is possibly committed with an unattributable
+                    // version — remembered so orphan versions on this key
+                    // get a synthetic carrier instead of a conviction.
+                    let e = unknown_starts.entry(op.key).or_insert(u64::MAX);
+                    *e = (*e).min(op.start.as_nanos());
+                }
+            },
+            OpKind::Read => {
+                let Some(finish) = op.finish else {
+                    continue; // timed out: the client observed nothing
+                };
+                ops.push(LinOp {
+                    op_id: op.op_id,
+                    is_write: false,
+                    version: (op.seq.unwrap_or(0), op.writer.unwrap_or(0)),
+                    start_ns: op.start.as_nanos(),
+                    resp_ns: finish.as_nanos(),
+                    closed: true,
+                    synthetic: false,
+                });
+            }
+        }
+    }
+
+    let mut results = Vec::with_capacity(order.len());
+    for key in order {
+        let mut ops = keys.remove(&key).expect("key was inserted above");
+        if let Some(&unknown_start) = unknown_starts.get(&key) {
+            synthesize_orphans(&mut ops, unknown_start);
+        }
+        results.push(check_key(key, ops, opts));
+    }
+    results
+}
+
+/// Check every key and aggregate into a [`LinCheck`].
+pub fn check_lin(history: &OpHistory, opts: &LinOptions) -> LinCheck {
+    let mut check = LinCheck::default();
+    for kr in check_lin_keys(history, opts) {
+        check.keys_checked += 1;
+        check.ops_checked += kr.ops;
+        check.nodes_explored += kr.nodes;
+        match kr.verdict {
+            KeyLinVerdict::Linearizable => check.linearizable_keys += 1,
+            KeyLinVerdict::Violation => check.violated_keys += 1,
+            KeyLinVerdict::Exhausted => check.exhausted_keys += 1,
+        }
+        check.violations.extend(kr.violations);
+    }
+    check
+}
+
+/// Add a synthetic optional open write for every version some read
+/// observed but no recorded write produced, anchored at the earliest
+/// unknown-version write's start.
+fn synthesize_orphans(ops: &mut Vec<LinOp>, unknown_start_ns: u64) {
+    let known: FxHashSet<(u64, u32)> =
+        ops.iter().filter(|o| o.is_write).map(|o| o.version).collect();
+    let mut orphans: Vec<(u64, u32)> = ops
+        .iter()
+        .filter(|o| !o.is_write && o.version != (0, 0) && !known.contains(&o.version))
+        .map(|o| o.version)
+        .collect();
+    orphans.sort_unstable();
+    orphans.dedup();
+    for (i, version) in orphans.into_iter().enumerate() {
+        ops.push(LinOp {
+            op_id: u64::MAX - i as u64,
+            is_write: true,
+            version,
+            start_ns: unknown_start_ns,
+            resp_ns: u64::MAX,
+            closed: false,
+            synthetic: true,
+        });
+    }
+}
+
+/// Search one key: full check first (the common clean case costs one
+/// pass), then minimal-prefix localization for every violation.
+fn check_key(key: u64, mut ops: Vec<LinOp>, opts: &LinOptions) -> KeyLinResult {
+    let op_count = ops.iter().filter(|o| !o.synthetic).count() as u64;
+    let mut result = KeyLinResult {
+        key,
+        ops: op_count,
+        verdict: KeyLinVerdict::Linearizable,
+        violations: Vec::new(),
+        nodes: 0,
+    };
+    if ops.len() > opts.max_ops_per_key {
+        result.verdict = KeyLinVerdict::Exhausted;
+        return result;
+    }
+    // Invocation order is the search's canonical op order (ties broken by
+    // op id, so serial and parallel runs of one schedule agree).
+    ops.sort_by_key(|o| (o.start_ns, o.op_id));
+    // Response events in time order: the prefix at event k closes events
+    // 0..=k (index-based, so equal response instants stay deterministic).
+    let mut events: Vec<usize> = (0..ops.len()).filter(|&i| ops[i].closed).collect();
+    events.sort_by_key(|&i| (ops[i].resp_ns, ops[i].op_id));
+
+    // Committed `(version, commit)` pairs anchor the staleness windows.
+    let committed_versions: Vec<((u64, u32), u64)> = ops
+        .iter()
+        .filter(|o| o.is_write && o.closed)
+        .map(|o| (o.version, o.resp_ns))
+        .collect();
+
+    let mut budget = opts.max_nodes_per_key;
+    let mut removed: FxHashSet<usize> = FxHashSet::default();
+    // `known_feasible`: every prefix up to and including this event index
+    // is linearizable given the removals so far.
+    let mut known_feasible: Option<usize> = None;
+    loop {
+        if events.is_empty() {
+            break;
+        }
+        let full = events.len() - 1;
+        match check_prefix(&ops, &events, full, &removed, &mut budget, &mut result.nodes) {
+            Feasibility::Feasible => break,
+            Feasibility::Exhausted => {
+                result.verdict = KeyLinVerdict::Exhausted;
+                return result;
+            }
+            Feasibility::Infeasible => {}
+        }
+        // Binary search the minimal infeasible prefix in
+        // (known_feasible, full]; `full` is already known infeasible.
+        let mut lo = known_feasible.map_or(0, |k| k + 1);
+        let mut hi = full;
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            match check_prefix(&ops, &events, mid, &removed, &mut budget, &mut result.nodes) {
+                Feasibility::Feasible => lo = mid + 1,
+                Feasibility::Infeasible => hi = mid,
+                Feasibility::Exhausted => {
+                    result.verdict = KeyLinVerdict::Exhausted;
+                    return result;
+                }
+            }
+        }
+        let culprit = events[lo];
+        result.violations.push(violation_for(key, &ops[culprit], &committed_versions));
+        removed.insert(culprit);
+        // With the culprit gone the prefix at `lo` equals the (feasible)
+        // prefix at `lo - 1` plus one more open op: still feasible.
+        known_feasible = Some(lo);
+    }
+    if !result.violations.is_empty() {
+        result.verdict = KeyLinVerdict::Violation;
+    }
+    result
+}
+
+/// Localize one violation to its staleness window. For a read that saw
+/// `seen`, the window runs from the newest committed write it missed
+/// (version above `seen`, committed before the read began) to the read's
+/// start — the paper's `t`. Ops without a missed write span their own
+/// interval.
+fn violation_for(
+    key: u64,
+    op: &LinOp,
+    committed_versions: &[((u64, u32), u64)],
+) -> LinViolation {
+    let mut window_start = op.start_ns;
+    let mut window_end = if op.resp_ns == u64::MAX { op.start_ns } else { op.resp_ns };
+    if !op.is_write {
+        let missed = committed_versions
+            .iter()
+            .filter(|&&(v, commit)| v > op.version && commit <= op.start_ns)
+            .map(|&(_, commit)| commit)
+            .max();
+        if let Some(commit) = missed {
+            window_start = commit;
+            window_end = op.start_ns;
+        }
+    }
+    LinViolation { key, op_id: op.op_id, window_start_ns: window_start, window_end_ns: window_end }
+}
+
+/// WGL feasibility of the prefix closing events `0..=upto` (minus the
+/// removed set): required ops are the closed ones; every other op that
+/// has started is an optional open write (pending reads are dropped).
+fn check_prefix(
+    ops: &[LinOp],
+    events: &[usize],
+    upto: usize,
+    removed: &FxHashSet<usize>,
+    budget: &mut u64,
+    nodes: &mut u64,
+) -> Feasibility {
+    let horizon = ops[events[upto]].resp_ns;
+    let mut required = vec![false; ops.len()];
+    let mut active = vec![false; ops.len()];
+    for &i in &events[..=upto] {
+        if !removed.contains(&i) {
+            required[i] = true;
+            active[i] = true;
+        }
+    }
+    for (i, op) in ops.iter().enumerate() {
+        // Writes not yet closed (or removed) participate as optional open
+        // ops; pending/removed reads observe nothing.
+        if !active[i] && op.is_write && op.start_ns <= horizon {
+            active[i] = true;
+        }
+    }
+    // Compact to the active subset, preserving invocation order.
+    let idx: Vec<usize> = (0..ops.len()).filter(|&i| active[i]).collect();
+    let sub: Vec<Sop> = idx
+        .iter()
+        .map(|&i| Sop {
+            is_write: ops[i].is_write,
+            version: ops[i].version,
+            start_ns: ops[i].start_ns,
+            resp_ns: if required[i] { ops[i].resp_ns } else { u64::MAX },
+            required: required[i],
+        })
+        .collect();
+    wgl_search(&sub, budget, nodes)
+}
+
+/// One op in a compacted prefix, in invocation order.
+#[derive(Debug, Clone, Copy)]
+struct Sop {
+    is_write: bool,
+    version: (u64, u32),
+    start_ns: u64,
+    resp_ns: u64,
+    required: bool,
+}
+
+/// One DFS choice point: the write candidates available when the frame
+/// was entered, the ops linearized to enter it, and the register value to
+/// restore on backtrack.
+struct Frame {
+    candidates: Vec<u32>,
+    next: usize,
+    undo: Vec<u32>,
+    prev_version: (u64, u32),
+}
+
+/// The memoized WGL search proper over a compacted prefix.
+fn wgl_search(ops: &[Sop], budget: &mut u64, nodes: &mut u64) -> Feasibility {
+    let n = ops.len();
+    let mut required_left = ops.iter().filter(|o| o.required).count();
+    if required_left == 0 {
+        return Feasibility::Feasible;
+    }
+    // Which reads could still need each optional write's version: the
+    // usefulness prune consults this instead of rescanning.
+    let mut readers_of: FxHashMap<(u64, u32), Vec<u32>> = FxHashMap::default();
+    for (i, op) in ops.iter().enumerate() {
+        if !op.is_write && op.version != (0, 0) {
+            readers_of.entry(op.version).or_default().push(i as u32);
+        }
+    }
+    let words = n.div_ceil(64);
+    let mut linearized = vec![0u64; words];
+    let is_lin = |bits: &[u64], i: usize| bits[i / 64] & (1u64 << (i % 64)) != 0;
+    let mut cur: (u64, u32) = (0, 0);
+    let mut cache: FxHashSet<(Vec<u64>, (u64, u32))> = FxHashSet::default();
+
+    // Eagerly linearize available required reads matching the register;
+    // returns the indices taken. Availability only depends on earlier
+    // (by invocation) un-linearized ops' responses, so one forward scan
+    // with a running minimum finds the whole frontier.
+    let eager = |bits: &mut [u64], cur: (u64, u32), required_left: &mut usize| -> Vec<u32> {
+        let mut taken = Vec::new();
+        loop {
+            let mut min_resp = u64::MAX;
+            let mut hit = None;
+            for (i, op) in ops.iter().enumerate() {
+                if is_lin(bits, i) {
+                    continue;
+                }
+                if op.start_ns > min_resp {
+                    break; // invocation order: nothing later is available
+                }
+                if !op.is_write && op.required && op.version == cur {
+                    hit = Some(i);
+                    break;
+                }
+                min_resp = min_resp.min(op.resp_ns);
+            }
+            match hit {
+                Some(i) => {
+                    bits[i / 64] |= 1u64 << (i % 64);
+                    *required_left -= 1;
+                    taken.push(i as u32);
+                }
+                None => return taken,
+            }
+        }
+    };
+    // Available un-linearized writes worth trying, in invocation order.
+    let candidates = |bits: &[u64]| -> Vec<u32> {
+        let mut found = Vec::new();
+        let mut min_resp = u64::MAX;
+        for (i, op) in ops.iter().enumerate() {
+            if is_lin(bits, i) {
+                continue;
+            }
+            if op.start_ns > min_resp {
+                break;
+            }
+            if op.is_write {
+                let useful = op.required
+                    || readers_of.get(&op.version).is_some_and(|rs| {
+                        rs.iter().any(|&r| !is_lin(bits, r as usize))
+                    });
+                if useful {
+                    found.push(i as u32);
+                }
+            }
+            min_resp = min_resp.min(op.resp_ns);
+        }
+        found
+    };
+
+    let root_undo = eager(&mut linearized, cur, &mut required_left);
+    if required_left == 0 {
+        return Feasibility::Feasible;
+    }
+    let mut stack = vec![Frame {
+        candidates: candidates(&linearized),
+        next: 0,
+        undo: root_undo,
+        prev_version: (0, 0),
+    }];
+    loop {
+        let Some(frame) = stack.last_mut() else {
+            return Feasibility::Infeasible;
+        };
+        if frame.next >= frame.candidates.len() {
+            // Every choice failed from here: memoize and backtrack.
+            cache.insert((linearized.clone(), cur));
+            let frame = stack.pop().expect("frame was just inspected");
+            for &i in &frame.undo {
+                linearized[i as usize / 64] &= !(1u64 << (i as usize % 64));
+                if ops[i as usize].required {
+                    required_left += 1;
+                }
+            }
+            cur = frame.prev_version;
+            continue;
+        }
+        let w = frame.candidates[frame.next] as usize;
+        frame.next += 1;
+        if *budget == 0 {
+            return Feasibility::Exhausted;
+        }
+        *budget -= 1;
+        *nodes += 1;
+        let prev_version = cur;
+        let mut undo = vec![w as u32];
+        linearized[w / 64] |= 1u64 << (w % 64);
+        if ops[w].required {
+            required_left -= 1;
+        }
+        cur = ops[w].version;
+        undo.extend(eager(&mut linearized, cur, &mut required_left));
+        if required_left == 0 {
+            return Feasibility::Feasible;
+        }
+        if cache.contains(&(linearized.clone(), cur)) {
+            for &i in &undo {
+                linearized[i as usize / 64] &= !(1u64 << (i as usize % 64));
+                if ops[i as usize].required {
+                    required_left += 1;
+                }
+            }
+            cur = prev_version;
+            continue;
+        }
+        let next_candidates = candidates(&linearized);
+        stack.push(Frame { candidates: next_candidates, next: 0, undo, prev_version });
+    }
+}

@@ -26,6 +26,14 @@
 //! [`Cluster::enable_history`](crate::Cluster::enable_history) (done for
 //! you by [`run_open_loop_checked`](crate::run_open_loop_checked) and the
 //! `scenarios --chaos` bench mode).
+//!
+//! The [`lin`] submodule adds the top of the checker hierarchy: a
+//! per-key Wing–Gong linearizability checker with violation-window
+//! metrics ([`lin::check_lin`], aggregated here as [`CheckReport::lin`]).
+
+pub mod lin;
+
+pub use lin::{KeyLinResult, KeyLinVerdict, LinCheck, LinOptions, LinViolation};
 
 use crate::client::{ClientStats, CompletedOp};
 use crate::cluster::Cluster;
@@ -248,7 +256,7 @@ impl OrderCheck {
 }
 
 /// The combined verdict of one checked run (mergeable across shards).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CheckReport {
     /// Session-guarantee recount.
     pub sessions: SessionCheck,
@@ -256,6 +264,8 @@ pub struct CheckReport {
     pub labels: LabelCheck,
     /// Per-key order-oracle verdict.
     pub order: OrderCheck,
+    /// Per-key linearizability verdict with violation windows.
+    pub lin: LinCheck,
     /// Replica convergence (when requested — only meaningful after the
     /// run has quiesced with faults cleared).
     pub convergence: Option<ConvergenceCheck>,
@@ -273,6 +283,12 @@ impl CheckReport {
     /// survive drops, duplicates, reorders, and non-wiping crashes, so
     /// any [`OrderCheck`] violation is a real safety bug (or an injected
     /// protocol mutation doing its job).
+    ///
+    /// [`LinCheck`] violations are deliberately **excluded** for the same
+    /// reason session violations are: partial quorums (R+W ≤ N) violate
+    /// linearizability by design — measuring those windows is the point,
+    /// not a failure. Strict-quorum runs should additionally gate on
+    /// [`LinCheck::all_linearizable`] via [`CheckReport::lin`].
     pub fn is_clean(&self) -> bool {
         self.sessions.agrees()
             && self.labels.mismatches == 0
@@ -302,6 +318,7 @@ impl Mergeable for CheckReport {
         o.first_lost_update = o.first_lost_update.or(other.order.first_lost_update);
         o.first_non_monotone = o.first_non_monotone.or(other.order.first_non_monotone);
         o.first_phantom = o.first_phantom.or(other.order.first_phantom);
+        self.lin.merge(other.lin);
         self.convergence = match (self.convergence, other.convergence) {
             (Some(mut a), Some(b)) => {
                 a.keys_checked += b.keys_checked;
@@ -707,9 +724,21 @@ fn check_final_state(history: &OpHistory, cluster: &Cluster, check: &mut OrderCh
 }
 
 /// Run every offline check against a finished cluster: session replay vs.
-/// the streaming counters, label recount, the per-key order oracle, and
-/// (optionally) convergence plus the oracle's final-state rule.
+/// the streaming counters, label recount, the per-key order oracle, the
+/// per-key linearizability checker (default budgets — use
+/// [`check_run_with`] to tune them), and (optionally) convergence plus
+/// the oracle's final-state rule.
 pub fn check_run(history: &OpHistory, cluster: &Cluster, convergence: bool) -> CheckReport {
+    check_run_with(history, cluster, convergence, &LinOptions::default())
+}
+
+/// [`check_run`] with explicit linearizability-search budgets.
+pub fn check_run_with(
+    history: &OpHistory,
+    cluster: &Cluster,
+    convergence: bool,
+    lin_opts: &LinOptions,
+) -> CheckReport {
     let streaming = cluster.client_stats();
     let mut order = check_order(history, cluster.node_count() as u32);
     if convergence {
@@ -719,6 +748,7 @@ pub fn check_run(history: &OpHistory, cluster: &Cluster, convergence: bool) -> C
         sessions: replay_sessions(history, &streaming),
         labels: relabel_reads(history),
         order,
+        lin: lin::check_lin(history, lin_opts),
         convergence: convergence.then(|| check_convergence(cluster)),
         runs: 1,
     }
@@ -863,16 +893,19 @@ mod tests {
             sessions: SessionCheck { reads_checked: 2, streaming_reads_checked: 2, ..Default::default() },
             labels: LabelCheck { labelled_reads: 2, ..Default::default() },
             order: OrderCheck { reads_checked: 2, writes_tracked: 1, ..Default::default() },
+            lin: LinCheck { keys_checked: 1, linearizable_keys: 1, ..Default::default() },
             convergence: Some(ConvergenceCheck { keys_checked: 3, ..Default::default() }),
             runs: 1,
         };
-        let b = a;
+        let b = a.clone();
         a.merge(b);
         assert_eq!(a.runs, 2);
         assert_eq!(a.sessions.reads_checked, 4);
         assert_eq!(a.labels.labelled_reads, 4);
         assert_eq!(a.order.reads_checked, 4);
         assert_eq!(a.order.writes_tracked, 2);
+        assert_eq!(a.lin.keys_checked, 2);
+        assert_eq!(a.lin.linearizable_keys, 2);
         assert_eq!(a.convergence.unwrap().keys_checked, 6);
         assert!(a.is_clean());
     }

@@ -540,6 +540,51 @@ impl ClientTable {
         out.append(&mut self.completed);
     }
 
+    /// Remove every still-in-flight operation and return it as an open
+    /// (no-response) record — `finish`, `seq`, and `commit` all `None`,
+    /// the same shape as a client timeout. The harness calls this when a
+    /// run's recorded history is closed: an op pending at shutdown never
+    /// produced a result, but a pending *write* may still have applied on
+    /// replicas (e.g. its coordinator crashed holding the op), so the
+    /// linearizability checker needs its invocation on record to attribute
+    /// the version as possibly committed instead of convicting the reads
+    /// that see it. Sorted by op id for engine-independent determinism.
+    pub fn take_in_flight(&mut self) -> Vec<CompletedOp> {
+        let open = |op_id: u64, kind: OpKind, key: u64, start: SimTime| CompletedOp {
+            op_id,
+            client: client_of(op_id),
+            kind,
+            key,
+            start,
+            finish: None,
+            seq: None,
+            commit: None,
+            writer: None,
+            source: None,
+            quorum_mask: 0,
+        };
+        let mut out = Vec::new();
+        for row in 0..self.rows() {
+            if self.slot_local[row] != SLOT_EMPTY {
+                let op_id = pack_op(self.index_of(row), self.slot_local[row]);
+                let kind =
+                    if self.flags[row] & F_SLOT_READ != 0 { OpKind::Read } else { OpKind::Write };
+                out.push(open(op_id, kind, self.slot_key[row], self.slot_start[row]));
+                self.slot_local[row] = SLOT_EMPTY;
+                self.in_flight_count[row] -= 1;
+                self.in_flight_live -= 1;
+            }
+        }
+        for (op_id, p) in self.overflow.drain() {
+            let row = (client_of(op_id) as usize) / self.stride;
+            self.in_flight_count[row] -= 1;
+            self.in_flight_live -= 1;
+            out.push(open(op_id, p.kind, p.key, p.start));
+        }
+        out.sort_unstable_by_key(|op| op.op_id);
+        out
+    }
+
     fn push_completed(&mut self, op: CompletedOp) {
         if self.completed.len() >= self.opts.result_capacity {
             self.stats.dropped_results += 1;

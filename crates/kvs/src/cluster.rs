@@ -661,7 +661,28 @@ impl Cluster {
     /// it was enabled), stamped with every crash scheduled so far so the
     /// order oracle can discount evidence from wiped replicas. Returns an
     /// empty history when recording was never enabled.
+    ///
+    /// Taking the history closes the run from the checker's point of
+    /// view: every client operation still in flight is flushed into it as
+    /// an open (no-response) invocation first. A write pending at
+    /// shutdown may already have applied on replicas — its coordinator
+    /// may have crashed holding the op — so later reads can return its
+    /// version; without the open record the linearizability checker would
+    /// convict those reads as phantoms.
     pub fn take_history(&mut self) -> OpHistory {
+        if self.history.is_some() {
+            let mut pending = Vec::new();
+            for worker in 0..self.tables.len() {
+                if let Some(id) = self.tables[worker] {
+                    pending.append(&mut self.table_mut(id).take_in_flight());
+                }
+            }
+            pending.sort_unstable_by_key(|op| op.op_id);
+            let history = self.history.as_mut().expect("checked above");
+            for op in pending {
+                history.push(op, None);
+            }
+        }
         let mut h = match self.history.as_mut() {
             Some(h) => std::mem::take(h),
             None => OpHistory::new(),

@@ -80,6 +80,10 @@ pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
 /// on hot paths with internal (non-adversarial) keys.
 pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
 
+/// A `HashSet` keyed through [`FxHasher`] (the linearizability checker's
+/// memo cache and version sets).
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -73,8 +73,9 @@ pub use buggify::{
     Delivery, FaultConfigError, FaultProfile, FaultSchedule, ProtocolMutations, ScheduleSegment,
 };
 pub use checker::{
-    check_order, CheckReport, ConvergenceCheck, CrashRecord, LabelCheck, OpHistory, OrderCheck,
-    OrderViolation, SessionCheck,
+    check_order, CheckReport, ConvergenceCheck, CrashRecord, KeyLinResult, KeyLinVerdict,
+    LabelCheck, LinCheck, LinOptions, LinViolation, OpHistory, OrderCheck, OrderViolation,
+    SessionCheck,
 };
 pub use client::{ClientOptions, ClientStats, ClientTable, CompletedOp, MAX_CLIENTS};
 pub use cluster::{

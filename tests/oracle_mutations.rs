@@ -9,6 +9,19 @@
 //! equal-time ties in origin-id order — so an `R = 1` read always sources
 //! the lowest-id replica, the "victim" each scenario arranges to be
 //! stale.
+//!
+//! Each scenario also pins down how the WGL linearizability checker
+//! relates to the order oracle (neither subsumes the other):
+//!
+//! * WGL is **stronger on reads**: it convicts plain staleness (a read
+//!   missing a committed write) that the order oracle deliberately
+//!   permits under partial quorums, and it catches every read-visible
+//!   mutation here — lost updates and rollbacks surface as stale reads,
+//!   phantoms as unattributable versions.
+//! * The order oracle is **stronger on silent divergence**: a mutation
+//!   with no read to expose it (`swallow_hints`' never-replayed hint) is
+//!   invisible to WGL — a history with no reads is trivially
+//!   linearizable — and only the final-state lost-update rule flags it.
 
 use pbs::dist::Constant;
 use pbs::kvs::checker::{check_run, OrderViolation};
@@ -87,6 +100,10 @@ fn skip_read_repair_is_caught_as_lost_update() {
         Some(OrderViolation::LostUpdate { expected_seq, .. }) => assert_eq!(expected_seq, w_seq),
         other => panic!("expected a LostUpdate example, got {other:?}"),
     }
+    // WGL sees the same regression from the read side: both empty reads
+    // started long after the write committed, so both are stale.
+    assert_eq!(check.lin.violation_count(), 2, "WGL must convict r1 and r2: {:?}", check.lin);
+    assert_eq!(check.lin.violated_keys, 1);
 }
 
 /// `corrupt_read_repair`: repair installs a fabricated version far in the
@@ -105,6 +122,10 @@ fn corrupt_read_repair_is_caught_as_phantom_version() {
         Some(OrderViolation::PhantomVersion { seen_seq, .. }) => assert_eq!(seen_seq, stored),
         other => panic!("expected a PhantomVersion example, got {other:?}"),
     }
+    // WGL convicts both reads: r1 for missing the committed write, r2 for
+    // returning a version no recorded write produced (no timed-out write
+    // exists on the key, so the orphan absorption rule does not apply).
+    assert_eq!(check.lin.violation_count(), 2, "WGL must convict r1 and r2: {:?}", check.lin);
 }
 
 /// Control: the identical scenario with all mutations off heals the
@@ -115,6 +136,11 @@ fn read_repair_scenario_is_clean_without_mutations() {
     assert_eq!(r2_seq, Some(w_seq), "repair healed the victim before r2");
     assert_eq!(stored, w_seq);
     assert!(check.is_clean(), "clean build must stay clean: {check:?}");
+    // WGL is deliberately stronger than `is_clean()`: r1's engineered
+    // staleness (the empty victim responds first under R=1) is legal
+    // partial-quorum behaviour, yet still a linearizability violation.
+    assert_eq!(check.lin.violation_count(), 1, "exactly r1's staleness: {:?}", check.lin);
+    assert!(!check.lin.all_linearizable());
 }
 
 /// Two writes from two coordinators while the victim is down, so each
@@ -179,6 +205,10 @@ fn drop_version_merge_is_caught_as_non_monotone_exposure() {
         }
         other => panic!("expected a NonMonotoneExposure example, got {other:?}"),
     }
+    // The rollback is also a WGL violation — r2 misses the committed v2 —
+    // with a real window (v2's commit to r2's start).
+    assert_eq!(check.lin.violation_count(), 1, "WGL must convict r2: {:?}", check.lin);
+    assert!(check.lin.first_violation().unwrap().window_ns() > 0);
 }
 
 /// Control: with max-merge intact the late old hint is a no-op, both
@@ -189,6 +219,7 @@ fn hint_rollback_scenario_is_clean_without_mutations() {
     assert_eq!(r1, Some(seq2));
     assert_eq!(r2, Some(seq2), "max-merge ignores the stale hint");
     assert!(check.is_clean(), "clean build must stay clean: {check:?}");
+    assert!(check.lin.all_linearizable(), "both reads saw the newest commit: {:?}", check.lin);
 }
 
 /// A hint is stashed for the crashed victim; replay should heal it after
@@ -241,6 +272,10 @@ fn swallow_hints_is_caught_as_lost_update() {
         }
         other => panic!("expected a LostUpdate example, got {other:?}"),
     }
+    // The subsumption gap, pinned: no read ever exposes the divergence,
+    // so the history is trivially linearizable and WGL cannot catch this
+    // mutation — only the final-state lost-update rule above does.
+    assert!(check.lin.all_linearizable(), "a read-free history is vacuously linearizable");
 }
 
 /// Control: hint replay heals the victim and clears the hint; the full
@@ -251,6 +286,7 @@ fn hint_replay_scenario_is_clean_without_mutations() {
     assert_eq!(stored, w_seq, "hint replay healed the victim");
     assert_eq!(hints, 0, "delivered hint was acked and cleared");
     assert!(check.is_clean(), "clean build must stay clean: {check:?}");
+    assert!(check.lin.all_linearizable(), "{:?}", check.lin);
 }
 
 /// The mutation struct itself: defaults are all-off and `any()` reflects
